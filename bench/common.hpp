@@ -1,0 +1,125 @@
+#pragma once
+// Shared bench configuration. Every experiment binary accepts:
+//   --quick          smaller fabric / shorter runs (CI smoke)
+//   --scale=paper    the paper's 288-host fabric (slow; hours on one core)
+//   --seed=N         scenario seed
+// No arguments reproduces the default scaled-down experiment.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hpp"
+#include "exp/pretrain.hpp"
+#include "exp/table.hpp"
+
+namespace pet::bench {
+
+struct BenchOptions {
+  bool quick = false;
+  bool paper_scale = false;
+  std::uint64_t seed = 20250704;
+};
+
+inline BenchOptions parse_options(int argc, char** argv) {
+  BenchOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      opt.quick = true;
+    } else if (arg == "--scale=paper") {
+      opt.paper_scale = true;
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      opt.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: %s [--quick] [--scale=paper] [--seed=N]\n", argv[0]);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return opt;
+}
+
+/// Baseline scenario for a scheme/workload/load under the given options.
+inline exp::ScenarioConfig make_scenario(const BenchOptions& opt,
+                                         exp::Scheme scheme,
+                                         workload::WorkloadKind kind,
+                                         double load) {
+  exp::ScenarioConfig cfg;
+  cfg.scheme = scheme;
+  cfg.workload = kind;
+  cfg.load = load;
+  cfg.seed = opt.seed;
+  if (opt.paper_scale) {
+    cfg.topo = net::LeafSpineConfig::paper_scale();
+    cfg.flow_size_cap_bytes = 0.0;  // full distributions
+    cfg.pretrain = sim::milliseconds(100);
+    cfg.measure = sim::milliseconds(100);
+    cfg.incast_fan_in = 32;
+  } else if (opt.quick) {
+    cfg.topo.num_spines = 2;
+    cfg.topo.num_leaves = 2;
+    cfg.topo.hosts_per_leaf = 8;
+    cfg.flow_size_cap_bytes = 4e6;
+    cfg.pretrain = sim::milliseconds(15);
+    cfg.measure = sim::milliseconds(15);
+    cfg.incast_fan_in = 8;
+  } else {
+    cfg.topo.num_spines = 2;
+    cfg.topo.num_leaves = 4;
+    cfg.topo.hosts_per_leaf = 8;
+    cfg.flow_size_cap_bytes = 8e6;
+    cfg.pretrain = sim::milliseconds(40);
+    cfg.measure = sim::milliseconds(40);
+    cfg.incast_fan_in = 8;
+  }
+  cfg.tune_dcqcn_for_rate();
+  return cfg;
+}
+
+/// Pre-training budget per mode.
+inline exp::PretrainOptions make_pretrain(const BenchOptions& opt) {
+  exp::PretrainOptions pre;
+  if (opt.paper_scale) {
+    pre.duration = sim::milliseconds(800);
+  } else if (opt.quick) {
+    pre.duration = sim::milliseconds(200);
+  } else {
+    pre.duration = sim::milliseconds(600);
+  }
+  return pre;
+}
+
+/// Run one scenario end-to-end: offline pre-train (cached on disk for the
+/// learning schemes), install the initial model, warm up online, measure.
+inline exp::Metrics run_scenario(const BenchOptions& opt, exp::Scheme scheme,
+                                 workload::WorkloadKind kind, double load) {
+  exp::ScenarioConfig cfg = make_scenario(opt, scheme, kind, load);
+  std::vector<double> weights;
+  if (exp::is_learning_scheme(scheme)) {
+    weights = exp::pretrained_weights_cached(cfg, make_pretrain(opt));
+    cfg.expects_pretrained = !weights.empty();
+    cfg.pretrain_lr_boost = 1.0;  // online phase uses the paper's rates
+    cfg.pretrain = sim::milliseconds(opt.quick ? 5 : 10);  // online warmup
+  }
+  exp::Experiment experiment(cfg);
+  if (!weights.empty()) experiment.install_learned_weights(weights);
+  return experiment.run();
+}
+
+inline const char* mode_name(const BenchOptions& opt) {
+  return opt.paper_scale ? "paper-scale" : (opt.quick ? "quick" : "scaled");
+}
+
+inline void print_header(const BenchOptions& opt, const char* title,
+                         const char* paper_ref) {
+  std::printf("=== %s ===\n", title);
+  std::printf("reproduces: %s | mode: %s | seed: %llu\n\n", paper_ref,
+              mode_name(opt), static_cast<unsigned long long>(opt.seed));
+}
+
+}  // namespace pet::bench

@@ -1,0 +1,52 @@
+// Figure 3: the two workload traffic distributions (Web Search, Data
+// Mining) — flow-size CDFs, means, and mice/elephant splits.
+
+#include <vector>
+
+#include "common.hpp"
+#include "workload/distributions.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pet;
+  const bench::BenchOptions opt = bench::parse_options(argc, argv);
+  bench::print_header(opt, "Fig. 3 - Traffic distributions",
+                      "PET paper Fig. 3");
+
+  const std::vector<double> percentiles{0.1, 0.25, 0.5, 0.75, 0.9,
+                                        0.95, 0.99, 1.0};
+  exp::Table cdf_table({"cumulative prob", "WebSearch (bytes)",
+                        "DataMining (bytes)"});
+  const auto ws = workload::web_search_cdf();
+  const auto dm = workload::data_mining_cdf();
+  for (const double p : percentiles) {
+    cdf_table.add_row({exp::fmt("%.2f", p), exp::fmt("%.0f", ws.quantile(p)),
+                       exp::fmt("%.0f", dm.quantile(p))});
+  }
+  cdf_table.print();
+
+  exp::Table stats({"workload", "mean flow (bytes)", "mice share (<=100KB)",
+                    "elephant share (>1MB)"});
+  sim::Rng rng(1);
+  for (const auto kind : {workload::WorkloadKind::kWebSearch,
+                          workload::WorkloadKind::kDataMining}) {
+    const auto cdf = workload::workload_cdf(kind);
+    int mice = 0;
+    int elephants = 0;
+    const int n = 200'000;
+    for (int i = 0; i < n; ++i) {
+      const double s = cdf.sample(rng);
+      mice += (s <= 100'000.0);
+      elephants += (s > 1'000'000.0);
+    }
+    stats.add_row({workload::workload_name(kind), exp::fmt("%.0f", cdf.mean()),
+                   exp::fmt("%.1f%%", 100.0 * mice / n),
+                   exp::fmt("%.1f%%", 100.0 * elephants / n)});
+  }
+  stats.print();
+
+  std::printf(
+      "\npaper: Web Search mixes latency-sensitive queries with multi-MB "
+      "transfers;\n       Data Mining is heavy-tailed (most flows tiny, most "
+      "bytes in elephants).\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Figure 5: FCT statistics under different workloads — (a) Web Search,
+// (b) Data Mining — PET vs ACC vs SECN1 vs SECN2.
+//
+// Paper-reported shape: PET lowest in both; up to 8.2% / 23.2% / 67.3%
+// lower FCT than ACC / SECN1 / SECN2 on Web Search, and up to 3.7% / 7.6%
+// / 13.4% on Data Mining.
+
+#include <vector>
+
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pet;
+  const bench::BenchOptions opt = bench::parse_options(argc, argv);
+  bench::print_header(opt, "Fig. 5 - FCT across workloads",
+                      "PET paper Fig. 5(a)-(b)");
+
+  const std::vector<double> loads =
+      opt.quick ? std::vector<double>{0.5} : std::vector<double>{0.4, 0.6};
+  const std::vector<exp::Scheme> schemes{exp::Scheme::kSecn1,
+                                         exp::Scheme::kSecn2,
+                                         exp::Scheme::kAcc, exp::Scheme::kPet};
+
+  for (const auto kind : {workload::WorkloadKind::kWebSearch,
+                          workload::WorkloadKind::kDataMining}) {
+    std::printf("\n--- %s ---\n", workload::workload_name(kind));
+    exp::Table table({"load", "SECN1", "SECN2", "ACC", "PET", "PET vs ACC",
+                      "PET vs SECN1", "PET vs SECN2"});
+    for (const double load : loads) {
+      std::vector<double> vals;
+      for (const exp::Scheme scheme : schemes) {
+        const exp::Metrics m = bench::run_scenario(opt, scheme, kind, load);
+        vals.push_back(m.overall.avg_us);
+        std::printf("  ran %s %-6s load %.0f%%: overall avg %.1fus\n",
+                    workload::workload_name(kind), exp::scheme_name(scheme),
+                    load * 100, m.overall.avg_us);
+      }
+      const auto delta = [&](double base) {
+        return exp::fmt("%+.1f%%", (vals[3] - base) / base * 100.0);
+      };
+      table.add_row({exp::fmt("%.0f%%", load * 100), exp::fmt("%.1f", vals[0]),
+                     exp::fmt("%.1f", vals[1]), exp::fmt("%.1f", vals[2]),
+                     exp::fmt("%.1f", vals[3]), delta(vals[2]), delta(vals[0]),
+                     delta(vals[1])});
+    }
+    table.print();
+  }
+
+  std::printf(
+      "\npaper: PET best in both workloads — up to -8.2%%/-23.2%%/-67.3%% "
+      "(WS) and -3.7%%/-7.6%%/-13.4%% (DM) vs ACC/SECN1/SECN2.\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Figure 6: model convergence under abrupt traffic-pattern switching —
+// background traffic flips Web Search -> Data Mining -> Web Search -> Data
+// Mining; (a) elephant and (b) mice average FCT tracked over time for PET
+// vs ACC.
+//
+// Paper timeline (seconds-scale) is compressed: phases of 15 ms on the
+// scaled fabric. Paper-reported shape: both adapt quickly; PET settles to
+// 2.1% (elephant) / 7.2% (mice) lower FCT than ACC after each switch.
+
+#include <vector>
+
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pet;
+  const bench::BenchOptions opt = bench::parse_options(argc, argv);
+  bench::print_header(opt, "Fig. 6 - Convergence under pattern switching",
+                      "PET paper Fig. 6(a)-(b)");
+
+  const sim::Time phase =
+      opt.quick ? sim::milliseconds(8) : sim::milliseconds(15);
+  const sim::Time bin = opt.quick ? sim::milliseconds(4) : sim::milliseconds(5);
+  const sim::Time warmup = sim::milliseconds(opt.quick ? 5 : 10);
+
+  struct Series {
+    exp::Scheme scheme;
+    std::vector<exp::Metrics> bins;
+  };
+  std::vector<Series> series;
+
+  for (const exp::Scheme scheme : {exp::Scheme::kPet, exp::Scheme::kAcc}) {
+    exp::ScenarioConfig cfg = bench::make_scenario(
+        opt, scheme, workload::WorkloadKind::kWebSearch, 0.5);
+    std::vector<double> weights =
+        exp::pretrained_weights_cached(cfg, bench::make_pretrain(opt));
+    cfg.expects_pretrained = !weights.empty();
+    cfg.pretrain_lr_boost = 1.0;
+    cfg.pretrain = warmup;
+    exp::Experiment experiment(cfg);
+    if (!weights.empty()) experiment.install_learned_weights(weights);
+
+    // Phase switches: WS (initial) -> DM -> WS -> DM.
+    const sim::Time t0 = warmup;
+    experiment.add_event(t0 + phase, [&experiment] {
+      experiment.switch_workload(workload::WorkloadKind::kDataMining);
+    });
+    experiment.add_event(t0 + 2 * phase, [&experiment] {
+      experiment.switch_workload(workload::WorkloadKind::kWebSearch);
+    });
+    experiment.add_event(t0 + 3 * phase, [&experiment] {
+      experiment.switch_workload(workload::WorkloadKind::kDataMining);
+    });
+
+    experiment.run_until(warmup);
+    experiment.mark_measurement_start();
+    const sim::Time end = t0 + 4 * phase;
+    experiment.run_until(end);
+
+    Series s{scheme, {}};
+    for (sim::Time t = t0; t < end; t += bin) {
+      s.bins.push_back(experiment.collect(t, t + bin));
+    }
+    series.push_back(std::move(s));
+    std::printf("  ran %s: %zu time bins\n", exp::scheme_name(scheme),
+                series.back().bins.size());
+  }
+
+  const auto print_panel = [&](const char* title,
+                               double (*metric)(const exp::Metrics&)) {
+    std::printf("\n--- %s ---\n", title);
+    std::vector<std::string> headers{"t (ms)", "workload"};
+    for (const auto& s : series) headers.push_back(exp::scheme_name(s.scheme));
+    exp::Table table(headers);
+    const std::size_t n_bins = series[0].bins.size();
+    const std::int64_t bins_per_phase = phase / bin;
+    for (std::size_t b = 0; b < n_bins; ++b) {
+      const double t_ms = warmup.ms() + static_cast<double>(b) * bin.ms();
+      const std::int64_t ph = static_cast<std::int64_t>(b) / bins_per_phase;
+      std::vector<std::string> row{
+          exp::fmt("%.0f-%.0f", t_ms, t_ms + bin.ms()),
+          (ph % 2 == 0) ? "WebSearch" : "DataMining"};
+      for (const auto& s : series) {
+        row.push_back(exp::fmt("%.1f", metric(s.bins[b])));
+      }
+      table.add_row(std::move(row));
+    }
+    table.print();
+  };
+
+  print_panel("(a) elephant (>1MB) average FCT (us)",
+              [](const exp::Metrics& m) { return m.elephants.avg_us; });
+  print_panel("(b) mice (0,100KB] average FCT (us)",
+              [](const exp::Metrics& m) { return m.mice.avg_us; });
+
+  std::printf(
+      "\npaper: both learning schemes re-converge within ~1s of each switch; "
+      "PET lands 2.1%% (elephant) / 7.2%% (mice) below ACC.\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Figure 7: robustness to link failures — 10% of fabric (switch-switch)
+// links are disconnected mid-run and later restored; average FCT tracked
+// over time for PET vs ACC (statics included for context).
+//
+// Paper timeline: fail at 3.1s, restore at 6.1s. Scaled: fail at +10ms,
+// restore at +25ms. Paper-reported shape: PET adapts faster, up to 26%
+// lower average FCT than ACC during the failure window.
+
+#include <vector>
+
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pet;
+  const bench::BenchOptions opt = bench::parse_options(argc, argv);
+  bench::print_header(opt, "Fig. 7 - Robustness to link failures",
+                      "PET paper Fig. 7");
+
+  const sim::Time warmup = sim::milliseconds(opt.quick ? 5 : 10);
+  const sim::Time fail_at = warmup + sim::milliseconds(opt.quick ? 5 : 10);
+  const sim::Time restore_at = fail_at + sim::milliseconds(opt.quick ? 8 : 15);
+  const sim::Time end = restore_at + sim::milliseconds(opt.quick ? 5 : 10);
+  const sim::Time bin = sim::milliseconds(5);
+
+  struct Series {
+    exp::Scheme scheme;
+    std::vector<exp::Metrics> bins;
+  };
+  std::vector<Series> series;
+  const std::vector<exp::Scheme> schemes{exp::Scheme::kPet, exp::Scheme::kAcc,
+                                         exp::Scheme::kSecn1};
+
+  for (const exp::Scheme scheme : schemes) {
+    exp::ScenarioConfig cfg = bench::make_scenario(
+        opt, scheme, workload::WorkloadKind::kWebSearch, 0.5);
+    std::vector<double> weights;
+    if (exp::is_learning_scheme(scheme)) {
+      weights = exp::pretrained_weights_cached(cfg, bench::make_pretrain(opt));
+      cfg.expects_pretrained = !weights.empty();
+      cfg.pretrain_lr_boost = 1.0;
+    }
+    cfg.pretrain = warmup;
+    exp::Experiment experiment(cfg);
+    if (!weights.empty()) experiment.install_learned_weights(weights);
+
+    sim::Rng fail_rng(sim::derive_seed(opt.seed, "fig7-failures"));
+    auto failed = std::make_shared<
+        std::vector<std::pair<net::DeviceId, net::DeviceId>>>();
+    experiment.add_event(fail_at, [&experiment, failed, &fail_rng] {
+      *failed = experiment.network().fail_random_switch_links(0.10, fail_rng);
+    });
+    experiment.add_event(restore_at, [&experiment, failed] {
+      for (const auto& [a, b] : *failed) {
+        experiment.network().set_link_state(a, b, true);
+      }
+    });
+
+    experiment.run_until(warmup);
+    experiment.mark_measurement_start();
+    experiment.run_until(end);
+
+    Series s{scheme, {}};
+    for (sim::Time t = warmup; t < end; t += bin) {
+      s.bins.push_back(experiment.collect(t, t + bin));
+    }
+    series.push_back(std::move(s));
+    std::printf("  ran %-6s: %zu failed links during window\n",
+                exp::scheme_name(scheme), failed->size());
+  }
+
+  std::printf("\n--- overall average FCT (us) over time ---\n");
+  std::vector<std::string> headers{"t (ms)", "state"};
+  for (const auto& s : series) headers.push_back(exp::scheme_name(s.scheme));
+  exp::Table table(headers);
+  std::size_t b = 0;
+  for (sim::Time t = warmup; t < end; t += bin, ++b) {
+    const char* state = (t >= fail_at && t < restore_at) ? "FAILED (10%)"
+                        : (t >= restore_at)              ? "restored"
+                                                         : "healthy";
+    std::vector<std::string> row{exp::fmt("%.0f-%.0f", t.ms(), (t + bin).ms()),
+                                 state};
+    for (const auto& s : series) {
+      row.push_back(exp::fmt("%.1f", s.bins[b].overall.avg_us));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+
+  std::printf(
+      "\npaper: PET achieves up to 26%% lower average FCT than ACC while "
+      "links are down, recovering faster after restoration.\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Figure 9: state ablation — PET with vs without the incast degree and
+// mice/elephant ratio state factors, Web Search workload across loads.
+//
+// Paper-reported shape: the two factors reduce overall average FCT by up
+// to 6.3%.
+
+#include <vector>
+
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pet;
+  const bench::BenchOptions opt = bench::parse_options(argc, argv);
+  bench::print_header(opt,
+                      "Fig. 9 - PET state ablation (incast + M/E ratio)",
+                      "PET paper Fig. 9");
+
+  const std::vector<double> loads =
+      opt.quick ? std::vector<double>{0.5} : std::vector<double>{0.3, 0.5, 0.7};
+
+  exp::Table table({"load", "PET (full state)", "PET w/o incast+ratio",
+                    "delta (full vs ablated)", "mice p99 full",
+                    "mice p99 ablated"});
+  for (const double load : loads) {
+    const exp::Metrics full = bench::run_scenario(
+        opt, exp::Scheme::kPet, workload::WorkloadKind::kWebSearch, load);
+    const exp::Metrics ablated =
+        bench::run_scenario(opt, exp::Scheme::kPetAblation,
+                            workload::WorkloadKind::kWebSearch, load);
+    std::printf("  ran load %.0f%%: full %.1fus, ablated %.1fus\n", load * 100,
+                full.overall.avg_us, ablated.overall.avg_us);
+    table.add_row(
+        {exp::fmt("%.0f%%", load * 100), exp::fmt("%.1f", full.overall.avg_us),
+         exp::fmt("%.1f", ablated.overall.avg_us),
+         exp::fmt("%+.1f%%", (full.overall.avg_us - ablated.overall.avg_us) /
+                                 ablated.overall.avg_us * 100.0),
+         exp::fmt("%.1f", full.mice.p99_us),
+         exp::fmt("%.1f", ablated.mice.p99_us)});
+  }
+  table.print();
+
+  std::printf(
+      "\npaper: including D_incast and R_flow reduces overall average FCT "
+      "by up to 6.3%%.\n");
+  return 0;
+}

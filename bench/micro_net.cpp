@@ -1,0 +1,88 @@
+// Microbenchmarks: network datapath throughput (google-benchmark) — how
+// many simulated packets per wall-second the substrate sustains.
+
+#include <benchmark/benchmark.h>
+
+#include "net/topology.hpp"
+#include "transport/dcqcn.hpp"
+#include "workload/distributions.hpp"
+#include "workload/traffic_gen.hpp"
+
+namespace {
+
+using namespace pet;
+
+/// Saturated single-switch forwarding: events/packet cost of the datapath.
+void BM_SwitchDatapath(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    net::Network net(sched, 1);
+    net::PortConfig nic;
+    nic.rate = sim::gbps(10);
+    nic.propagation_delay = sim::nanoseconds(500);
+    auto& h0 = net.add_host(nic);
+    auto& h1 = net.add_host(nic);
+    auto& sw = net.add_switch({});
+    net.connect(h0.id(), sw.id(), nic.rate, nic.propagation_delay);
+    net.connect(h1.id(), sw.id(), nic.rate, nic.propagation_delay);
+    net.recompute_routes();
+    transport::FctRecorder rec;
+    transport::RdmaTransport transport(net, {}, &rec);
+    transport::FlowSpec spec;
+    spec.src = 0;
+    spec.dst = 1;
+    spec.size_bytes = 1'000'000;  // 1000 packets end to end
+    transport.start_flow(spec);
+    sched.run_until(sim::milliseconds(2));
+    benchmark::DoNotOptimize(sched.executed());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+  state.SetLabel("items = simulated data packets");
+}
+BENCHMARK(BM_SwitchDatapath)->Unit(benchmark::kMillisecond);
+
+/// Whole-fabric simulation throughput at 50% load on the scaled topology.
+void BM_FabricSimulation(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    net::Network net(sched, 2);
+    net::LeafSpineConfig topo_cfg;
+    topo_cfg.num_spines = 2;
+    topo_cfg.num_leaves = 2;
+    topo_cfg.hosts_per_leaf = 8;
+    const net::LeafSpine topo = net::build_leaf_spine(net, topo_cfg);
+    transport::FctRecorder rec;
+    transport::RdmaTransport transport(net, {}, &rec);
+    workload::PoissonTrafficConfig bg;
+    bg.load = 0.5;
+    bg.host_rate = topo_cfg.host_link_rate;
+    for (net::HostId h = 0; h < topo.num_hosts(); ++h) bg.hosts.push_back(h);
+    bg.sizes = workload::web_search_cdf().truncated(2e6);
+    workload::PoissonTrafficGenerator gen(sched, transport, bg);
+    gen.start();
+    sched.run_until(sim::milliseconds(5));
+    benchmark::DoNotOptimize(sched.executed());
+  }
+  state.SetLabel("5 simulated ms, 16 hosts @ 50% load");
+}
+BENCHMARK(BM_FabricSimulation)->Unit(benchmark::kMillisecond);
+
+/// Routing recomputation cost (what a failure event triggers).
+void BM_RouteRecompute(benchmark::State& state) {
+  sim::Scheduler sched;
+  net::Network net(sched, 3);
+  net::LeafSpineConfig topo_cfg;
+  topo_cfg.num_spines = 4;
+  topo_cfg.num_leaves = 8;
+  topo_cfg.hosts_per_leaf = 16;  // 128 hosts
+  (void)net::build_leaf_spine(net, topo_cfg);
+  for (auto _ : state) {
+    net.recompute_routes();
+  }
+  state.SetLabel("128-host leaf-spine");
+}
+BENCHMARK(BM_RouteRecompute)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

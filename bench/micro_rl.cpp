@@ -1,0 +1,129 @@
+// Microbenchmarks: RL stack primitives (google-benchmark). These bound the
+// per-tick compute a switch-resident agent would need.
+
+#include <benchmark/benchmark.h>
+
+#include "rl/ddqn.hpp"
+#include "rl/gae.hpp"
+#include "rl/mlp.hpp"
+#include "rl/ppo.hpp"
+
+namespace {
+
+using namespace pet;
+
+rl::PpoConfig pet_shape() {
+  rl::PpoConfig cfg;
+  cfg.input_size = 24;
+  cfg.head_sizes = {10, 10, 20};
+  cfg.seed = 1;
+  return cfg;
+}
+
+void BM_MlpForward(benchmark::State& state) {
+  sim::Rng rng(1);
+  rl::Mlp mlp({24, 64, 64, 10}, rl::Activation::kTanh, rng);
+  const std::vector<double> x(24, 0.3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mlp.forward(x));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MlpForward);
+
+void BM_MlpForwardBackward(benchmark::State& state) {
+  sim::Rng rng(2);
+  rl::Mlp mlp({24, 64, 64, 10}, rl::Activation::kTanh, rng);
+  const std::vector<double> x(24, 0.3);
+  const std::vector<double> dy(10, 0.1);
+  for (auto _ : state) {
+    rl::Mlp::Cache cache;
+    benchmark::DoNotOptimize(mlp.forward(x, &cache));
+    benchmark::DoNotOptimize(mlp.backward(x, cache, dy));
+    mlp.zero_grad();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MlpForwardBackward);
+
+void BM_PpoAct(benchmark::State& state) {
+  rl::PpoAgent agent(pet_shape());
+  sim::Rng rng(3);
+  const std::vector<double> s(24, 0.4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agent.act(s, rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PpoAct);
+
+void BM_PpoUpdate(benchmark::State& state) {
+  rl::PpoAgent agent(pet_shape());
+  sim::Rng rng(4);
+  rl::RolloutBuffer buf;
+  const std::vector<double> s(24, 0.4);
+  for (int i = 0; i < 32; ++i) {
+    auto res = agent.act(s, rng);
+    buf.push(rl::Transition{s, res.actions, res.log_prob, res.value,
+                            rng.uniform()});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agent.update(buf, 0.0));
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_PpoUpdate);
+
+void BM_DdqnAct(benchmark::State& state) {
+  auto replay = std::make_shared<rl::ReplayBuffer>(1000);
+  rl::DdqnConfig cfg;
+  cfg.input_size = 18;
+  cfg.head_sizes = {10, 10, 20};
+  cfg.seed = 5;
+  rl::DdqnAgent agent(cfg, replay, 0);
+  sim::Rng rng(6);
+  const std::vector<double> s(18, 0.4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agent.act(s, rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DdqnAct);
+
+void BM_DdqnTrainStep(benchmark::State& state) {
+  auto replay = std::make_shared<rl::ReplayBuffer>(1000);
+  rl::DdqnConfig cfg;
+  cfg.input_size = 18;
+  cfg.head_sizes = {10, 10, 20};
+  cfg.batch_size = 16;
+  cfg.seed = 7;
+  rl::DdqnAgent agent(cfg, replay, 0);
+  sim::Rng rng(8);
+  for (int i = 0; i < 64; ++i) {
+    rl::DqnTransition t;
+    t.state.assign(18, rng.uniform());
+    t.next_state.assign(18, rng.uniform());
+    t.actions = {1, 2, 3};
+    t.reward = rng.uniform();
+    agent.observe(std::move(t));
+  }
+  for (auto _ : state) {
+    agent.train_step();
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_DdqnTrainStep);
+
+void BM_Gae(benchmark::State& state) {
+  std::vector<double> rewards(256, 0.5);
+  std::vector<double> values(256, 0.4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rl::compute_gae(rewards, values, 0.3, 0.99, 0.95));
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_Gae);
+
+}  // namespace
+
+BENCHMARK_MAIN();

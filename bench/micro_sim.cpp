@@ -1,0 +1,95 @@
+// Microbenchmarks: discrete-event engine and AQM primitives
+// (google-benchmark).
+
+#include <benchmark/benchmark.h>
+
+#include "net/queue.hpp"
+#include "net/red_ecn.hpp"
+#include "sim/rng.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/stats.hpp"
+
+namespace {
+
+using namespace pet;
+
+void BM_SchedulerScheduleRun(benchmark::State& state) {
+  const std::int64_t batch = state.range(0);
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    std::int64_t sink = 0;
+    for (std::int64_t i = 0; i < batch; ++i) {
+      sched.schedule_at(sim::nanoseconds(i), [&sink] { ++sink; });
+    }
+    sched.run_all();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_SchedulerScheduleRun)->Arg(1'000)->Arg(100'000);
+
+void BM_SchedulerCancel(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Scheduler sched;
+    std::vector<sim::EventId> ids;
+    ids.reserve(1000);
+    for (int i = 0; i < 1000; ++i) {
+      ids.push_back(sched.schedule_at(sim::nanoseconds(i), [] {}));
+    }
+    for (const auto id : ids) sched.cancel(id);
+    sched.run_all();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SchedulerCancel);
+
+void BM_RedMarking(benchmark::State& state) {
+  net::RedEcnMarker marker(1);
+  marker.set_config({.kmin_bytes = 5'000, .kmax_bytes = 200'000, .pmax = 0.2});
+  std::int64_t q = 0;
+  std::int64_t marks = 0;
+  for (auto _ : state) {
+    q = (q + 997) % 250'000;
+    marks += marker.should_mark(q);
+  }
+  benchmark::DoNotOptimize(marks);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RedMarking);
+
+void BM_FifoQueuePushPop(benchmark::State& state) {
+  net::FifoQueue queue;
+  net::Packet pkt;
+  pkt.size_bytes = 1000;
+  for (auto _ : state) {
+    queue.push(net::QueueEntry{pkt, 0}, sim::Time::zero());
+    benchmark::DoNotOptimize(queue.pop(sim::Time::zero()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FifoQueuePushPop);
+
+void BM_Rng(benchmark::State& state) {
+  sim::Rng rng(7);
+  double acc = 0;
+  for (auto _ : state) acc += rng.uniform();
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Rng);
+
+void BM_RunningStats(benchmark::State& state) {
+  sim::RunningStats stats;
+  double x = 0.0;
+  for (auto _ : state) {
+    stats.add(x);
+    x += 0.1;
+  }
+  benchmark::DoNotOptimize(stats.mean());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RunningStats);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,193 @@
+// pet_sim_cli: run any scenario from the command line and optionally dump
+// per-switch telemetry as CSV — the Swiss-army knife for exploring the
+// library without writing code.
+//
+//   ./pet_sim_cli --scheme=pet --workload=websearch --load=0.6
+//                 --hosts-per-leaf=8 --leaves=4 --spines=2
+//                 --pretrain-ms=40 --measure-ms=40 --seed=1
+//                 --telemetry=trace.csv [--no-incast] [--no-pretrain-cache]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "exp/experiment.hpp"
+#include "exp/pretrain.hpp"
+#include "exp/table.hpp"
+#include "exp/telemetry.hpp"
+
+namespace {
+
+using namespace pet;
+
+struct CliOptions {
+  exp::Scheme scheme = exp::Scheme::kPet;
+  workload::WorkloadKind workload = workload::WorkloadKind::kWebSearch;
+  double load = 0.6;
+  std::int32_t spines = 2;
+  std::int32_t leaves = 4;
+  std::int32_t hosts_per_leaf = 8;
+  std::int64_t pretrain_ms = 40;
+  std::int64_t measure_ms = 40;
+  std::uint64_t seed = 1;
+  bool incast = true;
+  bool use_pretrain_cache = true;
+  std::string telemetry_path;
+};
+
+[[noreturn]] void usage(const char* argv0, int code) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --scheme=secn1|secn2|amt|qaecn|acc|pet|pet-ablation\n"
+      "  --workload=websearch|datamining\n"
+      "  --load=F           fraction of host bandwidth (default 0.6)\n"
+      "  --spines=N --leaves=N --hosts-per-leaf=N\n"
+      "  --pretrain-ms=N --measure-ms=N --seed=N\n"
+      "  --telemetry=PATH   write per-switch time series CSV\n"
+      "  --no-incast        disable the incast generator\n"
+      "  --no-pretrain-cache  train learning schemes inline (slow)\n",
+      argv0);
+  std::exit(code);
+}
+
+exp::Scheme parse_scheme(const std::string& name, const char* argv0) {
+  if (name == "secn1") return exp::Scheme::kSecn1;
+  if (name == "secn2") return exp::Scheme::kSecn2;
+  if (name == "amt") return exp::Scheme::kAmt;
+  if (name == "qaecn") return exp::Scheme::kQaecn;
+  if (name == "acc") return exp::Scheme::kAcc;
+  if (name == "pet") return exp::Scheme::kPet;
+  if (name == "pet-ablation") return exp::Scheme::kPetAblation;
+  std::fprintf(stderr, "unknown scheme: %s\n", name.c_str());
+  usage(argv0, 2);
+}
+
+CliOptions parse(int argc, char** argv) {
+  CliOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](const char* prefix) -> const char* {
+      return arg.c_str() + std::strlen(prefix);
+    };
+    if (arg.rfind("--scheme=", 0) == 0) {
+      opt.scheme = parse_scheme(value("--scheme="), argv[0]);
+    } else if (arg.rfind("--workload=", 0) == 0) {
+      const std::string w = value("--workload=");
+      if (w == "websearch") {
+        opt.workload = workload::WorkloadKind::kWebSearch;
+      } else if (w == "datamining") {
+        opt.workload = workload::WorkloadKind::kDataMining;
+      } else {
+        std::fprintf(stderr, "unknown workload: %s\n", w.c_str());
+        usage(argv[0], 2);
+      }
+    } else if (arg.rfind("--load=", 0) == 0) {
+      opt.load = std::atof(value("--load="));
+    } else if (arg.rfind("--spines=", 0) == 0) {
+      opt.spines = std::atoi(value("--spines="));
+    } else if (arg.rfind("--leaves=", 0) == 0) {
+      opt.leaves = std::atoi(value("--leaves="));
+    } else if (arg.rfind("--hosts-per-leaf=", 0) == 0) {
+      opt.hosts_per_leaf = std::atoi(value("--hosts-per-leaf="));
+    } else if (arg.rfind("--pretrain-ms=", 0) == 0) {
+      opt.pretrain_ms = std::atoll(value("--pretrain-ms="));
+    } else if (arg.rfind("--measure-ms=", 0) == 0) {
+      opt.measure_ms = std::atoll(value("--measure-ms="));
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      opt.seed = std::strtoull(value("--seed="), nullptr, 10);
+    } else if (arg.rfind("--telemetry=", 0) == 0) {
+      opt.telemetry_path = value("--telemetry=");
+    } else if (arg == "--no-incast") {
+      opt.incast = false;
+    } else if (arg == "--no-pretrain-cache") {
+      opt.use_pretrain_cache = false;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0], 0);
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      usage(argv[0], 2);
+    }
+  }
+  if (opt.load <= 0.0 || opt.spines < 1 || opt.leaves < 1 ||
+      opt.hosts_per_leaf < 2 || opt.measure_ms < 1) {
+    std::fprintf(stderr, "invalid scenario parameters\n");
+    usage(argv[0], 2);
+  }
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions opt = parse(argc, argv);
+
+  exp::ScenarioConfig cfg;
+  cfg.scheme = opt.scheme;
+  cfg.workload = opt.workload;
+  cfg.load = opt.load;
+  cfg.topo.num_spines = opt.spines;
+  cfg.topo.num_leaves = opt.leaves;
+  cfg.topo.hosts_per_leaf = opt.hosts_per_leaf;
+  cfg.flow_size_cap_bytes = 8e6;
+  cfg.pretrain = sim::milliseconds(opt.pretrain_ms);
+  cfg.measure = sim::milliseconds(opt.measure_ms);
+  cfg.incast_enabled = opt.incast;
+  cfg.seed = opt.seed;
+  cfg.tune_dcqcn_for_rate();
+
+  std::vector<double> weights;
+  if (opt.use_pretrain_cache && exp::is_learning_scheme(opt.scheme)) {
+    weights = exp::pretrained_weights_cached(cfg, exp::PretrainOptions{});
+    cfg.expects_pretrained = !weights.empty();
+    cfg.pretrain_lr_boost = 1.0;
+  }
+
+  std::printf("pet_sim: %s on %s, %d hosts, load %.0f%%, seed %llu\n",
+              exp::scheme_name(opt.scheme),
+              workload::workload_name(opt.workload),
+              opt.leaves * opt.hosts_per_leaf, opt.load * 100,
+              static_cast<unsigned long long>(opt.seed));
+
+  exp::Experiment experiment(cfg);
+  if (!weights.empty()) experiment.install_learned_weights(weights);
+
+  std::unique_ptr<exp::TelemetryRecorder> telemetry;
+  if (!opt.telemetry_path.empty()) {
+    telemetry = std::make_unique<exp::TelemetryRecorder>(
+        experiment.scheduler(), experiment.network().switches());
+    telemetry->start();
+  }
+
+  const exp::Metrics m = experiment.run();
+
+  exp::Table table({"metric", "value"});
+  table.add_row({"flows measured", exp::fmt("%lld", (long long)m.flows_measured)});
+  table.add_row({"overall avg FCT", exp::fmt("%.1f us", m.overall.avg_us)});
+  table.add_row({"overall p99 FCT", exp::fmt("%.1f us", m.overall.p99_us)});
+  table.add_row({"mice avg / p99", exp::fmt("%.1f / %.1f us", m.mice.avg_us,
+                                            m.mice.p99_us)});
+  table.add_row({"elephant avg", exp::fmt("%.1f us", m.elephants.avg_us)});
+  table.add_row({"avg slowdown", exp::fmt("%.2fx", m.overall.avg_slowdown)});
+  table.add_row({"latency avg / p99", exp::fmt("%.2f / %.2f us",
+                                               m.latency_avg_us,
+                                               m.latency_p99_us)});
+  table.add_row({"queue avg / std", exp::fmt("%.1f / %.1f KB", m.queue_avg_kb,
+                                             m.queue_std_kb)});
+  table.add_row({"switch drops", exp::fmt("%lld", (long long)m.switch_drops)});
+  table.add_row({"PFC pauses", exp::fmt("%lld", (long long)m.pfc_pauses)});
+  table.print();
+
+  if (telemetry != nullptr) {
+    telemetry->stop();
+    if (telemetry->write_csv(opt.telemetry_path)) {
+      std::printf("telemetry: %zu samples -> %s\n",
+                  telemetry->samples().size(), opt.telemetry_path.c_str());
+    } else {
+      std::fprintf(stderr, "telemetry: failed to write %s\n",
+                   opt.telemetry_path.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Quickstart: build a small leaf-spine RDMA fabric, run Web Search traffic
+// with incast bursts, let PET tune the ECN thresholds online, and print the
+// resulting flow/queue statistics.
+//
+//   ./quickstart [load] [measure_ms]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "exp/experiment.hpp"
+#include "exp/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pet;
+
+  exp::ScenarioConfig cfg;
+  cfg.scheme = exp::Scheme::kPet;
+  cfg.workload = workload::WorkloadKind::kWebSearch;
+  cfg.load = argc > 1 ? std::atof(argv[1]) : 0.5;
+  cfg.pretrain = sim::milliseconds(10);
+  cfg.measure =
+      sim::milliseconds(argc > 2 ? std::atoll(argv[2]) : 20);
+  cfg.topo.num_spines = 2;
+  cfg.topo.num_leaves = 2;
+  cfg.topo.hosts_per_leaf = 4;
+  cfg.tune_dcqcn_for_rate();
+
+  std::printf("PET quickstart: %d hosts, load %.0f%%, %s workload\n",
+              cfg.topo.num_leaves * cfg.topo.hosts_per_leaf, cfg.load * 100,
+              workload::workload_name(cfg.workload));
+
+  exp::Experiment experiment(cfg);
+  const exp::Metrics m = experiment.run();
+
+  exp::Table table({"metric", "value"});
+  table.add_row({"flows measured", exp::fmt("%lld", (long long)m.flows_measured)});
+  table.add_row({"overall avg FCT", exp::fmt("%.1f us", m.overall.avg_us)});
+  table.add_row({"mice avg FCT", exp::fmt("%.1f us", m.mice.avg_us)});
+  table.add_row({"mice p99 FCT", exp::fmt("%.1f us", m.mice.p99_us)});
+  table.add_row({"elephant avg FCT", exp::fmt("%.1f us", m.elephants.avg_us)});
+  table.add_row({"avg slowdown", exp::fmt("%.2fx", m.overall.avg_slowdown)});
+  table.add_row({"pkt latency avg", exp::fmt("%.2f us", m.latency_avg_us)});
+  table.add_row({"queue avg", exp::fmt("%.1f KB", m.queue_avg_kb)});
+  table.add_row({"queue stddev", exp::fmt("%.1f KB", m.queue_std_kb)});
+  table.add_row({"switch drops", exp::fmt("%lld", (long long)m.switch_drops)});
+  table.add_row({"PFC pauses", exp::fmt("%lld", (long long)m.pfc_pauses)});
+  table.print();
+
+  if (auto* pet_ctl = experiment.pet()) {
+    std::printf("PET agents: %zu, mean reward %.3f, steps %lld\n",
+                pet_ctl->num_agents(), pet_ctl->mean_reward(),
+                (long long)pet_ctl->total_steps());
+    const auto& cfg0 = pet_ctl->agent(0).current_config();
+    std::printf("agent0 final config: Kmin=%lldKB Kmax=%lldKB Pmax=%.2f\n",
+                (long long)cfg0.kmin_bytes / 1024,
+                (long long)cfg0.kmax_bytes / 1024, cfg0.pmax);
+  }
+  return 0;
+}

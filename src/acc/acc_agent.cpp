@@ -1,0 +1,128 @@
+#include "acc/acc_agent.hpp"
+
+#include <cassert>
+
+namespace pet::acc {
+
+AccAgent::AccAgent(sim::Scheduler& sched, net::SwitchDevice& sw,
+                   const AccAgentConfig& cfg, std::uint64_t seed,
+                   std::shared_ptr<rl::ReplayBuffer> global_replay)
+    : sched_(sched),
+      sw_(sw),
+      cfg_(cfg),
+      ncm_(sched, sw, cfg.ncm),
+      state_builder_(cfg.state, cfg.action_space),
+      rng_(sim::derive_seed(seed, "acc-agent") +
+           static_cast<std::uint64_t>(sw.id())) {
+  assert(!cfg_.state.include_incast && !cfg_.state.include_flow_ratio &&
+         "ACC's state is the basic set");
+  rl::DdqnConfig ddqn = cfg_.ddqn;
+  ddqn.input_size = state_builder_.state_size();
+  ddqn.head_sizes = cfg_.action_space.head_sizes();
+  ddqn.seed = sim::derive_seed(seed, "acc-ddqn");
+  learner_ = std::make_unique<rl::DdqnAgent>(ddqn, std::move(global_replay),
+                                             sw.id());
+  current_config_ = sw_.port(0).ecn_config(0);
+}
+
+void AccAgent::tick() {
+  const core::NcmSnapshot snap = ncm_.sample();
+  state_builder_.push_slot(snap, current_config_);
+  const std::vector<double> state = state_builder_.state();
+
+  // Reward the previous action and store the transition in the (global)
+  // replay; DDQN is off-policy so it can learn from everyone's experience.
+  if (pending_.has_value()) {
+    const double reward = core::compute_reward(cfg_.reward, snap);
+    reward_stats_.add(reward);
+    learner_->observe(rl::DqnTransition{.state = std::move(pending_->state),
+                                        .actions = std::move(pending_->actions),
+                                        .reward = reward,
+                                        .next_state = state});
+    pending_.reset();
+  }
+
+  if (cfg_.training) {
+    for (std::int32_t i = 0; i < cfg_.train_every; ++i) {
+      learner_->train_step();
+    }
+  }
+
+  ++steps_;
+  const std::vector<std::int32_t> actions =
+      cfg_.training ? learner_->act(state, rng_) : learner_->act_greedy(state);
+  current_config_ = cfg_.action_space.to_config(actions);
+  sw_.set_ecn_config_all_ports(current_config_);
+  if (cfg_.training) {
+    pending_ = Pending{.state = state, .actions = actions};
+  }
+}
+
+// ---------------------------------------------------------------------------
+// AccController
+// ---------------------------------------------------------------------------
+
+AccController::AccController(sim::Scheduler& sched,
+                             std::span<net::SwitchDevice* const> switches,
+                             const AccControllerConfig& cfg, std::uint64_t seed)
+    : sched_(sched),
+      cfg_(cfg),
+      replay_(std::make_shared<rl::ReplayBuffer>(cfg.replay_capacity)) {
+  agents_.reserve(switches.size());
+  for (net::SwitchDevice* sw : switches) {
+    agents_.push_back(
+        std::make_unique<AccAgent>(sched, *sw, cfg.agent, seed, replay_));
+  }
+}
+
+void AccController::start() {
+  if (running_) return;
+  running_ = true;
+  next_tick_ = sched_.schedule_in(cfg_.start_delay + cfg_.agent.tuning_interval,
+                                  [this] { tick_all(); });
+}
+
+void AccController::stop() {
+  running_ = false;
+  if (next_tick_.valid()) {
+    sched_.cancel(next_tick_);
+    next_tick_ = sim::EventId{};
+  }
+}
+
+void AccController::set_training(bool training) {
+  for (auto& a : agents_) a->set_training(training);
+}
+
+void AccController::tick_all() {
+  if (!running_) return;
+  for (auto& a : agents_) a->tick();
+  next_tick_ =
+      sched_.schedule_in(cfg_.agent.tuning_interval, [this] { tick_all(); });
+}
+
+double AccController::mean_reward() const {
+  double total = 0.0;
+  std::size_t n = 0;
+  for (const auto& a : agents_) {
+    if (a->reward_stats().count() > 0) {
+      total += a->reward_stats().mean();
+      ++n;
+    }
+  }
+  return n > 0 ? total / static_cast<double>(n) : 0.0;
+}
+
+std::size_t AccController::replay_exchange_bytes() const {
+  std::size_t total = 0;
+  for (const auto& a : agents_) {
+    total += replay_->bytes_from_others(a->learner().agent_id());
+  }
+  return total;
+}
+
+void AccController::install_weights(std::span<const double> weights) {
+  for (auto& a : agents_) a->learner().set_weights(weights);
+}
+
+}  // namespace pet::acc

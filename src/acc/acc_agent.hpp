@@ -1,0 +1,115 @@
+#pragma once
+// ACC baseline (Yan et al., SIGCOMM'21) as the paper characterizes it:
+// per-switch DDQN agents over the *basic* state set (queue length, output
+// rates, current ECN config — no incast degree, no mice/elephant ratio)
+// trained from a global experience replay shared by all switches.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/action.hpp"
+#include "core/ncm.hpp"
+#include "core/reward.hpp"
+#include "core/state.hpp"
+#include "net/network.hpp"
+#include "rl/ddqn.hpp"
+#include "sim/stats.hpp"
+
+namespace pet::acc {
+
+struct AccAgentConfig {
+  core::StateConfig state{.include_incast = false, .include_flow_ratio = false};
+  core::ActionSpace action_space{};
+  core::RewardConfig reward{};
+  core::NcmConfig ncm{};
+  rl::DdqnConfig ddqn{};  // input_size/head_sizes derived automatically
+  sim::Time tuning_interval = sim::microseconds(100);
+  std::int32_t train_every = 1;  // gradient steps per tick
+  bool training = true;
+};
+
+class AccAgent {
+ public:
+  AccAgent(sim::Scheduler& sched, net::SwitchDevice& sw,
+           const AccAgentConfig& cfg, std::uint64_t seed,
+           std::shared_ptr<rl::ReplayBuffer> global_replay);
+
+  void tick();
+
+  void set_training(bool training) { cfg_.training = training; }
+  [[nodiscard]] rl::DdqnAgent& learner() { return *learner_; }
+  [[nodiscard]] core::Ncm& ncm() { return ncm_; }
+  [[nodiscard]] std::int64_t steps() const { return steps_; }
+  [[nodiscard]] const sim::RunningStats& reward_stats() const {
+    return reward_stats_;
+  }
+  [[nodiscard]] const net::RedEcnConfig& current_config() const {
+    return current_config_;
+  }
+
+ private:
+  sim::Scheduler& sched_;
+  net::SwitchDevice& sw_;
+  AccAgentConfig cfg_;
+  core::Ncm ncm_;
+  core::StateBuilder state_builder_;
+  std::unique_ptr<rl::DdqnAgent> learner_;
+  sim::Rng rng_;
+
+  struct Pending {
+    std::vector<double> state;
+    std::vector<std::int32_t> actions;
+  };
+  std::optional<Pending> pending_;
+  net::RedEcnConfig current_config_;
+  std::int64_t steps_ = 0;
+  sim::RunningStats reward_stats_;
+};
+
+struct AccControllerConfig {
+  AccAgentConfig agent{};
+  std::size_t replay_capacity = 20'000;  // the shared global replay
+  sim::Time start_delay = sim::Time::zero();
+};
+
+/// Deploys ACC on every switch with the shared (global) replay the paper
+/// criticizes; exposes the replay's memory/bandwidth cost so the overhead
+/// experiment can quantify it.
+class AccController {
+ public:
+  AccController(sim::Scheduler& sched,
+                std::span<net::SwitchDevice* const> switches,
+                const AccControllerConfig& cfg, std::uint64_t seed);
+
+  void start();
+  void stop();
+  void set_training(bool training);
+
+  [[nodiscard]] std::size_t num_agents() const { return agents_.size(); }
+  [[nodiscard]] AccAgent& agent(std::size_t i) { return *agents_[i]; }
+  [[nodiscard]] rl::ReplayBuffer& global_replay() { return *replay_; }
+
+  [[nodiscard]] double mean_reward() const;
+
+  /// Bytes each switch would need to exchange to maintain the global
+  /// replay: experience it fetched that other switches produced.
+  [[nodiscard]] std::size_t replay_exchange_bytes() const;
+
+  /// Install one weight vector into every agent (offline pre-training).
+  void install_weights(std::span<const double> weights);
+
+ private:
+  void tick_all();
+
+  sim::Scheduler& sched_;
+  AccControllerConfig cfg_;
+  std::shared_ptr<rl::ReplayBuffer> replay_;
+  std::vector<std::unique_ptr<AccAgent>> agents_;
+  sim::EventId next_tick_;
+  bool running_ = false;
+};
+
+}  // namespace pet::acc

@@ -1,0 +1,20 @@
+#include "core/action.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pet::core {
+
+std::vector<double> ActionSpace::normalize_config(
+    const net::RedEcnConfig& cfg) const {
+  const double base = alpha_kb * 1024.0;
+  const double denom = static_cast<double>(n_levels - 1);
+  const auto log_level = [&](std::int64_t bytes) {
+    const double n = std::log2(std::max(1.0, static_cast<double>(bytes) / base));
+    return std::clamp(n / denom, 0.0, 1.0);
+  };
+  return {log_level(cfg.kmin_bytes), log_level(cfg.kmax_bytes),
+          std::clamp(cfg.pmax, 0.0, 1.0)};
+}
+
+}  // namespace pet::core

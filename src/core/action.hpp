@@ -1,0 +1,57 @@
+#pragma once
+// Action space (paper Section 4.2.2): a_t = {Kmax, Kmin, Pmax}, discretized
+// via the exponential rule E(n) = alpha * 2^n KB for the thresholds
+// (Eq. (5), alpha = 20, n in [0, 9]) and 5% steps for Pmax. Kmin <= Kmax is
+// enforced structurally.
+
+#include <cstdint>
+#include <vector>
+
+#include "net/red_ecn.hpp"
+
+namespace pet::core {
+
+struct ActionSpace {
+  double alpha_kb = 20.0;       // scale parameter of E(n)
+  std::int32_t n_levels = 10;   // n in [0, n_levels)
+  std::int32_t p_levels = 20;   // Pmax in {5%, 10%, ..., 100%}
+
+  /// Head sizes for factored policies: {n_min, n_max, p}.
+  [[nodiscard]] std::vector<std::int32_t> head_sizes() const {
+    return {n_levels, n_levels, p_levels};
+  }
+
+  /// E(n) in bytes.
+  [[nodiscard]] std::int64_t threshold_bytes(std::int32_t n) const {
+    return static_cast<std::int64_t>(alpha_kb * 1024.0) * (1LL << n);
+  }
+
+  [[nodiscard]] std::int64_t max_threshold_bytes() const {
+    return threshold_bytes(n_levels - 1);
+  }
+
+  /// Marking probability for index p in [0, p_levels).
+  [[nodiscard]] double pmax_value(std::int32_t p) const {
+    return static_cast<double>(p + 1) / static_cast<double>(p_levels);
+  }
+
+  /// Map factored action indices {a_nmin, a_nmax, a_p} to an ECN config.
+  /// Kmin uses min(a_nmin, a_nmax) so the ordering constraint always holds.
+  [[nodiscard]] net::RedEcnConfig to_config(
+      const std::vector<std::int32_t>& actions) const {
+    const std::int32_t n_max = actions[1];
+    const std::int32_t n_min = std::min(actions[0], n_max);
+    return net::RedEcnConfig{
+        .kmin_bytes = threshold_bytes(n_min),
+        .kmax_bytes = threshold_bytes(n_max),
+        .pmax = pmax_value(actions[2]),
+    };
+  }
+
+  /// Normalized (0..1) representation of a config for the ECN^(c) state
+  /// component: thresholds on the E(n) log scale, Pmax linear.
+  [[nodiscard]] std::vector<double> normalize_config(
+      const net::RedEcnConfig& cfg) const;
+};
+
+}  // namespace pet::core

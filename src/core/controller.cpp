@@ -1,0 +1,75 @@
+#include "core/controller.hpp"
+
+namespace pet::core {
+
+PetController::PetController(sim::Scheduler& sched,
+                             std::span<net::SwitchDevice* const> switches,
+                             const PetControllerConfig& cfg, std::uint64_t seed)
+    : sched_(sched), cfg_(cfg) {
+  std::shared_ptr<rl::PpoAgent> shared;
+  if (cfg.shared_policy && !switches.empty()) {
+    // Build the shared policy with the same shapes an independent agent
+    // would derive.
+    StateBuilder probe(cfg.agent.state, cfg.agent.action_space);
+    rl::PpoConfig ppo = cfg.agent.ppo;
+    ppo.input_size = probe.state_size();
+    ppo.head_sizes = cfg.agent.action_space.head_sizes();
+    ppo.seed = sim::derive_seed(seed, "pet-shared-policy");
+    shared = std::make_shared<rl::PpoAgent>(ppo);
+  }
+  agents_.reserve(switches.size());
+  for (net::SwitchDevice* sw : switches) {
+    agents_.push_back(
+        std::make_unique<PetAgent>(sched, *sw, cfg.agent, seed, shared));
+  }
+}
+
+void PetController::start() {
+  if (running_) return;
+  running_ = true;
+  next_tick_ = sched_.schedule_in(cfg_.start_delay + cfg_.agent.tuning_interval,
+                                  [this] { tick_all(); });
+}
+
+void PetController::stop() {
+  running_ = false;
+  if (next_tick_.valid()) {
+    sched_.cancel(next_tick_);
+    next_tick_ = sim::EventId{};
+  }
+}
+
+void PetController::set_training(bool training) {
+  for (auto& a : agents_) a->set_training(training);
+}
+
+void PetController::tick_all() {
+  if (!running_) return;
+  for (auto& a : agents_) a->tick();
+  next_tick_ =
+      sched_.schedule_in(cfg_.agent.tuning_interval, [this] { tick_all(); });
+}
+
+void PetController::install_weights(std::span<const double> weights) {
+  for (auto& a : agents_) a->policy().set_weights(weights);
+}
+
+double PetController::mean_reward() const {
+  double total = 0.0;
+  std::size_t n = 0;
+  for (const auto& a : agents_) {
+    if (a->reward_stats().count() > 0) {
+      total += a->reward_stats().mean();
+      ++n;
+    }
+  }
+  return n > 0 ? total / static_cast<double>(n) : 0.0;
+}
+
+std::int64_t PetController::total_steps() const {
+  std::int64_t total = 0;
+  for (const auto& a : agents_) total += a->steps();
+  return total;
+}
+
+}  // namespace pet::core

@@ -1,0 +1,59 @@
+#pragma once
+// PetController: deploys one PetAgent per switch and drives the tuning
+// loop. Decentralized training with decentralized execution: agents never
+// exchange state, experience, or gradients (Section 4.1.2).
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/pet_agent.hpp"
+#include "net/network.hpp"
+
+namespace pet::core {
+
+struct PetControllerConfig {
+  PetAgentConfig agent{};
+  /// Offline pre-training mode: all agents act/train through one shared
+  /// policy (parameter sharing), mirroring the paper's single pre-trained
+  /// initial model that is later installed on every switch.
+  bool shared_policy = false;
+  /// First tick fires one tuning interval after start().
+  sim::Time start_delay = sim::Time::zero();
+};
+
+class PetController {
+ public:
+  PetController(sim::Scheduler& sched,
+                std::span<net::SwitchDevice* const> switches,
+                const PetControllerConfig& cfg, std::uint64_t seed);
+
+  /// Begin (or resume) periodic tuning ticks.
+  void start();
+  void stop();
+
+  void set_training(bool training);
+
+  [[nodiscard]] std::size_t num_agents() const { return agents_.size(); }
+  [[nodiscard]] PetAgent& agent(std::size_t i) { return *agents_[i]; }
+
+  /// Install one weight vector into every agent's policy (pre-trained
+  /// initial model deployment, Section 4.4.1).
+  void install_weights(std::span<const double> weights);
+
+  /// Mean per-step reward across agents (training progress signal).
+  [[nodiscard]] double mean_reward() const;
+  [[nodiscard]] std::int64_t total_steps() const;
+
+ private:
+  void tick_all();
+
+  sim::Scheduler& sched_;
+  PetControllerConfig cfg_;
+  std::vector<std::unique_ptr<PetAgent>> agents_;
+  sim::EventId next_tick_;
+  bool running_ = false;
+};
+
+}  // namespace pet::core

@@ -1,0 +1,102 @@
+#pragma once
+// Multi-queue adaptation (paper Section 4.5.2): the NCM collects a matrix
+// of per-queue statistics and the model emits one ECN configuration per
+// queue. Implemented as one policy applied per queue — each data queue is
+// an independent environment sharing the agent's weights, so the transition
+// from single-queue to multi-queue needs no network or switch changes.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/pet_agent.hpp"
+
+namespace pet::core {
+
+struct MultiQueuePetConfig {
+  /// Per-queue agent parameters (ncm.queue_index is set internally).
+  PetAgentConfig agent{};
+  /// Queues to manage (must not exceed the switch ports' data queues).
+  std::int32_t num_queues = 2;
+};
+
+class MultiQueuePetAgent {
+ public:
+  MultiQueuePetAgent(sim::Scheduler& sched, net::SwitchDevice& sw,
+                     const MultiQueuePetConfig& cfg, std::uint64_t seed,
+                     std::shared_ptr<rl::PpoAgent> shared_policy = nullptr);
+
+  /// One tuning step: every queue closes its slot, is rewarded, and gets a
+  /// fresh ECN configuration.
+  void tick();
+
+  void set_training(bool training) { training_ = training; }
+  [[nodiscard]] rl::PpoAgent& policy() { return *policy_; }
+  [[nodiscard]] std::int32_t num_queues() const {
+    return static_cast<std::int32_t>(queues_.size());
+  }
+  [[nodiscard]] const net::RedEcnConfig& queue_config(std::int32_t q) const {
+    return queues_[q]->current;
+  }
+  [[nodiscard]] Ncm& queue_ncm(std::int32_t q) { return queues_[q]->ncm; }
+  [[nodiscard]] const sim::RunningStats& reward_stats() const {
+    return reward_stats_;
+  }
+  [[nodiscard]] std::int64_t steps() const { return steps_; }
+  [[nodiscard]] std::int64_t updates() const { return updates_; }
+
+ private:
+  struct QueueContext {
+    QueueContext(sim::Scheduler& sched, net::SwitchDevice& sw,
+                 const NcmConfig& ncm_cfg, const StateConfig& state_cfg,
+                 const ActionSpace& space)
+        : ncm(sched, sw, ncm_cfg), state_builder(state_cfg, space) {}
+
+    Ncm ncm;
+    StateBuilder state_builder;
+    std::optional<rl::Transition> pending;
+    net::RedEcnConfig current;
+  };
+
+  void apply(std::int32_t queue_idx, const net::RedEcnConfig& cfg);
+
+  sim::Scheduler& sched_;
+  net::SwitchDevice& sw_;
+  MultiQueuePetConfig cfg_;
+  std::shared_ptr<rl::PpoAgent> policy_;
+  std::vector<std::unique_ptr<QueueContext>> queues_;
+  rl::RolloutBuffer rollout_;
+  sim::Rng rng_;
+  bool training_ = true;
+  std::int64_t steps_ = 0;
+  std::int64_t updates_ = 0;
+  sim::RunningStats reward_stats_;
+};
+
+/// Deploys a MultiQueuePetAgent on every switch, ticking them together.
+class MultiQueuePetController {
+ public:
+  MultiQueuePetController(sim::Scheduler& sched,
+                          std::span<net::SwitchDevice* const> switches,
+                          const MultiQueuePetConfig& cfg, std::uint64_t seed);
+
+  void start();
+  void stop();
+
+  [[nodiscard]] std::size_t num_agents() const { return agents_.size(); }
+  [[nodiscard]] MultiQueuePetAgent& agent(std::size_t i) { return *agents_[i]; }
+  [[nodiscard]] double mean_reward() const;
+
+ private:
+  void tick_all();
+
+  sim::Scheduler& sched_;
+  MultiQueuePetConfig cfg_;
+  std::vector<std::unique_ptr<MultiQueuePetAgent>> agents_;
+  sim::EventId next_tick_;
+  bool running_ = false;
+};
+
+}  // namespace pet::core

@@ -1,0 +1,100 @@
+#pragma once
+// Network Condition Monitor (paper Section 4.5.1): the per-switch module
+// that (1) monitors queue/port statistics, (2) computes the derived factors
+// (incast degree, mice/elephant ratio), and (3) evicts expired state via
+// scheduled and threshold-triggered cleanup so switch memory stays bounded.
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/switch.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+
+namespace pet::core {
+
+struct NcmConfig {
+  /// Flows idle for this many monitoring slots are expired (Eq. (3)'s k).
+  std::int32_t flow_expiry_slots = 3;
+  /// Threshold cleanup: trim the flow table when it exceeds this.
+  std::size_t max_tracked_flows = 8192;
+  /// Threshold cleanup: trim per-destination sender sets beyond this.
+  std::size_t max_tracked_dsts = 2048;
+  /// Cumulative bytes above which a flow is an elephant.
+  std::int64_t elephant_threshold_bytes = 1'000'000;
+  /// Scope monitoring to one data queue per port (-1: whole port). Used by
+  /// the multi-queue adaptation (paper Section 4.5.2), where each queue has
+  /// its own NCM view and ECN configuration.
+  std::int32_t queue_index = -1;
+};
+
+/// One monitoring slot's worth of switch statistics, aggregated over the
+/// switch's ports with the bottleneck (max) port defining congestion
+/// signals.
+struct NcmSnapshot {
+  sim::Time window;                // slot duration
+  double qlen_bytes = 0.0;         // instantaneous max over ports at sample
+  double avg_qlen_bytes = 0.0;     // time-weighted mean of the busiest port
+  double utilization = 0.0;        // busiest port tx_bytes / capacity in [0,1]
+  double marked_ratio = 0.0;       // marked tx bytes / capacity in [0,1]
+  double incast_degree = 0.0;      // max distinct senders to one receiver
+  double mice_ratio = 1.0;         // mice / (mice + elephants) seen in slot
+  std::int64_t flows_seen = 0;
+  std::int64_t packets_seen = 0;
+};
+
+class Ncm {
+ public:
+  Ncm(sim::Scheduler& sched, net::SwitchDevice& sw, const NcmConfig& cfg);
+
+  ~Ncm();
+  Ncm(const Ncm&) = delete;
+  Ncm& operator=(const Ncm&) = delete;
+
+  /// Close the current monitoring slot: return its statistics and reset the
+  /// window counters (scheduled cleanup runs here).
+  [[nodiscard]] NcmSnapshot sample();
+
+  [[nodiscard]] net::SwitchDevice& switch_device() { return sw_; }
+
+  /// Resident tracking-state size (for the overhead experiments).
+  [[nodiscard]] std::size_t tracked_flows() const { return flows_.size(); }
+  [[nodiscard]] std::size_t tracked_dsts() const { return dst_srcs_.size(); }
+
+ private:
+  void on_forward(const net::Packet& pkt, std::int32_t out_port,
+                  std::int32_t queue_idx);
+  void scheduled_cleanup();
+  void threshold_cleanup();
+  [[nodiscard]] std::int64_t scoped_tx_bytes(std::int32_t port) const;
+  [[nodiscard]] std::int64_t scoped_tx_marked(std::int32_t port) const;
+
+  struct FlowInfo {
+    std::int64_t bytes = 0;
+    std::int64_t last_seen_slot = 0;
+  };
+
+  sim::Scheduler& sched_;
+  net::SwitchDevice& sw_;
+  NcmConfig cfg_;
+  std::int64_t observer_handle_ = 0;
+
+  sim::Time last_sample_;
+  std::int64_t slot_index_ = 0;
+
+  // Per-slot accumulators.
+  std::unordered_map<net::HostId, std::unordered_set<net::HostId>> dst_srcs_;
+  std::unordered_set<net::FlowId> slot_flows_;
+  std::int64_t slot_packets_ = 0;
+
+  // Cross-slot flow-size tracking for mice/elephant classification.
+  std::unordered_map<net::FlowId, FlowInfo> flows_;
+
+  // Port counter baselines for window deltas.
+  std::vector<std::int64_t> last_tx_bytes_;
+  std::vector<std::int64_t> last_tx_marked_;
+};
+
+}  // namespace pet::core

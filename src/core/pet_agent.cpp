@@ -1,0 +1,140 @@
+#include "core/pet_agent.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace pet::core {
+
+PetAgentConfig PetAgentConfig::paper_defaults() {
+  PetAgentConfig cfg;
+  cfg.ppo.actor_lr = 4e-4;
+  cfg.ppo.critic_lr = 1e-3;
+  cfg.ppo.gamma = 0.99;
+  cfg.ppo.gae_lambda = 0.01;  // "coefficient of GAE" (Section 5.2)
+  cfg.ppo.clip_eps = 0.2;
+  cfg.decay_rate = 0.99;
+  cfg.decay_T = 50;
+  return cfg;
+}
+
+PetAgent::PetAgent(sim::Scheduler& sched, net::SwitchDevice& sw,
+                   const PetAgentConfig& cfg, std::uint64_t seed,
+                   std::shared_ptr<rl::PpoAgent> shared_policy)
+    : sched_(sched),
+      sw_(sw),
+      cfg_(cfg),
+      ncm_(sched, sw, cfg.ncm),
+      state_builder_(cfg.state, cfg.action_space),
+      rng_(sim::derive_seed(seed, "pet-agent") +
+           static_cast<std::uint64_t>(sw.id())) {
+  if (shared_policy != nullptr) {
+    policy_ = std::move(shared_policy);
+    assert(policy_->config().input_size == state_builder_.state_size());
+  } else {
+    rl::PpoConfig ppo = cfg_.ppo;
+    ppo.input_size = state_builder_.state_size();
+    ppo.head_sizes = cfg_.action_space.head_sizes();
+    ppo.seed = sim::derive_seed(seed, "pet-policy") +
+               static_cast<std::uint64_t>(sw.id());
+    policy_ = std::make_shared<rl::PpoAgent>(ppo);
+  }
+  // The switch starts from whatever static config it carries; remember it
+  // as "current" so the first state's ECN^(c) component is truthful.
+  current_config_ = sw_.port(0).ecn_config(0);
+}
+
+double PetAgent::exploration_for_step(std::int64_t t) const {
+  if (frozen_exploration_ >= 0.0) return frozen_exploration_;
+  // Eq. (13): epsilon_t = decay_rate^(t/T) * epsilon for t > T.
+  if (t <= cfg_.decay_T) return cfg_.explore_start;
+  const double e =
+      std::pow(cfg_.decay_rate,
+               static_cast<double>(t) / static_cast<double>(cfg_.decay_T)) *
+      cfg_.explore_start;
+  return std::max(cfg_.explore_min, e);
+}
+
+std::vector<std::int32_t> local_exploration_step(
+    std::vector<std::int32_t> actions,
+    const std::vector<std::int32_t>& head_sizes, sim::Rng& rng) {
+  const std::size_t h = rng.uniform_int(head_sizes.size());
+  const std::int32_t step = rng.bernoulli(0.5) ? 1 : -1;
+  actions[h] = std::clamp(actions[h] + step, 0, head_sizes[h] - 1);
+  return actions;
+}
+
+void PetAgent::finalize_pending(const NcmSnapshot& snap,
+                                const std::vector<double>& /*next_state*/) {
+  if (!pending_.has_value()) return;
+  pending_->reward = compute_reward(cfg_.reward, snap);
+  reward_stats_.add(pending_->reward);
+  rollout_.push(std::move(*pending_));
+  pending_.reset();
+}
+
+void PetAgent::tick() {
+  // 1. Close the monitoring slot; its statistics are the outcome of the
+  //    previous action.
+  const NcmSnapshot snap = ncm_.sample();
+  state_builder_.push_slot(snap, current_config_);
+  const std::vector<double> state = state_builder_.state();
+
+  finalize_pending(snap, state);
+
+  // 2. Learn once enough on-policy experience accumulated.
+  if (cfg_.training &&
+      rollout_.size() >= static_cast<std::size_t>(cfg_.rollout_length)) {
+    const double bootstrap = policy_->value(state);
+    last_update_ = policy_->update(rollout_, bootstrap);
+    rollout_.clear();
+    ++updates_;
+  }
+
+  // 3. Select and apply the next ECN configuration.
+  ++steps_;
+  if (cfg_.training) {
+    policy_->set_exploration_rate(exploration_for_step(steps_));
+    const double frac = cfg_.explore_start > 0.0
+                            ? exploration_for_step(steps_) / cfg_.explore_start
+                            : 0.0;
+    policy_->set_entropy_coef(std::max(
+        cfg_.entropy_min, cfg_.entropy_start * std::min(1.0, frac)));
+    rl::PpoAgent::ActResult act;
+    if (deployment_mode_) {
+      // Exploit the mode; keep the transition PPO-consistent by evaluating
+      // the chosen action under the current policy.
+      act.actions = policy_->act_greedy(state);
+      if (policy_->exploration_rate() > 0.0 &&
+          rng_.bernoulli(policy_->exploration_rate())) {
+        // Deployed switches probe conservatively: one head, one level up or
+        // down — never a jump to an arbitrary threshold mid-production.
+        act.actions = local_exploration_step(
+            std::move(act.actions), cfg_.action_space.head_sizes(), rng_);
+      }
+      const rl::PpoAgent::Evaluation ev = policy_->evaluate(state, act.actions);
+      act.log_prob = ev.log_prob;
+      act.value = ev.value;
+    } else {
+      act = policy_->act(state, rng_);
+    }
+    current_config_ = cfg_.action_space.to_config(act.actions);
+    pending_ = rl::Transition{.state = state,
+                              .actions = std::move(act.actions),
+                              .log_prob = act.log_prob,
+                              .value = act.value,
+                              .reward = 0.0};
+  } else {
+    const std::vector<std::int32_t> actions = policy_->act_greedy(state);
+    current_config_ = cfg_.action_space.to_config(actions);
+  }
+  sw_.set_ecn_config_all_ports(current_config_);
+}
+
+void PetAgent::reset_episode() {
+  rollout_.clear();
+  pending_.reset();
+  state_builder_.reset();
+}
+
+}  // namespace pet::core

@@ -1,0 +1,123 @@
+#pragma once
+// PetAgent: one IPPO learner per switch (the DTDE paradigm). Every tuning
+// interval (delta-t, Section 4.2.2) it closes the monitoring slot, rewards
+// the previous action, builds the stacked six-factor state, samples the
+// next ECN configuration and applies it to the switch's queues.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "core/action.hpp"
+#include "core/ncm.hpp"
+#include "core/reward.hpp"
+#include "core/state.hpp"
+#include "rl/ppo.hpp"
+#include "rl/rollout.hpp"
+#include "sim/stats.hpp"
+
+namespace pet::core {
+
+struct PetAgentConfig {
+  StateConfig state{};
+  ActionSpace action_space{};
+  RewardConfig reward{};
+  NcmConfig ncm{};
+  rl::PpoConfig ppo{};  // input_size/head_sizes derived automatically
+  sim::Time tuning_interval = sim::microseconds(100);  // delta-t
+  std::int32_t rollout_length = 64;  // transitions per PPO update
+  // Exploration decay (Eq. (13)); the same schedule also anneals the
+  // entropy bonus so early training stays diverse without freezing the
+  // late policy.
+  double explore_start = 0.3;
+  double explore_min = 0.01;
+  double entropy_start = 0.10;
+  double entropy_min = 0.01;
+  double decay_rate = 0.99;
+  std::int32_t decay_T = 50;
+  bool training = true;
+
+  /// Paper defaults: gamma 0.99, GAE coefficient 0.01, lr 4e-4 / 1e-3,
+  /// clip 0.2 (Section 5.2).
+  [[nodiscard]] static PetAgentConfig paper_defaults();
+};
+
+/// Deployment-mode exploration: perturb one randomly chosen head by one
+/// level up or down, clamped to the head's range — a conservative local
+/// probe instead of an arbitrary jump.
+[[nodiscard]] std::vector<std::int32_t> local_exploration_step(
+    std::vector<std::int32_t> actions,
+    const std::vector<std::int32_t>& head_sizes, sim::Rng& rng);
+
+class PetAgent {
+ public:
+  /// If `shared_policy` is non-null the agent trains/acts through it
+  /// (offline pre-training with parameter sharing); otherwise it owns an
+  /// independent policy, as deployed DTDE agents do.
+  PetAgent(sim::Scheduler& sched, net::SwitchDevice& sw,
+           const PetAgentConfig& cfg, std::uint64_t seed,
+           std::shared_ptr<rl::PpoAgent> shared_policy = nullptr);
+
+  /// One tuning step; the controller calls this every tuning_interval.
+  void tick();
+
+  void set_training(bool training) { cfg_.training = training; }
+  [[nodiscard]] bool training() const { return cfg_.training; }
+
+  /// Pin the exploration rate (overriding the Eq. (13) schedule). The
+  /// deployed online phase keeps a low, stable exploration rate
+  /// (Section 4.4); pass a negative value to restore the schedule.
+  void freeze_exploration(double rate) { frozen_exploration_ = rate; }
+
+  /// Deployment mode: exploit the policy mode (argmax per head, with the
+  /// residual exploration rate injecting rare random actions) while online
+  /// incremental training continues in the background.
+  void set_deployment_mode(bool deployed) { deployment_mode_ = deployed; }
+  [[nodiscard]] bool deployment_mode() const { return deployment_mode_; }
+
+  [[nodiscard]] rl::PpoAgent& policy() { return *policy_; }
+  [[nodiscard]] const rl::PpoAgent& policy() const { return *policy_; }
+  [[nodiscard]] Ncm& ncm() { return ncm_; }
+  [[nodiscard]] net::SwitchDevice& switch_device() { return sw_; }
+
+  [[nodiscard]] std::int64_t steps() const { return steps_; }
+  [[nodiscard]] const sim::RunningStats& reward_stats() const {
+    return reward_stats_;
+  }
+  [[nodiscard]] const rl::PpoAgent::UpdateStats& last_update() const {
+    return last_update_;
+  }
+  [[nodiscard]] std::int64_t updates() const { return updates_; }
+  [[nodiscard]] const net::RedEcnConfig& current_config() const {
+    return current_config_;
+  }
+
+  /// Reset per-episode learning state without touching the weights (used
+  /// between offline pre-training episodes).
+  void reset_episode();
+
+ private:
+  void finalize_pending(const NcmSnapshot& snap,
+                        const std::vector<double>& next_state);
+  [[nodiscard]] double exploration_for_step(std::int64_t t) const;
+
+  sim::Scheduler& sched_;
+  net::SwitchDevice& sw_;
+  PetAgentConfig cfg_;
+  Ncm ncm_;
+  StateBuilder state_builder_;
+  std::shared_ptr<rl::PpoAgent> policy_;
+  sim::Rng rng_;
+
+  rl::RolloutBuffer rollout_;
+  std::optional<rl::Transition> pending_;
+  net::RedEcnConfig current_config_;
+  std::int64_t steps_ = 0;
+  std::int64_t updates_ = 0;
+  double frozen_exploration_ = -1.0;
+  bool deployment_mode_ = false;
+  sim::RunningStats reward_stats_;
+  rl::PpoAgent::UpdateStats last_update_{};
+};
+
+}  // namespace pet::core

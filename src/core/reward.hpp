@@ -1,0 +1,34 @@
+#pragma once
+// Reward (paper Section 4.2.3): r = beta1 * T + beta2 * La, where T is link
+// utilization and La penalizes queueing delay via the average queue length.
+// The paper's La = 1/queueLength_avg diverges as the queue empties; we use
+// the bounded variant La = 1/(1 + qlen_avg/qref), which preserves the
+// monotonicity (shorter queue => larger La) with La in (0, 1].
+
+#include <algorithm>
+
+#include "core/ncm.hpp"
+
+namespace pet::core {
+
+struct RewardConfig {
+  double beta1 = 0.3;  // throughput weight (paper: 0.3 Web Search / 0.7 DM)
+  double beta2 = 0.7;  // delay weight
+  double qref_bytes = 6.0 * 1024.0;  // queue length giving La = 0.5
+
+  [[nodiscard]] static RewardConfig web_search() { return {0.3, 0.7, 6.0 * 1024.0}; }
+  [[nodiscard]] static RewardConfig data_mining() { return {0.7, 0.3, 6.0 * 1024.0}; }
+};
+
+[[nodiscard]] inline double latency_term(const RewardConfig& cfg,
+                                         double avg_qlen_bytes) {
+  return 1.0 / (1.0 + std::max(0.0, avg_qlen_bytes) / cfg.qref_bytes);
+}
+
+[[nodiscard]] inline double compute_reward(const RewardConfig& cfg,
+                                           const NcmSnapshot& snap) {
+  const double t = std::clamp(snap.utilization, 0.0, 1.0);
+  return cfg.beta1 * t + cfg.beta2 * latency_term(cfg, snap.avg_qlen_bytes);
+}
+
+}  // namespace pet::core

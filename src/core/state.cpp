@@ -1,0 +1,42 @@
+#include "core/state.hpp"
+
+#include <algorithm>
+
+namespace pet::core {
+
+void StateBuilder::push_slot(const NcmSnapshot& snap,
+                             const net::RedEcnConfig& current) {
+  std::vector<double> slot;
+  slot.reserve(static_cast<std::size_t>(slot_features()));
+  slot.push_back(std::clamp(snap.qlen_bytes / cfg_.qlen_norm_bytes, 0.0, 1.0));
+  slot.push_back(std::clamp(snap.utilization, 0.0, 1.0));
+  slot.push_back(std::clamp(snap.marked_ratio, 0.0, 1.0));
+  const std::vector<double> ecn = space_.normalize_config(current);
+  slot.insert(slot.end(), ecn.begin(), ecn.end());
+  if (cfg_.include_incast) {
+    slot.push_back(std::clamp(snap.incast_degree / cfg_.incast_norm, 0.0, 1.0));
+  }
+  if (cfg_.include_flow_ratio) {
+    slot.push_back(std::clamp(snap.mice_ratio, 0.0, 1.0));
+  }
+  history_.push_back(std::move(slot));
+  while (history_.size() > static_cast<std::size_t>(cfg_.k_history)) {
+    history_.pop_front();
+  }
+}
+
+std::vector<double> StateBuilder::state() const {
+  const auto features = static_cast<std::size_t>(slot_features());
+  std::vector<double> out(static_cast<std::size_t>(state_size()), 0.0);
+  // Oldest-first layout; missing (pre-warmup) slots stay zero at the front.
+  const std::size_t have = history_.size();
+  const std::size_t offset =
+      (static_cast<std::size_t>(cfg_.k_history) - have) * features;
+  for (std::size_t s = 0; s < have; ++s) {
+    std::copy(history_[s].begin(), history_[s].end(),
+              out.begin() + static_cast<std::ptrdiff_t>(offset + s * features));
+  }
+  return out;
+}
+
+}  // namespace pet::core

@@ -1,0 +1,231 @@
+#include "exp/experiment.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace pet::exp {
+
+void ScenarioConfig::tune_dcqcn_for_rate() {
+  // Scale DCQCN's increase machinery with the host line rate so recovery
+  // behaves comparably at 10G (scaled benches) and 25G (paper scale).
+  const double line = static_cast<double>(topo.host_link_rate.bps());
+  dcqcn.rate_ai_bps = line / 200.0;
+  dcqcn.rate_hai_bps = line / 20.0;
+  dcqcn.byte_counter = static_cast<std::int64_t>(line / 8.0 * 300e-6);
+  dcqcn.increase_timer = sim::microseconds(300);
+}
+
+namespace {
+std::vector<net::HostId> all_hosts(const net::LeafSpine& topo) {
+  std::vector<net::HostId> hosts(static_cast<std::size_t>(topo.num_hosts()));
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    hosts[i] = static_cast<net::HostId>(i);
+  }
+  return hosts;
+}
+}  // namespace
+
+Experiment::Experiment(const ScenarioConfig& cfg)
+    : cfg_(cfg),
+      net_(sched_, cfg.seed),
+      topo_(net::build_leaf_spine(net_, cfg.topo)),
+      recorder_(cfg.seed),
+      queue_probe_(sched_, net_.switches()) {
+  transport_ = std::make_unique<transport::RdmaTransport>(net_, cfg_.dcqcn,
+                                                          &recorder_);
+
+  workload::PoissonTrafficConfig bg_cfg;
+  bg_cfg.load = cfg_.load;
+  bg_cfg.host_rate = cfg_.topo.host_link_rate;
+  bg_cfg.hosts = all_hosts(topo_);
+  bg_cfg.sizes = sized_cdf(cfg_.workload);
+  bg_cfg.seed = sim::derive_seed(cfg_.seed, "bg");
+  bg_ = std::make_unique<workload::PoissonTrafficGenerator>(sched_, *transport_,
+                                                            bg_cfg);
+
+  if (cfg_.incast_enabled) {
+    workload::IncastConfig inc;
+    inc.fan_in = cfg_.incast_fan_in;
+    inc.request_bytes = cfg_.incast_request_bytes;
+    inc.period = cfg_.incast_period;
+    inc.hosts = all_hosts(topo_);
+    inc.seed = sim::derive_seed(cfg_.seed, "incast");
+    incast_ = std::make_unique<workload::IncastGenerator>(sched_, *transport_,
+                                                          inc);
+  }
+
+  install_scheme();
+  set_lr_boost(cfg_.pretrain_lr_boost);
+  bg_->start();
+  if (incast_ != nullptr) incast_->start();
+  queue_probe_.start();
+}
+
+void Experiment::set_lr_boost(double factor) {
+  if (pet_ != nullptr) {
+    for (std::size_t i = 0; i < pet_->num_agents(); ++i) {
+      auto& policy = pet_->agent(i).policy();
+      const auto& ppo = policy.config();
+      policy.set_learning_rates(ppo.actor_lr * factor, ppo.critic_lr * factor);
+    }
+  }
+  if (acc_ != nullptr) {
+    for (std::size_t i = 0; i < acc_->num_agents(); ++i) {
+      auto& learner = acc_->agent(i).learner();
+      learner.set_lr(1e-3 * factor);
+    }
+  }
+}
+
+workload::EmpiricalCdf Experiment::sized_cdf(
+    workload::WorkloadKind kind) const {
+  workload::EmpiricalCdf cdf = workload::workload_cdf(kind);
+  if (cfg_.flow_size_cap_bytes > 0.0) {
+    cdf = cdf.truncated(cfg_.flow_size_cap_bytes);
+  }
+  return cdf;
+}
+
+void Experiment::install_scheme() {
+  // Every scheme starts from the SECN1 static config; the learning schemes
+  // then re-tune it each interval.
+  for (auto* sw : net_.switches()) {
+    sw->set_ecn_config_all_ports(cfg_.scheme == Scheme::kSecn2
+                                     ? secn2_config()
+                                     : secn1_config());
+  }
+  switch (cfg_.scheme) {
+    case Scheme::kSecn1:
+    case Scheme::kSecn2:
+      break;
+    case Scheme::kPet:
+    case Scheme::kPetAblation: {
+      core::PetControllerConfig pc;
+      pc.agent = core::PetAgentConfig::paper_defaults();
+      pc.agent.tuning_interval = cfg_.tuning_interval;
+      pc.agent.reward = cfg_.reward_config();
+      // Short scenario budgets: update from smaller rollouts so several
+      // PPO iterations fit into the pre-training window.
+      pc.agent.rollout_length = 32;
+      pc.agent.ppo.minibatch_size = 32;
+      pc.agent.explore_start =
+          cfg_.expects_pretrained ? 0.02 : cfg_.pet_explore_start;
+      pc.agent.state.qlen_norm_bytes =
+          static_cast<double>(cfg_.topo.switch_cfg.pfc_xoff_bytes);
+      pc.shared_policy = cfg_.pet_shared_policy;
+      if (cfg_.scheme == Scheme::kPetAblation) {
+        pc.agent.state.include_incast = false;
+        pc.agent.state.include_flow_ratio = false;
+      }
+      pet_ = std::make_unique<core::PetController>(
+          sched_, net_.switches(), pc, sim::derive_seed(cfg_.seed, "pet"));
+      pet_->start();
+      break;
+    }
+    case Scheme::kAmt: {
+      baselines::AmtConfig amt_cfg;
+      amt_cfg.period = cfg_.tuning_interval;
+      amt_ = std::make_unique<baselines::AmtTuner>(sched_, net_.switches(),
+                                                   amt_cfg);
+      amt_->start();
+      break;
+    }
+    case Scheme::kQaecn: {
+      baselines::QaecnConfig q_cfg;
+      q_cfg.period = cfg_.tuning_interval;
+      qaecn_ = std::make_unique<baselines::QaecnTuner>(sched_, net_.switches(),
+                                                       q_cfg);
+      qaecn_->start();
+      break;
+    }
+    case Scheme::kAcc: {
+      acc::AccControllerConfig ac;
+      ac.agent.tuning_interval = cfg_.tuning_interval;
+      ac.agent.reward = cfg_.reward_config();
+      ac.agent.state.qlen_norm_bytes =
+          static_cast<double>(cfg_.topo.switch_cfg.pfc_xoff_bytes);
+      // Anneal epsilon over the pre-training phase so measurement runs
+      // mostly greedy (ACC's deployed behaviour). With a pretrained model
+      // installed, start gently instead of from-scratch exploration.
+      ac.agent.ddqn.epsilon_start = cfg_.expects_pretrained ? 0.1 : 1.0;
+      ac.agent.ddqn.epsilon_end = 0.05;
+      ac.agent.ddqn.epsilon_decay_steps = static_cast<std::int32_t>(
+          std::max<std::int64_t>(1, cfg_.pretrain / cfg_.tuning_interval));
+      acc_ = std::make_unique<acc::AccController>(
+          sched_, net_.switches(), ac, sim::derive_seed(cfg_.seed, "acc"));
+      acc_->start();
+      break;
+    }
+  }
+}
+
+void Experiment::install_learned_weights(std::span<const double> weights) {
+  if (pet_ != nullptr) pet_->install_weights(weights);
+  if (acc_ != nullptr) acc_->install_weights(weights);
+}
+
+std::vector<double> Experiment::learned_weights() const {
+  if (pet_ != nullptr && pet_->num_agents() > 0) {
+    return pet_->agent(0).policy().weights();
+  }
+  if (acc_ != nullptr && acc_->num_agents() > 0) {
+    return acc_->agent(0).learner().weights();
+  }
+  return {};
+}
+
+void Experiment::mark_measurement_start() {
+  measure_start_ = sched_.now();
+  queue_probe_.reset();
+  recorder_.reset_latency();
+  // Offline pre-training ends here; online incremental training continues
+  // at the paper's learning rates with a low, stable exploration rate
+  // (Section 4.4's exploration/exploitation handoff).
+  set_lr_boost(1.0);
+  if (pet_ != nullptr) {
+    for (std::size_t i = 0; i < pet_->num_agents(); ++i) {
+      pet_->agent(i).freeze_exploration(0.02);
+      pet_->agent(i).set_deployment_mode(true);
+    }
+  }
+}
+
+void Experiment::switch_workload(workload::WorkloadKind kind) {
+  cfg_.workload = kind;
+  bg_->set_sizes(sized_cdf(kind));
+}
+
+Metrics Experiment::run() {
+  sched_.run_until(cfg_.pretrain);
+  mark_measurement_start();
+  sched_.run_until(cfg_.pretrain + cfg_.measure);
+  return collect(measure_start_, sched_.now());
+}
+
+Metrics Experiment::collect(sim::Time from, sim::Time to) const {
+  Metrics m;
+  const auto& records = recorder_.records();
+  const sim::Rate host_rate = cfg_.topo.host_link_rate;
+  const sim::Time rtt = topo_.base_rtt(cfg_.dcqcn.mtu_bytes);
+  m.overall = fct_bucket(records, 0, std::numeric_limits<std::int64_t>::max(),
+                         from, to, host_rate, rtt);
+  m.mice = fct_bucket(records, 0, kMiceMaxBytes, from, to, host_rate, rtt);
+  m.elephants =
+      fct_bucket(records, kElephantMinBytes - 1,
+                 std::numeric_limits<std::int64_t>::max(), from, to, host_rate,
+                 rtt);
+  m.latency_avg_us = recorder_.latency_stats().mean();
+  m.latency_p99_us = recorder_.latency_percentile(99.0);
+  m.queue_avg_kb = queue_probe_.stats().mean() / 1024.0;
+  m.queue_std_kb = queue_probe_.stats().stddev() / 1024.0;
+  m.flows_measured = static_cast<std::int64_t>(m.overall.count);
+  m.flows_incomplete =
+      transport_->flows_started() - transport_->flows_completed();
+  m.switch_drops = net_.total_switch_drops();
+  std::int64_t pauses = 0;
+  for (const auto* sw : net_.switches()) pauses += sw->pfc_pauses_sent();
+  m.pfc_pauses = pauses;
+  return m;
+}
+
+}  // namespace pet::exp

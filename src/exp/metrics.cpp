@@ -1,0 +1,38 @@
+#include "exp/metrics.hpp"
+
+#include "sim/stats.hpp"
+
+namespace pet::exp {
+
+double ideal_fct_us(std::int64_t size_bytes, sim::Rate host_rate,
+                    sim::Time base_rtt) {
+  const double ser_us = static_cast<double>(size_bytes) * 8.0 /
+                        static_cast<double>(host_rate.bps()) * 1e6;
+  return ser_us + base_rtt.us() / 2.0;
+}
+
+FctBucketStats fct_bucket(const std::vector<transport::FctRecord>& records,
+                          std::int64_t min_bytes, std::int64_t max_bytes,
+                          sim::Time from, sim::Time to, sim::Rate host_rate,
+                          sim::Time base_rtt) {
+  std::vector<double> fcts;
+  std::vector<double> slowdowns;
+  for (const auto& r : records) {
+    const auto& spec = r.spec;
+    if (spec.start_time < from || spec.start_time >= to) continue;
+    if (spec.size_bytes <= min_bytes || spec.size_bytes > max_bytes) continue;
+    const double fct_us = r.fct().us();
+    fcts.push_back(fct_us);
+    slowdowns.push_back(fct_us /
+                        ideal_fct_us(spec.size_bytes, host_rate, base_rtt));
+  }
+  FctBucketStats out;
+  out.count = fcts.size();
+  out.avg_us = sim::mean_of(fcts);
+  out.p99_us = sim::percentile(fcts, 99.0);
+  out.avg_slowdown = sim::mean_of(slowdowns);
+  out.p99_slowdown = sim::percentile(slowdowns, 99.0);
+  return out;
+}
+
+}  // namespace pet::exp

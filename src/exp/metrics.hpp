@@ -1,0 +1,58 @@
+#pragma once
+// Experiment metrics: FCT statistics in the paper's size buckets
+// (mice (0, 100KB], elephants [10MB, inf)), per-packet latency, queue
+// statistics and loss/pause counters.
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "transport/flow.hpp"
+
+namespace pet::exp {
+
+struct FctBucketStats {
+  std::size_t count = 0;
+  double avg_us = 0.0;
+  double p99_us = 0.0;
+  double avg_slowdown = 0.0;  // FCT / ideal FCT ("normalized FCT")
+  double p99_slowdown = 0.0;
+};
+
+struct Metrics {
+  FctBucketStats overall;
+  FctBucketStats mice;       // (0, 100 KB]
+  FctBucketStats elephants;  // [10 MB, inf)
+
+  double latency_avg_us = 0.0;
+  double latency_p99_us = 0.0;
+
+  double queue_avg_kb = 0.0;
+  double queue_std_kb = 0.0;
+
+  std::int64_t flows_measured = 0;
+  std::int64_t flows_incomplete = 0;
+  std::int64_t switch_drops = 0;
+  std::int64_t pfc_pauses = 0;
+};
+
+inline constexpr std::int64_t kMiceMaxBytes = 100 * 1000;
+/// The paper's figures bucket elephants at [10MB, inf) on the 288-host
+/// fabric; scaled-down runs truncate the size CDF below 10MB, so the
+/// elephant bucket follows the paper's own mice/elephant classification
+/// rule (> 1MB cumulative, Section 4.2.1) instead.
+inline constexpr std::int64_t kElephantMinBytes = 1'000'000;
+
+/// Ideal (unloaded) FCT used for slowdown normalization: serialization at
+/// the host line rate plus the base one-way fabric delay.
+[[nodiscard]] double ideal_fct_us(std::int64_t size_bytes,
+                                  sim::Rate host_rate, sim::Time base_rtt);
+
+/// Bucket statistics over completion records filtered to flows started in
+/// [from, to).
+[[nodiscard]] FctBucketStats fct_bucket(
+    const std::vector<transport::FctRecord>& records, std::int64_t min_bytes,
+    std::int64_t max_bytes, sim::Time from, sim::Time to, sim::Rate host_rate,
+    sim::Time base_rtt);
+
+}  // namespace pet::exp

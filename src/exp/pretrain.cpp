@@ -1,0 +1,124 @@
+#include "exp/pretrain.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace pet::exp {
+
+std::vector<double> offline_pretrain(ScenarioConfig base,
+                                     const PretrainOptions& opt) {
+  if (!is_learning_scheme(base.scheme)) return {};
+  base.pet_shared_policy = true;
+  base.pretrain_lr_boost = opt.lr_boost;
+  base.pet_explore_start = 0.1;
+  base.seed = sim::derive_seed(base.seed, "offline-pretrain");
+  Experiment sandbox(base);
+
+  // Cycle the sandbox through the configured load regimes.
+  sim::Time t = sim::Time::zero();
+  std::size_t idx = 0;
+  while (t < opt.duration) {
+    const double load = opt.loads[idx % opt.loads.size()];
+    sandbox.add_event(t, [&sandbox, load] { sandbox.background().set_load(load); });
+    ++idx;
+    t += opt.cycle;
+  }
+  if (!opt.verbose) {
+    sandbox.run_until(opt.duration);
+    return sandbox.learned_weights();
+  }
+  for (sim::Time at = opt.cycle; at <= opt.duration; at += opt.cycle) {
+    sandbox.run_until(at);
+    if (auto* pet = sandbox.pet()) {
+      auto& agent = pet->agent(0);
+      const auto g = agent.policy().act_greedy(std::vector<double>(
+          static_cast<std::size_t>(agent.policy().config().input_size), 0.5));
+      std::printf(
+          "  [pretrain] t=%.0fms reward(mean)=%.3f updates=%lld greedy "
+          "n_min=%d n_max=%d p=%d expl=%.3f\n",
+          at.ms(), pet->mean_reward(), (long long)agent.updates(), g[0], g[1],
+          g[2], agent.policy().exploration_rate());
+      std::printf("             entropy=%.3f kl=%.4f vloss=%.4f\n",
+                  agent.last_update().entropy, agent.last_update().approx_kl,
+                  agent.last_update().value_loss);
+    } else if (auto* acc = sandbox.acc()) {
+      std::printf("  [pretrain] t=%.0fms reward(mean)=%.3f eps=%.3f\n",
+                  at.ms(), acc->mean_reward(),
+                  acc->agent(0).learner().epsilon());
+    }
+    std::fflush(stdout);
+  }
+  return sandbox.learned_weights();
+}
+
+std::string pretrain_cache_key(const ScenarioConfig& base,
+                               const PretrainOptions& opt) {
+  const core::RewardConfig reward = base.reward_config();
+  char buf[256];
+  std::snprintf(
+      buf, sizeof buf,
+      "%s_%s_h%d_r%" PRId64 "_seed%llu_d%" PRId64 "ms_b%g_rw%g-%g-%g",
+      scheme_name(base.scheme), workload::workload_name(base.workload),
+      base.topo.num_leaves * base.topo.hosts_per_leaf,
+      base.topo.host_link_rate.bps() / 1'000'000'000,
+      static_cast<unsigned long long>(base.seed),
+      static_cast<std::int64_t>(opt.duration.ms()), opt.lr_boost,
+      reward.beta1, reward.beta2, reward.qref_bytes / 1024.0);
+  return buf;
+}
+
+std::string WeightCache::path_for(const std::string& key) const {
+  return dir_ + "/" + key + ".weights";
+}
+
+std::optional<std::vector<double>> WeightCache::load(
+    const std::string& key) const {
+  std::ifstream in(path_for(key), std::ios::binary);
+  if (!in) return std::nullopt;
+  std::uint64_t magic = 0;
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof magic);
+  in.read(reinterpret_cast<char*>(&count), sizeof count);
+  if (!in || magic != 0x5045545754ULL) return std::nullopt;  // "PETWT"
+  std::vector<double> weights(count);
+  in.read(reinterpret_cast<char*>(weights.data()),
+          static_cast<std::streamsize>(count * sizeof(double)));
+  if (!in) return std::nullopt;
+  return weights;
+}
+
+void WeightCache::store(const std::string& key,
+                        std::span<const double> weights) const {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  std::ofstream out(path_for(key), std::ios::binary | std::ios::trunc);
+  if (!out) return;
+  const std::uint64_t magic = 0x5045545754ULL;
+  const std::uint64_t count = weights.size();
+  out.write(reinterpret_cast<const char*>(&magic), sizeof magic);
+  out.write(reinterpret_cast<const char*>(&count), sizeof count);
+  out.write(reinterpret_cast<const char*>(weights.data()),
+            static_cast<std::streamsize>(count * sizeof(double)));
+}
+
+std::vector<double> pretrained_weights_cached(const ScenarioConfig& base,
+                                              const PretrainOptions& opt,
+                                              const std::string& cache_dir) {
+  if (!is_learning_scheme(base.scheme)) return {};
+  const WeightCache cache(cache_dir);
+  const std::string key = pretrain_cache_key(base, opt);
+  if (auto cached = cache.load(key)) {
+    std::printf("  [pretrain] cache hit: %s\n", key.c_str());
+    return *cached;
+  }
+  std::printf("  [pretrain] training %s (%.0f ms sandbox)...\n", key.c_str(),
+              opt.duration.ms());
+  std::fflush(stdout);
+  std::vector<double> weights = offline_pretrain(base, opt);
+  if (!weights.empty()) cache.store(key, weights);
+  return weights;
+}
+
+}  // namespace pet::exp

@@ -1,0 +1,58 @@
+#pragma once
+// Periodic sampler of switch egress queue lengths — drives Table I
+// (queue length average / variance).
+
+#include <cstdint>
+#include <vector>
+
+#include "net/switch.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/stats.hpp"
+
+namespace pet::exp {
+
+class QueueProbe {
+ public:
+  QueueProbe(sim::Scheduler& sched, std::vector<net::SwitchDevice*> switches,
+             sim::Time period = sim::microseconds(20))
+      : sched_(sched), switches_(std::move(switches)), period_(period) {}
+
+  void start() {
+    if (running_) return;
+    running_ = true;
+    schedule();
+  }
+  void stop() {
+    running_ = false;
+    if (ev_.valid()) {
+      sched_.cancel(ev_);
+      ev_ = sim::EventId{};
+    }
+  }
+  void reset() { stats_.reset(); }
+
+  /// Stats over per-port data-queue bytes sampled every `period`.
+  [[nodiscard]] const sim::RunningStats& stats() const { return stats_; }
+
+ private:
+  void schedule() {
+    ev_ = sched_.schedule_in(period_, [this] {
+      if (!running_) return;
+      for (const auto* sw : switches_) {
+        for (std::int32_t p = 0; p < sw->num_ports(); ++p) {
+          stats_.add(static_cast<double>(sw->port(p).total_queue_bytes()));
+        }
+      }
+      schedule();
+    });
+  }
+
+  sim::Scheduler& sched_;
+  std::vector<net::SwitchDevice*> switches_;
+  sim::Time period_;
+  sim::RunningStats stats_;
+  sim::EventId ev_;
+  bool running_ = false;
+};
+
+}  // namespace pet::exp

@@ -1,0 +1,50 @@
+#include "exp/table.hpp"
+
+#include <algorithm>
+#include <cstdarg>
+
+namespace pet::exp {
+
+void Table::print(std::FILE* out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto print_sep = [&] {
+    std::fputc('+', out);
+    for (const std::size_t w : widths) {
+      for (std::size_t i = 0; i < w + 2; ++i) std::fputc('-', out);
+      std::fputc('+', out);
+    }
+    std::fputc('\n', out);
+  };
+  const auto print_cells = [&](const std::vector<std::string>& cells) {
+    std::fputc('|', out);
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& s = c < cells.size() ? cells[c] : std::string{};
+      std::fprintf(out, " %-*s |", static_cast<int>(widths[c]), s.c_str());
+    }
+    std::fputc('\n', out);
+  };
+  print_sep();
+  print_cells(headers_);
+  print_sep();
+  for (const auto& row : rows_) print_cells(row);
+  print_sep();
+}
+
+std::string fmt(const char* format, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof buf, format, args);
+  va_end(args);
+  return buf;
+}
+
+}  // namespace pet::exp

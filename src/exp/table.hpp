@@ -1,0 +1,30 @@
+#pragma once
+// Fixed-width console tables for the bench binaries (paper-style rows).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace pet::exp {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void print(std::FILE* out = stdout) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style cell formatting helper.
+[[nodiscard]] std::string fmt(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace pet::exp

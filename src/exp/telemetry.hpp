@@ -1,0 +1,63 @@
+#pragma once
+// Time-series telemetry: periodic per-switch samples (queue depth,
+// throughput, marking rate, ECN thresholds) collected into memory and
+// exportable as CSV — the raw material for plotting the paper's
+// time-series figures or debugging a scenario.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/switch.hpp"
+#include "sim/scheduler.hpp"
+
+namespace pet::exp {
+
+struct TelemetrySample {
+  double t_ms = 0.0;
+  net::DeviceId switch_id = -1;
+  double max_queue_kb = 0.0;       // deepest egress queue
+  double total_queue_kb = 0.0;     // buffer in use
+  double tx_mbps = 0.0;            // aggregate egress rate over the interval
+  double marked_share = 0.0;       // CE-marked share of egress bytes
+  std::int64_t kmin_bytes = 0;     // port-0 data-queue-0 config
+  std::int64_t kmax_bytes = 0;
+  double pmax = 0.0;
+  std::int64_t pfc_pauses = 0;     // cumulative
+};
+
+class TelemetryRecorder {
+ public:
+  TelemetryRecorder(sim::Scheduler& sched,
+                    std::vector<net::SwitchDevice*> switches,
+                    sim::Time period = sim::microseconds(100));
+
+  void start();
+  void stop();
+
+  [[nodiscard]] const std::vector<TelemetrySample>& samples() const {
+    return samples_;
+  }
+  [[nodiscard]] std::size_t num_switches() const { return switches_.size(); }
+
+  /// Render all samples as CSV (header + one row per sample).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Write the CSV to a file; returns false on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+ private:
+  void sample_all();
+
+  sim::Scheduler& sched_;
+  std::vector<net::SwitchDevice*> switches_;
+  sim::Time period_;
+  std::vector<TelemetrySample> samples_;
+  std::vector<std::int64_t> last_tx_bytes_;
+  std::vector<std::int64_t> last_marked_bytes_;
+  sim::Time last_sample_;
+  sim::EventId ev_;
+  bool running_ = false;
+};
+
+}  // namespace pet::exp

@@ -1,0 +1,42 @@
+#include "net/classifier.hpp"
+
+#include "sim/rng.hpp"
+
+namespace pet::net {
+
+std::function<std::int32_t(const Packet&)> make_hash_classifier(
+    std::int32_t num_queues, std::uint64_t salt) {
+  return [num_queues, salt](const Packet& pkt) {
+    std::uint64_t h = pkt.flow_id ^ salt;
+    h = sim::splitmix64(h);
+    return static_cast<std::int32_t>(h % static_cast<std::uint64_t>(num_queues));
+  };
+}
+
+std::int32_t SizeClassClassifier::operator()(const Packet& pkt) {
+  std::int64_t& bytes = bytes_[pkt.flow_id];
+  bytes += pkt.payload_bytes;
+  const std::int32_t queue = bytes > threshold_ ? 1 : 0;
+  if (bytes_.size() > max_flows_) prune();
+  return queue;
+}
+
+void SizeClassClassifier::prune() {
+  // Evict completed mice (small accumulations) first; elephants must keep
+  // their classification. Halving the table bounds the worst case.
+  for (auto it = bytes_.begin();
+       it != bytes_.end() && bytes_.size() > max_flows_ / 2;) {
+    if (it->second <= threshold_) {
+      it = bytes_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Pathological case: everything is an elephant; drop arbitrarily.
+  for (auto it = bytes_.begin();
+       it != bytes_.end() && bytes_.size() > max_flows_;) {
+    it = bytes_.erase(it);
+  }
+}
+
+}  // namespace pet::net

@@ -1,0 +1,28 @@
+#pragma once
+// FlowSource: the contract between the host NIC scheduler and a transport's
+// per-flow sender. The NIC round-robins over registered sources, emitting
+// one packet at a time from sources whose pacing clock has expired — this
+// models a commodity RDMA NIC's per-flow hardware rate limiters.
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace pet::net {
+
+class FlowSource {
+ public:
+  virtual ~FlowSource() = default;
+
+  /// Does the source still have payload to emit?
+  [[nodiscard]] virtual bool has_data() const = 0;
+
+  /// Earliest time the next packet may be emitted (pacing). Only meaningful
+  /// while has_data().
+  [[nodiscard]] virtual sim::Time next_emit_time() const = 0;
+
+  /// Emit the next packet; called only when has_data() and
+  /// next_emit_time() <= now. Advances the pacing clock.
+  [[nodiscard]] virtual Packet emit(sim::Time now) = 0;
+};
+
+}  // namespace pet::net

@@ -1,0 +1,135 @@
+#include "net/port.hpp"
+
+#include <cassert>
+
+#include "net/device.hpp"
+#include "sim/rng.hpp"
+
+namespace pet::net {
+
+EgressPort::EgressPort(sim::Scheduler& sched, PortOwner& owner,
+                       std::int32_t index, const PortConfig& cfg)
+    : sched_(sched), owner_(owner), index_(index), cfg_(cfg) {
+  assert(cfg.num_data_queues >= 1);
+  data_queues_.resize(static_cast<std::size_t>(cfg.num_data_queues));
+  tx_bytes_q_.assign(static_cast<std::size_t>(cfg.num_data_queues), 0);
+  tx_marked_bytes_q_.assign(static_cast<std::size_t>(cfg.num_data_queues), 0);
+  markers_.reserve(static_cast<std::size_t>(cfg.num_data_queues));
+  for (std::int32_t q = 0; q < cfg.num_data_queues; ++q) {
+    markers_.emplace_back(sim::derive_seed(cfg.seed, "red") + static_cast<std::uint64_t>(q));
+  }
+}
+
+void EgressPort::enqueue(QueueEntry entry, std::int32_t queue_idx) {
+  assert(queue_idx >= 0 && queue_idx < num_data_queues());
+  auto& queue = data_queues_[queue_idx];
+  if (entry.pkt.ecn_capable && !entry.pkt.ce_marked &&
+      markers_[queue_idx].should_mark(queue.bytes())) {
+    entry.pkt.ce_marked = true;
+  }
+  entry.queue_idx = queue_idx;
+  queue.push(std::move(entry), sched_.now());
+  try_transmit();
+}
+
+void EgressPort::enqueue_control(QueueEntry entry) {
+  entry.queue_idx = -1;
+  control_queue_.push(std::move(entry), sched_.now());
+  try_transmit();
+}
+
+void EgressPort::set_paused(bool paused) {
+  if (paused_ == paused) return;
+  paused_ = paused;
+  if (!paused_) try_transmit();
+}
+
+void EgressPort::set_link_up(bool up) {
+  if (link_up_ == up) return;
+  link_up_ = up;
+  if (link_up_) try_transmit();
+}
+
+void EgressPort::set_ecn_config(std::int32_t queue_idx, const RedEcnConfig& cfg) {
+  assert(cfg.valid());
+  markers_[queue_idx].set_config(cfg);
+}
+
+const RedEcnConfig& EgressPort::ecn_config(std::int32_t queue_idx) const {
+  return markers_[queue_idx].config();
+}
+
+std::int64_t EgressPort::total_queue_bytes() const {
+  std::int64_t total = control_queue_.bytes();
+  for (const auto& q : data_queues_) total += q.bytes();
+  return total;
+}
+
+void EgressPort::track_occupancy(bool enabled, std::int32_t queue_idx) {
+  data_queues_[queue_idx].track_occupancy(enabled, sched_.now());
+}
+
+const sim::TimeWeightedStats& EgressPort::occupancy(std::int32_t queue_idx) {
+  return data_queues_[queue_idx].occupancy(sched_.now());
+}
+
+void EgressPort::reset_occupancy(std::int32_t queue_idx) {
+  data_queues_[queue_idx].reset_occupancy(sched_.now());
+}
+
+bool EgressPort::pick_next(QueueEntry& out) {
+  // Control traffic is strict-priority and PFC-exempt.
+  if (auto e = control_queue_.pop(sched_.now())) {
+    out = std::move(*e);
+    return true;
+  }
+  if (paused_) return false;
+  // Round-robin over data queues.
+  const auto n = num_data_queues();
+  for (std::int32_t i = 0; i < n; ++i) {
+    const std::int32_t q = (rr_next_ + i) % n;
+    if (auto e = data_queues_[q].pop(sched_.now())) {
+      rr_next_ = (q + 1) % n;
+      out = std::move(*e);
+      return true;
+    }
+  }
+  return false;
+}
+
+void EgressPort::try_transmit() {
+  if (busy_ || !link_up_) return;
+  QueueEntry entry;
+  if (!pick_next(entry)) return;
+  busy_ = true;
+  const sim::Time done = sched_.now() + cfg_.rate.serialization_time(entry.pkt.size_bytes);
+  sched_.schedule_at(done, [this, e = std::move(entry)]() mutable {
+    finish_transmit(std::move(e));
+  });
+}
+
+void EgressPort::finish_transmit(QueueEntry entry) {
+  busy_ = false;
+  tx_bytes_ += entry.pkt.size_bytes;
+  ++tx_packets_;
+  if (entry.queue_idx >= 0) tx_bytes_q_[entry.queue_idx] += entry.pkt.size_bytes;
+  if (entry.pkt.ce_marked) {
+    tx_marked_bytes_ += entry.pkt.size_bytes;
+    ++tx_marked_packets_;
+    if (entry.queue_idx >= 0) {
+      tx_marked_bytes_q_[entry.queue_idx] += entry.pkt.size_bytes;
+    }
+  }
+  owner_.on_packet_departed(index_, entry);
+  if (link_up_ && peer_ != nullptr) {
+    sched_.schedule_in(cfg_.propagation_delay,
+                       [peer = peer_, pkt = entry.pkt, pp = peer_port_] {
+                         peer->receive(pkt, pp);
+                       });
+  } else {
+    ++dropped_packets_;
+  }
+  try_transmit();
+}
+
+}  // namespace pet::net

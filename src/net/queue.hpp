@@ -1,0 +1,80 @@
+#pragma once
+// FIFO byte-accounted packet queue with optional time-weighted occupancy
+// statistics (used by Table I and the reward's average queue length).
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "net/packet.hpp"
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+namespace pet::net {
+
+/// A packet queued at a switch remembers the ingress port it arrived on so
+/// PFC ingress accounting can be released when it leaves, and the data
+/// queue it was placed in so per-queue egress counters stay exact.
+struct QueueEntry {
+  Packet pkt;
+  std::int32_t ingress_port = -1;  // -1: locally generated
+  std::int32_t queue_idx = -1;     // -1: control queue
+};
+
+class FifoQueue {
+ public:
+  void push(QueueEntry entry, sim::Time now) {
+    note_change(now);
+    bytes_ += entry.pkt.size_bytes;
+    ++packets_;
+    entries_.push_back(std::move(entry));
+  }
+
+  [[nodiscard]] std::optional<QueueEntry> pop(sim::Time now) {
+    if (entries_.empty()) return std::nullopt;
+    note_change(now);
+    QueueEntry e = std::move(entries_.front());
+    entries_.pop_front();
+    bytes_ -= e.pkt.size_bytes;
+    --packets_;
+    return e;
+  }
+
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] std::int64_t bytes() const { return bytes_; }
+  [[nodiscard]] std::int64_t packets() const { return packets_; }
+
+  /// Enable/disable occupancy tracking (adds O(1) work per push/pop).
+  void track_occupancy(bool enabled, sim::Time now) {
+    tracking_ = enabled;
+    last_change_ = now;
+    occupancy_.reset();
+  }
+
+  /// Close the current occupancy interval and return the stats so far.
+  [[nodiscard]] const sim::TimeWeightedStats& occupancy(sim::Time now) {
+    note_change(now);
+    return occupancy_;
+  }
+
+  void reset_occupancy(sim::Time now) {
+    occupancy_.reset();
+    last_change_ = now;
+  }
+
+ private:
+  void note_change(sim::Time now) {
+    if (!tracking_) return;
+    occupancy_.add(static_cast<double>(bytes_), (now - last_change_).us());
+    last_change_ = now;
+  }
+
+  std::deque<QueueEntry> entries_;
+  std::int64_t bytes_ = 0;
+  std::int64_t packets_ = 0;
+  bool tracking_ = false;
+  sim::Time last_change_;
+  sim::TimeWeightedStats occupancy_;
+};
+
+}  // namespace pet::net

@@ -1,0 +1,51 @@
+#include "net/topology.hpp"
+
+namespace pet::net {
+
+sim::Time LeafSpine::base_rtt(std::int32_t mtu_bytes) const {
+  // host -> leaf -> spine -> leaf -> host, and back.
+  const sim::Time one_way =
+      2 * cfg.host_link_delay + 2 * cfg.spine_link_delay +
+      2 * cfg.host_link_rate.serialization_time(mtu_bytes) +
+      2 * cfg.spine_link_rate.serialization_time(mtu_bytes);
+  return 2 * one_way;
+}
+
+LeafSpine build_leaf_spine(Network& net, const LeafSpineConfig& cfg) {
+  LeafSpine out;
+  out.cfg = cfg;
+
+  PortConfig nic;
+  nic.rate = cfg.host_link_rate;
+  nic.propagation_delay = cfg.host_link_delay;
+
+  const std::int32_t num_hosts = cfg.num_leaves * cfg.hosts_per_leaf;
+  out.host_devices.reserve(static_cast<std::size_t>(num_hosts));
+  for (std::int32_t h = 0; h < num_hosts; ++h) {
+    out.host_devices.push_back(net.add_host(nic).id());
+  }
+  for (std::int32_t l = 0; l < cfg.num_leaves; ++l) {
+    out.leaf_devices.push_back(net.add_switch(cfg.switch_cfg).id());
+  }
+  for (std::int32_t s = 0; s < cfg.num_spines; ++s) {
+    out.spine_devices.push_back(net.add_switch(cfg.switch_cfg).id());
+  }
+
+  for (std::int32_t l = 0; l < cfg.num_leaves; ++l) {
+    const DeviceId leaf = out.leaf_devices[static_cast<std::size_t>(l)];
+    for (std::int32_t h = 0; h < cfg.hosts_per_leaf; ++h) {
+      const DeviceId host =
+          out.host_devices[static_cast<std::size_t>(l * cfg.hosts_per_leaf + h)];
+      net.connect(host, leaf, cfg.host_link_rate, cfg.host_link_delay);
+    }
+    for (std::int32_t s = 0; s < cfg.num_spines; ++s) {
+      net.connect(leaf, out.spine_devices[static_cast<std::size_t>(s)],
+                  cfg.spine_link_rate, cfg.spine_link_delay);
+    }
+  }
+
+  net.recompute_routes();
+  return out;
+}
+
+}  // namespace pet::net

@@ -1,0 +1,60 @@
+#pragma once
+// Topology builders. The paper evaluates on a leaf-spine fabric
+// (12 leaves x 24 hosts @25G up, 6 spines @100G); benches default to a
+// proportionally scaled-down instance that preserves the 4:1 spine/leaf
+// speedup and the oversubscription ratio.
+
+#include <cstdint>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace pet::net {
+
+struct LeafSpineConfig {
+  std::int32_t num_spines = 2;
+  std::int32_t num_leaves = 4;
+  std::int32_t hosts_per_leaf = 8;
+  sim::Rate host_link_rate = sim::gbps(10);
+  sim::Rate spine_link_rate = sim::gbps(40);
+  sim::Time host_link_delay = sim::nanoseconds(1000);
+  sim::Time spine_link_delay = sim::nanoseconds(1000);
+  SwitchConfig switch_cfg{};
+
+  /// The paper's large-scale setup (Section 5.2).
+  [[nodiscard]] static LeafSpineConfig paper_scale() {
+    LeafSpineConfig cfg;
+    cfg.num_spines = 6;
+    cfg.num_leaves = 12;
+    cfg.hosts_per_leaf = 24;
+    cfg.host_link_rate = sim::gbps(25);
+    cfg.spine_link_rate = sim::gbps(100);
+    return cfg;
+  }
+};
+
+struct LeafSpine {
+  LeafSpineConfig cfg;
+  std::vector<DeviceId> host_devices;   // indexed by HostId
+  std::vector<DeviceId> leaf_devices;   // leaf switches
+  std::vector<DeviceId> spine_devices;  // spine switches
+
+  [[nodiscard]] std::int32_t num_hosts() const {
+    return static_cast<std::int32_t>(host_devices.size());
+  }
+  /// Leaf switch a host hangs off.
+  [[nodiscard]] DeviceId leaf_of(HostId h) const {
+    return leaf_devices[static_cast<std::size_t>(h) /
+                        static_cast<std::size_t>(cfg.hosts_per_leaf)];
+  }
+  /// Base (unloaded) round-trip time between two hosts under different
+  /// leaves, including propagation and one-MTU serialization per hop.
+  [[nodiscard]] sim::Time base_rtt(std::int32_t mtu_bytes) const;
+};
+
+/// Build the fabric inside `net`; hosts are created first so HostIds are
+/// 0..H-1, then leaves, then spines.
+[[nodiscard]] LeafSpine build_leaf_spine(Network& net,
+                                         const LeafSpineConfig& cfg);
+
+}  // namespace pet::net

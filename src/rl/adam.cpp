@@ -1,0 +1,28 @@
+#include "rl/adam.hpp"
+
+#include <cmath>
+
+namespace pet::rl {
+
+void Adam::step() {
+  ++t_;
+  double scale = 1.0;
+  if (cfg_.max_grad_norm > 0.0) {
+    double sq = 0.0;
+    for (const double* g : refs_.grads) sq += (*g) * (*g);
+    const double norm = std::sqrt(sq);
+    if (norm > cfg_.max_grad_norm) scale = cfg_.max_grad_norm / norm;
+  }
+  const double bc1 = 1.0 - std::pow(cfg_.beta1, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(cfg_.beta2, static_cast<double>(t_));
+  for (std::size_t i = 0; i < refs_.size(); ++i) {
+    const double g = *refs_.grads[i] * scale;
+    m_[i] = cfg_.beta1 * m_[i] + (1.0 - cfg_.beta1) * g;
+    v_[i] = cfg_.beta2 * v_[i] + (1.0 - cfg_.beta2) * g * g;
+    const double mhat = m_[i] / bc1;
+    const double vhat = v_[i] / bc2;
+    *refs_.params[i] -= cfg_.lr * mhat / (std::sqrt(vhat) + cfg_.eps);
+  }
+}
+
+}  // namespace pet::rl

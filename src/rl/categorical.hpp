@@ -1,0 +1,87 @@
+#pragma once
+// Categorical distribution utilities over raw logits (numerically stable).
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace pet::rl {
+
+/// probs[i] = exp(logits[i] - max) / sum.
+inline void softmax(std::span<const double> logits, std::span<double> probs) {
+  assert(logits.size() == probs.size() && !logits.empty());
+  const double mx = *std::max_element(logits.begin(), logits.end());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    probs[i] = std::exp(logits[i] - mx);
+    sum += probs[i];
+  }
+  for (auto& p : probs) p /= sum;
+}
+
+[[nodiscard]] inline std::vector<double> softmax(
+    std::span<const double> logits) {
+  std::vector<double> probs(logits.size());
+  softmax(logits, probs);
+  return probs;
+}
+
+/// log p[a] computed stably from logits.
+[[nodiscard]] inline double log_prob(std::span<const double> logits,
+                                     std::int32_t action) {
+  const double mx = *std::max_element(logits.begin(), logits.end());
+  double sum = 0.0;
+  for (const double l : logits) sum += std::exp(l - mx);
+  return logits[static_cast<std::size_t>(action)] - mx - std::log(sum);
+}
+
+[[nodiscard]] inline std::int32_t sample(std::span<const double> probs,
+                                         sim::Rng& rng) {
+  const double u = rng.uniform();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    acc += probs[i];
+    if (u < acc) return static_cast<std::int32_t>(i);
+  }
+  return static_cast<std::int32_t>(probs.size() - 1);
+}
+
+[[nodiscard]] inline std::int32_t argmax(std::span<const double> values) {
+  return static_cast<std::int32_t>(
+      std::max_element(values.begin(), values.end()) - values.begin());
+}
+
+[[nodiscard]] inline double entropy(std::span<const double> probs) {
+  double h = 0.0;
+  for (const double p : probs) {
+    if (p > 0.0) h -= p * std::log(p);
+  }
+  return h;
+}
+
+/// d(log p[a])/d(logits[i]) = [i == a] - p[i]; returns the gradient scaled
+/// by `upstream` (dL/d log p[a]).
+inline void log_prob_grad(std::span<const double> probs, std::int32_t action,
+                          double upstream, std::span<double> dlogits) {
+  assert(probs.size() == dlogits.size());
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    dlogits[i] = upstream * ((static_cast<std::int32_t>(i) == action ? 1.0 : 0.0) - probs[i]);
+  }
+}
+
+/// dH/d(logits[i]) for entropy H of softmax(logits):
+/// dH/dz_i = -p_i * (log p_i + H). Scaled by `upstream` and ACCUMULATED.
+inline void entropy_grad(std::span<const double> probs, double upstream,
+                         std::span<double> dlogits) {
+  const double h = entropy(probs);
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    const double logp = probs[i] > 0.0 ? std::log(probs[i]) : 0.0;
+    dlogits[i] += upstream * (-probs[i] * (logp + h));
+  }
+}
+
+}  // namespace pet::rl

@@ -1,0 +1,136 @@
+#include "rl/ddqn.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "rl/categorical.hpp"
+
+namespace pet::rl {
+
+DdqnAgent::DdqnAgent(const DdqnConfig& cfg,
+                     std::shared_ptr<ReplayBuffer> replay,
+                     std::int32_t agent_id)
+    : cfg_(cfg),
+      init_rng_(sim::derive_seed(cfg.seed, "ddqn-init") +
+                static_cast<std::uint64_t>(agent_id)),
+      replay_(std::move(replay)),
+      agent_id_(agent_id),
+      sample_rng_(sim::derive_seed(cfg.seed, "ddqn-sample") +
+                  static_cast<std::uint64_t>(agent_id)) {
+  assert(cfg.input_size > 0 && !cfg.head_sizes.empty());
+  assert(replay_ != nullptr);
+  for (const std::int32_t n : cfg.head_sizes) {
+    std::vector<std::int32_t> sizes{cfg.input_size};
+    sizes.insert(sizes.end(), cfg.hidden.begin(), cfg.hidden.end());
+    sizes.push_back(n);
+    online_.emplace_back(sizes, Activation::kRelu, init_rng_);
+    target_.emplace_back(sizes, Activation::kRelu, init_rng_);
+  }
+  for (auto& net : online_) net.collect(online_refs_);
+  for (auto& net : target_) net.collect(target_refs_);
+  opt_ = std::make_unique<Adam>(
+      online_refs_,
+      AdamConfig{.lr = cfg.lr, .max_grad_norm = cfg.max_grad_norm});
+  sync_target();
+}
+
+double DdqnAgent::epsilon() const {
+  const double frac =
+      std::min(1.0, static_cast<double>(observe_steps_) /
+                        std::max(1, cfg_.epsilon_decay_steps));
+  return cfg_.epsilon_start + frac * (cfg_.epsilon_end - cfg_.epsilon_start);
+}
+
+void DdqnAgent::q_values(const std::vector<Mlp>& nets,
+                         std::span<const double> state,
+                         std::vector<std::vector<double>>& q,
+                         std::vector<Mlp::Cache>* caches) const {
+  q.resize(nets.size());
+  if (caches != nullptr) caches->resize(nets.size());
+  for (std::size_t h = 0; h < nets.size(); ++h) {
+    q[h] = nets[h].forward(state, caches != nullptr ? &(*caches)[h] : nullptr);
+  }
+}
+
+std::vector<std::int32_t> DdqnAgent::act(std::span<const double> state,
+                                         sim::Rng& rng) {
+  std::vector<std::vector<double>> q;
+  q_values(online_, state, q);
+  std::vector<std::int32_t> actions(q.size());
+  const double eps = epsilon();
+  for (std::size_t h = 0; h < q.size(); ++h) {
+    actions[h] = rng.bernoulli(eps)
+                     ? static_cast<std::int32_t>(rng.uniform_int(q[h].size()))
+                     : argmax(q[h]);
+  }
+  return actions;
+}
+
+std::vector<std::int32_t> DdqnAgent::act_greedy(
+    std::span<const double> state) const {
+  std::vector<std::vector<double>> q;
+  q_values(online_, state, q);
+  std::vector<std::int32_t> actions(q.size());
+  for (std::size_t h = 0; h < q.size(); ++h) actions[h] = argmax(q[h]);
+  return actions;
+}
+
+void DdqnAgent::observe(DqnTransition t) {
+  ++observe_steps_;
+  replay_->push(std::move(t), agent_id_);
+}
+
+void DdqnAgent::train_step() {
+  if (replay_->size() < static_cast<std::size_t>(cfg_.batch_size)) return;
+  const auto idx = replay_->sample_indices(
+      static_cast<std::size_t>(cfg_.batch_size), sample_rng_);
+  const double inv_b = 1.0 / static_cast<double>(idx.size());
+
+  for (auto& net : online_) net.zero_grad();
+
+  for (const std::size_t i : idx) {
+    const DqnTransition& tr = replay_->at(i);
+    // Double-DQN target: online net picks the argmax, target net scores it.
+    std::vector<std::vector<double>> q_next_online;
+    std::vector<std::vector<double>> q_next_target;
+    q_values(online_, tr.next_state, q_next_online);
+    q_values(target_, tr.next_state, q_next_target);
+
+    std::vector<Mlp::Cache> caches;
+    std::vector<std::vector<double>> q_cur;
+    q_values(online_, tr.state, q_cur, &caches);
+
+    for (std::size_t h = 0; h < online_.size(); ++h) {
+      const std::int32_t best_next = argmax(q_next_online[h]);
+      const double target =
+          tr.reward + cfg_.gamma * q_next_target[h][best_next];
+      const double pred = q_cur[h][tr.actions[h]];
+      const double err = pred - target;
+      std::vector<double> dq(q_cur[h].size(), 0.0);
+      dq[tr.actions[h]] = 2.0 * err * inv_b;
+      online_[h].backward(tr.state, caches[h], dq);
+    }
+  }
+  opt_->step();
+  ++train_steps_;
+  if (train_steps_ % cfg_.target_sync_interval == 0) sync_target();
+}
+
+void DdqnAgent::sync_target() {
+  restore_params(target_refs_, snapshot_params(online_refs_));
+}
+
+void DdqnAgent::set_lr(double lr) { opt_->set_lr(lr); }
+double DdqnAgent::lr() const { return opt_->lr(); }
+
+std::vector<double> DdqnAgent::weights() const {
+  return snapshot_params(online_refs_);
+}
+
+void DdqnAgent::set_weights(std::span<const double> values) {
+  restore_params(online_refs_, values);
+  sync_target();
+}
+
+}  // namespace pet::rl

@@ -1,0 +1,20 @@
+#include "rl/gae.hpp"
+
+#include <cmath>
+
+namespace pet::rl {
+
+void normalize(std::span<double> xs) {
+  if (xs.size() < 2) return;
+  double mean = 0.0;
+  for (const double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double var = 0.0;
+  for (const double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size());
+  const double sd = std::sqrt(var);
+  if (sd < 1e-8) return;
+  for (auto& x : xs) x = (x - mean) / sd;
+}
+
+}  // namespace pet::rl

@@ -1,0 +1,43 @@
+#pragma once
+// Generalized Advantage Estimation (Schulman et al. 2015), Eq. (9)/(10) of
+// the paper: A_t = sum_k (gamma*lambda)^k delta_{t+k},
+// delta_t = r_t + gamma V(s_{t+1}) - V(s_t).
+
+#include <cassert>
+#include <span>
+#include <vector>
+
+namespace pet::rl {
+
+struct GaeResult {
+  std::vector<double> advantages;
+  std::vector<double> returns;  // advantage + value (critic regression target)
+};
+
+/// `values` holds V(s_0..s_{T-1}); `bootstrap` is V(s_T) for the state after
+/// the last transition (0 for terminal episodes).
+[[nodiscard]] inline GaeResult compute_gae(std::span<const double> rewards,
+                                           std::span<const double> values,
+                                           double bootstrap, double gamma,
+                                           double lambda) {
+  assert(rewards.size() == values.size());
+  const std::size_t n = rewards.size();
+  GaeResult out;
+  out.advantages.resize(n);
+  out.returns.resize(n);
+  double gae = 0.0;
+  for (std::size_t i = n; i-- > 0;) {
+    const double next_v = (i + 1 < n) ? values[i + 1] : bootstrap;
+    const double delta = rewards[i] + gamma * next_v - values[i];
+    gae = delta + gamma * lambda * gae;
+    out.advantages[i] = gae;
+    out.returns[i] = gae + values[i];
+  }
+  return out;
+}
+
+/// In-place standardization to zero mean / unit variance (PPO convention);
+/// no-op for fewer than two samples or ~zero variance.
+void normalize(std::span<double> xs);
+
+}  // namespace pet::rl

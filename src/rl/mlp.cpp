@@ -1,0 +1,175 @@
+#include "rl/mlp.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace pet::rl {
+
+// ---------------------------------------------------------------------------
+// Linear
+// ---------------------------------------------------------------------------
+
+Linear::Linear(std::int32_t in, std::int32_t out, sim::Rng& rng)
+    : in_(in),
+      out_(out),
+      w_(static_cast<std::size_t>(in) * static_cast<std::size_t>(out)),
+      b_(static_cast<std::size_t>(out), 0.0),
+      gw_(w_.size(), 0.0),
+      gb_(b_.size(), 0.0) {
+  assert(in > 0 && out > 0);
+  // Glorot-uniform initialization.
+  const double bound = std::sqrt(6.0 / static_cast<double>(in + out));
+  for (auto& v : w_) v = rng.uniform(-bound, bound);
+}
+
+void Linear::forward(std::span<const double> x, std::span<double> y) const {
+  assert(static_cast<std::int32_t>(x.size()) == in_);
+  assert(static_cast<std::int32_t>(y.size()) == out_);
+  for (std::int32_t o = 0; o < out_; ++o) {
+    const double* row = &w_[static_cast<std::size_t>(o) * in_];
+    double acc = b_[o];
+    for (std::int32_t i = 0; i < in_; ++i) acc += row[i] * x[i];
+    y[o] = acc;
+  }
+}
+
+void Linear::backward(std::span<const double> x, std::span<const double> dy,
+                      std::span<double> dx) {
+  assert(static_cast<std::int32_t>(x.size()) == in_);
+  assert(static_cast<std::int32_t>(dy.size()) == out_);
+  if (!dx.empty()) {
+    assert(static_cast<std::int32_t>(dx.size()) == in_);
+    for (auto& v : dx) v = 0.0;
+  }
+  for (std::int32_t o = 0; o < out_; ++o) {
+    const double g = dy[o];
+    if (g == 0.0) continue;
+    double* grow = &gw_[static_cast<std::size_t>(o) * in_];
+    const double* row = &w_[static_cast<std::size_t>(o) * in_];
+    gb_[o] += g;
+    for (std::int32_t i = 0; i < in_; ++i) {
+      grow[i] += g * x[i];
+      if (!dx.empty()) dx[i] += g * row[i];
+    }
+  }
+}
+
+void Linear::zero_grad() {
+  std::fill(gw_.begin(), gw_.end(), 0.0);
+  std::fill(gb_.begin(), gb_.end(), 0.0);
+}
+
+void Linear::collect(ParamRefs& refs) {
+  for (std::size_t i = 0; i < w_.size(); ++i) {
+    refs.params.push_back(&w_[i]);
+    refs.grads.push_back(&gw_[i]);
+  }
+  for (std::size_t i = 0; i < b_.size(); ++i) {
+    refs.params.push_back(&b_[i]);
+    refs.grads.push_back(&gb_[i]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Mlp
+// ---------------------------------------------------------------------------
+
+namespace {
+[[nodiscard]] double activate(Activation act, double pre) {
+  return act == Activation::kTanh ? std::tanh(pre) : (pre > 0.0 ? pre : 0.0);
+}
+/// Derivative through the activation, expressed with whichever of pre/post
+/// is cheapest.
+[[nodiscard]] double activate_grad(Activation act, double pre, double post) {
+  return act == Activation::kTanh ? 1.0 - post * post
+                                  : (pre > 0.0 ? 1.0 : 0.0);
+}
+}  // namespace
+
+Mlp::Mlp(std::vector<std::int32_t> sizes, Activation act, sim::Rng& rng)
+    : sizes_(std::move(sizes)), act_(act) {
+  assert(sizes_.size() >= 2);
+  layers_.reserve(sizes_.size() - 1);
+  for (std::size_t l = 0; l + 1 < sizes_.size(); ++l) {
+    layers_.emplace_back(sizes_[l], sizes_[l + 1], rng);
+  }
+}
+
+std::vector<double> Mlp::forward(std::span<const double> x,
+                                 Cache* cache) const {
+  assert(static_cast<std::int32_t>(x.size()) == input_size());
+  if (cache != nullptr) {
+    cache->pre.assign(layers_.size(), {});
+    cache->post.assign(layers_.size(), {});
+  }
+  std::vector<double> cur(x.begin(), x.end());
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    std::vector<double> pre(static_cast<std::size_t>(layers_[l].out_size()));
+    layers_[l].forward(cur, pre);
+    const bool is_last = (l + 1 == layers_.size());
+    std::vector<double> post = pre;
+    if (!is_last) {
+      for (auto& v : post) v = activate(act_, v);
+    }
+    if (cache != nullptr) {
+      cache->pre[l] = pre;
+      cache->post[l] = post;
+    }
+    cur = std::move(post);
+  }
+  return cur;
+}
+
+std::vector<double> Mlp::backward(std::span<const double> x,
+                                  const Cache& cache,
+                                  std::span<const double> dy) {
+  assert(cache.pre.size() == layers_.size());
+  std::vector<double> grad(dy.begin(), dy.end());
+  for (std::size_t li = layers_.size(); li-- > 0;) {
+    const bool is_last = (li + 1 == layers_.size());
+    if (!is_last) {
+      // Through the activation.
+      for (std::size_t i = 0; i < grad.size(); ++i) {
+        grad[i] *= activate_grad(act_, cache.pre[li][i], cache.post[li][i]);
+      }
+    }
+    const std::span<const double> input =
+        li == 0 ? x : std::span<const double>(cache.post[li - 1]);
+    std::vector<double> dx(input.size());
+    layers_[li].backward(input, grad, dx);
+    grad = std::move(dx);
+  }
+  return grad;
+}
+
+void Mlp::zero_grad() {
+  for (auto& layer : layers_) layer.zero_grad();
+}
+
+void Mlp::collect(ParamRefs& refs) {
+  for (auto& layer : layers_) layer.collect(refs);
+}
+
+std::size_t Mlp::num_params() const {
+  std::size_t total = 0;
+  for (std::size_t l = 0; l + 1 < sizes_.size(); ++l) {
+    total += static_cast<std::size_t>(sizes_[l]) * sizes_[l + 1] + sizes_[l + 1];
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+
+std::vector<double> snapshot_params(const ParamRefs& refs) {
+  std::vector<double> out;
+  out.reserve(refs.params.size());
+  for (const double* p : refs.params) out.push_back(*p);
+  return out;
+}
+
+void restore_params(const ParamRefs& refs, std::span<const double> values) {
+  assert(values.size() == refs.params.size());
+  for (std::size_t i = 0; i < values.size(); ++i) *refs.params[i] = values[i];
+}
+
+}  // namespace pet::rl

@@ -1,0 +1,94 @@
+#pragma once
+// Small dense networks with explicit backpropagation. The policy/value
+// networks in this problem are tiny (tens of inputs, two hidden layers), so
+// a hand-rolled MLP with numerically verified gradients replaces the
+// paper's PyTorch dependency.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace pet::rl {
+
+/// Parameter/gradient element pointers collected from modules; the flat
+/// view optimizers operate on. Pointers stay valid for the module lifetime
+/// (parameter vectors never resize).
+struct ParamRefs {
+  std::vector<double*> params;
+  std::vector<double*> grads;
+
+  [[nodiscard]] std::size_t size() const { return params.size(); }
+};
+
+/// Fully connected layer y = W x + b with gradient accumulation.
+class Linear {
+ public:
+  Linear(std::int32_t in, std::int32_t out, sim::Rng& rng);
+
+  [[nodiscard]] std::int32_t in_size() const { return in_; }
+  [[nodiscard]] std::int32_t out_size() const { return out_; }
+
+  void forward(std::span<const double> x, std::span<double> y) const;
+
+  /// Accumulate dL/dW, dL/db from upstream gradient `dy`; if `dx` is
+  /// non-empty, also produce dL/dx (size in_size()).
+  void backward(std::span<const double> x, std::span<const double> dy,
+                std::span<double> dx);
+
+  void zero_grad();
+  void collect(ParamRefs& refs);
+
+ private:
+  std::int32_t in_;
+  std::int32_t out_;
+  std::vector<double> w_;   // out x in, row-major
+  std::vector<double> b_;   // out
+  std::vector<double> gw_;  // same shape as w_
+  std::vector<double> gb_;
+};
+
+enum class Activation { kTanh, kRelu };
+
+/// Multi-layer perceptron: Linear layers with `act` on hidden layers and a
+/// linear output layer.
+class Mlp {
+ public:
+  /// sizes = {input, hidden..., output}; at least {input, output}.
+  Mlp(std::vector<std::int32_t> sizes, Activation act, sim::Rng& rng);
+
+  [[nodiscard]] std::int32_t input_size() const { return sizes_.front(); }
+  [[nodiscard]] std::int32_t output_size() const { return sizes_.back(); }
+
+  /// Per-layer activations captured in forward, consumed by backward.
+  struct Cache {
+    std::vector<std::vector<double>> pre;   // linear outputs
+    std::vector<std::vector<double>> post;  // after activation
+  };
+
+  [[nodiscard]] std::vector<double> forward(std::span<const double> x,
+                                            Cache* cache = nullptr) const;
+
+  /// Backprop dL/dy (size output_size()); returns dL/dx. `x` and `cache`
+  /// must come from the corresponding forward call.
+  std::vector<double> backward(std::span<const double> x, const Cache& cache,
+                               std::span<const double> dy);
+
+  void zero_grad();
+  void collect(ParamRefs& refs);
+
+  [[nodiscard]] std::size_t num_params() const;
+
+ private:
+  std::vector<std::int32_t> sizes_;
+  Activation act_;
+  std::vector<Linear> layers_;
+};
+
+/// Snapshot / restore all parameters reachable through `refs` (model
+/// serialization and target-network sync).
+[[nodiscard]] std::vector<double> snapshot_params(const ParamRefs& refs);
+void restore_params(const ParamRefs& refs, std::span<const double> values);
+
+}  // namespace pet::rl

@@ -1,0 +1,225 @@
+#include "rl/ppo.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "rl/categorical.hpp"
+#include "rl/gae.hpp"
+
+namespace pet::rl {
+
+PpoAgent::PpoAgent(const PpoConfig& cfg)
+    : cfg_(cfg),
+      init_rng_(sim::derive_seed(cfg.seed, "ppo-init")),
+      critic_([&] {
+        std::vector<std::int32_t> sizes{cfg.input_size};
+        sizes.insert(sizes.end(), cfg.hidden.begin(), cfg.hidden.end());
+        sizes.push_back(1);
+        return Mlp(sizes, Activation::kTanh, init_rng_);
+      }()),
+      shuffle_rng_(sim::derive_seed(cfg.seed, "ppo-shuffle")) {
+  assert(cfg.input_size > 0 && !cfg.head_sizes.empty());
+  actor_heads_.reserve(cfg.head_sizes.size());
+  for (const std::int32_t n : cfg.head_sizes) {
+    std::vector<std::int32_t> sizes{cfg.input_size};
+    sizes.insert(sizes.end(), cfg.hidden.begin(), cfg.hidden.end());
+    sizes.push_back(n);
+    actor_heads_.emplace_back(sizes, Activation::kTanh, init_rng_);
+  }
+  for (auto& head : actor_heads_) head.collect(actor_refs_);
+  critic_.collect(critic_refs_);
+  refs_ = actor_refs_;
+  refs_.params.insert(refs_.params.end(), critic_refs_.params.begin(),
+                      critic_refs_.params.end());
+  refs_.grads.insert(refs_.grads.end(), critic_refs_.grads.begin(),
+                     critic_refs_.grads.end());
+  actor_opt_ = std::make_unique<Adam>(
+      actor_refs_,
+      AdamConfig{.lr = cfg.actor_lr, .max_grad_norm = cfg.max_grad_norm});
+  critic_opt_ = std::make_unique<Adam>(
+      critic_refs_,
+      AdamConfig{.lr = cfg.critic_lr, .max_grad_norm = cfg.max_grad_norm});
+}
+
+void PpoAgent::head_logits(std::span<const double> state,
+                           std::vector<std::vector<double>>& logits,
+                           std::vector<Mlp::Cache>* caches) const {
+  logits.resize(actor_heads_.size());
+  if (caches != nullptr) caches->resize(actor_heads_.size());
+  for (std::size_t h = 0; h < actor_heads_.size(); ++h) {
+    logits[h] = actor_heads_[h].forward(
+        state, caches != nullptr ? &(*caches)[h] : nullptr);
+  }
+}
+
+PpoAgent::ActResult PpoAgent::act(std::span<const double> state,
+                                  sim::Rng& rng) {
+  std::vector<std::vector<double>> logits;
+  head_logits(state, logits);
+  ActResult out;
+  out.actions.resize(logits.size());
+  for (std::size_t h = 0; h < logits.size(); ++h) {
+    const std::vector<double> probs = softmax(logits[h]);
+    std::int32_t a;
+    if (exploration_rate_ > 0.0 && rng.bernoulli(exploration_rate_)) {
+      a = static_cast<std::int32_t>(rng.uniform_int(probs.size()));
+    } else {
+      a = sample(probs, rng);
+    }
+    out.actions[h] = a;
+    out.log_prob += log_prob(logits[h], a);
+  }
+  out.value = value(state);
+  return out;
+}
+
+std::vector<std::int32_t> PpoAgent::act_greedy(
+    std::span<const double> state) const {
+  std::vector<std::vector<double>> logits;
+  head_logits(state, logits);
+  std::vector<std::int32_t> actions(logits.size());
+  for (std::size_t h = 0; h < logits.size(); ++h) {
+    actions[h] = argmax(logits[h]);
+  }
+  return actions;
+}
+
+double PpoAgent::value(std::span<const double> state) const {
+  return critic_.forward(state)[0];
+}
+
+PpoAgent::Evaluation PpoAgent::evaluate(
+    std::span<const double> state, std::span<const std::int32_t> actions) const {
+  std::vector<std::vector<double>> logits;
+  head_logits(state, logits);
+  Evaluation out;
+  for (std::size_t h = 0; h < logits.size(); ++h) {
+    out.log_prob += log_prob(logits[h], actions[h]);
+  }
+  out.value = value(state);
+  return out;
+}
+
+PpoAgent::UpdateStats PpoAgent::update(const RolloutBuffer& buffer,
+                                       double bootstrap_value) {
+  UpdateStats stats;
+  const auto& items = buffer.items();
+  const std::size_t n = items.size();
+  if (n == 0) return stats;
+
+  std::vector<double> rewards(n);
+  std::vector<double> values(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    rewards[i] = items[i].reward;
+    values[i] = items[i].value;
+  }
+  GaeResult gae = compute_gae(rewards, values, bootstrap_value, cfg_.gamma,
+                              cfg_.gae_lambda);
+  normalize(gae.advantages);
+
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  const auto batch =
+      static_cast<std::size_t>(std::max<std::int32_t>(1, cfg_.minibatch_size));
+  double total_policy = 0.0;
+  double total_value = 0.0;
+  double total_entropy = 0.0;
+  double total_kl = 0.0;
+  std::size_t total_samples = 0;
+
+  for (std::int32_t epoch = 0; epoch < cfg_.update_epochs; ++epoch) {
+    // Fisher-Yates shuffle for decorrelated minibatches.
+    for (std::size_t i = n; i > 1; --i) {
+      std::swap(order[i - 1], order[shuffle_rng_.uniform_int(i)]);
+    }
+    for (std::size_t start = 0; start < n; start += batch) {
+      const std::size_t end = std::min(n, start + batch);
+      const double inv_b = 1.0 / static_cast<double>(end - start);
+
+      for (auto& head : actor_heads_) head.zero_grad();
+      critic_.zero_grad();
+
+      for (std::size_t k = start; k < end; ++k) {
+        const Transition& tr = items[order[k]];
+        const double adv = gae.advantages[order[k]];
+        const double ret = gae.returns[order[k]];
+
+        std::vector<std::vector<double>> logits;
+        std::vector<Mlp::Cache> caches;
+        head_logits(tr.state, logits, &caches);
+
+        double new_logp = 0.0;
+        double ent = 0.0;
+        std::vector<std::vector<double>> probs(logits.size());
+        for (std::size_t h = 0; h < logits.size(); ++h) {
+          probs[h] = softmax(logits[h]);
+          new_logp += log_prob(logits[h], tr.actions[h]);
+          ent += entropy(probs[h]);
+        }
+
+        const double ratio = std::exp(new_logp - tr.log_prob);
+        const double clipped =
+            std::clamp(ratio, 1.0 - cfg_.clip_eps, 1.0 + cfg_.clip_eps);
+        const double surr1 = ratio * adv;
+        const double surr2 = clipped * adv;
+        const double policy_loss = -std::min(surr1, surr2);
+
+        // Gradient of -min(surr1, surr2) w.r.t. new_logp: flows only when
+        // the unclipped branch is active (min picks it / clip not binding).
+        const double dlogp =
+            (surr1 <= surr2) ? (-adv * ratio) * inv_b : 0.0;
+
+        for (std::size_t h = 0; h < logits.size(); ++h) {
+          std::vector<double> dlogits(logits[h].size(), 0.0);
+          log_prob_grad(probs[h], tr.actions[h], dlogp, dlogits);
+          entropy_grad(probs[h], -cfg_.entropy_coef * inv_b, dlogits);
+          actor_heads_[h].backward(tr.state, caches[h], dlogits);
+        }
+
+        // Critic regression toward the GAE return.
+        Mlp::Cache vcache;
+        const double v = critic_.forward(tr.state, &vcache)[0];
+        const double verr = v - ret;
+        const double dv[1] = {2.0 * verr * inv_b};
+        critic_.backward(tr.state, vcache, dv);
+
+        total_policy += policy_loss;
+        total_value += verr * verr;
+        total_entropy += ent;
+        total_kl += tr.log_prob - new_logp;
+        ++total_samples;
+      }
+      actor_opt_->step();
+      critic_opt_->step();
+      ++stats.minibatches;
+    }
+  }
+
+  if (total_samples > 0) {
+    const double inv = 1.0 / static_cast<double>(total_samples);
+    stats.policy_loss = total_policy * inv;
+    stats.value_loss = total_value * inv;
+    stats.entropy = total_entropy * inv;
+    stats.approx_kl = total_kl * inv;
+  }
+  return stats;
+}
+
+void PpoAgent::set_learning_rates(double actor_lr, double critic_lr) {
+  actor_opt_->set_lr(actor_lr);
+  critic_opt_->set_lr(critic_lr);
+}
+
+double PpoAgent::actor_lr() const { return actor_opt_->lr(); }
+double PpoAgent::critic_lr() const { return critic_opt_->lr(); }
+
+std::vector<double> PpoAgent::weights() const { return snapshot_params(refs_); }
+
+void PpoAgent::set_weights(std::span<const double> values) {
+  restore_params(refs_, values);
+}
+
+}  // namespace pet::rl

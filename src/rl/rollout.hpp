@@ -1,0 +1,30 @@
+#pragma once
+// On-policy trajectory storage for PPO.
+
+#include <cstdint>
+#include <vector>
+
+namespace pet::rl {
+
+struct Transition {
+  std::vector<double> state;
+  std::vector<std::int32_t> actions;  // one index per factored head
+  double log_prob = 0.0;              // joint log-prob at collection time
+  double value = 0.0;                 // V(state) at collection time
+  double reward = 0.0;
+};
+
+class RolloutBuffer {
+ public:
+  void push(Transition t) { items_.push_back(std::move(t)); }
+  void clear() { items_.clear(); }
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+  [[nodiscard]] const std::vector<Transition>& items() const { return items_; }
+  [[nodiscard]] std::vector<Transition>& items() { return items_; }
+
+ private:
+  std::vector<Transition> items_;
+};
+
+}  // namespace pet::rl

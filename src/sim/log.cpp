@@ -1,0 +1,37 @@
+#include "sim/log.hpp"
+
+#include <cstdarg>
+
+namespace pet::sim {
+
+namespace {
+LogLevel g_level = LogLevel::kOff;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kTrace: return "TRACE";
+    default: return "?????";
+  }
+}
+}  // namespace
+
+LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level = level; }
+
+namespace detail {
+
+void vlog(LogLevel level, Time now, const char* fmt, ...) {
+  std::fprintf(stderr, "[%s %12s] ", level_tag(level), now.to_string().c_str());
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace detail
+}  // namespace pet::sim

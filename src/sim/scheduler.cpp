@@ -1,0 +1,47 @@
+#include "sim/scheduler.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace pet::sim {
+
+EventId Scheduler::schedule_at(Time at, Callback cb) {
+  assert(at >= now_ && "cannot schedule into the past");
+  assert(cb && "null event callback");
+  const std::uint64_t seq = next_seq_++;
+  queue_.push(Entry{at, seq, std::move(cb)});
+  pending_seqs_.insert(seq);
+  return EventId(seq);
+}
+
+bool Scheduler::cancel(EventId id) {
+  if (!id.valid()) return false;
+  // Only a genuinely pending event may be cancelled; stale ids (already run
+  // or already cancelled) are ignored so callers can cancel defensively.
+  if (pending_seqs_.erase(id.seq_) == 0) return false;
+  cancelled_.insert(id.seq_);
+  return true;
+}
+
+std::size_t Scheduler::run_until(Time until) {
+  std::size_t ran = 0;
+  while (!queue_.empty() && queue_.top().at <= until) {
+    // priority_queue::top() is const; the element is about to be popped, so
+    // moving out of it is safe.
+    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    if (auto it = cancelled_.find(entry.seq); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    pending_seqs_.erase(entry.seq);
+    now_ = entry.at;
+    ++executed_;
+    ++ran;
+    entry.cb();
+  }
+  if (until != Time::max() && now_ < until) now_ = until;
+  return ran;
+}
+
+}  // namespace pet::sim

@@ -1,0 +1,26 @@
+#include "sim/stats.hpp"
+
+#include <cassert>
+#include <numeric>
+
+namespace pet::sim {
+
+double percentile(std::vector<double> samples, double pct) {
+  if (samples.empty()) return 0.0;
+  assert(pct >= 0.0 && pct <= 100.0);
+  std::sort(samples.begin(), samples.end());
+  if (pct <= 0.0) return samples.front();
+  if (pct >= 100.0) return samples.back();
+  // Nearest-rank: smallest value with cumulative share >= pct.
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(pct / 100.0 * static_cast<double>(samples.size())));
+  return samples[std::max<std::size_t>(rank, 1) - 1];
+}
+
+double mean_of(const std::vector<double>& samples) {
+  if (samples.empty()) return 0.0;
+  return std::accumulate(samples.begin(), samples.end(), 0.0) /
+         static_cast<double>(samples.size());
+}
+
+}  // namespace pet::sim

@@ -1,0 +1,23 @@
+#include "sim/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace pet::sim {
+
+std::string Time::to_string() const {
+  char buf[64];
+  const double v = static_cast<double>(ps_);
+  if (std::llabs(ps_) >= 1'000'000'000'000LL) {
+    std::snprintf(buf, sizeof buf, "%.6fs", v * 1e-12);
+  } else if (std::llabs(ps_) >= 1'000'000'000LL) {
+    std::snprintf(buf, sizeof buf, "%.3fms", v * 1e-9);
+  } else if (std::llabs(ps_) >= 1'000'000LL) {
+    std::snprintf(buf, sizeof buf, "%.3fus", v * 1e-6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3fns", v * 1e-3);
+  }
+  return buf;
+}
+
+}  // namespace pet::sim

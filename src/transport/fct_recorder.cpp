@@ -1,0 +1,14 @@
+#include "transport/fct_recorder.hpp"
+
+namespace pet::transport {
+
+std::vector<FctRecord> FctRecorder::completions_between(sim::Time from,
+                                                        sim::Time to) const {
+  std::vector<FctRecord> out;
+  for (const auto& r : records_) {
+    if (r.finish_time >= from && r.finish_time < to) out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace pet::transport

@@ -1,0 +1,78 @@
+#pragma once
+// Collects flow completion times and per-packet one-way latency samples.
+// Latency percentiles use a fixed-size uniform reservoir so memory stays
+// bounded on long runs.
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+#include "transport/flow.hpp"
+
+namespace pet::transport {
+
+class FctRecorder {
+ public:
+  explicit FctRecorder(std::uint64_t seed = 0x5151,
+                       std::size_t latency_reservoir = 1 << 16)
+      : rng_(sim::derive_seed(seed, "fct-reservoir")),
+        reservoir_capacity_(latency_reservoir) {}
+
+  void record_flow(const FlowSpec& spec, sim::Time finish) {
+    records_.push_back(FctRecord{spec, finish});
+  }
+
+  void record_latency(sim::Time sample) {
+    latency_stats_.add(sample.us());
+    ++latency_seen_;
+    if (latency_reservoir_.size() < reservoir_capacity_) {
+      latency_reservoir_.push_back(sample.us());
+    } else {
+      const std::uint64_t j = rng_.uniform_int(latency_seen_);
+      if (j < reservoir_capacity_) latency_reservoir_[j] = sample.us();
+    }
+  }
+
+  [[nodiscard]] const std::vector<FctRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] const sim::RunningStats& latency_stats() const {
+    return latency_stats_;
+  }
+  /// Latency percentile (us) from the reservoir sample.
+  [[nodiscard]] double latency_percentile(double pct) const {
+    return sim::percentile(latency_reservoir_, pct);
+  }
+
+  /// Completions whose *finish* time falls in [from, to) — used by the
+  /// convergence and robustness time-series figures.
+  [[nodiscard]] std::vector<FctRecord> completions_between(sim::Time from,
+                                                           sim::Time to) const;
+
+  /// Drop latency samples only (FCT records stay); used when a measurement
+  /// window opens after a warmup phase.
+  void reset_latency() {
+    latency_stats_ = {};
+    latency_reservoir_.clear();
+    latency_seen_ = 0;
+  }
+
+  void clear() {
+    records_.clear();
+    latency_stats_ = {};
+    latency_reservoir_.clear();
+    latency_seen_ = 0;
+  }
+
+ private:
+  std::vector<FctRecord> records_;
+  sim::RunningStats latency_stats_;
+  std::vector<double> latency_reservoir_;
+  sim::Rng rng_;
+  std::size_t reservoir_capacity_;
+  std::uint64_t latency_seen_ = 0;
+};
+
+}  // namespace pet::transport

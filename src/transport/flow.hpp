@@ -1,0 +1,35 @@
+#pragma once
+// Flow descriptors and completion records shared by the transport,
+// workload generator and experiment harness.
+
+#include <cstdint>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace pet::transport {
+
+/// Flows whose cumulative size exceeds this are elephants (Section 4.2.1,
+/// following the DevoFlow rule the paper cites).
+inline constexpr std::int64_t kElephantThresholdBytes = 1'000'000;
+
+struct FlowSpec {
+  net::FlowId id = 0;
+  net::HostId src = -1;
+  net::HostId dst = -1;
+  std::int64_t size_bytes = 0;
+  sim::Time start_time;
+
+  [[nodiscard]] bool is_elephant() const {
+    return size_bytes > kElephantThresholdBytes;
+  }
+};
+
+struct FctRecord {
+  FlowSpec spec;
+  sim::Time finish_time;
+
+  [[nodiscard]] sim::Time fct() const { return finish_time - spec.start_time; }
+};
+
+}  // namespace pet::transport

@@ -1,0 +1,78 @@
+#include "workload/cdf.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace pet::workload {
+
+void EmpiricalCdf::add_point(double value, double cum_prob) {
+  assert(cum_prob >= 0.0 && cum_prob <= 1.0);
+  if (!points_.empty()) {
+    assert(value >= points_.back().value);
+    assert(cum_prob > points_.back().cum_prob);
+  }
+  points_.push_back(Point{value, cum_prob});
+}
+
+bool EmpiricalCdf::valid() const {
+  return !points_.empty() &&
+         std::abs(points_.back().cum_prob - 1.0) < 1e-12;
+}
+
+double EmpiricalCdf::quantile(double p) const {
+  assert(valid());
+  p = std::clamp(p, 0.0, 1.0);
+  if (p <= points_.front().cum_prob) return points_.front().value;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (p <= points_[i].cum_prob) {
+      const Point& lo = points_[i - 1];
+      const Point& hi = points_[i];
+      const double t = (p - lo.cum_prob) / (hi.cum_prob - lo.cum_prob);
+      return lo.value + t * (hi.value - lo.value);
+    }
+  }
+  return points_.back().value;
+}
+
+double EmpiricalCdf::sample(sim::Rng& rng) const {
+  return quantile(rng.uniform());
+}
+
+double EmpiricalCdf::mean() const {
+  assert(valid());
+  // First segment carries points_[0].cum_prob mass at points_[0].value
+  // (an atom); each following segment is uniform between its endpoints.
+  double m = points_.front().value * points_.front().cum_prob;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    const Point& lo = points_[i - 1];
+    const Point& hi = points_[i];
+    m += (hi.cum_prob - lo.cum_prob) * 0.5 * (lo.value + hi.value);
+  }
+  return m;
+}
+
+EmpiricalCdf EmpiricalCdf::truncated(double max_value) const {
+  assert(valid());
+  EmpiricalCdf out;
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    const Point& p = points_[i];
+    if (p.value < max_value) {
+      out.add_point(p.value, std::min(p.cum_prob, 1.0 - 1e-12));
+      continue;
+    }
+    // Interpolate the probability at the cap, then close the CDF there.
+    double cap_prob = 1.0;
+    if (i > 0) {
+      const Point& lo = points_[i - 1];
+      const double t = (max_value - lo.value) / (p.value - lo.value);
+      cap_prob = lo.cum_prob + t * (p.cum_prob - lo.cum_prob);
+    }
+    (void)cap_prob;  // mass above the cap collapses onto the cap value
+    out.add_point(max_value, 1.0);
+    return out;
+  }
+  return out;
+}
+
+}  // namespace pet::workload

@@ -1,0 +1,53 @@
+#include "workload/distributions.hpp"
+
+namespace pet::workload {
+
+const char* workload_name(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kWebSearch: return "WebSearch";
+    case WorkloadKind::kDataMining: return "DataMining";
+  }
+  return "?";
+}
+
+EmpiricalCdf web_search_cdf() {
+  // WebSearch_distribution.txt from the Alibaba HPCC traffic generator.
+  EmpiricalCdf cdf;
+  cdf.add_point(6'000, 0.15);
+  cdf.add_point(13'000, 0.20);
+  cdf.add_point(19'000, 0.30);
+  cdf.add_point(33'000, 0.40);
+  cdf.add_point(53'000, 0.53);
+  cdf.add_point(133'000, 0.60);
+  cdf.add_point(667'000, 0.70);
+  cdf.add_point(1'333'000, 0.80);
+  cdf.add_point(3'333'000, 0.90);
+  cdf.add_point(6'667'000, 0.97);
+  cdf.add_point(20'000'000, 1.00);
+  return cdf;
+}
+
+EmpiricalCdf data_mining_cdf() {
+  // FbHdp-style Data Mining distribution (VL2 paper measurements).
+  EmpiricalCdf cdf;
+  cdf.add_point(100, 0.10);
+  cdf.add_point(300, 0.20);
+  cdf.add_point(350, 0.30);
+  cdf.add_point(500, 0.40);
+  cdf.add_point(1'000, 0.50);
+  cdf.add_point(2'000, 0.60);
+  cdf.add_point(10'000, 0.70);
+  cdf.add_point(100'000, 0.80);
+  cdf.add_point(1'000'000, 0.90);
+  cdf.add_point(10'000'000, 0.96);
+  cdf.add_point(30'000'000, 0.99);
+  cdf.add_point(100'000'000, 1.00);
+  return cdf;
+}
+
+EmpiricalCdf workload_cdf(WorkloadKind kind) {
+  return kind == WorkloadKind::kWebSearch ? web_search_cdf()
+                                          : data_mining_cdf();
+}
+
+}  // namespace pet::workload

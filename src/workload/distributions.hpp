@@ -1,0 +1,25 @@
+#pragma once
+// The paper's two workloads (Fig. 3): Web Search (DCTCP, Alizadeh et al.)
+// and Data Mining (VL2, Greenberg et al.), as flow-size CDFs in bytes —
+// the same distribution files shipped with the Alibaba traffic generator
+// the paper uses.
+
+#include "workload/cdf.hpp"
+
+namespace pet::workload {
+
+enum class WorkloadKind { kWebSearch, kDataMining };
+
+[[nodiscard]] const char* workload_name(WorkloadKind kind);
+
+/// Web Search flow sizes (bytes). Mixture of latency-sensitive queries and
+/// multi-MB background transfers; ~60% of flows are mice (< 200 KB).
+[[nodiscard]] EmpiricalCdf web_search_cdf();
+
+/// Data Mining flow sizes (bytes). Extremely heavy-tailed: ~80% of flows
+/// under 10 KB while most bytes live in multi-MB+ elephants.
+[[nodiscard]] EmpiricalCdf data_mining_cdf();
+
+[[nodiscard]] EmpiricalCdf workload_cdf(WorkloadKind kind);
+
+}  // namespace pet::workload

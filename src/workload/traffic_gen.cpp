@@ -1,0 +1,145 @@
+#include "workload/traffic_gen.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pet::workload {
+
+// ---------------------------------------------------------------------------
+// PoissonTrafficGenerator
+// ---------------------------------------------------------------------------
+
+PoissonTrafficGenerator::PoissonTrafficGenerator(
+    sim::Scheduler& sched, transport::RdmaTransport& transport,
+    PoissonTrafficConfig cfg)
+    : sched_(sched),
+      transport_(transport),
+      cfg_(std::move(cfg)),
+      rng_(sim::derive_seed(cfg_.seed, "poisson-traffic")) {
+  assert(cfg_.hosts.size() >= 2);
+  assert(cfg_.sizes.valid());
+  assert(cfg_.load > 0.0);
+}
+
+double PoissonTrafficGenerator::arrival_rate_per_sec() const {
+  const double aggregate_bps = static_cast<double>(cfg_.host_rate.bps()) *
+                               static_cast<double>(cfg_.hosts.size());
+  const double mean_bits = cfg_.sizes.mean() * 8.0;
+  return cfg_.load * aggregate_bps / mean_bits;
+}
+
+void PoissonTrafficGenerator::start() {
+  if (running_) return;
+  running_ = true;
+  schedule_next();
+}
+
+void PoissonTrafficGenerator::stop() {
+  running_ = false;
+  if (next_ev_.valid()) {
+    sched_.cancel(next_ev_);
+    next_ev_ = sim::EventId{};
+  }
+}
+
+void PoissonTrafficGenerator::set_sizes(EmpiricalCdf sizes) {
+  assert(sizes.valid());
+  cfg_.sizes = std::move(sizes);
+  // The arrival rate depends on the mean size; the next gap uses it.
+}
+
+void PoissonTrafficGenerator::set_load(double load) {
+  assert(load > 0.0);
+  cfg_.load = load;
+}
+
+void PoissonTrafficGenerator::schedule_next() {
+  if (!running_ || sched_.now() >= cfg_.stop) return;
+  const double gap_sec = rng_.exponential(1.0 / arrival_rate_per_sec());
+  next_ev_ = sched_.schedule_in(sim::seconds(gap_sec), [this] { arrival(); });
+}
+
+void PoissonTrafficGenerator::arrival() {
+  next_ev_ = sim::EventId{};
+  if (!running_ || sched_.now() >= cfg_.stop) return;
+  const auto n = cfg_.hosts.size();
+  const auto src_idx = rng_.uniform_int(n);
+  auto dst_idx = rng_.uniform_int(n - 1);
+  if (dst_idx >= src_idx) ++dst_idx;
+
+  transport::FlowSpec spec;
+  spec.src = cfg_.hosts[src_idx];
+  spec.dst = cfg_.hosts[dst_idx];
+  spec.size_bytes =
+      std::max<std::int64_t>(1, static_cast<std::int64_t>(cfg_.sizes.sample(rng_)));
+  transport_.start_flow(spec);
+  ++flows_generated_;
+  schedule_next();
+}
+
+// ---------------------------------------------------------------------------
+// IncastGenerator
+// ---------------------------------------------------------------------------
+
+IncastGenerator::IncastGenerator(sim::Scheduler& sched,
+                                 transport::RdmaTransport& transport,
+                                 IncastConfig cfg)
+    : sched_(sched),
+      transport_(transport),
+      cfg_(std::move(cfg)),
+      rng_(sim::derive_seed(cfg_.seed, "incast")) {
+  // An epoch needs the aggregator plus fan_in distinct senders.
+  cfg_.fan_in = std::min<std::int32_t>(
+      cfg_.fan_in, static_cast<std::int32_t>(cfg_.hosts.size()) - 1);
+  assert(cfg_.fan_in >= 1);
+}
+
+void IncastGenerator::start() {
+  if (running_) return;
+  running_ = true;
+  schedule_next();
+}
+
+void IncastGenerator::stop() {
+  running_ = false;
+  if (next_ev_.valid()) {
+    sched_.cancel(next_ev_);
+    next_ev_ = sim::EventId{};
+  }
+}
+
+void IncastGenerator::schedule_next() {
+  if (!running_ || sched_.now() >= cfg_.stop) return;
+  // Jitter the period slightly so epochs do not phase-lock with tuning
+  // intervals.
+  const double jitter = rng_.uniform(0.9, 1.1);
+  const auto gap = sim::Time(
+      static_cast<std::int64_t>(static_cast<double>(cfg_.period.ps()) * jitter));
+  next_ev_ = sched_.schedule_in(gap, [this] { fire_epoch(); });
+}
+
+void IncastGenerator::fire_epoch() {
+  next_ev_ = sim::EventId{};
+  if (!running_ || sched_.now() >= cfg_.stop) return;
+  ++epochs_;
+
+  // Partial Fisher-Yates over a scratch copy: aggregator + fan_in senders.
+  std::vector<net::HostId> pool = cfg_.hosts;
+  const auto pick = [&](std::size_t i) {
+    const std::size_t j = i + rng_.uniform_int(pool.size() - i);
+    std::swap(pool[i], pool[j]);
+    return pool[i];
+  };
+  const net::HostId aggregator = pick(0);
+  for (std::int32_t s = 0; s < cfg_.fan_in; ++s) {
+    const net::HostId sender = pick(static_cast<std::size_t>(s) + 1);
+    transport::FlowSpec spec;
+    spec.src = sender;
+    spec.dst = aggregator;
+    spec.size_bytes = cfg_.request_bytes;
+    transport_.start_flow(spec);
+  }
+  schedule_next();
+}
+
+}  // namespace pet::workload

@@ -1,0 +1,95 @@
+#pragma once
+// Traffic generation: Poisson background traffic at a target network load
+// plus a many-to-one incast generator — the partition-aggregate pattern
+// whose handling is PET's headline contribution.
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/rng.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+#include "transport/dcqcn.hpp"
+#include "workload/cdf.hpp"
+
+namespace pet::workload {
+
+struct PoissonTrafficConfig {
+  /// Target load as a fraction of aggregate host NIC bandwidth.
+  double load = 0.6;
+  sim::Rate host_rate = sim::gbps(10);
+  std::vector<net::HostId> hosts;  // participating hosts (src and dst pools)
+  EmpiricalCdf sizes;
+  sim::Time stop = sim::Time::max();
+  std::uint64_t seed = 1;
+};
+
+/// Open-loop Poisson flow arrivals: inter-arrival ~ Exp(1/lambda) with
+/// lambda chosen so that mean_flow_size * lambda = load * aggregate rate.
+class PoissonTrafficGenerator {
+ public:
+  PoissonTrafficGenerator(sim::Scheduler& sched,
+                          transport::RdmaTransport& transport,
+                          PoissonTrafficConfig cfg);
+
+  /// Begin generating arrivals (idempotent).
+  void start();
+  /// Stop generating (already-started flows finish naturally).
+  void stop();
+
+  /// Runtime workload switching (Fig. 6: traffic-pattern convergence).
+  void set_sizes(EmpiricalCdf sizes);
+  void set_load(double load);
+
+  [[nodiscard]] std::int64_t flows_generated() const { return flows_generated_; }
+  [[nodiscard]] double arrival_rate_per_sec() const;
+
+ private:
+  void schedule_next();
+  void arrival();
+
+  sim::Scheduler& sched_;
+  transport::RdmaTransport& transport_;
+  PoissonTrafficConfig cfg_;
+  sim::Rng rng_;
+  sim::EventId next_ev_;
+  bool running_ = false;
+  std::int64_t flows_generated_ = 0;
+};
+
+struct IncastConfig {
+  std::int32_t fan_in = 16;              // senders per incast epoch
+  std::int64_t request_bytes = 32'768;   // per-sender response size
+  sim::Time period = sim::milliseconds(2);
+  std::vector<net::HostId> hosts;
+  sim::Time stop = sim::Time::max();
+  std::uint64_t seed = 2;
+};
+
+/// Periodic partition-aggregate bursts: every period, a random aggregator
+/// receives `fan_in` simultaneous responses of `request_bytes` each.
+class IncastGenerator {
+ public:
+  IncastGenerator(sim::Scheduler& sched, transport::RdmaTransport& transport,
+                  IncastConfig cfg);
+
+  void start();
+  void stop();
+
+  [[nodiscard]] std::int64_t epochs() const { return epochs_; }
+
+ private:
+  void schedule_next();
+  void fire_epoch();
+
+  sim::Scheduler& sched_;
+  transport::RdmaTransport& transport_;
+  IncastConfig cfg_;
+  sim::Rng rng_;
+  sim::EventId next_ev_;
+  bool running_ = false;
+  std::int64_t epochs_ = 0;
+};
+
+}  // namespace pet::workload

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "core/action.hpp"
+#include "core/state.hpp"
+
+namespace pet::core {
+namespace {
+
+TEST(ActionSpace, HeadSizes) {
+  const ActionSpace space;
+  EXPECT_EQ(space.head_sizes(), (std::vector<std::int32_t>{10, 10, 20}));
+}
+
+TEST(ActionSpace, ExponentialThresholds) {
+  const ActionSpace space;  // alpha = 20 KB
+  EXPECT_EQ(space.threshold_bytes(0), 20 * 1024);
+  EXPECT_EQ(space.threshold_bytes(1), 40 * 1024);
+  EXPECT_EQ(space.threshold_bytes(9), 20 * 1024 * 512);
+  EXPECT_EQ(space.max_threshold_bytes(), space.threshold_bytes(9));
+}
+
+TEST(ActionSpace, PmaxGridIn5PercentSteps) {
+  const ActionSpace space;
+  EXPECT_DOUBLE_EQ(space.pmax_value(0), 0.05);
+  EXPECT_DOUBLE_EQ(space.pmax_value(9), 0.50);
+  EXPECT_DOUBLE_EQ(space.pmax_value(19), 1.00);
+}
+
+TEST(ActionSpace, ToConfigEnforcesOrdering) {
+  const ActionSpace space;
+  // n_min index larger than n_max index: Kmin collapses onto Kmax.
+  const auto cfg = space.to_config({7, 2, 0});
+  EXPECT_EQ(cfg.kmax_bytes, space.threshold_bytes(2));
+  EXPECT_EQ(cfg.kmin_bytes, space.threshold_bytes(2));
+  EXPECT_TRUE(cfg.valid());
+}
+
+TEST(ActionSpace, ToConfigNormalCase) {
+  const ActionSpace space;
+  const auto cfg = space.to_config({1, 4, 3});
+  EXPECT_EQ(cfg.kmin_bytes, 40 * 1024);
+  EXPECT_EQ(cfg.kmax_bytes, 320 * 1024);
+  EXPECT_DOUBLE_EQ(cfg.pmax, 0.2);
+}
+
+/// Property sweep: every action in the factored space maps to a valid
+/// RED/ECN config with Kmin <= Kmax and Pmax in (0, 1].
+class ActionGridTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(ActionGridTest, AlwaysValid) {
+  const auto [nmin, nmax, p] = GetParam();
+  const ActionSpace space;
+  const auto cfg = space.to_config({nmin, nmax, p});
+  EXPECT_TRUE(cfg.valid());
+  EXPECT_GT(cfg.pmax, 0.0);
+  EXPECT_LE(cfg.pmax, 1.0);
+  EXPECT_LE(cfg.kmin_bytes, cfg.kmax_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ActionGridTest,
+                         ::testing::Combine(::testing::Values(0, 3, 9),
+                                            ::testing::Values(0, 5, 9),
+                                            ::testing::Values(0, 10, 19)));
+
+TEST(ActionSpace, NormalizeConfigRoundTrip) {
+  const ActionSpace space;
+  const auto cfg = space.to_config({2, 6, 9});
+  const auto norm = space.normalize_config(cfg);
+  ASSERT_EQ(norm.size(), 3u);
+  EXPECT_NEAR(norm[0], 2.0 / 9.0, 1e-12);
+  EXPECT_NEAR(norm[1], 6.0 / 9.0, 1e-12);
+  EXPECT_NEAR(norm[2], 0.5, 1e-12);
+}
+
+TEST(ActionSpace, NormalizeConfigClampsForeignValues) {
+  const ActionSpace space;
+  // A static scheme's 5KB threshold is below E(0): clamps to 0.
+  const auto norm = space.normalize_config(
+      {.kmin_bytes = 5 * 1024, .kmax_bytes = 1LL << 40, .pmax = 0.2});
+  EXPECT_EQ(norm[0], 0.0);
+  EXPECT_EQ(norm[1], 1.0);
+}
+
+// ---------------------------------------------------------------------------
+
+NcmSnapshot snapshot(double qlen, double util, double marked, double incast,
+                     double mice) {
+  NcmSnapshot s;
+  s.qlen_bytes = qlen;
+  s.avg_qlen_bytes = qlen;
+  s.utilization = util;
+  s.marked_ratio = marked;
+  s.incast_degree = incast;
+  s.mice_ratio = mice;
+  return s;
+}
+
+TEST(StateBuilder, DimensionsWithAllFactors) {
+  StateConfig cfg;
+  cfg.k_history = 3;
+  const StateBuilder sb(cfg, ActionSpace{});
+  EXPECT_EQ(sb.slot_features(), 8);
+  EXPECT_EQ(sb.state_size(), 24);
+}
+
+TEST(StateBuilder, AblationDropsFactors) {
+  StateConfig cfg;
+  cfg.include_incast = false;
+  cfg.include_flow_ratio = false;
+  const StateBuilder sb(cfg, ActionSpace{});
+  EXPECT_EQ(sb.slot_features(), 6);
+  EXPECT_EQ(sb.state_size(), 18);
+}
+
+TEST(StateBuilder, ZeroPaddedBeforeWarmup) {
+  StateConfig cfg;
+  cfg.k_history = 3;
+  StateBuilder sb(cfg, ActionSpace{});
+  const auto s0 = sb.state();
+  EXPECT_EQ(s0.size(), 24u);
+  for (const double v : s0) EXPECT_EQ(v, 0.0);
+  sb.push_slot(snapshot(1000, 0.5, 0.1, 4, 0.8), ActionSpace{}.to_config({0, 0, 0}));
+  const auto s1 = sb.state();
+  // Oldest two slots still zero.
+  for (std::size_t i = 0; i < 16; ++i) EXPECT_EQ(s1[i], 0.0);
+  EXPECT_NE(s1[17], 0.0);  // utilization of the newest slot
+}
+
+TEST(StateBuilder, HistoryRollsOldestFirst) {
+  StateConfig cfg;
+  cfg.k_history = 2;
+  cfg.qlen_norm_bytes = 1000.0;
+  StateBuilder sb(cfg, ActionSpace{});
+  const auto ecn = ActionSpace{}.to_config({0, 0, 0});
+  sb.push_slot(snapshot(100, 0.1, 0, 0, 1), ecn);
+  sb.push_slot(snapshot(200, 0.2, 0, 0, 1), ecn);
+  sb.push_slot(snapshot(300, 0.3, 0, 0, 1), ecn);
+  const auto s = sb.state();
+  ASSERT_EQ(s.size(), 16u);
+  EXPECT_NEAR(s[0], 0.2, 1e-12);  // slot t-1 qlen (normalized by 1000)
+  EXPECT_NEAR(s[8], 0.3, 1e-12);  // slot t qlen
+}
+
+TEST(StateBuilder, NormalizationClampsToUnit) {
+  StateConfig cfg;
+  cfg.qlen_norm_bytes = 100.0;
+  cfg.incast_norm = 4.0;
+  StateBuilder sb(cfg, ActionSpace{});
+  sb.push_slot(snapshot(1e9, 5.0, 2.0, 100, 1.5), ActionSpace{}.to_config({0, 0, 0}));
+  for (const double v : sb.state()) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(StateBuilder, ResetClearsHistory) {
+  StateBuilder sb(StateConfig{}, ActionSpace{});
+  sb.push_slot(snapshot(100, 0.5, 0, 0, 1), ActionSpace{}.to_config({0, 0, 0}));
+  EXPECT_EQ(sb.slots_observed(), 1u);
+  sb.reset();
+  EXPECT_EQ(sb.slots_observed(), 0u);
+  for (const double v : sb.state()) EXPECT_EQ(v, 0.0);
+}
+
+}  // namespace
+}  // namespace pet::core

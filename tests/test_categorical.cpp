@@ -1,0 +1,123 @@
+#include "rl/categorical.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pet::rl {
+namespace {
+
+TEST(Softmax, SumsToOne) {
+  const std::vector<double> logits{1.0, 2.0, 3.0, -1.0};
+  const auto p = softmax(logits);
+  double sum = 0;
+  for (const double v : p) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  for (const double v : p) EXPECT_GT(v, 0.0);
+}
+
+TEST(Softmax, InvariantToShift) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{101.0, 102.0, 103.0};
+  const auto pa = softmax(a);
+  const auto pb = softmax(b);
+  for (std::size_t i = 0; i < pa.size(); ++i) EXPECT_NEAR(pa[i], pb[i], 1e-12);
+}
+
+TEST(Softmax, StableForExtremeLogits) {
+  const std::vector<double> logits{1000.0, 0.0, -1000.0};
+  const auto p = softmax(logits);
+  EXPECT_NEAR(p[0], 1.0, 1e-9);
+  EXPECT_NEAR(p[2], 0.0, 1e-9);
+  for (const double v : p) EXPECT_FALSE(std::isnan(v));
+}
+
+TEST(LogProb, MatchesSoftmaxLog) {
+  const std::vector<double> logits{0.5, -0.3, 1.7};
+  const auto p = softmax(logits);
+  for (std::int32_t a = 0; a < 3; ++a) {
+    EXPECT_NEAR(log_prob(logits, a), std::log(p[a]), 1e-12);
+  }
+}
+
+TEST(Sample, FrequenciesMatchProbabilities) {
+  const std::vector<double> probs{0.1, 0.6, 0.3};
+  sim::Rng rng(42);
+  std::vector<int> counts(3, 0);
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) ++counts[sample(probs, rng)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.6, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.3, 0.01);
+}
+
+TEST(Argmax, PicksLargest) {
+  EXPECT_EQ(argmax(std::vector<double>{1.0, 5.0, 2.0}), 1);
+  EXPECT_EQ(argmax(std::vector<double>{9.0}), 0);
+}
+
+TEST(Entropy, UniformIsMaximal) {
+  const auto uniform = std::vector<double>{0.25, 0.25, 0.25, 0.25};
+  const auto skewed = std::vector<double>{0.97, 0.01, 0.01, 0.01};
+  EXPECT_NEAR(entropy(uniform), std::log(4.0), 1e-12);
+  EXPECT_LT(entropy(skewed), entropy(uniform));
+  EXPECT_NEAR(entropy(std::vector<double>{1.0, 0.0}), 0.0, 1e-12);
+}
+
+TEST(LogProbGrad, MatchesFiniteDifference) {
+  std::vector<double> logits{0.2, -0.7, 1.1, 0.4};
+  const std::int32_t action = 2;
+  const auto p = softmax(logits);
+  std::vector<double> grad(4);
+  log_prob_grad(p, action, 1.0, grad);
+  const double eps = 1e-6;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    const double orig = logits[i];
+    logits[i] = orig + eps;
+    const double lp = log_prob(logits, action);
+    logits[i] = orig - eps;
+    const double lm = log_prob(logits, action);
+    logits[i] = orig;
+    EXPECT_NEAR(grad[i], (lp - lm) / (2 * eps), 1e-6);
+  }
+}
+
+TEST(LogProbGrad, ScalesWithUpstream) {
+  const auto p = softmax(std::vector<double>{0.0, 1.0});
+  std::vector<double> g1(2), g3(2);
+  log_prob_grad(p, 0, 1.0, g1);
+  log_prob_grad(p, 0, 3.0, g3);
+  for (std::size_t i = 0; i < 2; ++i) EXPECT_NEAR(g3[i], 3.0 * g1[i], 1e-12);
+}
+
+TEST(EntropyGrad, MatchesFiniteDifference) {
+  std::vector<double> logits{0.3, -0.2, 0.9};
+  const auto p = softmax(logits);
+  std::vector<double> grad(3, 0.0);
+  entropy_grad(p, 1.0, grad);
+  const double eps = 1e-6;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    const double orig = logits[i];
+    logits[i] = orig + eps;
+    const double hp = entropy(softmax(logits));
+    logits[i] = orig - eps;
+    const double hm = entropy(softmax(logits));
+    logits[i] = orig;
+    EXPECT_NEAR(grad[i], (hp - hm) / (2 * eps), 1e-6);
+  }
+}
+
+TEST(EntropyGrad, Accumulates) {
+  const auto p = softmax(std::vector<double>{0.1, 0.5});
+  std::vector<double> grad{10.0, 20.0};
+  std::vector<double> delta(2, 0.0);
+  entropy_grad(p, 1.0, delta);
+  std::vector<double> expected{10.0 + delta[0], 20.0 + delta[1]};
+  std::vector<double> acc{10.0, 20.0};
+  entropy_grad(p, 1.0, acc);
+  EXPECT_NEAR(acc[0], expected[0], 1e-12);
+  EXPECT_NEAR(acc[1], expected[1], 1e-12);
+}
+
+}  // namespace
+}  // namespace pet::rl

@@ -1,0 +1,95 @@
+#include "net/classifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace pet::net {
+namespace {
+
+Packet packet_of(FlowId flow, std::int32_t payload) {
+  Packet pkt;
+  pkt.flow_id = flow;
+  pkt.type = PacketType::kData;
+  pkt.size_bytes = payload + 48;
+  pkt.payload_bytes = payload;
+  return pkt;
+}
+
+TEST(HashClassifier, InRangeAndFlowStable) {
+  auto classify = make_hash_classifier(4);
+  for (FlowId f = 1; f <= 100; ++f) {
+    const std::int32_t q = classify(packet_of(f, 1000));
+    EXPECT_GE(q, 0);
+    EXPECT_LT(q, 4);
+    EXPECT_EQ(classify(packet_of(f, 1000)), q) << "classification must be stable";
+  }
+}
+
+TEST(HashClassifier, SpreadsFlows) {
+  auto classify = make_hash_classifier(4);
+  std::set<std::int32_t> used;
+  for (FlowId f = 1; f <= 64; ++f) used.insert(classify(packet_of(f, 100)));
+  EXPECT_EQ(used.size(), 4u);
+}
+
+TEST(HashClassifier, SaltChangesMapping) {
+  auto a = make_hash_classifier(8, 1);
+  auto b = make_hash_classifier(8, 2);
+  int differs = 0;
+  for (FlowId f = 1; f <= 64; ++f) {
+    differs += (a(packet_of(f, 100)) != b(packet_of(f, 100)));
+  }
+  EXPECT_GT(differs, 16);
+}
+
+TEST(SizeClassClassifier, MiceStayInQueueZero) {
+  SizeClassClassifier classify(10'000);
+  for (int i = 0; i < 9; ++i) {
+    EXPECT_EQ(classify(packet_of(1, 1000)), 0);
+  }
+}
+
+TEST(SizeClassClassifier, PromotesToElephantQueueAtThreshold) {
+  SizeClassClassifier classify(10'000);
+  for (int i = 0; i < 10; ++i) {
+    (void)classify(packet_of(7, 1000));  // cumulative 10KB == threshold
+  }
+  // The packet that pushes past the threshold moves to queue 1.
+  EXPECT_EQ(classify(packet_of(7, 1000)), 1);
+  EXPECT_EQ(classify(packet_of(7, 1000)), 1) << "elephants never demote";
+}
+
+TEST(SizeClassClassifier, FlowsTrackedIndependently) {
+  SizeClassClassifier classify(5'000);
+  for (int i = 0; i < 10; ++i) (void)classify(packet_of(1, 1000));
+  EXPECT_EQ(classify(packet_of(1, 1000)), 1);
+  EXPECT_EQ(classify(packet_of(2, 1000)), 0) << "new flow starts as mice";
+}
+
+TEST(SizeClassClassifier, PruneBoundsState) {
+  SizeClassClassifier classify(1'000'000, /*max_tracked_flows=*/64);
+  for (FlowId f = 1; f <= 1000; ++f) (void)classify(packet_of(f, 100));
+  EXPECT_LE(classify.tracked_flows(), 64u);
+}
+
+TEST(SizeClassClassifier, PruneKeepsElephants) {
+  SizeClassClassifier classify(500, /*max_tracked_flows=*/64);
+  // Flow 1 becomes an elephant.
+  for (int i = 0; i < 10; ++i) (void)classify(packet_of(1, 100));
+  EXPECT_EQ(classify(packet_of(1, 100)), 1);
+  // Flood with mice to force pruning.
+  for (FlowId f = 100; f < 1100; ++f) (void)classify(packet_of(f, 10));
+  EXPECT_EQ(classify(packet_of(1, 100)), 1) << "elephant survived pruning";
+}
+
+TEST(SizeClassClassifier, AsClassifierSharesState) {
+  auto shared = std::make_shared<SizeClassClassifier>(2'000);
+  auto fn = SizeClassClassifier::as_classifier(shared);
+  (void)fn(packet_of(3, 1500));
+  EXPECT_EQ(fn(packet_of(3, 1500)), 1);  // cumulative 3KB > 2KB
+  EXPECT_EQ(shared->tracked_flows(), 1u);
+}
+
+}  // namespace
+}  // namespace pet::net

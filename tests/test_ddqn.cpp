@@ -1,0 +1,134 @@
+#include "rl/ddqn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pet::rl {
+namespace {
+
+DdqnConfig small_config() {
+  DdqnConfig cfg;
+  cfg.input_size = 2;
+  cfg.head_sizes = {3, 2};
+  cfg.hidden = {16};
+  cfg.seed = 3;
+  cfg.batch_size = 16;
+  cfg.epsilon_decay_steps = 100;
+  return cfg;
+}
+
+TEST(DdqnAgent, ActShapes) {
+  auto replay = std::make_shared<ReplayBuffer>(100);
+  DdqnAgent agent(small_config(), replay, 0);
+  sim::Rng rng(1);
+  const std::vector<double> state{0.2, -0.1};
+  const auto actions = agent.act(state, rng);
+  ASSERT_EQ(actions.size(), 2u);
+  EXPECT_LT(actions[0], 3);
+  EXPECT_LT(actions[1], 2);
+}
+
+TEST(DdqnAgent, EpsilonDecaysLinearlyWithObservations) {
+  auto replay = std::make_shared<ReplayBuffer>(100);
+  DdqnConfig cfg = small_config();
+  cfg.epsilon_start = 1.0;
+  cfg.epsilon_end = 0.1;
+  cfg.epsilon_decay_steps = 10;
+  DdqnAgent agent(cfg, replay, 0);
+  EXPECT_DOUBLE_EQ(agent.epsilon(), 1.0);
+  DqnTransition t;
+  t.state = {0, 0};
+  t.next_state = {0, 0};
+  t.actions = {0, 0};
+  for (int i = 0; i < 5; ++i) agent.observe(t);
+  EXPECT_NEAR(agent.epsilon(), 0.55, 1e-12);
+  for (int i = 0; i < 20; ++i) agent.observe(t);
+  EXPECT_DOUBLE_EQ(agent.epsilon(), 0.1);
+}
+
+TEST(DdqnAgent, TrainStepNoopUntilBatchAvailable) {
+  auto replay = std::make_shared<ReplayBuffer>(100);
+  DdqnAgent agent(small_config(), replay, 0);
+  agent.train_step();
+  EXPECT_EQ(agent.train_steps(), 0);
+}
+
+TEST(DdqnAgent, SharedReplayIsGlobal) {
+  auto replay = std::make_shared<ReplayBuffer>(100);
+  DdqnAgent a(small_config(), replay, 0);
+  DdqnAgent b(small_config(), replay, 1);
+  DqnTransition t;
+  t.state = {0, 0};
+  t.next_state = {0, 0};
+  t.actions = {0, 0};
+  a.observe(t);
+  b.observe(t);
+  EXPECT_EQ(replay->size(), 2u);
+  EXPECT_GT(replay->bytes_from_others(0), 0u);
+}
+
+TEST(DdqnAgent, WeightsRoundTrip) {
+  auto replay = std::make_shared<ReplayBuffer>(100);
+  DdqnConfig cfg1 = small_config();
+  DdqnConfig cfg2 = small_config();
+  cfg2.seed = 77;
+  DdqnAgent a(cfg1, replay, 0);
+  DdqnAgent b(cfg2, replay, 1);
+  const std::vector<double> state{0.4, 0.6};
+  EXPECT_NE(a.weights(), b.weights());  // different init seeds
+  b.set_weights(a.weights());
+  EXPECT_EQ(a.weights(), b.weights());
+  EXPECT_EQ(a.act_greedy(state), b.act_greedy(state));
+}
+
+/// Contextual bandit with gamma 0: Q-values must converge to immediate
+/// rewards, making the greedy policy optimal.
+TEST(DdqnAgent, LearnsContextualBandit) {
+  auto replay = std::make_shared<ReplayBuffer>(2000);
+  DdqnConfig cfg;
+  cfg.input_size = 2;
+  cfg.head_sizes = {2};
+  cfg.hidden = {16};
+  cfg.lr = 5e-3;
+  cfg.gamma = 0.0;
+  cfg.batch_size = 32;
+  cfg.target_sync_interval = 50;
+  cfg.epsilon_start = 1.0;
+  cfg.epsilon_end = 0.1;
+  cfg.epsilon_decay_steps = 500;
+  cfg.seed = 9;
+  DdqnAgent agent(cfg, replay, 0);
+  sim::Rng rng(31);
+
+  for (int step = 0; step < 1500; ++step) {
+    const double ctx = rng.bernoulli(0.5) ? 1.0 : 0.0;
+    const std::vector<double> state{ctx, 1.0 - ctx};
+    const auto actions = agent.act(state, rng);
+    const double reward =
+        actions[0] == static_cast<std::int32_t>(ctx) ? 1.0 : 0.0;
+    agent.observe(DqnTransition{.state = state,
+                                .actions = actions,
+                                .reward = reward,
+                                .next_state = state});
+    agent.train_step();
+  }
+  EXPECT_EQ(agent.act_greedy(std::vector<double>{1.0, 0.0})[0], 1);
+  EXPECT_EQ(agent.act_greedy(std::vector<double>{0.0, 1.0})[0], 0);
+}
+
+TEST(DdqnAgent, FullExplorationIsUniform) {
+  auto replay = std::make_shared<ReplayBuffer>(10);
+  DdqnConfig cfg = small_config();
+  cfg.epsilon_start = 1.0;
+  cfg.epsilon_end = 1.0;
+  DdqnAgent agent(cfg, replay, 0);
+  sim::Rng rng(17);
+  std::vector<int> counts(3, 0);
+  const std::vector<double> state{0.0, 0.0};
+  for (int i = 0; i < 9000; ++i) ++counts[agent.act(state, rng)[0]];
+  for (const int c : counts) EXPECT_NEAR(c / 9000.0, 1.0 / 3.0, 0.03);
+}
+
+}  // namespace
+}  // namespace pet::rl

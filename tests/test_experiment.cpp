@@ -1,0 +1,174 @@
+#include "exp/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exp/metrics.hpp"
+
+namespace pet::exp {
+namespace {
+
+ScenarioConfig tiny_scenario(Scheme scheme) {
+  ScenarioConfig cfg;
+  cfg.scheme = scheme;
+  cfg.topo.num_spines = 1;
+  cfg.topo.num_leaves = 2;
+  cfg.topo.hosts_per_leaf = 4;
+  cfg.load = 0.4;
+  cfg.flow_size_cap_bytes = 2e6;
+  cfg.pretrain = sim::milliseconds(2);
+  cfg.measure = sim::milliseconds(6);
+  cfg.incast_fan_in = 4;
+  cfg.tune_dcqcn_for_rate();
+  cfg.seed = 5;
+  return cfg;
+}
+
+TEST(Metrics, IdealFctComposition) {
+  // 1 MB at 10G = 800us serialization + half the base RTT.
+  const double us =
+      ideal_fct_us(1'000'000, sim::gbps(10), sim::microseconds(10));
+  EXPECT_NEAR(us, 805.0, 1e-9);
+}
+
+TEST(Metrics, FctBucketFiltersBySizeAndWindow) {
+  std::vector<transport::FctRecord> records;
+  const auto add = [&](std::int64_t size, double start_us, double fct_us) {
+    transport::FlowSpec spec;
+    spec.size_bytes = size;
+    spec.start_time = sim::microseconds(static_cast<std::int64_t>(start_us));
+    records.push_back(
+        {spec, spec.start_time +
+                   sim::microseconds(static_cast<std::int64_t>(fct_us))});
+  };
+  add(50'000, 10, 100);        // mice, in window
+  add(50'000, 2000, 100);      // mice, out of window
+  add(20'000'000, 20, 5000);   // elephant, in window
+  const sim::Time from = sim::Time::zero();
+  const sim::Time to = sim::milliseconds(1);
+  const auto mice = fct_bucket(records, 0, kMiceMaxBytes, from, to,
+                               sim::gbps(10), sim::microseconds(8));
+  EXPECT_EQ(mice.count, 1u);
+  EXPECT_NEAR(mice.avg_us, 100.0, 1e-9);
+  const auto elephants =
+      fct_bucket(records, kElephantMinBytes - 1,
+                 std::numeric_limits<std::int64_t>::max(), from, to,
+                 sim::gbps(10), sim::microseconds(8));
+  EXPECT_EQ(elephants.count, 1u);
+}
+
+TEST(Scheme, NamesAndConfigs) {
+  EXPECT_STREQ(scheme_name(Scheme::kPet), "PET");
+  EXPECT_STREQ(scheme_name(Scheme::kAcc), "ACC");
+  EXPECT_STREQ(scheme_name(Scheme::kSecn1), "SECN1");
+  EXPECT_STREQ(scheme_name(Scheme::kSecn2), "SECN2");
+  EXPECT_STREQ(scheme_name(Scheme::kPetAblation), "PET-noIR");
+  EXPECT_EQ(secn1_config().kmin_bytes, 5 * 1024);
+  EXPECT_EQ(secn1_config().kmax_bytes, 200 * 1024);
+  EXPECT_EQ(secn2_config().kmin_bytes, 100 * 1024);
+  EXPECT_EQ(secn2_config().kmax_bytes, 400 * 1024);
+  EXPECT_TRUE(is_learning_scheme(Scheme::kPet));
+  EXPECT_TRUE(is_learning_scheme(Scheme::kAcc));
+  EXPECT_FALSE(is_learning_scheme(Scheme::kSecn1));
+}
+
+TEST(Experiment, StaticSchemeKeepsConfiguredThresholds) {
+  Experiment experiment(tiny_scenario(Scheme::kSecn2));
+  experiment.run_until(sim::milliseconds(3));
+  for (auto* sw : experiment.network().switches()) {
+    EXPECT_EQ(sw->port(0).ecn_config(0), secn2_config());
+  }
+  EXPECT_EQ(experiment.pet(), nullptr);
+  EXPECT_EQ(experiment.acc(), nullptr);
+}
+
+TEST(Experiment, PetSchemeCreatesControllerPerSwitch) {
+  Experiment experiment(tiny_scenario(Scheme::kPet));
+  ASSERT_NE(experiment.pet(), nullptr);
+  EXPECT_EQ(experiment.pet()->num_agents(), 3u);  // 2 leaves + 1 spine
+}
+
+TEST(Experiment, AblationSchemeShrinksState) {
+  Experiment experiment(tiny_scenario(Scheme::kPetAblation));
+  ASSERT_NE(experiment.pet(), nullptr);
+  EXPECT_EQ(experiment.pet()->agent(0).policy().config().input_size, 18);
+  Experiment full(tiny_scenario(Scheme::kPet));
+  EXPECT_EQ(full.pet()->agent(0).policy().config().input_size, 24);
+}
+
+TEST(Experiment, RunProducesTraffic) {
+  Experiment experiment(tiny_scenario(Scheme::kSecn1));
+  const Metrics m = experiment.run();
+  EXPECT_GT(m.flows_measured, 20);
+  EXPECT_GT(m.mice.count, 0u);
+  EXPECT_GT(m.overall.avg_us, 0.0);
+  EXPECT_GT(m.latency_avg_us, 0.0);
+  EXPECT_GE(m.latency_p99_us, m.latency_avg_us);
+  EXPECT_GE(m.overall.p99_us, m.overall.avg_us);
+}
+
+TEST(Experiment, DeterministicForSameSeed) {
+  const Metrics a = Experiment(tiny_scenario(Scheme::kSecn1)).run();
+  const Metrics b = Experiment(tiny_scenario(Scheme::kSecn1)).run();
+  EXPECT_EQ(a.flows_measured, b.flows_measured);
+  EXPECT_DOUBLE_EQ(a.overall.avg_us, b.overall.avg_us);
+  EXPECT_DOUBLE_EQ(a.queue_avg_kb, b.queue_avg_kb);
+}
+
+TEST(Experiment, SeedChangesOutcome) {
+  ScenarioConfig cfg = tiny_scenario(Scheme::kSecn1);
+  const Metrics a = Experiment(cfg).run();
+  cfg.seed = 999;
+  const Metrics b = Experiment(cfg).run();
+  EXPECT_NE(a.overall.avg_us, b.overall.avg_us);
+}
+
+TEST(Experiment, WorkloadSwitchTakesEffect) {
+  ScenarioConfig cfg = tiny_scenario(Scheme::kSecn1);
+  cfg.incast_enabled = false;
+  Experiment experiment(cfg);
+  experiment.run_until(sim::milliseconds(2));
+  experiment.switch_workload(workload::WorkloadKind::kDataMining);
+  experiment.run_until(sim::milliseconds(8));
+  // Data Mining generates many tiny flows: median measured size shrinks.
+  std::vector<double> pre, post;
+  for (const auto& r : experiment.recorder().records()) {
+    (r.spec.start_time < sim::milliseconds(2) ? pre : post)
+        .push_back(static_cast<double>(r.spec.size_bytes));
+  }
+  ASSERT_GT(pre.size(), 5u);
+  ASSERT_GT(post.size(), 5u);
+  EXPECT_LT(sim::percentile(post, 50.0), sim::percentile(pre, 50.0));
+}
+
+TEST(Experiment, CollectWindowsAreDisjoint) {
+  Experiment experiment(tiny_scenario(Scheme::kSecn1));
+  experiment.run_until(sim::milliseconds(8));
+  const Metrics first =
+      experiment.collect(sim::Time::zero(), sim::milliseconds(4));
+  const Metrics second =
+      experiment.collect(sim::milliseconds(4), sim::milliseconds(8));
+  const Metrics all = experiment.collect(sim::Time::zero(), sim::milliseconds(8));
+  EXPECT_EQ(first.overall.count + second.overall.count, all.overall.count);
+}
+
+TEST(Experiment, PfcKeepsFabricLossless) {
+  ScenarioConfig cfg = tiny_scenario(Scheme::kSecn2);
+  cfg.load = 0.7;
+  Experiment experiment(cfg);
+  const Metrics m = experiment.run();
+  EXPECT_EQ(m.switch_drops, 0);
+}
+
+TEST(Experiment, TuneDcqcnScalesWithRate) {
+  ScenarioConfig a;
+  a.topo.host_link_rate = sim::gbps(10);
+  a.tune_dcqcn_for_rate();
+  ScenarioConfig b;
+  b.topo.host_link_rate = sim::gbps(40);
+  b.tune_dcqcn_for_rate();
+  EXPECT_GT(b.dcqcn.rate_ai_bps, a.dcqcn.rate_ai_bps);
+  EXPECT_GT(b.dcqcn.byte_counter, a.dcqcn.byte_counter);
+}
+
+}  // namespace
+}  // namespace pet::exp

@@ -1,0 +1,86 @@
+#include "transport/fct_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pet::transport {
+namespace {
+
+FlowSpec spec_at(double start_us, std::int64_t size = 1000) {
+  FlowSpec s;
+  s.src = 0;
+  s.dst = 1;
+  s.size_bytes = size;
+  s.start_time = sim::microseconds(static_cast<std::int64_t>(start_us));
+  return s;
+}
+
+TEST(FctRecorder, RecordsFlows) {
+  FctRecorder rec;
+  rec.record_flow(spec_at(10), sim::microseconds(110));
+  ASSERT_EQ(rec.records().size(), 1u);
+  EXPECT_DOUBLE_EQ(rec.records()[0].fct().us(), 100.0);
+}
+
+TEST(FctRecorder, CompletionsBetweenFiltersByFinishTime) {
+  FctRecorder rec;
+  rec.record_flow(spec_at(0), sim::microseconds(50));
+  rec.record_flow(spec_at(0), sim::microseconds(150));
+  rec.record_flow(spec_at(0), sim::microseconds(250));
+  const auto window =
+      rec.completions_between(sim::microseconds(100), sim::microseconds(200));
+  ASSERT_EQ(window.size(), 1u);
+  EXPECT_EQ(window[0].finish_time, sim::microseconds(150));
+}
+
+TEST(FctRecorder, LatencyStatsTrackSamples) {
+  FctRecorder rec;
+  for (int i = 1; i <= 100; ++i) {
+    rec.record_latency(sim::microseconds(i));
+  }
+  EXPECT_EQ(rec.latency_stats().count(), 100u);
+  EXPECT_NEAR(rec.latency_stats().mean(), 50.5, 1e-9);
+  EXPECT_DOUBLE_EQ(rec.latency_percentile(99.0), 99.0);
+}
+
+TEST(FctRecorder, ReservoirStaysBounded) {
+  FctRecorder rec(/*seed=*/1, /*latency_reservoir=*/128);
+  for (int i = 0; i < 100'000; ++i) {
+    rec.record_latency(sim::microseconds(i % 1000));
+  }
+  EXPECT_EQ(rec.latency_stats().count(), 100'000u);
+  // The percentile works and is in range despite subsampling.
+  const double p50 = rec.latency_percentile(50.0);
+  EXPECT_GT(p50, 100.0);
+  EXPECT_LT(p50, 900.0);
+}
+
+TEST(FctRecorder, ReservoirIsApproximatelyUniform) {
+  FctRecorder rec(/*seed=*/7, /*latency_reservoir=*/4096);
+  // Uniform ramp 0..9999us: p90 of the reservoir should be near 9000.
+  for (int i = 0; i < 200'000; ++i) {
+    rec.record_latency(sim::microseconds(i % 10'000));
+  }
+  EXPECT_NEAR(rec.latency_percentile(90.0), 9000.0, 400.0);
+}
+
+TEST(FctRecorder, ResetLatencyKeepsFlows) {
+  FctRecorder rec;
+  rec.record_flow(spec_at(0), sim::microseconds(10));
+  rec.record_latency(sim::microseconds(5));
+  rec.reset_latency();
+  EXPECT_EQ(rec.latency_stats().count(), 0u);
+  EXPECT_EQ(rec.records().size(), 1u);
+  EXPECT_EQ(rec.latency_percentile(99.0), 0.0);
+}
+
+TEST(FctRecorder, ClearDropsEverything) {
+  FctRecorder rec;
+  rec.record_flow(spec_at(0), sim::microseconds(10));
+  rec.record_latency(sim::microseconds(5));
+  rec.clear();
+  EXPECT_TRUE(rec.records().empty());
+  EXPECT_EQ(rec.latency_stats().count(), 0u);
+}
+
+}  // namespace
+}  // namespace pet::transport

@@ -1,0 +1,116 @@
+#include "rl/gae.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pet::rl {
+namespace {
+
+TEST(Gae, LambdaZeroIsOneStepTd) {
+  const std::vector<double> rewards{1.0, 2.0, 3.0};
+  const std::vector<double> values{0.5, 0.6, 0.7};
+  const double bootstrap = 0.8;
+  const double gamma = 0.9;
+  const auto res = compute_gae(rewards, values, bootstrap, gamma, 0.0);
+  EXPECT_NEAR(res.advantages[0], 1.0 + gamma * 0.6 - 0.5, 1e-12);
+  EXPECT_NEAR(res.advantages[1], 2.0 + gamma * 0.7 - 0.6, 1e-12);
+  EXPECT_NEAR(res.advantages[2], 3.0 + gamma * 0.8 - 0.7, 1e-12);
+}
+
+TEST(Gae, LambdaOneIsMonteCarloResidual) {
+  const std::vector<double> rewards{1.0, 1.0, 1.0};
+  const std::vector<double> values{0.0, 0.0, 0.0};
+  const double gamma = 0.5;
+  const auto res = compute_gae(rewards, values, 0.0, gamma, 1.0);
+  // A_0 = r0 + g*r1 + g^2*r2 - V(s0) = 1 + 0.5 + 0.25 = 1.75.
+  EXPECT_NEAR(res.advantages[0], 1.75, 1e-12);
+  EXPECT_NEAR(res.advantages[1], 1.5, 1e-12);
+  EXPECT_NEAR(res.advantages[2], 1.0, 1e-12);
+}
+
+TEST(Gae, ReturnsAreAdvantagePlusValue) {
+  const std::vector<double> rewards{0.3, -0.1, 0.7, 0.2};
+  const std::vector<double> values{0.1, 0.2, 0.3, 0.4};
+  const auto res = compute_gae(rewards, values, 0.5, 0.99, 0.95);
+  for (std::size_t i = 0; i < rewards.size(); ++i) {
+    EXPECT_NEAR(res.returns[i], res.advantages[i] + values[i], 1e-12);
+  }
+}
+
+TEST(Gae, PerfectValueFunctionGivesZeroAdvantage) {
+  // V(s_t) equals the true discounted return -> all deltas are zero.
+  const double gamma = 0.9;
+  const std::vector<double> rewards{1.0, 1.0, 1.0};
+  const double v3 = 10.0;  // bootstrap
+  std::vector<double> values(3);
+  values[2] = rewards[2] + gamma * v3;
+  values[1] = rewards[1] + gamma * values[2];
+  values[0] = rewards[0] + gamma * values[1];
+  const auto res = compute_gae(rewards, values, v3, gamma, 0.7);
+  for (const double a : res.advantages) EXPECT_NEAR(a, 0.0, 1e-12);
+}
+
+TEST(Gae, EmptyInput) {
+  const auto res = compute_gae({}, {}, 0.0, 0.99, 0.95);
+  EXPECT_TRUE(res.advantages.empty());
+  EXPECT_TRUE(res.returns.empty());
+}
+
+TEST(Gae, SingleStep) {
+  const auto res = compute_gae(std::vector<double>{2.0},
+                               std::vector<double>{1.0}, 3.0, 0.5, 0.9);
+  EXPECT_NEAR(res.advantages[0], 2.0 + 0.5 * 3.0 - 1.0, 1e-12);
+}
+
+TEST(Gae, RecursionMatchesDirectSum) {
+  // A_t = sum_k (gamma*lambda)^k * delta_{t+k}, checked explicitly.
+  const double gamma = 0.8;
+  const double lambda = 0.6;
+  const std::vector<double> rewards{0.1, 0.5, -0.2, 0.9};
+  const std::vector<double> values{0.2, -0.1, 0.4, 0.3};
+  const double bootstrap = 0.25;
+  const auto res = compute_gae(rewards, values, bootstrap, gamma, lambda);
+
+  std::vector<double> deltas(4);
+  for (std::size_t t = 0; t < 4; ++t) {
+    const double next_v = t + 1 < 4 ? values[t + 1] : bootstrap;
+    deltas[t] = rewards[t] + gamma * next_v - values[t];
+  }
+  for (std::size_t t = 0; t < 4; ++t) {
+    double direct = 0.0;
+    for (std::size_t k = t; k < 4; ++k) {
+      direct += std::pow(gamma * lambda, static_cast<double>(k - t)) * deltas[k];
+    }
+    EXPECT_NEAR(res.advantages[t], direct, 1e-12);
+  }
+}
+
+TEST(Normalize, ZeroMeanUnitVariance) {
+  std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+  normalize(xs);
+  double mean = 0, var = 0;
+  for (const double x : xs) mean += x;
+  mean /= 5;
+  for (const double x : xs) var += (x - mean) * (x - mean);
+  var /= 5;
+  EXPECT_NEAR(mean, 0.0, 1e-12);
+  EXPECT_NEAR(var, 1.0, 1e-12);
+}
+
+TEST(Normalize, ConstantInputUnchanged) {
+  std::vector<double> xs{3.0, 3.0, 3.0};
+  normalize(xs);
+  for (const double x : xs) EXPECT_EQ(x, 3.0);
+}
+
+TEST(Normalize, TinyInputsUntouched) {
+  std::vector<double> one{5.0};
+  normalize(one);
+  EXPECT_EQ(one[0], 5.0);
+  std::vector<double> empty;
+  normalize(empty);  // must not crash
+}
+
+}  // namespace
+}  // namespace pet::rl

@@ -1,0 +1,166 @@
+// Cross-module integration tests: whole scenarios on small fabrics,
+// checking the physical behaviours the paper's experiments rely on.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+
+#include "exp/experiment.hpp"
+
+namespace pet::exp {
+namespace {
+
+ScenarioConfig base_scenario(Scheme scheme, std::uint64_t seed = 7) {
+  ScenarioConfig cfg;
+  cfg.scheme = scheme;
+  cfg.topo.num_spines = 1;
+  cfg.topo.num_leaves = 2;
+  cfg.topo.hosts_per_leaf = 4;
+  cfg.load = 0.5;
+  cfg.flow_size_cap_bytes = 2e6;
+  cfg.pretrain = sim::milliseconds(2);
+  cfg.measure = sim::milliseconds(8);
+  cfg.incast_fan_in = 4;
+  cfg.tune_dcqcn_for_rate();
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// Every scheme must run end-to-end and complete most of its flows.
+class AllSchemesTest : public ::testing::TestWithParam<Scheme> {};
+
+TEST_P(AllSchemesTest, RunsAndCompletesFlows) {
+  const Metrics m = Experiment(base_scenario(GetParam())).run();
+  EXPECT_GT(m.flows_measured, 20);
+  EXPECT_EQ(m.switch_drops, 0) << "PFC fabric must stay lossless";
+  EXPECT_GT(m.mice.count, 0u);
+  EXPECT_LT(m.flows_incomplete, m.flows_measured) << "most flows complete";
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, AllSchemesTest,
+                         ::testing::Values(Scheme::kSecn1, Scheme::kSecn2,
+                                           Scheme::kAcc, Scheme::kPet,
+                                           Scheme::kPetAblation),
+                         [](const auto& param_info) {
+                           std::string name = scheme_name(param_info.param);
+                           std::erase_if(name, [](char c) {
+                             return !std::isalnum(static_cast<unsigned char>(c));
+                           });
+                           return name;
+                         });
+
+/// The core physical effect ECN tuning exploits: a lower marking threshold
+/// keeps queues shorter (better latency), a higher one lets them grow.
+TEST(ThresholdEffect, LowerKmaxMeansShorterQueues) {
+  ScenarioConfig low = base_scenario(Scheme::kSecn1);   // 5/200 KB
+  ScenarioConfig high = base_scenario(Scheme::kSecn2);  // 100/400 KB
+  low.load = high.load = 0.7;
+  const Metrics ml = Experiment(low).run();
+  const Metrics mh = Experiment(high).run();
+  EXPECT_LT(ml.queue_avg_kb, mh.queue_avg_kb);
+  EXPECT_LT(ml.latency_avg_us, mh.latency_avg_us);
+}
+
+/// Per-packet latency for mice rides on queueing: the short-queue static
+/// scheme must beat the long-queue one on mice tail FCT.
+TEST(ThresholdEffect, ShortQueuesHelpMiceTail) {
+  ScenarioConfig low = base_scenario(Scheme::kSecn1);
+  ScenarioConfig high = base_scenario(Scheme::kSecn2);
+  low.load = high.load = 0.7;
+  const Metrics ml = Experiment(low).run();
+  const Metrics mh = Experiment(high).run();
+  EXPECT_LT(ml.mice.p99_us, mh.mice.p99_us);
+}
+
+TEST(LoadEffect, HigherLoadRaisesFct) {
+  ScenarioConfig light = base_scenario(Scheme::kSecn1);
+  ScenarioConfig heavy = base_scenario(Scheme::kSecn1);
+  light.load = 0.3;
+  heavy.load = 0.8;
+  const Metrics a = Experiment(light).run();
+  const Metrics b = Experiment(heavy).run();
+  EXPECT_LT(a.overall.avg_slowdown, b.overall.avg_slowdown);
+}
+
+TEST(IncastEffect, IncastInflatesQueuesAtAggregator) {
+  ScenarioConfig with = base_scenario(Scheme::kSecn2);
+  ScenarioConfig without = base_scenario(Scheme::kSecn2);
+  with.incast_fan_in = 7;
+  with.incast_request_bytes = 64 * 1024;
+  with.incast_period = sim::microseconds(500);
+  without.incast_enabled = false;
+  const Metrics mw = Experiment(with).run();
+  const Metrics mo = Experiment(without).run();
+  EXPECT_GT(mw.queue_avg_kb, mo.queue_avg_kb);
+}
+
+TEST(LinkFailure, TrafficReroutesAndRecovers) {
+  ScenarioConfig cfg = base_scenario(Scheme::kSecn1);
+  cfg.topo.num_spines = 2;  // redundancy to reroute over
+  Experiment experiment(cfg);
+  auto& topo = experiment.topology();
+  experiment.run_until(sim::milliseconds(2));
+  // Kill one of leaf0's two uplinks.
+  ASSERT_TRUE(experiment.network().set_link_state(
+      topo.leaf_devices[0], topo.spine_devices[0], false));
+  experiment.run_until(sim::milliseconds(6));
+  ASSERT_TRUE(experiment.network().set_link_state(
+      topo.leaf_devices[0], topo.spine_devices[0], true));
+  experiment.run_until(sim::milliseconds(10));
+  const Metrics m =
+      experiment.collect(sim::milliseconds(2), sim::milliseconds(10));
+  EXPECT_GT(m.overall.count, 20u) << "flows must keep completing";
+}
+
+TEST(PetLearning, RewardImprovesOverTraining) {
+  // On a congested fabric the initial random policy earns mediocre reward;
+  // after training the mean reward of late windows should not be worse.
+  ScenarioConfig cfg = base_scenario(Scheme::kPet);
+  cfg.load = 0.6;
+  Experiment experiment(cfg);
+  experiment.run_until(sim::milliseconds(20));
+  ASSERT_NE(experiment.pet(), nullptr);
+  auto& agent = experiment.pet()->agent(0);
+  EXPECT_GT(agent.steps(), 150);
+  EXPECT_GE(agent.updates(), 1);
+  EXPECT_GT(agent.reward_stats().mean(), 0.0);
+}
+
+TEST(Determinism, FullPetScenarioReproducible) {
+  const Metrics a = Experiment(base_scenario(Scheme::kPet, 123)).run();
+  const Metrics b = Experiment(base_scenario(Scheme::kPet, 123)).run();
+  EXPECT_DOUBLE_EQ(a.overall.avg_us, b.overall.avg_us);
+  EXPECT_EQ(a.flows_measured, b.flows_measured);
+  EXPECT_DOUBLE_EQ(a.queue_avg_kb, b.queue_avg_kb);
+}
+
+TEST(ElephantThroughput, SaturatesWithoutCongestion) {
+  // A single unconstrained elephant should achieve near line rate under
+  // every static scheme (slowdown close to 1).
+  ScenarioConfig cfg = base_scenario(Scheme::kSecn1);
+  cfg.load = 0.05;
+  cfg.incast_enabled = false;
+  Experiment experiment(cfg);
+  transport::FlowSpec spec;
+  spec.src = 0;
+  spec.dst = 4;  // cross-leaf
+  spec.size_bytes = 1'500'000;
+  experiment.add_event(sim::milliseconds(3), [&experiment, spec] {
+    experiment.transport().start_flow(spec);
+  });
+  experiment.run_until(sim::milliseconds(8));
+  double slowdown = 0.0;
+  for (const auto& r : experiment.recorder().records()) {
+    if (r.spec.size_bytes == 1'500'000) {
+      slowdown = r.fct().us() /
+                 ideal_fct_us(r.spec.size_bytes, cfg.topo.host_link_rate,
+                              experiment.topology().base_rtt(1000));
+    }
+  }
+  ASSERT_GT(slowdown, 0.0) << "elephant did not complete";
+  EXPECT_LT(slowdown, 1.5);
+}
+
+}  // namespace
+}  // namespace pet::exp

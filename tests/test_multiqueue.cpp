@@ -1,0 +1,161 @@
+#include "core/multiqueue.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/classifier.hpp"
+#include "net/network.hpp"
+
+namespace pet::core {
+namespace {
+
+net::Packet data_packet(net::HostId src, net::HostId dst, net::FlowId flow,
+                        std::int32_t bytes = 1000) {
+  net::Packet pkt;
+  pkt.flow_id = flow;
+  pkt.src = src;
+  pkt.dst = dst;
+  pkt.type = net::PacketType::kData;
+  pkt.size_bytes = bytes;
+  pkt.payload_bytes = bytes;
+  return pkt;
+}
+
+struct MultiQueueFixture : ::testing::Test {
+  sim::Scheduler sched;
+  net::Network net{sched, 71};
+  net::SwitchDevice* sw = nullptr;
+
+  void build(std::int32_t queues = 2, int hosts = 4) {
+    net::SwitchConfig cfg;
+    cfg.num_data_queues = queues;
+    sw = &net.add_switch(cfg);
+    net::PortConfig nic;
+    nic.rate = sim::gbps(10);
+    nic.propagation_delay = sim::nanoseconds(100);
+    for (int i = 0; i < hosts; ++i) {
+      auto& h = net.add_host(nic);
+      net.connect(h.id(), sw->id(), nic.rate, nic.propagation_delay);
+    }
+    net.recompute_routes();
+  }
+
+  MultiQueuePetConfig agent_config(std::int32_t queues = 2) {
+    MultiQueuePetConfig cfg;
+    cfg.num_queues = queues;
+    cfg.agent = PetAgentConfig::paper_defaults();
+    cfg.agent.tuning_interval = sim::microseconds(100);
+    cfg.agent.rollout_length = 8;
+    cfg.agent.ppo.minibatch_size = 8;
+    cfg.agent.ppo.update_epochs = 2;
+    cfg.agent.ppo.hidden = {16, 16};
+    return cfg;
+  }
+};
+
+TEST_F(MultiQueueFixture, TickAppliesPerQueueConfigs) {
+  build();
+  MultiQueuePetAgent agent(sched, *sw, agent_config(), 1);
+  agent.tick();
+  for (std::int32_t q = 0; q < 2; ++q) {
+    const net::RedEcnConfig cfg = agent.queue_config(q);
+    EXPECT_TRUE(cfg.valid());
+    for (std::int32_t p = 0; p < sw->num_ports(); ++p) {
+      EXPECT_EQ(sw->port(p).ecn_config(q), cfg);
+    }
+  }
+}
+
+TEST_F(MultiQueueFixture, QueuesCanDiverge) {
+  build();
+  MultiQueuePetAgent agent(sched, *sw, agent_config(), 2);
+  // With stochastic sampling per queue, configs should differ at least
+  // once over a few ticks.
+  bool diverged = false;
+  for (int i = 0; i < 20 && !diverged; ++i) {
+    agent.tick();
+    diverged = !(agent.queue_config(0) == agent.queue_config(1));
+    sched.run_until(sched.now() + sim::microseconds(100));
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST_F(MultiQueueFixture, QueueScopedNcmSeesOnlyItsQueue) {
+  build();
+  // Route mice to queue 0 and flow 99 (elephant-tagged by classifier) to
+  // queue 1 via an explicit classifier.
+  sw->set_classifier([](const net::Packet& pkt) {
+    return pkt.flow_id == 99 ? 1 : 0;
+  });
+  NcmConfig q0_cfg;
+  q0_cfg.queue_index = 0;
+  NcmConfig q1_cfg;
+  q1_cfg.queue_index = 1;
+  Ncm ncm0(sched, *sw, q0_cfg);
+  Ncm ncm1(sched, *sw, q1_cfg);
+
+  for (int i = 0; i < 5; ++i) sw->receive(data_packet(1, 0, 10), 1);
+  for (int i = 0; i < 3; ++i) sw->receive(data_packet(2, 0, 99), 2);
+  sched.run_until(sim::microseconds(100));
+
+  EXPECT_EQ(ncm0.sample().packets_seen, 5);
+  EXPECT_EQ(ncm1.sample().packets_seen, 3);
+}
+
+TEST_F(MultiQueueFixture, RewardsAccumulateAndUpdatesRun) {
+  build();
+  MultiQueuePetConfig cfg = agent_config();
+  cfg.agent.rollout_length = 4;
+  MultiQueuePetAgent agent(sched, *sw, cfg, 3);
+  for (int i = 0; i < 8; ++i) {
+    agent.tick();
+    sched.run_until(sched.now() + sim::microseconds(100));
+  }
+  // 2 queues x 7 completed transitions.
+  EXPECT_EQ(agent.reward_stats().count(), 14u);
+  EXPECT_GE(agent.updates(), 1);
+}
+
+TEST_F(MultiQueueFixture, EvalModeFreezesLearning) {
+  build();
+  MultiQueuePetAgent agent(sched, *sw, agent_config(), 4);
+  agent.set_training(false);
+  for (int i = 0; i < 10; ++i) {
+    agent.tick();
+    sched.run_until(sched.now() + sim::microseconds(100));
+  }
+  EXPECT_EQ(agent.updates(), 0);
+  EXPECT_EQ(agent.reward_stats().count(), 0u);
+}
+
+TEST_F(MultiQueueFixture, ControllerDrivesAllSwitches) {
+  build();
+  net::SwitchConfig cfg2;
+  cfg2.num_data_queues = 2;
+  auto& sw2 = net.add_switch(cfg2);
+  net::PortConfig nic;
+  auto& h = net.add_host(nic);
+  net.connect(h.id(), sw2.id(), sim::gbps(10), sim::nanoseconds(100));
+  net.recompute_routes();
+
+  std::vector<net::SwitchDevice*> switches{sw, &sw2};
+  MultiQueuePetController ctl(sched, switches, agent_config(), 5);
+  ctl.start();
+  sched.run_until(sim::milliseconds(1));
+  EXPECT_EQ(ctl.num_agents(), 2u);
+  EXPECT_EQ(ctl.agent(0).steps(), 10);
+  EXPECT_EQ(ctl.agent(1).steps(), 10);
+  ctl.stop();
+  sched.run_until(sim::milliseconds(2));
+  EXPECT_EQ(ctl.agent(0).steps(), 10);
+}
+
+TEST_F(MultiQueueFixture, SingleQueueDegenerateWorks) {
+  build(/*queues=*/1);
+  MultiQueuePetAgent agent(sched, *sw, agent_config(/*queues=*/1), 6);
+  agent.tick();
+  EXPECT_EQ(agent.num_queues(), 1);
+  EXPECT_TRUE(agent.queue_config(0).valid());
+}
+
+}  // namespace
+}  // namespace pet::core

@@ -1,0 +1,124 @@
+// Property sweeps over leaf-spine shapes: routing completeness, ECMP
+// fan-out, port counts and failure resilience must hold for every
+// reasonable fabric dimension.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "net/topology.hpp"
+
+namespace pet::net {
+namespace {
+
+class TopologySweepTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(TopologySweepTest, RoutingCompleteAndEcmpWide) {
+  const auto [spines, leaves, hosts_per_leaf] = GetParam();
+  sim::Scheduler sched;
+  Network net(sched, 23);
+  LeafSpineConfig cfg;
+  cfg.num_spines = spines;
+  cfg.num_leaves = leaves;
+  cfg.hosts_per_leaf = hosts_per_leaf;
+  const LeafSpine topo = build_leaf_spine(net, cfg);
+
+  EXPECT_EQ(net.num_hosts(), leaves * hosts_per_leaf);
+
+  for (const DeviceId leaf_id : topo.leaf_devices) {
+    auto* leaf = dynamic_cast<SwitchDevice*>(&net.device(leaf_id));
+    ASSERT_NE(leaf, nullptr);
+    EXPECT_EQ(leaf->num_ports(), hosts_per_leaf + spines);
+    for (HostId h = 0; h < net.num_hosts(); ++h) {
+      const auto& routes = leaf->routes(h);
+      ASSERT_FALSE(routes.empty()) << "leaf must reach every host";
+      if (topo.leaf_of(h) == leaf_id) {
+        EXPECT_EQ(routes.size(), 1u) << "direct host port";
+      } else {
+        EXPECT_EQ(routes.size(), static_cast<std::size_t>(spines))
+            << "all spines usable for inter-leaf traffic";
+      }
+    }
+  }
+  for (const DeviceId spine_id : topo.spine_devices) {
+    auto* spine = dynamic_cast<SwitchDevice*>(&net.device(spine_id));
+    ASSERT_NE(spine, nullptr);
+    EXPECT_EQ(spine->num_ports(), leaves);
+    for (HostId h = 0; h < net.num_hosts(); ++h) {
+      EXPECT_EQ(spine->routes(h).size(), 1u) << "one downlink per host";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, TopologySweepTest,
+                         ::testing::Combine(::testing::Values(1, 2, 4),
+                                            ::testing::Values(2, 4),
+                                            ::testing::Values(2, 8)),
+                         [](const auto& param_info) {
+                           return "s" + std::to_string(std::get<0>(param_info.param)) +
+                                  "l" + std::to_string(std::get<1>(param_info.param)) +
+                                  "h" + std::to_string(std::get<2>(param_info.param));
+                         });
+
+TEST(TopologyFailureProperty, ConnectivitySurvivesAllSingleLinkFailures) {
+  // With >=2 spines, any single fabric link failure must leave every
+  // leaf-to-host route intact (possibly with fewer ECMP choices).
+  sim::Scheduler sched;
+  Network net(sched, 29);
+  LeafSpineConfig cfg;
+  cfg.num_spines = 2;
+  cfg.num_leaves = 3;
+  cfg.hosts_per_leaf = 2;
+  const LeafSpine topo = build_leaf_spine(net, cfg);
+
+  for (const DeviceId leaf : topo.leaf_devices) {
+    for (const DeviceId spine : topo.spine_devices) {
+      ASSERT_TRUE(net.set_link_state(leaf, spine, false));
+      for (const DeviceId lid : topo.leaf_devices) {
+        auto* sw = dynamic_cast<SwitchDevice*>(&net.device(lid));
+        for (HostId h = 0; h < net.num_hosts(); ++h) {
+          EXPECT_FALSE(sw->routes(h).empty())
+              << "leaf " << lid << " lost host " << h << " after failing "
+              << leaf << "-" << spine;
+        }
+      }
+      ASSERT_TRUE(net.set_link_state(leaf, spine, true));
+    }
+  }
+}
+
+TEST(TopologyFailureProperty, IsolatedLeafLosesOnlyItsHosts) {
+  sim::Scheduler sched;
+  Network net(sched, 31);
+  LeafSpineConfig cfg;
+  cfg.num_spines = 2;
+  cfg.num_leaves = 2;
+  cfg.hosts_per_leaf = 2;
+  const LeafSpine topo = build_leaf_spine(net, cfg);
+  // Cut both uplinks of leaf 0.
+  for (const DeviceId spine : topo.spine_devices) {
+    ASSERT_TRUE(net.set_link_state(topo.leaf_devices[0], spine, false));
+  }
+  auto* leaf1 = dynamic_cast<SwitchDevice*>(&net.device(topo.leaf_devices[1]));
+  // Leaf 1 can still reach its own hosts (2, 3) but not leaf 0's (0, 1).
+  EXPECT_TRUE(leaf1->routes(0).empty());
+  EXPECT_TRUE(leaf1->routes(1).empty());
+  EXPECT_FALSE(leaf1->routes(2).empty());
+  EXPECT_FALSE(leaf1->routes(3).empty());
+  // Leaf 0 still switches locally between its own hosts.
+  auto* leaf0 = dynamic_cast<SwitchDevice*>(&net.device(topo.leaf_devices[0]));
+  EXPECT_FALSE(leaf0->routes(0).empty());
+  EXPECT_FALSE(leaf0->routes(1).empty());
+}
+
+TEST(TopologyProperty, BaseRttGrowsWithMtu) {
+  sim::Scheduler sched;
+  Network net(sched, 37);
+  const LeafSpine topo = build_leaf_spine(net, LeafSpineConfig{});
+  EXPECT_LT(topo.base_rtt(64), topo.base_rtt(1500));
+  EXPECT_GT(topo.base_rtt(64), sim::Time::zero());
+}
+
+}  // namespace
+}  // namespace pet::net

@@ -1,0 +1,173 @@
+#include "rl/ppo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace pet::rl {
+namespace {
+
+PpoConfig small_config() {
+  PpoConfig cfg;
+  cfg.input_size = 3;
+  cfg.head_sizes = {4, 2};
+  cfg.hidden = {16, 16};
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(PpoAgent, ActShapesAndLogProb) {
+  PpoAgent agent(small_config());
+  sim::Rng rng(1);
+  const std::vector<double> state{0.1, 0.2, 0.3};
+  const auto res = agent.act(state, rng);
+  ASSERT_EQ(res.actions.size(), 2u);
+  EXPECT_GE(res.actions[0], 0);
+  EXPECT_LT(res.actions[0], 4);
+  EXPECT_GE(res.actions[1], 0);
+  EXPECT_LT(res.actions[1], 2);
+  EXPECT_LE(res.log_prob, 0.0);  // log of a probability
+  EXPECT_TRUE(std::isfinite(res.value));
+}
+
+TEST(PpoAgent, GreedyIsDeterministic) {
+  PpoAgent agent(small_config());
+  const std::vector<double> state{0.5, -0.5, 0.0};
+  EXPECT_EQ(agent.act_greedy(state), agent.act_greedy(state));
+}
+
+TEST(PpoAgent, WeightsRoundTrip) {
+  PpoAgent a(small_config());
+  PpoConfig cfg2 = small_config();
+  cfg2.seed = 99;
+  PpoAgent b(cfg2);
+  const std::vector<double> state{0.3, 0.1, -0.2};
+  EXPECT_NE(a.value(state), b.value(state));
+  b.set_weights(a.weights());
+  EXPECT_EQ(a.value(state), b.value(state));
+  EXPECT_EQ(a.act_greedy(state), b.act_greedy(state));
+}
+
+TEST(PpoAgent, ExplorationRateForcesUniformActions) {
+  PpoAgent agent(small_config());
+  agent.set_exploration_rate(1.0);
+  sim::Rng rng(3);
+  std::vector<int> counts(4, 0);
+  const std::vector<double> state{0.0, 0.0, 0.0};
+  for (int i = 0; i < 8000; ++i) ++counts[agent.act(state, rng).actions[0]];
+  for (const int c : counts) {
+    EXPECT_NEAR(c / 8000.0, 0.25, 0.03);
+  }
+}
+
+TEST(PpoAgent, UpdateOnEmptyBufferIsNoop) {
+  PpoAgent agent(small_config());
+  RolloutBuffer buf;
+  const auto stats = agent.update(buf, 0.0);
+  EXPECT_EQ(stats.minibatches, 0);
+}
+
+/// Contextual bandit: state component 0 encodes which head-0 action pays.
+/// PPO must discover the mapping.
+TEST(PpoAgent, LearnsContextualBandit) {
+  PpoConfig cfg;
+  cfg.input_size = 2;
+  cfg.head_sizes = {2};
+  cfg.hidden = {16};
+  cfg.seed = 5;
+  cfg.actor_lr = 5e-3;
+  cfg.critic_lr = 5e-3;
+  cfg.gamma = 0.0;  // pure bandit
+  cfg.gae_lambda = 0.0;
+  cfg.update_epochs = 4;
+  cfg.minibatch_size = 32;
+  PpoAgent agent(cfg);
+  sim::Rng rng(13);
+
+  for (int round = 0; round < 60; ++round) {
+    RolloutBuffer buf;
+    for (int i = 0; i < 64; ++i) {
+      const double ctx = rng.bernoulli(0.5) ? 1.0 : 0.0;
+      const std::vector<double> state{ctx, 1.0 - ctx};
+      auto res = agent.act(state, rng);
+      const double reward =
+          (res.actions[0] == static_cast<std::int32_t>(ctx)) ? 1.0 : 0.0;
+      buf.push(Transition{.state = state,
+                          .actions = res.actions,
+                          .log_prob = res.log_prob,
+                          .value = res.value,
+                          .reward = reward});
+    }
+    agent.update(buf, 0.0);
+  }
+
+  // Greedy policy should now match context on both contexts.
+  EXPECT_EQ(agent.act_greedy(std::vector<double>{1.0, 0.0})[0], 1);
+  EXPECT_EQ(agent.act_greedy(std::vector<double>{0.0, 1.0})[0], 0);
+}
+
+TEST(PpoAgent, ValueConvergesToExpectedReward) {
+  PpoConfig cfg;
+  cfg.input_size = 1;
+  cfg.head_sizes = {2};
+  cfg.hidden = {8};
+  cfg.seed = 21;
+  cfg.critic_lr = 1e-2;
+  cfg.gamma = 0.0;
+  cfg.gae_lambda = 0.0;
+  PpoAgent agent(cfg);
+  sim::Rng rng(2);
+  const std::vector<double> state{0.5};
+
+  for (int round = 0; round < 50; ++round) {
+    RolloutBuffer buf;
+    for (int i = 0; i < 32; ++i) {
+      auto res = agent.act(state, rng);
+      buf.push(Transition{.state = state,
+                          .actions = res.actions,
+                          .log_prob = res.log_prob,
+                          .value = res.value,
+                          .reward = 0.7});
+    }
+    agent.update(buf, 0.0);
+  }
+  EXPECT_NEAR(agent.value(state), 0.7, 0.1);
+}
+
+TEST(PpoAgent, UpdateStatsPopulated) {
+  PpoAgent agent(small_config());
+  sim::Rng rng(4);
+  RolloutBuffer buf;
+  const std::vector<double> state{0.1, 0.1, 0.1};
+  for (int i = 0; i < 16; ++i) {
+    auto res = agent.act(state, rng);
+    buf.push(Transition{.state = state,
+                        .actions = res.actions,
+                        .log_prob = res.log_prob,
+                        .value = res.value,
+                        .reward = rng.uniform()});
+  }
+  const auto stats = agent.update(buf, 0.0);
+  EXPECT_GT(stats.minibatches, 0);
+  EXPECT_GT(stats.entropy, 0.0);
+  EXPECT_TRUE(std::isfinite(stats.policy_loss));
+  EXPECT_TRUE(std::isfinite(stats.value_loss));
+}
+
+TEST(PpoAgent, ClipEpsSetterWorks) {
+  PpoAgent agent(small_config());
+  agent.set_clip_eps(0.05);
+  EXPECT_EQ(agent.clip_eps(), 0.05);
+}
+
+TEST(PpoAgent, NumParamsMatchesArchitecture) {
+  PpoAgent agent(small_config());
+  // Two actor heads: 3->16->16->{4,2}; critic 3->16->16->1.
+  const std::size_t trunk = 3 * 16 + 16 + 16 * 16 + 16;
+  const std::size_t expected =
+      (trunk + 16 * 4 + 4) + (trunk + 16 * 2 + 2) + (trunk + 16 * 1 + 1);
+  EXPECT_EQ(agent.num_params(), expected);
+}
+
+}  // namespace
+}  // namespace pet::rl

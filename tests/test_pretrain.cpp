@@ -1,0 +1,141 @@
+#include "exp/pretrain.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <unistd.h>
+
+namespace pet::exp {
+namespace {
+
+ScenarioConfig tiny_base(Scheme scheme) {
+  ScenarioConfig cfg;
+  cfg.scheme = scheme;
+  cfg.topo.num_spines = 1;
+  cfg.topo.num_leaves = 2;
+  cfg.topo.hosts_per_leaf = 4;
+  cfg.load = 0.5;
+  cfg.flow_size_cap_bytes = 2e6;
+  cfg.tune_dcqcn_for_rate();
+  cfg.seed = 9;
+  return cfg;
+}
+
+PretrainOptions tiny_options() {
+  PretrainOptions opt;
+  opt.duration = sim::milliseconds(6);
+  opt.cycle = sim::milliseconds(2);
+  opt.loads = {0.3, 0.6};
+  return opt;
+}
+
+TEST(OfflinePretrain, StaticSchemesYieldNoWeights) {
+  EXPECT_TRUE(offline_pretrain(tiny_base(Scheme::kSecn1), tiny_options()).empty());
+  EXPECT_TRUE(offline_pretrain(tiny_base(Scheme::kQaecn), tiny_options()).empty());
+}
+
+TEST(OfflinePretrain, PetProducesInstallableWeights) {
+  const auto weights = offline_pretrain(tiny_base(Scheme::kPet), tiny_options());
+  ASSERT_FALSE(weights.empty());
+  // Installable into a fresh experiment of the same shape.
+  ScenarioConfig cfg = tiny_base(Scheme::kPet);
+  cfg.pretrain = sim::milliseconds(1);
+  cfg.measure = sim::milliseconds(2);
+  Experiment experiment(cfg);
+  experiment.install_learned_weights(weights);
+  EXPECT_EQ(experiment.learned_weights(), weights);
+  (void)experiment.run();
+}
+
+TEST(OfflinePretrain, AccProducesWeightsOfDdqnShape) {
+  const auto weights = offline_pretrain(tiny_base(Scheme::kAcc), tiny_options());
+  EXPECT_FALSE(weights.empty());
+  ScenarioConfig cfg = tiny_base(Scheme::kAcc);
+  cfg.pretrain = sim::milliseconds(1);
+  cfg.measure = sim::milliseconds(1);
+  Experiment experiment(cfg);
+  experiment.install_learned_weights(weights);
+  EXPECT_EQ(experiment.learned_weights(), weights);
+}
+
+TEST(OfflinePretrain, DeterministicForSameInputs) {
+  const auto a = offline_pretrain(tiny_base(Scheme::kPet), tiny_options());
+  const auto b = offline_pretrain(tiny_base(Scheme::kPet), tiny_options());
+  EXPECT_EQ(a, b);
+}
+
+TEST(PretrainCacheKey, DistinguishesSchemesWorkloadsAndRewards) {
+  const ScenarioConfig pet = tiny_base(Scheme::kPet);
+  ScenarioConfig acc = tiny_base(Scheme::kAcc);
+  ScenarioConfig dm = tiny_base(Scheme::kPet);
+  dm.workload = workload::WorkloadKind::kDataMining;
+  const PretrainOptions opt = tiny_options();
+  EXPECT_NE(pretrain_cache_key(pet, opt), pretrain_cache_key(acc, opt));
+  EXPECT_NE(pretrain_cache_key(pet, opt), pretrain_cache_key(dm, opt));
+  PretrainOptions longer = opt;
+  longer.duration = sim::milliseconds(99);
+  EXPECT_NE(pretrain_cache_key(pet, opt), pretrain_cache_key(pet, longer));
+  EXPECT_EQ(pretrain_cache_key(pet, opt), pretrain_cache_key(pet, opt));
+}
+
+struct TempDir {
+  TempDir() {
+    path = std::filesystem::temp_directory_path() /
+           ("pet-cache-test-" + std::to_string(::getpid()));
+    std::filesystem::remove_all(path);
+  }
+  ~TempDir() { std::filesystem::remove_all(path); }
+  std::filesystem::path path;
+};
+
+TEST(WeightCache, RoundTrip) {
+  TempDir dir;
+  WeightCache cache(dir.path.string());
+  const std::vector<double> weights{1.0, -2.5, 3.25, 1e-9};
+  EXPECT_FALSE(cache.load("k").has_value());
+  cache.store("k", weights);
+  const auto loaded = cache.load("k");
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, weights);
+}
+
+TEST(WeightCache, RejectsCorruptFiles) {
+  TempDir dir;
+  WeightCache cache(dir.path.string());
+  std::filesystem::create_directories(dir.path);
+  {
+    std::FILE* f =
+        std::fopen((dir.path / "bad.weights").string().c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("not a weight file", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(cache.load("bad").has_value());
+}
+
+TEST(WeightCache, TruncatedPayloadRejected) {
+  TempDir dir;
+  WeightCache cache(dir.path.string());
+  cache.store("t", std::vector<double>{1, 2, 3, 4});
+  // Truncate the stored file mid-payload.
+  const auto file = dir.path / "t.weights";
+  std::filesystem::resize_file(file, 20);
+  EXPECT_FALSE(cache.load("t").has_value());
+}
+
+TEST(PretrainedWeightsCached, CachesAcrossCalls) {
+  TempDir dir;
+  const ScenarioConfig base = tiny_base(Scheme::kPet);
+  const PretrainOptions opt = tiny_options();
+  const auto first = pretrained_weights_cached(base, opt, dir.path.string());
+  ASSERT_FALSE(first.empty());
+  const auto second = pretrained_weights_cached(base, opt, dir.path.string());
+  EXPECT_EQ(first, second);
+  // The cache file exists on disk.
+  EXPECT_TRUE(std::filesystem::exists(
+      dir.path / (pretrain_cache_key(base, opt) + ".weights")));
+}
+
+}  // namespace
+}  // namespace pet::exp

@@ -1,0 +1,78 @@
+#include "net/queue.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pet::net {
+namespace {
+
+QueueEntry make_entry(std::int32_t bytes, std::int32_t ingress = -1) {
+  Packet pkt;
+  pkt.size_bytes = bytes;
+  return QueueEntry{pkt, ingress};
+}
+
+TEST(FifoQueue, StartsEmpty) {
+  FifoQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.bytes(), 0);
+  EXPECT_EQ(q.packets(), 0);
+  EXPECT_FALSE(q.pop(sim::Time::zero()).has_value());
+}
+
+TEST(FifoQueue, ByteAndPacketAccounting) {
+  FifoQueue q;
+  q.push(make_entry(100), sim::Time::zero());
+  q.push(make_entry(250), sim::Time::zero());
+  EXPECT_EQ(q.bytes(), 350);
+  EXPECT_EQ(q.packets(), 2);
+  const auto e = q.pop(sim::Time::zero());
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->pkt.size_bytes, 100);  // FIFO order
+  EXPECT_EQ(q.bytes(), 250);
+  EXPECT_EQ(q.packets(), 1);
+}
+
+TEST(FifoQueue, FifoOrderPreserved) {
+  FifoQueue q;
+  for (int i = 1; i <= 5; ++i) q.push(make_entry(i), sim::Time::zero());
+  for (int i = 1; i <= 5; ++i) {
+    const auto e = q.pop(sim::Time::zero());
+    ASSERT_TRUE(e.has_value());
+    EXPECT_EQ(e->pkt.size_bytes, i);
+  }
+}
+
+TEST(FifoQueue, IngressPortCarried) {
+  FifoQueue q;
+  q.push(make_entry(10, 3), sim::Time::zero());
+  EXPECT_EQ(q.pop(sim::Time::zero())->ingress_port, 3);
+}
+
+TEST(FifoQueue, OccupancyTimeWeighted) {
+  FifoQueue q;
+  q.track_occupancy(true, sim::Time::zero());
+  q.push(make_entry(1000), sim::microseconds(0));   // 0 bytes held for 0
+  q.push(make_entry(1000), sim::microseconds(10));  // 1000 bytes for 10us
+  (void)q.pop(sim::microseconds(30));               // 2000 bytes for 20us
+  const auto& occ = q.occupancy(sim::microseconds(30));
+  // Mean = (1000*10 + 2000*20) / 30 = 50000/30.
+  EXPECT_NEAR(occ.mean(), 50'000.0 / 30.0, 1e-9);
+}
+
+TEST(FifoQueue, OccupancyResetStartsFresh) {
+  FifoQueue q;
+  q.track_occupancy(true, sim::Time::zero());
+  q.push(make_entry(500), sim::microseconds(5));
+  q.reset_occupancy(sim::microseconds(5));
+  q.push(make_entry(500), sim::microseconds(15));  // 500 bytes for 10us
+  EXPECT_NEAR(q.occupancy(sim::microseconds(15)).mean(), 500.0, 1e-9);
+}
+
+TEST(FifoQueue, UntrackedOccupancyIsZero) {
+  FifoQueue q;
+  q.push(make_entry(100), sim::microseconds(1));
+  EXPECT_EQ(q.occupancy(sim::microseconds(10)).total_time(), 0.0);
+}
+
+}  // namespace
+}  // namespace pet::net

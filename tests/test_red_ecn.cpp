@@ -1,0 +1,105 @@
+#include "net/red_ecn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace pet::net {
+namespace {
+
+TEST(RedEcnConfig, Validity) {
+  EXPECT_TRUE((RedEcnConfig{.kmin_bytes = 0, .kmax_bytes = 0, .pmax = 0.0}.valid()));
+  EXPECT_TRUE((RedEcnConfig{.kmin_bytes = 5, .kmax_bytes = 10, .pmax = 1.0}.valid()));
+  EXPECT_FALSE((RedEcnConfig{.kmin_bytes = 10, .kmax_bytes = 5, .pmax = 0.5}.valid()));
+  EXPECT_FALSE((RedEcnConfig{.kmin_bytes = -1, .kmax_bytes = 5, .pmax = 0.5}.valid()));
+  EXPECT_FALSE((RedEcnConfig{.kmin_bytes = 1, .kmax_bytes = 5, .pmax = 1.5}.valid()));
+}
+
+TEST(RedMarkProbability, ZeroBelowKmin) {
+  const RedEcnConfig cfg{.kmin_bytes = 1000, .kmax_bytes = 2000, .pmax = 0.5};
+  EXPECT_EQ(red_mark_probability(cfg, 0), 0.0);
+  EXPECT_EQ(red_mark_probability(cfg, 999), 0.0);
+  EXPECT_EQ(red_mark_probability(cfg, 1000), 0.0);
+}
+
+TEST(RedMarkProbability, OneAboveKmax) {
+  const RedEcnConfig cfg{.kmin_bytes = 1000, .kmax_bytes = 2000, .pmax = 0.5};
+  EXPECT_EQ(red_mark_probability(cfg, 2000), 1.0);
+  EXPECT_EQ(red_mark_probability(cfg, 1 << 20), 1.0);
+}
+
+TEST(RedMarkProbability, LinearRampBetween) {
+  const RedEcnConfig cfg{.kmin_bytes = 1000, .kmax_bytes = 2000, .pmax = 0.5};
+  EXPECT_DOUBLE_EQ(red_mark_probability(cfg, 1500), 0.25);
+  EXPECT_DOUBLE_EQ(red_mark_probability(cfg, 1250), 0.125);
+}
+
+TEST(RedMarkProbability, DegenerateEqualThresholds) {
+  const RedEcnConfig cfg{.kmin_bytes = 1000, .kmax_bytes = 1000, .pmax = 0.5};
+  EXPECT_EQ(red_mark_probability(cfg, 999), 0.0);
+  EXPECT_EQ(red_mark_probability(cfg, 1000), 0.0);  // <= kmin wins
+  EXPECT_EQ(red_mark_probability(cfg, 1001), 1.0);
+}
+
+/// Property sweep: probability is monotone in queue length and within
+/// [0, 1] for a grid of configurations.
+class RedMonotoneTest
+    : public ::testing::TestWithParam<std::tuple<std::int64_t, std::int64_t, double>> {};
+
+TEST_P(RedMonotoneTest, MonotoneAndBounded) {
+  const auto [kmin, kmax, pmax] = GetParam();
+  const RedEcnConfig cfg{.kmin_bytes = kmin, .kmax_bytes = kmax, .pmax = pmax};
+  ASSERT_TRUE(cfg.valid());
+  double prev = -1.0;
+  for (std::int64_t q = 0; q <= kmax + 10'000; q += 997) {
+    const double p = red_mark_probability(cfg, q);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    EXPECT_GE(p, prev) << "non-monotone at q=" << q;
+    prev = p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RedMonotoneTest,
+    ::testing::Combine(::testing::Values<std::int64_t>(0, 5 * 1024, 100 * 1024),
+                       ::testing::Values<std::int64_t>(200 * 1024, 400 * 1024),
+                       ::testing::Values(0.01, 0.2, 1.0)));
+
+TEST(RedEcnMarker, NeverMarksBelowKmin) {
+  RedEcnMarker marker(1);
+  marker.set_config({.kmin_bytes = 1000, .kmax_bytes = 2000, .pmax = 1.0});
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(marker.should_mark(500));
+}
+
+TEST(RedEcnMarker, AlwaysMarksAboveKmax) {
+  RedEcnMarker marker(2);
+  marker.set_config({.kmin_bytes = 1000, .kmax_bytes = 2000, .pmax = 0.3});
+  for (int i = 0; i < 1000; ++i) EXPECT_TRUE(marker.should_mark(3000));
+}
+
+TEST(RedEcnMarker, EmpiricalRateMatchesRamp) {
+  RedEcnMarker marker(3);
+  marker.set_config({.kmin_bytes = 0, .kmax_bytes = 10'000, .pmax = 0.4});
+  int marks = 0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) marks += marker.should_mark(5'000);
+  // Expected probability: 0.4 * 0.5 = 0.2.
+  EXPECT_NEAR(static_cast<double>(marks) / n, 0.2, 0.01);
+}
+
+TEST(RedEcnMarker, ZeroPmaxNeverMarksInRamp) {
+  RedEcnMarker marker(4);
+  marker.set_config({.kmin_bytes = 0, .kmax_bytes = 1 << 30, .pmax = 0.0});
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(marker.should_mark(1 << 20));
+}
+
+TEST(RedEcnMarker, ConfigRoundTrip) {
+  RedEcnMarker marker(5);
+  const RedEcnConfig cfg{.kmin_bytes = 7, .kmax_bytes = 11, .pmax = 0.25};
+  marker.set_config(cfg);
+  EXPECT_EQ(marker.config(), cfg);
+}
+
+}  // namespace
+}  // namespace pet::net

@@ -1,0 +1,81 @@
+#include "rl/replay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace pet::rl {
+namespace {
+
+DqnTransition make_transition(double reward, std::size_t state_dim = 4) {
+  DqnTransition t;
+  t.state.assign(state_dim, reward);
+  t.next_state.assign(state_dim, reward + 1);
+  t.actions = {0, 1};
+  t.reward = reward;
+  return t;
+}
+
+TEST(ReplayBuffer, FillsToCapacityThenWraps) {
+  ReplayBuffer buf(3);
+  for (int i = 0; i < 5; ++i) buf.push(make_transition(i));
+  EXPECT_EQ(buf.size(), 3u);
+  // Ring after 5 pushes into capacity 3: slots hold rewards {3, 4, 2}.
+  std::vector<double> rewards;
+  for (std::size_t i = 0; i < buf.size(); ++i) rewards.push_back(buf.at(i).reward);
+  std::sort(rewards.begin(), rewards.end());
+  EXPECT_EQ(rewards, (std::vector<double>{2.0, 3.0, 4.0}));
+}
+
+TEST(ReplayBuffer, SampleIndicesInRange) {
+  ReplayBuffer buf(10);
+  for (int i = 0; i < 6; ++i) buf.push(make_transition(i));
+  sim::Rng rng(1);
+  const auto idx = buf.sample_indices(100, rng);
+  EXPECT_EQ(idx.size(), 100u);
+  for (const auto i : idx) EXPECT_LT(i, 6u);
+}
+
+TEST(ReplayBuffer, WireBytesFormula) {
+  const DqnTransition t = make_transition(0.0, 6);
+  // 6 + 6 state doubles + 1 reward double + 2 int32 actions.
+  EXPECT_EQ(t.wire_bytes(), sizeof(double) * 13 + sizeof(std::int32_t) * 2);
+}
+
+TEST(ReplayBuffer, BytesPushedAccumulates) {
+  ReplayBuffer buf(2);
+  const auto per = make_transition(0.0).wire_bytes();
+  buf.push(make_transition(1));
+  buf.push(make_transition(2));
+  buf.push(make_transition(3));  // evicts, but bytes_pushed keeps counting
+  EXPECT_EQ(buf.bytes_pushed(), 3 * per);
+}
+
+TEST(ReplayBuffer, PerWriterAccountingDrivesExchangeCost) {
+  ReplayBuffer buf(100);
+  const auto per = make_transition(0.0).wire_bytes();
+  buf.push(make_transition(1), /*writer=*/0);
+  buf.push(make_transition(2), /*writer=*/1);
+  buf.push(make_transition(3), /*writer=*/1);
+  buf.push(make_transition(4), /*writer=*/2);
+  // Agent 1 must fetch what writers 0 and 2 produced.
+  EXPECT_EQ(buf.bytes_from_others(1), 2 * per);
+  EXPECT_EQ(buf.bytes_from_others(0), 3 * per);
+  // An agent with a private buffer fetches nothing.
+  ReplayBuffer solo(100);
+  solo.push(make_transition(1), 7);
+  EXPECT_EQ(solo.bytes_from_others(7), 0u);
+}
+
+TEST(ReplayBuffer, ResidentBytesTracksLiveContents) {
+  ReplayBuffer buf(2);
+  const auto per = make_transition(0.0).wire_bytes();
+  buf.push(make_transition(1));
+  EXPECT_EQ(buf.resident_bytes(), per);
+  buf.push(make_transition(2));
+  buf.push(make_transition(3));
+  EXPECT_EQ(buf.resident_bytes(), 2 * per);  // bounded by capacity
+}
+
+}  // namespace
+}  // namespace pet::rl

@@ -1,0 +1,79 @@
+#include "core/reward.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pet::core {
+namespace {
+
+NcmSnapshot snap(double util, double avg_qlen) {
+  NcmSnapshot s;
+  s.utilization = util;
+  s.avg_qlen_bytes = avg_qlen;
+  return s;
+}
+
+TEST(Reward, BoundedInUnitInterval) {
+  const RewardConfig cfg = RewardConfig::web_search();
+  for (double util : {0.0, 0.3, 1.0}) {
+    for (double q : {0.0, 1e3, 1e6, 1e9}) {
+      const double r = compute_reward(cfg, snap(util, q));
+      EXPECT_GE(r, 0.0);
+      EXPECT_LE(r, 1.0);
+    }
+  }
+}
+
+TEST(Reward, IncreasesWithUtilization) {
+  const RewardConfig cfg = RewardConfig::web_search();
+  EXPECT_LT(compute_reward(cfg, snap(0.2, 1000)),
+            compute_reward(cfg, snap(0.9, 1000)));
+}
+
+TEST(Reward, DecreasesWithQueueLength) {
+  const RewardConfig cfg = RewardConfig::web_search();
+  EXPECT_GT(compute_reward(cfg, snap(0.5, 0)),
+            compute_reward(cfg, snap(0.5, 100'000)));
+}
+
+TEST(Reward, EmptyQueueFullUtilizationIsMaximal) {
+  const RewardConfig cfg{0.3, 0.7, 20 * 1024.0};
+  EXPECT_DOUBLE_EQ(compute_reward(cfg, snap(1.0, 0.0)), 1.0);
+}
+
+TEST(Reward, LatencyTermHalvesAtQref) {
+  const RewardConfig cfg{0.5, 0.5, 10'000.0};
+  EXPECT_DOUBLE_EQ(latency_term(cfg, 10'000.0), 0.5);
+  EXPECT_DOUBLE_EQ(latency_term(cfg, 0.0), 1.0);
+}
+
+TEST(Reward, WorkloadPresetsMatchPaper) {
+  const RewardConfig ws = RewardConfig::web_search();
+  EXPECT_DOUBLE_EQ(ws.beta1, 0.3);
+  EXPECT_DOUBLE_EQ(ws.beta2, 0.7);
+  const RewardConfig dm = RewardConfig::data_mining();
+  EXPECT_DOUBLE_EQ(dm.beta1, 0.7);
+  EXPECT_DOUBLE_EQ(dm.beta2, 0.3);
+  // Weights sum to one in both presets (paper constraint).
+  EXPECT_DOUBLE_EQ(ws.beta1 + ws.beta2, 1.0);
+  EXPECT_DOUBLE_EQ(dm.beta1 + dm.beta2, 1.0);
+}
+
+TEST(Reward, ThroughputOrientedPresetPrefersUtilization) {
+  // Same state change, different presets: Data Mining (beta1=0.7) must gain
+  // more from a utilization increase than Web Search does.
+  const auto low = snap(0.2, 5000);
+  const auto high = snap(0.9, 5000);
+  const double ws_gain = compute_reward(RewardConfig::web_search(), high) -
+                         compute_reward(RewardConfig::web_search(), low);
+  const double dm_gain = compute_reward(RewardConfig::data_mining(), high) -
+                         compute_reward(RewardConfig::data_mining(), low);
+  EXPECT_GT(dm_gain, ws_gain);
+}
+
+TEST(Reward, UtilizationClamped) {
+  const RewardConfig cfg{1.0, 0.0, 1.0};
+  EXPECT_DOUBLE_EQ(compute_reward(cfg, snap(2.5, 0.0)), 1.0);
+}
+
+}  // namespace
+}  // namespace pet::core

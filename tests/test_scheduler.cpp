@@ -1,0 +1,140 @@
+#include "sim/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pet::sim {
+namespace {
+
+TEST(Scheduler, StartsAtZero) {
+  Scheduler sched;
+  EXPECT_EQ(sched.now(), Time::zero());
+  EXPECT_EQ(sched.pending(), 0u);
+}
+
+TEST(Scheduler, RunsEventsInTimeOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  sched.schedule_at(microseconds(30), [&] { order.push_back(3); });
+  sched.schedule_at(microseconds(10), [&] { order.push_back(1); });
+  sched.schedule_at(microseconds(20), [&] { order.push_back(2); });
+  sched.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Scheduler, TiesBreakByInsertionOrder) {
+  Scheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sched.schedule_at(microseconds(1), [&order, i] { order.push_back(i); });
+  }
+  sched.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Scheduler, NowAdvancesToEventTime) {
+  Scheduler sched;
+  Time seen;
+  sched.schedule_at(microseconds(42), [&] { seen = sched.now(); });
+  sched.run_all();
+  EXPECT_EQ(seen, microseconds(42));
+}
+
+TEST(Scheduler, ScheduleInIsRelative) {
+  Scheduler sched;
+  Time seen;
+  sched.schedule_at(microseconds(10), [&] {
+    sched.schedule_in(microseconds(5), [&] { seen = sched.now(); });
+  });
+  sched.run_all();
+  EXPECT_EQ(seen, microseconds(15));
+}
+
+TEST(Scheduler, RunUntilStopsAndAdvancesClock) {
+  Scheduler sched;
+  int ran = 0;
+  sched.schedule_at(microseconds(10), [&] { ++ran; });
+  sched.schedule_at(microseconds(20), [&] { ++ran; });
+  sched.schedule_at(microseconds(30), [&] { ++ran; });
+  EXPECT_EQ(sched.run_until(microseconds(20)), 2u);
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(sched.now(), microseconds(20));
+  EXPECT_EQ(sched.pending(), 1u);
+  sched.run_all();
+  EXPECT_EQ(ran, 3);
+}
+
+TEST(Scheduler, RunUntilWithNoEventsStillAdvances) {
+  Scheduler sched;
+  sched.run_until(milliseconds(5));
+  EXPECT_EQ(sched.now(), milliseconds(5));
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler sched;
+  int ran = 0;
+  const EventId id = sched.schedule_at(microseconds(5), [&] { ++ran; });
+  EXPECT_TRUE(sched.cancel(id));
+  sched.run_all();
+  EXPECT_EQ(ran, 0);
+}
+
+TEST(Scheduler, CancelTwiceIsNoop) {
+  Scheduler sched;
+  const EventId id = sched.schedule_at(microseconds(5), [] {});
+  EXPECT_TRUE(sched.cancel(id));
+  EXPECT_FALSE(sched.cancel(id));
+}
+
+TEST(Scheduler, CancelAfterRunIsNoop) {
+  Scheduler sched;
+  const EventId id = sched.schedule_at(microseconds(5), [] {});
+  sched.run_all();
+  EXPECT_FALSE(sched.cancel(id));
+}
+
+TEST(Scheduler, CancelDefaultIdIsNoop) {
+  Scheduler sched;
+  EXPECT_FALSE(sched.cancel(EventId{}));
+}
+
+TEST(Scheduler, EventsScheduledDuringRunExecute) {
+  Scheduler sched;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 10) sched.schedule_in(microseconds(1), recurse);
+  };
+  sched.schedule_at(microseconds(1), recurse);
+  sched.run_all();
+  EXPECT_EQ(depth, 10);
+}
+
+TEST(Scheduler, PendingCountTracksLiveEvents) {
+  Scheduler sched;
+  const EventId a = sched.schedule_at(microseconds(1), [] {});
+  sched.schedule_at(microseconds(2), [] {});
+  EXPECT_EQ(sched.pending(), 2u);
+  sched.cancel(a);
+  EXPECT_EQ(sched.pending(), 1u);
+  sched.run_all();
+  EXPECT_EQ(sched.pending(), 0u);
+}
+
+TEST(Scheduler, ExecutedCounter) {
+  Scheduler sched;
+  for (int i = 0; i < 7; ++i) sched.schedule_at(microseconds(i + 1), [] {});
+  sched.run_all();
+  EXPECT_EQ(sched.executed(), 7u);
+}
+
+TEST(Scheduler, RunUntilBoundaryInclusive) {
+  Scheduler sched;
+  int ran = 0;
+  sched.schedule_at(microseconds(10), [&] { ++ran; });
+  sched.run_until(microseconds(10));
+  EXPECT_EQ(ran, 1);
+}
+
+}  // namespace
+}  // namespace pet::sim

@@ -1,0 +1,103 @@
+#include "sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pet::sim {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MatchesDirectComputation) {
+  RunningStats s;
+  const std::vector<double> xs{1.0, 2.0, 4.0, 8.0, 16.0};
+  for (const double x : xs) s.add(x);
+  EXPECT_EQ(s.count(), xs.size());
+  EXPECT_DOUBLE_EQ(s.mean(), 6.2);
+  // Sample variance: sum((x-mean)^2)/(n-1) = 37.2
+  EXPECT_NEAR(s.variance(), 37.2, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 16.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, ResetClears) {
+  RunningStats s;
+  s.add(1.0);
+  s.add(2.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+}
+
+TEST(RunningStats, NumericallyStableForLargeOffsets) {
+  RunningStats s;
+  for (int i = 0; i < 1000; ++i) s.add(1e9 + (i % 2));
+  EXPECT_NEAR(s.mean(), 1e9 + 0.5, 1e-3);
+  EXPECT_NEAR(s.variance(), 0.25 * 1000.0 / 999.0, 1e-6);
+}
+
+TEST(TimeWeightedStats, ConstantSignal) {
+  TimeWeightedStats s;
+  s.add(5.0, 10.0);
+  s.add(5.0, 30.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.total_time(), 40.0);
+}
+
+TEST(TimeWeightedStats, WeightsByDuration) {
+  TimeWeightedStats s;
+  s.add(0.0, 3.0);
+  s.add(10.0, 1.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  // E[x^2] = 100/4 = 25; var = 25 - 6.25 = 18.75
+  EXPECT_DOUBLE_EQ(s.variance(), 18.75);
+}
+
+TEST(TimeWeightedStats, IgnoresZeroAndNegativeDurations) {
+  TimeWeightedStats s;
+  s.add(100.0, 0.0);
+  s.add(100.0, -1.0);
+  EXPECT_DOUBLE_EQ(s.total_time(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(Percentile, EmptyAndSingle) {
+  EXPECT_EQ(percentile({}, 50.0), 0.0);
+  EXPECT_EQ(percentile({7.0}, 99.0), 7.0);
+  EXPECT_EQ(percentile({7.0}, 0.0), 7.0);
+}
+
+TEST(Percentile, NearestRank) {
+  const std::vector<double> xs{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_EQ(percentile(xs, 50.0), 5.0);
+  EXPECT_EQ(percentile(xs, 99.0), 10.0);
+  EXPECT_EQ(percentile(xs, 10.0), 1.0);
+  EXPECT_EQ(percentile(xs, 100.0), 10.0);
+  EXPECT_EQ(percentile(xs, 0.0), 1.0);
+}
+
+TEST(Percentile, UnsortedInput) {
+  EXPECT_EQ(percentile({5.0, 1.0, 3.0}, 50.0), 3.0);
+}
+
+TEST(MeanOf, Basic) {
+  EXPECT_EQ(mean_of({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean_of({2.0, 4.0}), 3.0);
+}
+
+}  // namespace
+}  // namespace pet::sim

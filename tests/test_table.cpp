@@ -1,0 +1,78 @@
+#include "exp/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace pet::exp {
+namespace {
+
+std::string render(const Table& table) {
+  std::FILE* f = std::tmpfile();
+  EXPECT_NE(f, nullptr);
+  table.print(f);
+  std::fseek(f, 0, SEEK_SET);
+  std::string out;
+  char buf[256];
+  while (std::fgets(buf, sizeof buf, f) != nullptr) out += buf;
+  std::fclose(f);
+  return out;
+}
+
+std::vector<std::string> lines_of(const std::string& s) {
+  std::vector<std::string> lines;
+  std::stringstream ss(s);
+  std::string line;
+  while (std::getline(ss, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(Table, HeaderOnly) {
+  Table table({"a", "bb"});
+  const auto lines = lines_of(render(table));
+  ASSERT_EQ(lines.size(), 4u);  // sep, header, sep, closing sep
+  EXPECT_EQ(lines[0], "+---+----+");
+  EXPECT_EQ(lines[1], "| a | bb |");
+  EXPECT_EQ(lines[3], lines[0]);
+}
+
+TEST(Table, ColumnsWidenToContent) {
+  Table table({"x"});
+  table.add_row({"longer-cell"});
+  const auto lines = lines_of(render(table));
+  ASSERT_EQ(lines.size(), 5u);  // sep, header, sep, row, sep
+  EXPECT_EQ(lines[1], "| x           |");
+  EXPECT_EQ(lines[3], "| longer-cell |");
+}
+
+TEST(Table, AllLinesSameWidth) {
+  Table table({"scheme", "fct"});
+  table.add_row({"PET", "123.4"});
+  table.add_row({"SECN1", "99999.9"});
+  const auto lines = lines_of(render(table));
+  ASSERT_GE(lines.size(), 5u);
+  for (const auto& line : lines) {
+    EXPECT_EQ(line.size(), lines[0].size());
+  }
+}
+
+TEST(Table, ShortRowsPadded) {
+  Table table({"a", "b", "c"});
+  table.add_row({"only-one"});
+  const auto lines = lines_of(render(table));
+  // Renders without crashing and keeps three columns.
+  EXPECT_EQ(std::count(lines.back().begin(), lines.back().end(), '|'), 0);
+  EXPECT_EQ(std::count(lines[3].begin(), lines[3].end(), '|'), 4);
+}
+
+TEST(Fmt, FormatsLikePrintf) {
+  EXPECT_EQ(fmt("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(fmt("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(fmt("%+.1f%%", 12.34), "+12.3%");
+}
+
+}  // namespace
+}  // namespace pet::exp

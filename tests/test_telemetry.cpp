@@ -1,0 +1,127 @@
+#include "exp/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "exp/experiment.hpp"
+
+namespace pet::exp {
+namespace {
+
+ScenarioConfig tiny_scenario() {
+  ScenarioConfig cfg;
+  cfg.scheme = Scheme::kSecn1;
+  cfg.topo.num_spines = 1;
+  cfg.topo.num_leaves = 2;
+  cfg.topo.hosts_per_leaf = 4;
+  cfg.load = 0.5;
+  cfg.flow_size_cap_bytes = 2e6;
+  cfg.pretrain = sim::milliseconds(1);
+  cfg.measure = sim::milliseconds(4);
+  cfg.tune_dcqcn_for_rate();
+  return cfg;
+}
+
+TEST(Telemetry, SamplesEverySwitchEveryPeriod) {
+  Experiment experiment(tiny_scenario());
+  TelemetryRecorder telemetry(experiment.scheduler(),
+                              experiment.network().switches(),
+                              sim::microseconds(500));
+  telemetry.start();
+  experiment.run_until(sim::milliseconds(2));
+  telemetry.stop();
+  // 3 switches x 4 sampling points (0.5, 1.0, 1.5, 2.0 ms).
+  EXPECT_EQ(telemetry.samples().size(), 3u * 4u);
+}
+
+TEST(Telemetry, ThroughputReflectsTraffic) {
+  Experiment experiment(tiny_scenario());
+  TelemetryRecorder telemetry(experiment.scheduler(),
+                              experiment.network().switches(),
+                              sim::microseconds(500));
+  telemetry.start();
+  experiment.run_until(sim::milliseconds(4));
+  double max_mbps = 0.0;
+  for (const auto& s : telemetry.samples()) {
+    max_mbps = std::max(max_mbps, s.tx_mbps);
+    EXPECT_GE(s.tx_mbps, 0.0);
+    EXPECT_GE(s.marked_share, 0.0);
+    EXPECT_LE(s.marked_share, 1.0);
+  }
+  EXPECT_GT(max_mbps, 100.0) << "50% load must show real throughput";
+}
+
+TEST(Telemetry, CarriesEcnConfig) {
+  Experiment experiment(tiny_scenario());
+  TelemetryRecorder telemetry(experiment.scheduler(),
+                              experiment.network().switches());
+  telemetry.start();
+  experiment.run_until(sim::milliseconds(1));
+  ASSERT_FALSE(telemetry.samples().empty());
+  for (const auto& s : telemetry.samples()) {
+    EXPECT_EQ(s.kmin_bytes, secn1_config().kmin_bytes);
+    EXPECT_EQ(s.kmax_bytes, secn1_config().kmax_bytes);
+  }
+}
+
+TEST(Telemetry, CsvWellFormed) {
+  Experiment experiment(tiny_scenario());
+  TelemetryRecorder telemetry(experiment.scheduler(),
+                              experiment.network().switches(),
+                              sim::milliseconds(1));
+  telemetry.start();
+  experiment.run_until(sim::milliseconds(3));
+  const std::string csv = telemetry.to_csv();
+  std::stringstream ss(csv);
+  std::string header;
+  std::getline(ss, header);
+  EXPECT_EQ(header,
+            "t_ms,switch,max_queue_kb,total_queue_kb,tx_mbps,marked_share,"
+            "kmin_bytes,kmax_bytes,pmax,pfc_pauses");
+  std::size_t rows = 0;
+  std::string line;
+  while (std::getline(ss, line)) {
+    if (line.empty()) continue;
+    EXPECT_EQ(std::count(line.begin(), line.end(), ','), 9);
+    ++rows;
+  }
+  EXPECT_EQ(rows, telemetry.samples().size());
+}
+
+TEST(Telemetry, WriteCsvCreatesFile) {
+  Experiment experiment(tiny_scenario());
+  TelemetryRecorder telemetry(experiment.scheduler(),
+                              experiment.network().switches(),
+                              sim::milliseconds(1));
+  telemetry.start();
+  experiment.run_until(sim::milliseconds(2));
+  const auto path =
+      std::filesystem::temp_directory_path() / "pet-telemetry-test.csv";
+  ASSERT_TRUE(telemetry.write_csv(path.string()));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string header;
+  std::getline(in, header);
+  EXPECT_FALSE(header.empty());
+  std::filesystem::remove(path);
+}
+
+TEST(Telemetry, StopHaltsSampling) {
+  Experiment experiment(tiny_scenario());
+  TelemetryRecorder telemetry(experiment.scheduler(),
+                              experiment.network().switches(),
+                              sim::microseconds(200));
+  telemetry.start();
+  experiment.run_until(sim::milliseconds(1));
+  telemetry.stop();
+  const auto count = telemetry.samples().size();
+  experiment.run_until(sim::milliseconds(2));
+  EXPECT_EQ(telemetry.samples().size(), count);
+}
+
+}  // namespace
+}  // namespace pet::exp

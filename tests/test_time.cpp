@@ -1,0 +1,74 @@
+#include "sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pet::sim {
+namespace {
+
+TEST(Time, UnitConstructorsAgree) {
+  EXPECT_EQ(nanoseconds(1).ps(), 1'000);
+  EXPECT_EQ(microseconds(1).ps(), 1'000'000);
+  EXPECT_EQ(milliseconds(1).ps(), 1'000'000'000);
+  EXPECT_EQ(seconds(1.0).ps(), 1'000'000'000'000LL);
+  EXPECT_EQ(seconds(0.5).ps(), milliseconds(500).ps());
+}
+
+TEST(Time, ConversionRoundTrip) {
+  const Time t = microseconds(1234);
+  EXPECT_DOUBLE_EQ(t.us(), 1234.0);
+  EXPECT_DOUBLE_EQ(t.ns(), 1'234'000.0);
+  EXPECT_DOUBLE_EQ(t.ms(), 1.234);
+  EXPECT_DOUBLE_EQ(t.sec(), 1.234e-3);
+}
+
+TEST(Time, Arithmetic) {
+  const Time a = microseconds(10);
+  const Time b = microseconds(3);
+  EXPECT_EQ((a + b).us(), 13.0);
+  EXPECT_EQ((a - b).us(), 7.0);
+  EXPECT_EQ((a * 3).us(), 30.0);
+  EXPECT_EQ((3 * a).us(), 30.0);
+  EXPECT_EQ(a / b, 3);
+  Time c = a;
+  c += b;
+  EXPECT_EQ(c, microseconds(13));
+  c -= b;
+  EXPECT_EQ(c, a);
+}
+
+TEST(Time, Comparisons) {
+  EXPECT_LT(microseconds(1), microseconds(2));
+  EXPECT_LE(microseconds(2), microseconds(2));
+  EXPECT_GT(Time::max(), seconds(1e6));
+  EXPECT_EQ(Time::zero(), Time(0));
+}
+
+TEST(Time, ToStringPicksUnit) {
+  EXPECT_EQ(nanoseconds(500).to_string(), "500.000ns");
+  EXPECT_EQ(microseconds(42).to_string(), "42.000us");
+  EXPECT_EQ(milliseconds(7).to_string(), "7.000ms");
+  EXPECT_EQ(seconds(2.0).to_string(), "2.000000s");
+}
+
+TEST(Rate, SerializationTimeExact) {
+  // 1000 bytes at 10 Gbps = 800 ns.
+  EXPECT_EQ(gbps(10).serialization_time(1000), nanoseconds(800));
+  // 1 byte at 100 Gbps = 80 ps.
+  EXPECT_EQ(gbps(100).serialization_time(1), picoseconds(80));
+  // 1500 bytes at 25 Gbps = 480 ns.
+  EXPECT_EQ(gbps(25).serialization_time(1500), nanoseconds(480));
+}
+
+TEST(Rate, BytesInInvertsSerialization) {
+  const Rate r = gbps(40);
+  const Time t = r.serialization_time(123'456);
+  EXPECT_NEAR(static_cast<double>(r.bytes_in(t)), 123'456.0, 1.0);
+}
+
+TEST(Rate, Accessors) {
+  EXPECT_EQ(mbps(40).bps(), 40'000'000);
+  EXPECT_DOUBLE_EQ(gbps(25).gbps(), 25.0);
+}
+
+}  // namespace
+}  // namespace pet::sim
