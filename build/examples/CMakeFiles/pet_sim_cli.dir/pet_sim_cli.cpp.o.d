@@ -255,13 +255,13 @@ examples/CMakeFiles/pet_sim_cli.dir/pet_sim_cli.cpp.o: \
  /root/repo/src/rl/ddqn.hpp /root/repo/src/rl/adam.hpp \
  /root/repo/src/rl/mlp.hpp /root/repo/src/rl/replay.hpp \
  /root/repo/src/acc/dynamic_tuners.hpp /root/repo/src/core/controller.hpp \
- /root/repo/src/core/pet_agent.hpp /root/repo/src/rl/ppo.hpp \
- /root/repo/src/rl/rollout.hpp /root/repo/src/exp/metrics.hpp \
- /root/repo/src/transport/flow.hpp /root/repo/src/exp/queue_probe.hpp \
- /root/repo/src/exp/scheme.hpp /root/repo/src/net/topology.hpp \
- /root/repo/src/transport/dcqcn.hpp \
+ /root/repo/src/core/pet_agent.hpp /root/repo/src/core/guardrails.hpp \
+ /root/repo/src/rl/ppo.hpp /root/repo/src/rl/rollout.hpp \
+ /root/repo/src/exp/metrics.hpp /root/repo/src/transport/flow.hpp \
+ /root/repo/src/exp/queue_probe.hpp /root/repo/src/exp/scheme.hpp \
+ /root/repo/src/exp/telemetry.hpp /root/repo/src/net/fault_plan.hpp \
+ /root/repo/src/net/topology.hpp /root/repo/src/transport/dcqcn.hpp \
  /root/repo/src/transport/fct_recorder.hpp \
  /root/repo/src/workload/distributions.hpp \
  /root/repo/src/workload/cdf.hpp /root/repo/src/workload/traffic_gen.hpp \
- /root/repo/src/exp/pretrain.hpp /root/repo/src/exp/table.hpp \
- /root/repo/src/exp/telemetry.hpp
+ /root/repo/src/exp/pretrain.hpp /root/repo/src/exp/table.hpp

@@ -243,9 +243,10 @@ src/exp/CMakeFiles/pet_exp.dir/telemetry.cpp.o: \
  /root/repo/src/net/red_ecn.hpp /root/repo/src/sim/rng.hpp \
  /root/repo/src/sim/scheduler.hpp /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/unordered_set \
- /usr/include/c++/12/bits/unordered_set.h /usr/include/c++/12/fstream \
+ /usr/include/c++/12/bits/unordered_set.h /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h /usr/include/c++/12/fstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/codecvt.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
- /usr/include/c++/12/bits/fstream.tcc
+ /usr/include/c++/12/bits/fstream.tcc /root/repo/src/sim/log.hpp

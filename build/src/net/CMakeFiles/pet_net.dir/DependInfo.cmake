@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/net/classifier.cpp" "src/net/CMakeFiles/pet_net.dir/classifier.cpp.o" "gcc" "src/net/CMakeFiles/pet_net.dir/classifier.cpp.o.d"
+  "/root/repo/src/net/fault_plan.cpp" "src/net/CMakeFiles/pet_net.dir/fault_plan.cpp.o" "gcc" "src/net/CMakeFiles/pet_net.dir/fault_plan.cpp.o.d"
   "/root/repo/src/net/host.cpp" "src/net/CMakeFiles/pet_net.dir/host.cpp.o" "gcc" "src/net/CMakeFiles/pet_net.dir/host.cpp.o.d"
   "/root/repo/src/net/network.cpp" "src/net/CMakeFiles/pet_net.dir/network.cpp.o" "gcc" "src/net/CMakeFiles/pet_net.dir/network.cpp.o.d"
   "/root/repo/src/net/port.cpp" "src/net/CMakeFiles/pet_net.dir/port.cpp.o" "gcc" "src/net/CMakeFiles/pet_net.dir/port.cpp.o.d"

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/pet_net.dir/classifier.cpp.o"
   "CMakeFiles/pet_net.dir/classifier.cpp.o.d"
+  "CMakeFiles/pet_net.dir/fault_plan.cpp.o"
+  "CMakeFiles/pet_net.dir/fault_plan.cpp.o.d"
   "CMakeFiles/pet_net.dir/host.cpp.o"
   "CMakeFiles/pet_net.dir/host.cpp.o.d"
   "CMakeFiles/pet_net.dir/network.cpp.o"

@@ -243,4 +243,5 @@ src/net/CMakeFiles/pet_net.dir/port.cpp.o: /root/repo/src/net/port.cpp \
  /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /usr/include/c++/12/cassert \
- /usr/include/assert.h /root/repo/src/net/device.hpp
+ /usr/include/assert.h /root/repo/src/net/device.hpp \
+ /root/repo/src/sim/log.hpp

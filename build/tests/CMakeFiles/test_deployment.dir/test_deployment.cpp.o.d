@@ -320,17 +320,18 @@ tests/CMakeFiles/test_deployment.dir/test_deployment.cpp.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/sim/rng.hpp /root/repo/src/core/ncm.hpp \
+ /root/repo/src/sim/rng.hpp /root/repo/src/core/guardrails.hpp \
+ /root/repo/src/sim/time.hpp /root/repo/src/core/ncm.hpp \
  /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/net/switch.hpp \
  /root/repo/src/net/device.hpp /root/repo/src/net/port.hpp \
- /root/repo/src/net/packet.hpp /root/repo/src/sim/time.hpp \
- /root/repo/src/net/queue.hpp /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/sim/stats.hpp /root/repo/src/sim/scheduler.hpp \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/core/reward.hpp /root/repo/src/core/state.hpp \
- /root/repo/src/rl/ppo.hpp /root/repo/src/rl/adam.hpp \
- /root/repo/src/rl/mlp.hpp /usr/include/c++/12/span \
- /root/repo/src/rl/rollout.hpp /root/repo/src/net/network.hpp \
- /root/repo/src/net/host.hpp /root/repo/src/net/flow_source.hpp
+ /root/repo/src/net/packet.hpp /root/repo/src/net/queue.hpp \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/sim/stats.hpp \
+ /root/repo/src/sim/scheduler.hpp /usr/include/c++/12/queue \
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/core/reward.hpp \
+ /root/repo/src/core/state.hpp /root/repo/src/rl/ppo.hpp \
+ /root/repo/src/rl/adam.hpp /root/repo/src/rl/mlp.hpp \
+ /usr/include/c++/12/span /root/repo/src/rl/rollout.hpp \
+ /root/repo/src/net/network.hpp /root/repo/src/net/host.hpp \
+ /root/repo/src/net/flow_source.hpp

@@ -201,25 +201,25 @@ tests/CMakeFiles/test_multiqueue.dir/test_multiqueue.cpp.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/pet_agent.hpp \
- /root/repo/src/core/action.hpp /root/repo/src/net/red_ecn.hpp \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
- /usr/include/c++/12/bits/algorithmfwd.h \
- /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h \
- /usr/include/c++/12/bits/ranges_algo.h \
- /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/sim/rng.hpp /root/repo/src/core/ncm.hpp \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/unordered_set \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /root/repo/src/core/action.hpp /root/repo/src/net/red_ecn.hpp \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/sim/rng.hpp /root/repo/src/core/guardrails.hpp \
+ /root/repo/src/sim/time.hpp /usr/include/c++/12/limits \
+ /root/repo/src/core/ncm.hpp /usr/include/c++/12/unordered_set \
  /usr/include/c++/12/bits/unordered_set.h /root/repo/src/net/switch.hpp \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /root/repo/src/net/device.hpp /root/repo/src/net/port.hpp \
- /root/repo/src/net/packet.hpp /root/repo/src/sim/time.hpp \
- /usr/include/c++/12/limits /root/repo/src/net/queue.hpp \
+ /root/repo/src/net/packet.hpp /root/repo/src/net/queue.hpp \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /root/repo/src/sim/stats.hpp \
  /usr/include/c++/12/cmath /usr/include/math.h \

@@ -46,6 +46,12 @@ class PetController {
   [[nodiscard]] double mean_reward() const;
   [[nodiscard]] std::int64_t total_steps() const;
 
+  // --- fleet health ---------------------------------------------------------
+  /// Install one health listener on every agent (telemetry fan-in).
+  void set_health_listener(PetAgent::HealthListener listener);
+  [[nodiscard]] std::size_t num_in_state(AgentHealth state) const;
+  [[nodiscard]] std::int64_t total_rollbacks() const;
+
  private:
   void tick_all();
 

@@ -4,7 +4,18 @@
 #include <cassert>
 #include <cmath>
 
+#include "sim/log.hpp"
+
 namespace pet::core {
+
+namespace {
+bool all_finite(std::span<const double> values) {
+  for (const double v : values) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+}  // namespace
 
 PetAgentConfig PetAgentConfig::paper_defaults() {
   PetAgentConfig cfg;
@@ -42,6 +53,89 @@ PetAgent::PetAgent(sim::Scheduler& sched, net::SwitchDevice& sw,
   // The switch starts from whatever static config it carries; remember it
   // as "current" so the first state's ECN^(c) component is truthful.
   current_config_ = sw_.port(0).ecn_config(0);
+  // A rollback target must exist from the first tick; the initial weights
+  // are the first last-known-good snapshot.
+  if (cfg_.guardrails.enabled) last_good_ = policy_->weights();
+}
+
+void PetAgent::restore(std::span<const double> weights) {
+  policy_->set_weights(weights);
+  policy_->reset_optimizers();
+}
+
+void PetAgent::transition(AgentHealth to, std::string reason) {
+  if (to == health_) return;
+  PET_LOG_WARN(sched_, "%s agent: %s -> %s (%s)", sw_.name().c_str(),
+               health_name(health_), health_name(to), reason.c_str());
+  HealthTransition tr{sched_.now(), sw_.id(), health_, to, std::move(reason)};
+  health_ = to;
+  transitions_.push_back(tr);
+  if (health_listener_) health_listener_(transitions_.back());
+}
+
+void PetAgent::quarantine(const std::string& reason) {
+  transition(AgentHealth::kQuarantined, reason);
+  quarantine_remaining_ = std::max(1, cfg_.guardrails.quarantine_ticks);
+  probation_clean_ = 0;
+  // The experience gathered under the bad policy is poisoned; drop it.
+  rollout_.clear();
+  pending_.reset();
+  state_builder_.reset();
+  // Roll back to the last-known-good weights (with fresh optimizer moments
+  // — the old ones may carry the NaN that broke the policy).
+  if (!last_good_.empty()) {
+    restore(last_good_);
+    ++rollbacks_;
+  }
+  // The switch must keep forwarding sanely without its tuner: fall back to
+  // the static DCQCN-style thresholds until the agent is back in service.
+  current_config_ = cfg_.guardrails.fallback_ecn.clamped();
+  sw_.set_ecn_config_all_ports(current_config_);
+}
+
+void PetAgent::check_telemetry(const NcmSnapshot& snap) {
+  if (snap.packets_seen == 0) {
+    ++stale_slots_;
+    fresh_slots_ = 0;
+  } else {
+    ++fresh_slots_;
+    stale_slots_ = 0;
+  }
+  const auto& gr = cfg_.guardrails;
+  if (health_ == AgentHealth::kHealthy && gr.stale_telemetry_slots > 0 &&
+      stale_slots_ >= gr.stale_telemetry_slots) {
+    transition(AgentHealth::kDegraded, "stale telemetry");
+  } else if (health_ == AgentHealth::kDegraded &&
+             fresh_slots_ >= gr.degraded_recovery_slots) {
+    transition(AgentHealth::kHealthy, "telemetry recovered");
+  }
+}
+
+std::optional<std::string> PetAgent::update_fault(
+    const rl::PpoAgent::UpdateStats& stats) const {
+  const auto& gr = cfg_.guardrails;
+  if (!std::isfinite(stats.policy_loss) || !std::isfinite(stats.value_loss) ||
+      !std::isfinite(stats.entropy) || !std::isfinite(stats.approx_kl)) {
+    return "non-finite update stats";
+  }
+  if (std::abs(stats.policy_loss) > gr.max_abs_policy_loss) {
+    return "exploding policy loss";
+  }
+  if (stats.value_loss > gr.max_value_loss) return "exploding value loss";
+  if (updates_ > gr.entropy_grace_updates && stats.entropy < gr.min_entropy) {
+    return "entropy collapse";
+  }
+  return std::nullopt;
+}
+
+void PetAgent::maybe_checkpoint() {
+  const auto& gr = cfg_.guardrails;
+  if (gr.checkpoint_interval_updates <= 0) return;
+  if (updates_ % gr.checkpoint_interval_updates != 0) return;
+  std::vector<double> w = policy_->weights();
+  if (!all_finite(w)) return;  // never save a poisoned checkpoint
+  last_good_ = std::move(w);
+  ++checkpoints_;
 }
 
 double PetAgent::exploration_for_step(std::int64_t t) const {
@@ -77,8 +171,26 @@ void PetAgent::tick() {
   // 1. Close the monitoring slot; its statistics are the outcome of the
   //    previous action.
   const NcmSnapshot snap = ncm_.sample();
+  const bool guarded = cfg_.guardrails.enabled;
+  if (guarded) check_telemetry(snap);
+
+  // A quarantined agent holds the static fallback and does not act or
+  // train; it re-enters service on probation once the timer expires.
+  if (health_ == AgentHealth::kQuarantined) {
+    if (--quarantine_remaining_ <= 0) {
+      transition(AgentHealth::kProbation, "quarantine elapsed");
+      probation_clean_ = 0;
+    }
+    return;
+  }
+
   state_builder_.push_slot(snap, current_config_);
   const std::vector<double> state = state_builder_.state();
+  if (guarded && !all_finite(state)) {
+    // Corrupted telemetry must never reach the policy network.
+    quarantine("non-finite state vector");
+    return;
+  }
 
   finalize_pending(snap, state);
 
@@ -89,12 +201,22 @@ void PetAgent::tick() {
     last_update_ = policy_->update(rollout_, bootstrap);
     rollout_.clear();
     ++updates_;
+    if (guarded) {
+      if (auto fault = update_fault(last_update_)) {
+        quarantine(*fault);
+        return;
+      }
+      maybe_checkpoint();
+    }
   }
 
   // 3. Select and apply the next ECN configuration.
   ++steps_;
   if (cfg_.training) {
-    policy_->set_exploration_rate(exploration_for_step(steps_));
+    const double explore = health_ == AgentHealth::kProbation
+                               ? cfg_.guardrails.probation_exploration
+                               : exploration_for_step(steps_);
+    policy_->set_exploration_rate(explore);
     const double frac = cfg_.explore_start > 0.0
                             ? exploration_for_step(steps_) / cfg_.explore_start
                             : 0.0;
@@ -118,6 +240,12 @@ void PetAgent::tick() {
     } else {
       act = policy_->act(state, rng_);
     }
+    if (guarded &&
+        (!std::isfinite(act.log_prob) || !std::isfinite(act.value))) {
+      // NaN/Inf in the policy outputs: never actuate from a broken network.
+      quarantine("non-finite policy output");
+      return;
+    }
     current_config_ = cfg_.action_space.to_config(act.actions);
     pending_ = rl::Transition{.state = state,
                               .actions = std::move(act.actions),
@@ -125,10 +253,19 @@ void PetAgent::tick() {
                               .value = act.value,
                               .reward = 0.0};
   } else {
+    if (guarded && !std::isfinite(policy_->value(state))) {
+      quarantine("non-finite policy output");
+      return;
+    }
     const std::vector<std::int32_t> actions = policy_->act_greedy(state);
     current_config_ = cfg_.action_space.to_config(actions);
   }
   sw_.set_ecn_config_all_ports(current_config_);
+
+  if (health_ == AgentHealth::kProbation &&
+      ++probation_clean_ >= cfg_.guardrails.probation_ticks) {
+    transition(AgentHealth::kHealthy, "probation served");
+  }
 }
 
 void PetAgent::reset_episode() {

@@ -5,10 +5,13 @@
 // next ECN configuration and applies it to the switch's queues.
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 
 #include "core/action.hpp"
+#include "core/guardrails.hpp"
 #include "core/ncm.hpp"
 #include "core/reward.hpp"
 #include "core/state.hpp"
@@ -36,6 +39,8 @@ struct PetAgentConfig {
   double decay_rate = 0.99;
   std::int32_t decay_T = 50;
   bool training = true;
+  /// Health state machine + rollback/fallback policy (see guardrails.hpp).
+  GuardrailConfig guardrails{};
 
   /// Paper defaults: gamma 0.99, GAE coefficient 0.01, lr 4e-4 / 1e-3,
   /// clip 0.2 (Section 5.2).
@@ -96,10 +101,49 @@ class PetAgent {
   /// between offline pre-training episodes).
   void reset_episode();
 
+  // --- guardrails / health state machine -----------------------------------
+  using HealthListener = std::function<void(const HealthTransition&)>;
+
+  [[nodiscard]] AgentHealth health() const { return health_; }
+  [[nodiscard]] const std::vector<HealthTransition>& health_transitions()
+      const {
+    return transitions_;
+  }
+  /// Observer invoked on every health transition (telemetry hook).
+  void set_health_listener(HealthListener listener) {
+    health_listener_ = std::move(listener);
+  }
+
+  /// Weight snapshot in the pretrain-cache format (flat vector, storable
+  /// via exp::WeightCache) and its inverse. restore() also resets the
+  /// optimizer moments — they belong to the discarded trajectory.
+  [[nodiscard]] std::vector<double> snapshot() const {
+    return policy_->weights();
+  }
+  void restore(std::span<const double> weights);
+
+  [[nodiscard]] const std::vector<double>& last_known_good() const {
+    return last_good_;
+  }
+  [[nodiscard]] std::int64_t rollbacks() const { return rollbacks_; }
+  [[nodiscard]] std::int64_t checkpoints() const { return checkpoints_; }
+
+  /// Operator override: pull the agent out of service immediately (the same
+  /// path a guardrail trip takes — fallback config, rollback, halt).
+  void force_quarantine(const std::string& reason) { quarantine(reason); }
+
  private:
   void finalize_pending(const NcmSnapshot& snap,
                         const std::vector<double>& next_state);
   [[nodiscard]] double exploration_for_step(std::int64_t t) const;
+
+  void transition(AgentHealth to, std::string reason);
+  void quarantine(const std::string& reason);
+  void check_telemetry(const NcmSnapshot& snap);
+  /// Reason string if the update statistics trip a hard-fault guardrail.
+  [[nodiscard]] std::optional<std::string> update_fault(
+      const rl::PpoAgent::UpdateStats& stats) const;
+  void maybe_checkpoint();
 
   sim::Scheduler& sched_;
   net::SwitchDevice& sw_;
@@ -118,6 +162,18 @@ class PetAgent {
   bool deployment_mode_ = false;
   sim::RunningStats reward_stats_;
   rl::PpoAgent::UpdateStats last_update_{};
+
+  // Guardrail state.
+  AgentHealth health_ = AgentHealth::kHealthy;
+  std::vector<HealthTransition> transitions_;
+  HealthListener health_listener_;
+  std::vector<double> last_good_;
+  std::int64_t rollbacks_ = 0;
+  std::int64_t checkpoints_ = 0;
+  std::int32_t quarantine_remaining_ = 0;
+  std::int32_t probation_clean_ = 0;
+  std::int32_t stale_slots_ = 0;
+  std::int32_t fresh_slots_ = 0;
 };
 
 }  // namespace pet::core

@@ -30,7 +30,8 @@ Experiment::Experiment(const ScenarioConfig& cfg)
       net_(sched_, cfg.seed),
       topo_(net::build_leaf_spine(net_, cfg.topo)),
       recorder_(cfg.seed),
-      queue_probe_(sched_, net_.switches()) {
+      queue_probe_(sched_, net_.switches()),
+      event_log_(sched_) {
   transport_ = std::make_unique<transport::RdmaTransport>(net_, cfg_.dcqcn,
                                                           &recorder_);
 
@@ -119,6 +120,12 @@ void Experiment::install_scheme() {
       }
       pet_ = std::make_unique<core::PetController>(
           sched_, net_.switches(), pc, sim::derive_seed(cfg_.seed, "pet"));
+      pet_->set_health_listener([this](const core::HealthTransition& tr) {
+        event_log_.record("agent-health",
+                          "switch " + std::to_string(tr.switch_id) + " " +
+                              core::health_name(tr.from) + "->" +
+                              core::health_name(tr.to) + ": " + tr.reason);
+      });
       pet_->start();
       break;
     }
@@ -172,6 +179,18 @@ std::vector<double> Experiment::learned_weights() const {
     return acc_->agent(0).learner().weights();
   }
   return {};
+}
+
+net::FaultPlan& Experiment::fault_plan() {
+  if (fault_plan_ == nullptr) {
+    fault_plan_ = std::make_unique<net::FaultPlan>(
+        net_, sim::derive_seed(cfg_.seed, "fault-plan"));
+    fault_plan_->set_event_sink(
+        [this](sim::Time, net::FaultKind kind, const std::string& detail) {
+          event_log_.record(net::fault_kind_name(kind), detail);
+        });
+  }
+  return *fault_plan_;
 }
 
 void Experiment::mark_measurement_start() {

@@ -16,6 +16,8 @@
 #include "exp/metrics.hpp"
 #include "exp/queue_probe.hpp"
 #include "exp/scheme.hpp"
+#include "exp/telemetry.hpp"
+#include "net/fault_plan.hpp"
 #include "net/topology.hpp"
 #include "transport/dcqcn.hpp"
 #include "workload/distributions.hpp"
@@ -105,6 +107,15 @@ class Experiment {
   [[nodiscard]] QueueProbe& queue_probe() { return queue_probe_; }
   [[nodiscard]] const ScenarioConfig& config() const { return cfg_; }
 
+  /// Scheduled fault injection for this scenario (lazily created; fired
+  /// faults are mirrored into event_log()).
+  [[nodiscard]] net::FaultPlan& fault_plan();
+
+  /// Discrete event record: fault injections and (for PET) agent
+  /// health-state transitions.
+  [[nodiscard]] EventLog& event_log() { return event_log_; }
+  [[nodiscard]] const EventLog& event_log() const { return event_log_; }
+
   /// Switch the background workload (Fig. 6 pattern switching).
   void switch_workload(workload::WorkloadKind kind);
 
@@ -135,6 +146,8 @@ class Experiment {
   std::unique_ptr<baselines::AmtTuner> amt_;
   std::unique_ptr<baselines::QaecnTuner> qaecn_;
   QueueProbe queue_probe_;
+  EventLog event_log_;
+  std::unique_ptr<net::FaultPlan> fault_plan_;
   sim::Time measure_start_;
 };
 

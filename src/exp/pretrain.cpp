@@ -1,6 +1,7 @@
 #include "exp/pretrain.hpp"
 
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -75,17 +76,52 @@ std::string WeightCache::path_for(const std::string& key) const {
 
 std::optional<std::vector<double>> WeightCache::load(
     const std::string& key) const {
-  std::ifstream in(path_for(key), std::ios::binary);
+  const std::string path = path_for(key);
+  std::ifstream in(path, std::ios::binary);
   if (!in) return std::nullopt;
   std::uint64_t magic = 0;
   std::uint64_t count = 0;
   in.read(reinterpret_cast<char*>(&magic), sizeof magic);
   in.read(reinterpret_cast<char*>(&count), sizeof count);
-  if (!in || magic != 0x5045545754ULL) return std::nullopt;  // "PETWT"
+  if (!in || magic != 0x5045545754ULL) {  // "PETWT"
+    std::fprintf(stderr, "  [pretrain] WARN: %s is not a weight file\n",
+                 path.c_str());
+    return std::nullopt;
+  }
+  // Validate the declared count against the actual payload size before
+  // allocating: a corrupted header must not trigger a giant allocation or a
+  // silently short read.
+  std::error_code ec;
+  const std::uintmax_t file_size = std::filesystem::file_size(path, ec);
+  const std::uint64_t header = 2 * sizeof(std::uint64_t);
+  if (ec || file_size < header ||
+      (file_size - header) / sizeof(double) != count ||
+      (file_size - header) % sizeof(double) != 0) {
+    std::fprintf(stderr,
+                 "  [pretrain] WARN: %s truncated or corrupted "
+                 "(declares %llu weights, payload %llu bytes)\n",
+                 path.c_str(), static_cast<unsigned long long>(count),
+                 static_cast<unsigned long long>(
+                     file_size >= header ? file_size - header : 0));
+    return std::nullopt;
+  }
   std::vector<double> weights(count);
   in.read(reinterpret_cast<char*>(weights.data()),
           static_cast<std::streamsize>(count * sizeof(double)));
-  if (!in) return std::nullopt;
+  if (!in) {
+    std::fprintf(stderr, "  [pretrain] WARN: short read from %s\n",
+                 path.c_str());
+    return std::nullopt;
+  }
+  for (const double w : weights) {
+    if (!std::isfinite(w)) {
+      std::fprintf(stderr,
+                   "  [pretrain] WARN: %s contains non-finite weights; "
+                   "ignoring cached model\n",
+                   path.c_str());
+      return std::nullopt;
+    }
+  }
   return weights;
 }
 

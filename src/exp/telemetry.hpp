@@ -2,7 +2,8 @@
 // Time-series telemetry: periodic per-switch samples (queue depth,
 // throughput, marking rate, ECN thresholds) collected into memory and
 // exportable as CSV — the raw material for plotting the paper's
-// time-series figures or debugging a scenario.
+// time-series figures or debugging a scenario. EventLog captures the
+// discrete side: fault injections and agent health transitions.
 
 #include <cstdint>
 #include <string>
@@ -12,6 +13,36 @@
 #include "sim/scheduler.hpp"
 
 namespace pet::exp {
+
+/// A discrete, timestamped occurrence worth keeping next to the time
+/// series: a fault firing, an agent health transition, a phase boundary.
+struct TelemetryEvent {
+  double t_ms = 0.0;
+  std::string kind;
+  std::string detail;
+};
+
+class EventLog {
+ public:
+  explicit EventLog(sim::Scheduler& sched) : sched_(sched) {}
+
+  void record(std::string kind, std::string detail);
+
+  [[nodiscard]] const std::vector<TelemetryEvent>& events() const {
+    return events_;
+  }
+  /// Events whose kind matches exactly.
+  [[nodiscard]] std::size_t count(const std::string& kind) const;
+
+  [[nodiscard]] std::string to_csv() const;
+  /// Write the CSV to a file; failures are logged at WARN with errno and
+  /// reported via the return value.
+  bool write_csv(const std::string& path) const;
+
+ private:
+  sim::Scheduler& sched_;
+  std::vector<TelemetryEvent> events_;
+};
 
 struct TelemetrySample {
   double t_ms = 0.0;

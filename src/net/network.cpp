@@ -79,6 +79,11 @@ std::int32_t Network::port_towards(DeviceId a, DeviceId b) const {
   return -1;
 }
 
+EgressPort* Network::link_port(DeviceId a, DeviceId b) {
+  const std::int32_t p = port_towards(a, b);
+  return p >= 0 ? &devices_[a]->port(p) : nullptr;
+}
+
 bool Network::set_link_state(DeviceId a, DeviceId b, bool up) {
   const std::int32_t pa = port_towards(a, b);
   const std::int32_t pb = port_towards(b, a);

@@ -33,6 +33,10 @@ class Network {
   /// Returns false if no such link exists.
   bool set_link_state(DeviceId a, DeviceId b, bool up);
 
+  /// The egress port on `a` facing `b` (nullptr if no such link) — the
+  /// attachment point for per-link fault injection.
+  [[nodiscard]] EgressPort* link_port(DeviceId a, DeviceId b);
+
   /// Fail `fraction` of switch-to-switch links chosen uniformly at random.
   /// Returns the failed (a, b) pairs so callers can restore them later.
   std::vector<std::pair<DeviceId, DeviceId>> fail_random_switch_links(

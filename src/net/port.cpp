@@ -1,15 +1,21 @@
 #include "net/port.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "net/device.hpp"
+#include "sim/log.hpp"
 #include "sim/rng.hpp"
 
 namespace pet::net {
 
 EgressPort::EgressPort(sim::Scheduler& sched, PortOwner& owner,
                        std::int32_t index, const PortConfig& cfg)
-    : sched_(sched), owner_(owner), index_(index), cfg_(cfg) {
+    : sched_(sched),
+      owner_(owner),
+      index_(index),
+      cfg_(cfg),
+      fault_rng_(sim::derive_seed(cfg.seed, "port-fault")) {
   assert(cfg.num_data_queues >= 1);
   data_queues_.resize(static_cast<std::size_t>(cfg.num_data_queues));
   tx_bytes_q_.assign(static_cast<std::size_t>(cfg.num_data_queues), 0);
@@ -50,8 +56,34 @@ void EgressPort::set_link_up(bool up) {
   if (link_up_) try_transmit();
 }
 
+void EgressPort::set_rate_factor(double factor) {
+  rate_factor_ = std::clamp(factor, 0.001, 1.0);
+}
+
+std::vector<QueueEntry> EgressPort::drain_queues() {
+  std::vector<QueueEntry> flushed;
+  while (auto e = control_queue_.pop(sched_.now())) flushed.push_back(std::move(*e));
+  for (auto& q : data_queues_) {
+    while (auto e = q.pop(sched_.now())) flushed.push_back(std::move(*e));
+  }
+  return flushed;
+}
+
 void EgressPort::set_ecn_config(std::int32_t queue_idx, const RedEcnConfig& cfg) {
-  assert(cfg.valid());
+  if (!cfg.valid()) {
+    // An agent action (or a buggy tuner) produced inconsistent thresholds:
+    // install the nearest valid configuration instead of the garbage one.
+    const RedEcnConfig fixed = cfg.clamped();
+    PET_LOG_WARN(sched_,
+                 "port %d queue %d: invalid ECN config kmin=%lld kmax=%lld "
+                 "pmax=%g clamped to kmin=%lld kmax=%lld pmax=%g",
+                 index_, queue_idx, static_cast<long long>(cfg.kmin_bytes),
+                 static_cast<long long>(cfg.kmax_bytes), cfg.pmax,
+                 static_cast<long long>(fixed.kmin_bytes),
+                 static_cast<long long>(fixed.kmax_bytes), fixed.pmax);
+    markers_[queue_idx].set_config(fixed);
+    return;
+  }
   markers_[queue_idx].set_config(cfg);
 }
 
@@ -102,7 +134,13 @@ void EgressPort::try_transmit() {
   QueueEntry entry;
   if (!pick_next(entry)) return;
   busy_ = true;
-  const sim::Time done = sched_.now() + cfg_.rate.serialization_time(entry.pkt.size_bytes);
+  sim::Time ser = cfg_.rate.serialization_time(entry.pkt.size_bytes);
+  if (rate_factor_ < 1.0) {
+    // Degraded link: serialization stretches by the inverse of the factor.
+    ser = sim::Time(static_cast<std::int64_t>(
+        static_cast<double>(ser.ps()) / rate_factor_));
+  }
+  const sim::Time done = sched_.now() + ser;
   sched_.schedule_at(done, [this, e = std::move(entry)]() mutable {
     finish_transmit(std::move(e));
   });
@@ -121,7 +159,18 @@ void EgressPort::finish_transmit(QueueEntry entry) {
     }
   }
   owner_.on_packet_departed(index_, entry);
-  if (link_up_ && peer_ != nullptr) {
+  bool deliver = link_up_ && peer_ != nullptr;
+  if (deliver && fault_drop_prob_ > 0.0 &&
+      fault_rng_.bernoulli(fault_drop_prob_)) {
+    ++fault_dropped_packets_;
+    deliver = false;
+  } else if (deliver && fault_corrupt_prob_ > 0.0 &&
+             fault_rng_.bernoulli(fault_corrupt_prob_)) {
+    // Corrupted on the wire: the receiver's CRC check discards it.
+    ++fault_corrupted_packets_;
+    deliver = false;
+  }
+  if (deliver) {
     sched_.schedule_in(cfg_.propagation_delay,
                        [peer = peer_, pkt = entry.pkt, pp = peer_port_] {
                          peer->receive(pkt, pp);

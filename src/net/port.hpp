@@ -75,7 +75,35 @@ class EgressPort {
   void set_link_up(bool up);
   [[nodiscard]] bool link_up() const { return link_up_; }
 
+  // --- fault injection (driven by net::FaultPlan) --------------------------
+  /// Degrade the effective transmit rate to `factor` of nominal (1.0 =
+  /// healthy). Serialization slows accordingly; clamped to [0.001, 1].
+  void set_rate_factor(double factor);
+  [[nodiscard]] double rate_factor() const { return rate_factor_; }
+
+  /// Probabilistic per-packet faults applied at the end of serialization:
+  /// dropped packets vanish on the wire, corrupted ones are discarded by the
+  /// receiver's CRC check — both are losses, counted separately.
+  void set_fault_drop_prob(double p) { fault_drop_prob_ = p; }
+  [[nodiscard]] double fault_drop_prob() const { return fault_drop_prob_; }
+  void set_fault_corrupt_prob(double p) { fault_corrupt_prob_ = p; }
+  [[nodiscard]] double fault_corrupt_prob() const { return fault_corrupt_prob_; }
+  [[nodiscard]] std::int64_t fault_dropped_packets() const {
+    return fault_dropped_packets_;
+  }
+  [[nodiscard]] std::int64_t fault_corrupted_packets() const {
+    return fault_corrupted_packets_;
+  }
+
+  /// Flush every queued packet (control + data) without transmitting, e.g.
+  /// on a switch reboot. Returns the flushed entries so the owner can
+  /// release buffer/PFC accounting. A packet mid-serialization still
+  /// completes (it has already left the queues).
+  [[nodiscard]] std::vector<QueueEntry> drain_queues();
+
   /// Runtime-adjustable ECN marking configuration (the agents' actuator).
+  /// Invalid configurations are clamped to the nearest valid one and logged
+  /// at WARN rather than installed verbatim.
   void set_ecn_config(std::int32_t queue_idx, const RedEcnConfig& cfg);
   [[nodiscard]] const RedEcnConfig& ecn_config(std::int32_t queue_idx) const;
 
@@ -124,6 +152,12 @@ class EgressPort {
   bool busy_ = false;
   bool paused_ = false;
   bool link_up_ = true;
+  double rate_factor_ = 1.0;
+  double fault_drop_prob_ = 0.0;
+  double fault_corrupt_prob_ = 0.0;
+  sim::Rng fault_rng_;
+  std::int64_t fault_dropped_packets_ = 0;
+  std::int64_t fault_corrupted_packets_ = 0;
 
   std::int64_t tx_bytes_ = 0;
   std::int64_t tx_packets_ = 0;

@@ -24,6 +24,21 @@ struct RedEcnConfig {
            pmax <= 1.0;
   }
 
+  /// Nearest valid configuration: negative thresholds raised to zero,
+  /// Kmax raised to Kmin, Pmax clamped into [0, 1] (NaN becomes 0, i.e.
+  /// marking off — the conservative reading of a garbage probability).
+  [[nodiscard]] RedEcnConfig clamped() const {
+    RedEcnConfig fixed = *this;
+    fixed.kmin_bytes = std::max<std::int64_t>(0, fixed.kmin_bytes);
+    fixed.kmax_bytes = std::max(fixed.kmin_bytes, fixed.kmax_bytes);
+    if (!(fixed.pmax >= 0.0)) {  // catches negatives and NaN
+      fixed.pmax = 0.0;
+    } else if (fixed.pmax > 1.0) {
+      fixed.pmax = 1.0;
+    }
+    return fixed;
+  }
+
   friend bool operator==(const RedEcnConfig&, const RedEcnConfig&) = default;
 };
 

@@ -69,6 +69,18 @@ class SwitchDevice : public Device {
   /// Apply an ECN config to all data queues of one port.
   void set_ecn_config(std::int32_t port, const RedEcnConfig& cfg);
 
+  // --- fault injection ------------------------------------------------------
+  /// Crash-and-restart: every queued packet is lost, shared-buffer and PFC
+  /// ingress accounting are rebuilt, paused neighbors are resumed, and the
+  /// ECN marking state reverts to `ecn_after` (default: the DCQCN-style
+  /// static config the switch would boot with). Links stay up — a reboot
+  /// here models the dataplane reset, not a cabling change.
+  void reboot(const RedEcnConfig& ecn_after = RedEcnConfig{});
+  [[nodiscard]] std::int64_t reboots() const { return reboots_; }
+  [[nodiscard]] std::int64_t dropped_on_reboot() const {
+    return dropped_on_reboot_;
+  }
+
   // --- observability --------------------------------------------------------
   [[nodiscard]] std::int64_t buffer_used_bytes() const { return buffer_used_; }
   [[nodiscard]] std::int64_t dropped_no_route() const { return dropped_no_route_; }
@@ -97,6 +109,8 @@ class SwitchDevice : public Device {
   std::int64_t dropped_no_route_ = 0;
   std::int64_t dropped_buffer_full_ = 0;
   std::int64_t pfc_pauses_sent_ = 0;
+  std::int64_t reboots_ = 0;
+  std::int64_t dropped_on_reboot_ = 0;
 
   static const std::vector<std::int32_t> kNoRoutes;
 };

@@ -213,6 +213,15 @@ void PpoAgent::set_learning_rates(double actor_lr, double critic_lr) {
   critic_opt_->set_lr(critic_lr);
 }
 
+void PpoAgent::reset_optimizers() {
+  const double a_lr = actor_opt_->lr();
+  const double c_lr = critic_opt_->lr();
+  actor_opt_ = std::make_unique<Adam>(
+      actor_refs_, AdamConfig{.lr = a_lr, .max_grad_norm = cfg_.max_grad_norm});
+  critic_opt_ = std::make_unique<Adam>(
+      critic_refs_, AdamConfig{.lr = c_lr, .max_grad_norm = cfg_.max_grad_norm});
+}
+
 double PpoAgent::actor_lr() const { return actor_opt_->lr(); }
 double PpoAgent::critic_lr() const { return critic_opt_->lr(); }
 

@@ -91,6 +91,12 @@ class PpoAgent {
   [[nodiscard]] double actor_lr() const;
   [[nodiscard]] double critic_lr() const;
 
+  /// Rebuild both Adam optimizers with fresh (zeroed) moment estimates at
+  /// the current learning rates. Required after a weight rollback: the old
+  /// moments belong to the discarded trajectory and may carry NaN/Inf from
+  /// the update that poisoned the weights.
+  void reset_optimizers();
+
   // --- serialization (offline pre-training -> per-switch deployment) --------
   [[nodiscard]] std::vector<double> weights() const;
   void set_weights(std::span<const double> values);

@@ -31,6 +31,10 @@ void vlog(LogLevel level, Time now, const char* fmt, ...)
     }                                                                       \
   } while (0)
 
+#define PET_LOG_ERROR(scheduler, ...) \
+  PET_LOG(::pet::sim::LogLevel::kError, (scheduler), __VA_ARGS__)
+#define PET_LOG_WARN(scheduler, ...) \
+  PET_LOG(::pet::sim::LogLevel::kWarn, (scheduler), __VA_ARGS__)
 #define PET_LOG_INFO(scheduler, ...) \
   PET_LOG(::pet::sim::LogLevel::kInfo, (scheduler), __VA_ARGS__)
 #define PET_LOG_DEBUG(scheduler, ...) \

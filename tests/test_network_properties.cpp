@@ -112,6 +112,53 @@ TEST(TopologyFailureProperty, IsolatedLeafLosesOnlyItsHosts) {
   EXPECT_FALSE(leaf0->routes(1).empty());
 }
 
+TEST(TopologyFailureProperty, RestoreAfterRandomFailuresMatchesPristine) {
+  // Fail a third of the fabric links, restore exactly those links, and the
+  // routing tables and link states must be indistinguishable from a network
+  // that never saw a failure.
+  LeafSpineConfig cfg;
+  cfg.num_spines = 4;
+  cfg.num_leaves = 4;
+  cfg.hosts_per_leaf = 2;
+
+  sim::Scheduler sched_a, sched_b;
+  Network pristine(sched_a, 41);
+  Network faulted(sched_b, 41);
+  const LeafSpine topo_a = build_leaf_spine(pristine, cfg);
+  const LeafSpine topo_b = build_leaf_spine(faulted, cfg);
+
+  sim::Rng rng(17);
+  const auto failed = faulted.fail_random_switch_links(0.34, rng);
+  ASSERT_FALSE(failed.empty());
+  for (const auto& [a, b] : failed) {
+    ASSERT_TRUE(faulted.set_link_state(a, b, true));
+  }
+
+  const auto switch_ids = [&](const LeafSpine& topo) {
+    std::vector<DeviceId> ids = topo.leaf_devices;
+    ids.insert(ids.end(), topo.spine_devices.begin(),
+               topo.spine_devices.end());
+    return ids;
+  };
+  const std::vector<DeviceId> ids_a = switch_ids(topo_a);
+  const std::vector<DeviceId> ids_b = switch_ids(topo_b);
+  ASSERT_EQ(ids_a, ids_b);
+  for (std::size_t i = 0; i < ids_a.size(); ++i) {
+    auto* sa = dynamic_cast<SwitchDevice*>(&pristine.device(ids_a[i]));
+    auto* sb = dynamic_cast<SwitchDevice*>(&faulted.device(ids_b[i]));
+    ASSERT_NE(sa, nullptr);
+    ASSERT_NE(sb, nullptr);
+    for (HostId h = 0; h < pristine.num_hosts(); ++h) {
+      EXPECT_EQ(sa->routes(h), sb->routes(h))
+          << "switch " << ids_a[i] << " routes to host " << h
+          << " differ after fail+restore";
+    }
+    for (std::int32_t p = 0; p < sb->num_ports(); ++p) {
+      EXPECT_TRUE(sb->port(p).link_up());
+    }
+  }
+}
+
 TEST(TopologyProperty, BaseRttGrowsWithMtu) {
   sim::Scheduler sched;
   Network net(sched, 37);

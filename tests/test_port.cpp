@@ -54,6 +54,85 @@ struct PortFixture : ::testing::Test {
   }
 };
 
+TEST_F(PortFixture, InvalidEcnConfigClampedOnInstall) {
+  auto& port = make_port();
+  // Inverted thresholds + out-of-range probability: the port installs the
+  // nearest valid config instead of the garbage one.
+  port.set_ecn_config(0, {.kmin_bytes = 2000, .kmax_bytes = 100, .pmax = 3.0});
+  const RedEcnConfig& installed = port.ecn_config(0);
+  EXPECT_TRUE(installed.valid());
+  EXPECT_EQ(installed.kmin_bytes, 2000);
+  EXPECT_EQ(installed.kmax_bytes, 2000);
+  EXPECT_DOUBLE_EQ(installed.pmax, 1.0);
+  // Valid configs install verbatim.
+  const RedEcnConfig ok{.kmin_bytes = 10, .kmax_bytes = 20, .pmax = 0.5};
+  port.set_ecn_config(0, ok);
+  EXPECT_EQ(port.ecn_config(0), ok);
+}
+
+TEST_F(PortFixture, FaultDropAndCorruptCountSeparately) {
+  PortConfig cfg;
+  cfg.propagation_delay = sim::Time::zero();
+  auto& port = make_port(cfg);
+  port.set_fault_drop_prob(1.0);
+  port.enqueue(QueueEntry{data_packet(1000), -1}, 0);
+  sched.run_all();
+  EXPECT_TRUE(peer.received.empty());
+  EXPECT_EQ(port.fault_dropped_packets(), 1);
+  // The owner still sees the departure: buffer accounting must not leak.
+  EXPECT_EQ(sender.departed.size(), 1u);
+
+  port.set_fault_drop_prob(0.0);
+  port.set_fault_corrupt_prob(1.0);
+  port.enqueue(QueueEntry{data_packet(1000), -1}, 0);
+  sched.run_all();
+  EXPECT_TRUE(peer.received.empty());
+  EXPECT_EQ(port.fault_corrupted_packets(), 1);
+
+  port.set_fault_corrupt_prob(0.0);
+  port.enqueue(QueueEntry{data_packet(1000), -1}, 0);
+  sched.run_all();
+  EXPECT_EQ(peer.received.size(), 1u);
+}
+
+TEST_F(PortFixture, RateFactorStretchesSerialization) {
+  PortConfig cfg;
+  cfg.rate = sim::gbps(10);
+  cfg.propagation_delay = sim::Time::zero();
+  auto& port = make_port(cfg);
+  port.set_rate_factor(0.5);
+  port.enqueue(QueueEntry{data_packet(1000), -1}, 0);
+  // 800ns nominal serialization doubles at half rate.
+  sched.run_until(sim::nanoseconds(1599));
+  EXPECT_TRUE(peer.received.empty());
+  sched.run_until(sim::nanoseconds(1600));
+  EXPECT_EQ(peer.received.size(), 1u);
+  // Factor is clamped to a sane floor and ceiling.
+  port.set_rate_factor(500.0);
+  EXPECT_DOUBLE_EQ(port.rate_factor(), 1.0);
+  port.set_rate_factor(0.0);
+  EXPECT_DOUBLE_EQ(port.rate_factor(), 0.001);
+}
+
+TEST_F(PortFixture, DrainQueuesReturnsAllQueuedEntries) {
+  auto& port = make_port();
+  // One packet in flight keeps the port busy so later arrivals (data and
+  // control alike) stay queued.
+  port.enqueue(QueueEntry{data_packet(1000, 1), -1}, 0);
+  port.enqueue(QueueEntry{data_packet(1000, 2), -1}, 0);
+  port.enqueue(QueueEntry{data_packet(1000, 3), -1}, 0);
+  Packet cnp = data_packet(64, 4);
+  cnp.type = PacketType::kCnp;
+  port.enqueue_control(QueueEntry{cnp, -1});
+  const auto drained = port.drain_queues();
+  EXPECT_EQ(drained.size(), 3u);  // everything except the in-flight packet
+  EXPECT_EQ(port.total_queue_bytes(), 0);
+  sched.run_all();
+  // The packet that was mid-serialization still completes.
+  ASSERT_EQ(peer.received.size(), 1u);
+  EXPECT_EQ(peer.received[0].pkt.flow_id, 1u);
+}
+
 TEST_F(PortFixture, DeliversAfterSerializationPlusPropagation) {
   PortConfig cfg;
   cfg.rate = sim::gbps(10);

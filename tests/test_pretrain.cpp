@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <limits>
 #include <unistd.h>
 
 namespace pet::exp {
@@ -122,6 +124,32 @@ TEST(WeightCache, TruncatedPayloadRejected) {
   const auto file = dir.path / "t.weights";
   std::filesystem::resize_file(file, 20);
   EXPECT_FALSE(cache.load("t").has_value());
+}
+
+TEST(WeightCache, NonFiniteWeightsRejected) {
+  TempDir dir;
+  WeightCache cache(dir.path.string());
+  cache.store("nan", std::vector<double>{1.0, std::nan(""), 3.0});
+  EXPECT_FALSE(cache.load("nan").has_value());
+  cache.store("inf",
+              std::vector<double>{std::numeric_limits<double>::infinity()});
+  EXPECT_FALSE(cache.load("inf").has_value());
+}
+
+TEST(WeightCache, LyingHeaderCountRejected) {
+  TempDir dir;
+  WeightCache cache(dir.path.string());
+  cache.store("lie", std::vector<double>{1, 2, 3, 4});
+  // Corrupt the header's weight count without changing the payload; a
+  // naive loader would trust it and allocate/read garbage.
+  const auto file = dir.path / "lie.weights";
+  std::FILE* f = std::fopen(file.string().c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  const std::uint64_t huge = 1ull << 40;
+  std::fseek(f, 8, SEEK_SET);
+  std::fwrite(&huge, sizeof huge, 1, f);
+  std::fclose(f);
+  EXPECT_FALSE(cache.load("lie").has_value());
 }
 
 TEST(PretrainedWeightsCached, CachesAcrossCalls) {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <tuple>
 
 namespace pet::net {
@@ -13,6 +14,39 @@ TEST(RedEcnConfig, Validity) {
   EXPECT_FALSE((RedEcnConfig{.kmin_bytes = 10, .kmax_bytes = 5, .pmax = 0.5}.valid()));
   EXPECT_FALSE((RedEcnConfig{.kmin_bytes = -1, .kmax_bytes = 5, .pmax = 0.5}.valid()));
   EXPECT_FALSE((RedEcnConfig{.kmin_bytes = 1, .kmax_bytes = 5, .pmax = 1.5}.valid()));
+}
+
+TEST(RedEcnConfig, ClampedFixesEveryInvalidField) {
+  // Already-valid configs pass through untouched.
+  const RedEcnConfig ok{.kmin_bytes = 5, .kmax_bytes = 10, .pmax = 0.5};
+  EXPECT_EQ(ok.clamped(), ok);
+  // Inverted thresholds: kmax raised to kmin.
+  const auto inv =
+      RedEcnConfig{.kmin_bytes = 10, .kmax_bytes = 5, .pmax = 0.5}.clamped();
+  EXPECT_EQ(inv.kmin_bytes, 10);
+  EXPECT_EQ(inv.kmax_bytes, 10);
+  // Negative threshold raised to zero.
+  const auto neg =
+      RedEcnConfig{.kmin_bytes = -7, .kmax_bytes = 5, .pmax = 0.5}.clamped();
+  EXPECT_EQ(neg.kmin_bytes, 0);
+  // Out-of-range and NaN probabilities.
+  EXPECT_DOUBLE_EQ(
+      (RedEcnConfig{.kmin_bytes = 1, .kmax_bytes = 5, .pmax = 1.5}.clamped())
+          .pmax,
+      1.0);
+  EXPECT_DOUBLE_EQ(
+      (RedEcnConfig{.kmin_bytes = 1, .kmax_bytes = 5, .pmax = -0.5}.clamped())
+          .pmax,
+      0.0);
+  EXPECT_DOUBLE_EQ((RedEcnConfig{.kmin_bytes = 1,
+                                 .kmax_bytes = 5,
+                                 .pmax = std::nan("")}
+                        .clamped())
+                       .pmax,
+                   0.0);
+  EXPECT_TRUE(
+      (RedEcnConfig{.kmin_bytes = -3, .kmax_bytes = -9, .pmax = 7.0}.clamped())
+          .valid());
 }
 
 TEST(RedMarkProbability, ZeroBelowKmin) {

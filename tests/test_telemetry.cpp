@@ -110,6 +110,64 @@ TEST(Telemetry, WriteCsvCreatesFile) {
   std::filesystem::remove(path);
 }
 
+TEST(Telemetry, WriteCsvFailureReturnsFalse) {
+  Experiment experiment(tiny_scenario());
+  TelemetryRecorder telemetry(experiment.scheduler(),
+                              experiment.network().switches(),
+                              sim::milliseconds(1));
+  telemetry.start();
+  experiment.run_until(sim::milliseconds(1));
+  // A path whose parent directory does not exist cannot be created; the
+  // failure must be reported, not swallowed.
+  EXPECT_FALSE(telemetry.write_csv("/nonexistent-dir/pet-telemetry.csv"));
+}
+
+TEST(EventLog, RecordsTimestampedEventsAndCounts) {
+  sim::Scheduler sched;
+  EventLog log(sched);
+  sched.schedule_at(sim::milliseconds(2),
+                    [&] { log.record("fault", "link-down 3-5"); });
+  sched.schedule_at(sim::milliseconds(3),
+                    [&] { log.record("agent-health", "switch 3 quarantined"); });
+  sched.schedule_at(sim::milliseconds(4),
+                    [&] { log.record("fault", "link-up 3-5"); });
+  sched.run_all();
+  ASSERT_EQ(log.events().size(), 3u);
+  EXPECT_EQ(log.count("fault"), 2u);
+  EXPECT_EQ(log.count("agent-health"), 1u);
+  EXPECT_EQ(log.count("missing"), 0u);
+  EXPECT_DOUBLE_EQ(log.events()[0].t_ms, 2.0);
+  EXPECT_EQ(log.events()[1].detail, "switch 3 quarantined");
+}
+
+TEST(EventLog, CsvSanitizesDelimiters) {
+  sim::Scheduler sched;
+  EventLog log(sched);
+  log.record("fault", "detail, with comma\nand newline");
+  const std::string csv = log.to_csv();
+  std::stringstream ss(csv);
+  std::string header, row;
+  std::getline(ss, header);
+  EXPECT_EQ(header, "t_ms,kind,detail");
+  std::getline(ss, row);
+  EXPECT_EQ(std::count(row.begin(), row.end(), ','), 2);
+  std::string extra;
+  EXPECT_FALSE(std::getline(ss, extra) && !extra.empty());
+}
+
+TEST(EventLog, WriteCsvRoundTripsAndReportsFailure) {
+  sim::Scheduler sched;
+  EventLog log(sched);
+  log.record("fault", "reboot spine-0");
+  const auto path =
+      std::filesystem::temp_directory_path() / "pet-eventlog-test.csv";
+  ASSERT_TRUE(log.write_csv(path.string()));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::filesystem::remove(path);
+  EXPECT_FALSE(log.write_csv("/nonexistent-dir/events.csv"));
+}
+
 TEST(Telemetry, StopHaltsSampling) {
   Experiment experiment(tiny_scenario());
   TelemetryRecorder telemetry(experiment.scheduler(),
