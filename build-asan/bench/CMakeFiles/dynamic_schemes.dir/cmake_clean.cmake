@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_schemes.dir/dynamic_schemes.cpp.o"
+  "CMakeFiles/dynamic_schemes.dir/dynamic_schemes.cpp.o.d"
+  "dynamic_schemes"
+  "dynamic_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

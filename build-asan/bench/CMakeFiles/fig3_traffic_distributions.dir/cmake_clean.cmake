@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_traffic_distributions.dir/fig3_traffic_distributions.cpp.o"
+  "CMakeFiles/fig3_traffic_distributions.dir/fig3_traffic_distributions.cpp.o.d"
+  "fig3_traffic_distributions"
+  "fig3_traffic_distributions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_traffic_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_fct_websearch.dir/fig4_fct_websearch.cpp.o"
+  "CMakeFiles/fig4_fct_websearch.dir/fig4_fct_websearch.cpp.o.d"
+  "fig4_fct_websearch"
+  "fig4_fct_websearch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_fct_websearch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_fct_workloads.dir/fig5_fct_workloads.cpp.o"
+  "CMakeFiles/fig5_fct_workloads.dir/fig5_fct_workloads.cpp.o.d"
+  "fig5_fct_workloads"
+  "fig5_fct_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_fct_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_robustness.dir/fig7_robustness.cpp.o"
+  "CMakeFiles/fig7_robustness.dir/fig7_robustness.cpp.o.d"
+  "fig7_robustness"
+  "fig7_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

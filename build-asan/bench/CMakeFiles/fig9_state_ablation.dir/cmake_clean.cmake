@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_state_ablation.dir/fig9_state_ablation.cpp.o"
+  "CMakeFiles/fig9_state_ablation.dir/fig9_state_ablation.cpp.o.d"
+  "fig9_state_ablation"
+  "fig9_state_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_state_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

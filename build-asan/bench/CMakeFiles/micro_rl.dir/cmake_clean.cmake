@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_rl.dir/micro_rl.cpp.o"
+  "CMakeFiles/micro_rl.dir/micro_rl.cpp.o.d"
+  "micro_rl"
+  "micro_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overhead_replay.dir/overhead_replay.cpp.o"
+  "CMakeFiles/overhead_replay.dir/overhead_replay.cpp.o.d"
+  "overhead_replay"
+  "overhead_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overhead_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

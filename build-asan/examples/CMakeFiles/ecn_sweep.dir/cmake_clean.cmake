@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecn_sweep.dir/ecn_sweep.cpp.o"
+  "CMakeFiles/ecn_sweep.dir/ecn_sweep.cpp.o.d"
+  "ecn_sweep"
+  "ecn_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecn_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incast_scenario.dir/incast_scenario.cpp.o"
+  "CMakeFiles/incast_scenario.dir/incast_scenario.cpp.o.d"
+  "incast_scenario"
+  "incast_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incast_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for incast_scenario.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiqueue_separation.dir/multiqueue_separation.cpp.o"
+  "CMakeFiles/multiqueue_separation.dir/multiqueue_separation.cpp.o.d"
+  "multiqueue_separation"
+  "multiqueue_separation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiqueue_separation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for multiqueue_separation.
+# This may be replaced when dependencies are built.

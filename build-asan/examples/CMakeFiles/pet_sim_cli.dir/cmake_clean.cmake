@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pet_sim_cli.dir/pet_sim_cli.cpp.o"
+  "CMakeFiles/pet_sim_cli.dir/pet_sim_cli.cpp.o.d"
+  "pet_sim_cli"
+  "pet_sim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pet_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

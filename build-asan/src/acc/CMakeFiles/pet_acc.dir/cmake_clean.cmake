@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pet_acc.dir/acc_agent.cpp.o"
+  "CMakeFiles/pet_acc.dir/acc_agent.cpp.o.d"
+  "CMakeFiles/pet_acc.dir/dynamic_tuners.cpp.o"
+  "CMakeFiles/pet_acc.dir/dynamic_tuners.cpp.o.d"
+  "libpet_acc.a"
+  "libpet_acc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pet_acc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pet_acc.
+# This may be replaced when dependencies are built.

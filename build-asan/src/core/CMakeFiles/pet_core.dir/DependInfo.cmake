@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/action.cpp" "src/core/CMakeFiles/pet_core.dir/action.cpp.o" "gcc" "src/core/CMakeFiles/pet_core.dir/action.cpp.o.d"
+  "/root/repo/src/core/controller.cpp" "src/core/CMakeFiles/pet_core.dir/controller.cpp.o" "gcc" "src/core/CMakeFiles/pet_core.dir/controller.cpp.o.d"
+  "/root/repo/src/core/multiqueue.cpp" "src/core/CMakeFiles/pet_core.dir/multiqueue.cpp.o" "gcc" "src/core/CMakeFiles/pet_core.dir/multiqueue.cpp.o.d"
+  "/root/repo/src/core/ncm.cpp" "src/core/CMakeFiles/pet_core.dir/ncm.cpp.o" "gcc" "src/core/CMakeFiles/pet_core.dir/ncm.cpp.o.d"
+  "/root/repo/src/core/pet_agent.cpp" "src/core/CMakeFiles/pet_core.dir/pet_agent.cpp.o" "gcc" "src/core/CMakeFiles/pet_core.dir/pet_agent.cpp.o.d"
+  "/root/repo/src/core/state.cpp" "src/core/CMakeFiles/pet_core.dir/state.cpp.o" "gcc" "src/core/CMakeFiles/pet_core.dir/state.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/rl/CMakeFiles/pet_rl.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/net/CMakeFiles/pet_net.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/pet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

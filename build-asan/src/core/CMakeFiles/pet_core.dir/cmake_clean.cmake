@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pet_core.dir/action.cpp.o"
+  "CMakeFiles/pet_core.dir/action.cpp.o.d"
+  "CMakeFiles/pet_core.dir/controller.cpp.o"
+  "CMakeFiles/pet_core.dir/controller.cpp.o.d"
+  "CMakeFiles/pet_core.dir/multiqueue.cpp.o"
+  "CMakeFiles/pet_core.dir/multiqueue.cpp.o.d"
+  "CMakeFiles/pet_core.dir/ncm.cpp.o"
+  "CMakeFiles/pet_core.dir/ncm.cpp.o.d"
+  "CMakeFiles/pet_core.dir/pet_agent.cpp.o"
+  "CMakeFiles/pet_core.dir/pet_agent.cpp.o.d"
+  "CMakeFiles/pet_core.dir/state.cpp.o"
+  "CMakeFiles/pet_core.dir/state.cpp.o.d"
+  "libpet_core.a"
+  "libpet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

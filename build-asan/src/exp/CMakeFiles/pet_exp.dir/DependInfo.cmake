@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exp/experiment.cpp" "src/exp/CMakeFiles/pet_exp.dir/experiment.cpp.o" "gcc" "src/exp/CMakeFiles/pet_exp.dir/experiment.cpp.o.d"
+  "/root/repo/src/exp/metrics.cpp" "src/exp/CMakeFiles/pet_exp.dir/metrics.cpp.o" "gcc" "src/exp/CMakeFiles/pet_exp.dir/metrics.cpp.o.d"
+  "/root/repo/src/exp/pretrain.cpp" "src/exp/CMakeFiles/pet_exp.dir/pretrain.cpp.o" "gcc" "src/exp/CMakeFiles/pet_exp.dir/pretrain.cpp.o.d"
+  "/root/repo/src/exp/scheme.cpp" "src/exp/CMakeFiles/pet_exp.dir/scheme.cpp.o" "gcc" "src/exp/CMakeFiles/pet_exp.dir/scheme.cpp.o.d"
+  "/root/repo/src/exp/table.cpp" "src/exp/CMakeFiles/pet_exp.dir/table.cpp.o" "gcc" "src/exp/CMakeFiles/pet_exp.dir/table.cpp.o.d"
+  "/root/repo/src/exp/telemetry.cpp" "src/exp/CMakeFiles/pet_exp.dir/telemetry.cpp.o" "gcc" "src/exp/CMakeFiles/pet_exp.dir/telemetry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/core/CMakeFiles/pet_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/acc/CMakeFiles/pet_acc.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/workload/CMakeFiles/pet_workload.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/transport/CMakeFiles/pet_transport.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/net/CMakeFiles/pet_net.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/rl/CMakeFiles/pet_rl.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/pet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

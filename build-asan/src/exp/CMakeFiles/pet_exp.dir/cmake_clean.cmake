@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pet_exp.dir/experiment.cpp.o"
+  "CMakeFiles/pet_exp.dir/experiment.cpp.o.d"
+  "CMakeFiles/pet_exp.dir/metrics.cpp.o"
+  "CMakeFiles/pet_exp.dir/metrics.cpp.o.d"
+  "CMakeFiles/pet_exp.dir/pretrain.cpp.o"
+  "CMakeFiles/pet_exp.dir/pretrain.cpp.o.d"
+  "CMakeFiles/pet_exp.dir/scheme.cpp.o"
+  "CMakeFiles/pet_exp.dir/scheme.cpp.o.d"
+  "CMakeFiles/pet_exp.dir/table.cpp.o"
+  "CMakeFiles/pet_exp.dir/table.cpp.o.d"
+  "CMakeFiles/pet_exp.dir/telemetry.cpp.o"
+  "CMakeFiles/pet_exp.dir/telemetry.cpp.o.d"
+  "libpet_exp.a"
+  "libpet_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pet_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/classifier.cpp" "src/net/CMakeFiles/pet_net.dir/classifier.cpp.o" "gcc" "src/net/CMakeFiles/pet_net.dir/classifier.cpp.o.d"
+  "/root/repo/src/net/fault_plan.cpp" "src/net/CMakeFiles/pet_net.dir/fault_plan.cpp.o" "gcc" "src/net/CMakeFiles/pet_net.dir/fault_plan.cpp.o.d"
+  "/root/repo/src/net/host.cpp" "src/net/CMakeFiles/pet_net.dir/host.cpp.o" "gcc" "src/net/CMakeFiles/pet_net.dir/host.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/net/CMakeFiles/pet_net.dir/network.cpp.o" "gcc" "src/net/CMakeFiles/pet_net.dir/network.cpp.o.d"
+  "/root/repo/src/net/port.cpp" "src/net/CMakeFiles/pet_net.dir/port.cpp.o" "gcc" "src/net/CMakeFiles/pet_net.dir/port.cpp.o.d"
+  "/root/repo/src/net/switch.cpp" "src/net/CMakeFiles/pet_net.dir/switch.cpp.o" "gcc" "src/net/CMakeFiles/pet_net.dir/switch.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/net/CMakeFiles/pet_net.dir/topology.cpp.o" "gcc" "src/net/CMakeFiles/pet_net.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/sim/CMakeFiles/pet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

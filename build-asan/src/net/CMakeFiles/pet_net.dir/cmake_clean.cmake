@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pet_net.dir/classifier.cpp.o"
+  "CMakeFiles/pet_net.dir/classifier.cpp.o.d"
+  "CMakeFiles/pet_net.dir/fault_plan.cpp.o"
+  "CMakeFiles/pet_net.dir/fault_plan.cpp.o.d"
+  "CMakeFiles/pet_net.dir/host.cpp.o"
+  "CMakeFiles/pet_net.dir/host.cpp.o.d"
+  "CMakeFiles/pet_net.dir/network.cpp.o"
+  "CMakeFiles/pet_net.dir/network.cpp.o.d"
+  "CMakeFiles/pet_net.dir/port.cpp.o"
+  "CMakeFiles/pet_net.dir/port.cpp.o.d"
+  "CMakeFiles/pet_net.dir/switch.cpp.o"
+  "CMakeFiles/pet_net.dir/switch.cpp.o.d"
+  "CMakeFiles/pet_net.dir/topology.cpp.o"
+  "CMakeFiles/pet_net.dir/topology.cpp.o.d"
+  "libpet_net.a"
+  "libpet_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pet_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

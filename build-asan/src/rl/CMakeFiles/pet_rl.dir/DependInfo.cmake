@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rl/adam.cpp" "src/rl/CMakeFiles/pet_rl.dir/adam.cpp.o" "gcc" "src/rl/CMakeFiles/pet_rl.dir/adam.cpp.o.d"
+  "/root/repo/src/rl/ddqn.cpp" "src/rl/CMakeFiles/pet_rl.dir/ddqn.cpp.o" "gcc" "src/rl/CMakeFiles/pet_rl.dir/ddqn.cpp.o.d"
+  "/root/repo/src/rl/gae.cpp" "src/rl/CMakeFiles/pet_rl.dir/gae.cpp.o" "gcc" "src/rl/CMakeFiles/pet_rl.dir/gae.cpp.o.d"
+  "/root/repo/src/rl/mlp.cpp" "src/rl/CMakeFiles/pet_rl.dir/mlp.cpp.o" "gcc" "src/rl/CMakeFiles/pet_rl.dir/mlp.cpp.o.d"
+  "/root/repo/src/rl/ppo.cpp" "src/rl/CMakeFiles/pet_rl.dir/ppo.cpp.o" "gcc" "src/rl/CMakeFiles/pet_rl.dir/ppo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/sim/CMakeFiles/pet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pet_rl.dir/adam.cpp.o"
+  "CMakeFiles/pet_rl.dir/adam.cpp.o.d"
+  "CMakeFiles/pet_rl.dir/ddqn.cpp.o"
+  "CMakeFiles/pet_rl.dir/ddqn.cpp.o.d"
+  "CMakeFiles/pet_rl.dir/gae.cpp.o"
+  "CMakeFiles/pet_rl.dir/gae.cpp.o.d"
+  "CMakeFiles/pet_rl.dir/mlp.cpp.o"
+  "CMakeFiles/pet_rl.dir/mlp.cpp.o.d"
+  "CMakeFiles/pet_rl.dir/ppo.cpp.o"
+  "CMakeFiles/pet_rl.dir/ppo.cpp.o.d"
+  "libpet_rl.a"
+  "libpet_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pet_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pet_sim.dir/log.cpp.o"
+  "CMakeFiles/pet_sim.dir/log.cpp.o.d"
+  "CMakeFiles/pet_sim.dir/rng.cpp.o"
+  "CMakeFiles/pet_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/pet_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/pet_sim.dir/scheduler.cpp.o.d"
+  "CMakeFiles/pet_sim.dir/stats.cpp.o"
+  "CMakeFiles/pet_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/pet_sim.dir/time.cpp.o"
+  "CMakeFiles/pet_sim.dir/time.cpp.o.d"
+  "libpet_sim.a"
+  "libpet_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pet_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

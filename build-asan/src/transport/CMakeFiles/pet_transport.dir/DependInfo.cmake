@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/dcqcn.cpp" "src/transport/CMakeFiles/pet_transport.dir/dcqcn.cpp.o" "gcc" "src/transport/CMakeFiles/pet_transport.dir/dcqcn.cpp.o.d"
+  "/root/repo/src/transport/fct_recorder.cpp" "src/transport/CMakeFiles/pet_transport.dir/fct_recorder.cpp.o" "gcc" "src/transport/CMakeFiles/pet_transport.dir/fct_recorder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/net/CMakeFiles/pet_net.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/pet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

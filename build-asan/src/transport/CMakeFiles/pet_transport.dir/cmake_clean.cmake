@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pet_transport.dir/dcqcn.cpp.o"
+  "CMakeFiles/pet_transport.dir/dcqcn.cpp.o.d"
+  "CMakeFiles/pet_transport.dir/fct_recorder.cpp.o"
+  "CMakeFiles/pet_transport.dir/fct_recorder.cpp.o.d"
+  "libpet_transport.a"
+  "libpet_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pet_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pet_workload.dir/cdf.cpp.o"
+  "CMakeFiles/pet_workload.dir/cdf.cpp.o.d"
+  "CMakeFiles/pet_workload.dir/distributions.cpp.o"
+  "CMakeFiles/pet_workload.dir/distributions.cpp.o.d"
+  "CMakeFiles/pet_workload.dir/traffic_gen.cpp.o"
+  "CMakeFiles/pet_workload.dir/traffic_gen.cpp.o.d"
+  "libpet_workload.a"
+  "libpet_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pet_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

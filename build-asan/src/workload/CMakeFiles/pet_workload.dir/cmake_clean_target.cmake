@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpet_workload.a"
+)

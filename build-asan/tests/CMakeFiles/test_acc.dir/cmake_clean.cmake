@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_acc.dir/test_acc.cpp.o"
+  "CMakeFiles/test_acc.dir/test_acc.cpp.o.d"
+  "test_acc"
+  "test_acc.pdb"
+  "test_acc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_acc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_action_state.dir/test_action_state.cpp.o"
+  "CMakeFiles/test_action_state.dir/test_action_state.cpp.o.d"
+  "test_action_state"
+  "test_action_state.pdb"
+  "test_action_state[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_action_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

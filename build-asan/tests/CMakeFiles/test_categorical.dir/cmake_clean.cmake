@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_categorical.dir/test_categorical.cpp.o"
+  "CMakeFiles/test_categorical.dir/test_categorical.cpp.o.d"
+  "test_categorical"
+  "test_categorical.pdb"
+  "test_categorical[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_categorical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

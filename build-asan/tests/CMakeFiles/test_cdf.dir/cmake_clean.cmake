@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cdf.dir/test_cdf.cpp.o"
+  "CMakeFiles/test_cdf.dir/test_cdf.cpp.o.d"
+  "test_cdf"
+  "test_cdf.pdb"
+  "test_cdf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

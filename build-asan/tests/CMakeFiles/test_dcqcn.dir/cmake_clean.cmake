@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dcqcn.dir/test_dcqcn.cpp.o"
+  "CMakeFiles/test_dcqcn.dir/test_dcqcn.cpp.o.d"
+  "test_dcqcn"
+  "test_dcqcn.pdb"
+  "test_dcqcn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dcqcn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

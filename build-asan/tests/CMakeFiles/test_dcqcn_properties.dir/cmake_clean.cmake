@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dcqcn_properties.dir/test_dcqcn_properties.cpp.o"
+  "CMakeFiles/test_dcqcn_properties.dir/test_dcqcn_properties.cpp.o.d"
+  "test_dcqcn_properties"
+  "test_dcqcn_properties.pdb"
+  "test_dcqcn_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dcqcn_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

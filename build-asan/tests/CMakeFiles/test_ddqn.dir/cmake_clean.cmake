@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ddqn.dir/test_ddqn.cpp.o"
+  "CMakeFiles/test_ddqn.dir/test_ddqn.cpp.o.d"
+  "test_ddqn"
+  "test_ddqn.pdb"
+  "test_ddqn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ddqn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dynamic_tuners.dir/test_dynamic_tuners.cpp.o"
+  "CMakeFiles/test_dynamic_tuners.dir/test_dynamic_tuners.cpp.o.d"
+  "test_dynamic_tuners"
+  "test_dynamic_tuners.pdb"
+  "test_dynamic_tuners[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dynamic_tuners.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fault_plan.dir/test_fault_plan.cpp.o"
+  "CMakeFiles/test_fault_plan.dir/test_fault_plan.cpp.o.d"
+  "test_fault_plan"
+  "test_fault_plan.pdb"
+  "test_fault_plan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fault_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

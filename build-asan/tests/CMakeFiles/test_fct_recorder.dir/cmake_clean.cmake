@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fct_recorder.dir/test_fct_recorder.cpp.o"
+  "CMakeFiles/test_fct_recorder.dir/test_fct_recorder.cpp.o.d"
+  "test_fct_recorder"
+  "test_fct_recorder.pdb"
+  "test_fct_recorder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fct_recorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

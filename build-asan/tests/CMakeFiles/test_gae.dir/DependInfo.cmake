@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_gae.cpp" "tests/CMakeFiles/test_gae.dir/test_gae.cpp.o" "gcc" "tests/CMakeFiles/test_gae.dir/test_gae.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/exp/CMakeFiles/pet_exp.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/acc/CMakeFiles/pet_acc.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/core/CMakeFiles/pet_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/workload/CMakeFiles/pet_workload.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/transport/CMakeFiles/pet_transport.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/net/CMakeFiles/pet_net.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/rl/CMakeFiles/pet_rl.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/pet_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

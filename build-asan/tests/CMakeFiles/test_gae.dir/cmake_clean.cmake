@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gae.dir/test_gae.cpp.o"
+  "CMakeFiles/test_gae.dir/test_gae.cpp.o.d"
+  "test_gae"
+  "test_gae.pdb"
+  "test_gae[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gae.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_host_nic.dir/test_host_nic.cpp.o"
+  "CMakeFiles/test_host_nic.dir/test_host_nic.cpp.o.d"
+  "test_host_nic"
+  "test_host_nic.pdb"
+  "test_host_nic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_host_nic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multiqueue.dir/test_multiqueue.cpp.o"
+  "CMakeFiles/test_multiqueue.dir/test_multiqueue.cpp.o.d"
+  "test_multiqueue"
+  "test_multiqueue.pdb"
+  "test_multiqueue[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multiqueue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ncm.dir/test_ncm.cpp.o"
+  "CMakeFiles/test_ncm.dir/test_ncm.cpp.o.d"
+  "test_ncm"
+  "test_ncm.pdb"
+  "test_ncm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ncm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_network_topology.dir/test_network_topology.cpp.o"
+  "CMakeFiles/test_network_topology.dir/test_network_topology.cpp.o.d"
+  "test_network_topology"
+  "test_network_topology.pdb"
+  "test_network_topology[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_network_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pet_agent.dir/test_pet_agent.cpp.o"
+  "CMakeFiles/test_pet_agent.dir/test_pet_agent.cpp.o.d"
+  "test_pet_agent"
+  "test_pet_agent.pdb"
+  "test_pet_agent[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pet_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

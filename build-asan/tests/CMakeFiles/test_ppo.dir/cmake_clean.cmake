@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ppo.dir/test_ppo.cpp.o"
+  "CMakeFiles/test_ppo.dir/test_ppo.cpp.o.d"
+  "test_ppo"
+  "test_ppo.pdb"
+  "test_ppo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ppo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pretrain.dir/test_pretrain.cpp.o"
+  "CMakeFiles/test_pretrain.dir/test_pretrain.cpp.o.d"
+  "test_pretrain"
+  "test_pretrain.pdb"
+  "test_pretrain[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pretrain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_red_ecn.dir/test_red_ecn.cpp.o"
+  "CMakeFiles/test_red_ecn.dir/test_red_ecn.cpp.o.d"
+  "test_red_ecn"
+  "test_red_ecn.pdb"
+  "test_red_ecn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_red_ecn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

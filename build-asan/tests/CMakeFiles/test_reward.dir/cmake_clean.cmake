@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reward.dir/test_reward.cpp.o"
+  "CMakeFiles/test_reward.dir/test_reward.cpp.o.d"
+  "test_reward"
+  "test_reward.pdb"
+  "test_reward[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reward.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_traffic_gen.dir/test_traffic_gen.cpp.o"
+  "CMakeFiles/test_traffic_gen.dir/test_traffic_gen.cpp.o.d"
+  "test_traffic_gen"
+  "test_traffic_gen.pdb"
+  "test_traffic_gen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_traffic_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
