@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "exp/experiment.hpp"
+#include "exp/experiment_builder.hpp"
 #include "exp/pretrain.hpp"
 #include "exp/table.hpp"
 
@@ -44,41 +45,38 @@ inline BenchOptions parse_options(int argc, char** argv) {
   return opt;
 }
 
-/// Baseline scenario for a scheme/workload/load under the given options.
-inline exp::ScenarioConfig make_scenario(const BenchOptions& opt,
-                                         exp::Scheme scheme,
-                                         workload::WorkloadKind kind,
-                                         double load) {
-  exp::ScenarioConfig cfg;
-  cfg.scheme = scheme;
-  cfg.workload = kind;
-  cfg.load = load;
-  cfg.seed = opt.seed;
+/// Baseline scenario for a scheme/workload/load under the given options;
+/// returns the builder so callers can chain further overrides before
+/// build().
+inline exp::ExperimentBuilder make_scenario(const BenchOptions& opt,
+                                            exp::Scheme scheme,
+                                            workload::WorkloadKind kind,
+                                            double load) {
+  net::LeafSpineConfig topo;
+  exp::ExperimentBuilder builder;
+  builder.scheme(scheme).workload(kind).load(load).seed(opt.seed).tuned_dcqcn();
   if (opt.paper_scale) {
-    cfg.topo = net::LeafSpineConfig::paper_scale();
-    cfg.flow_size_cap_bytes = 0.0;  // full distributions
-    cfg.pretrain = sim::milliseconds(100);
-    cfg.measure = sim::milliseconds(100);
-    cfg.incast_fan_in = 32;
+    topo = net::LeafSpineConfig::paper_scale();
+    builder.flow_size_cap(0.0)  // full distributions
+        .phases(sim::milliseconds(100), sim::milliseconds(100))
+        .incast(32, 32 * 1024, sim::milliseconds(1));
   } else if (opt.quick) {
-    cfg.topo.num_spines = 2;
-    cfg.topo.num_leaves = 2;
-    cfg.topo.hosts_per_leaf = 8;
-    cfg.flow_size_cap_bytes = 4e6;
-    cfg.pretrain = sim::milliseconds(15);
-    cfg.measure = sim::milliseconds(15);
-    cfg.incast_fan_in = 8;
+    topo.num_spines = 2;
+    topo.num_leaves = 2;
+    topo.hosts_per_leaf = 8;
+    builder.flow_size_cap(4e6)
+        .phases(sim::milliseconds(15), sim::milliseconds(15))
+        .incast(8, 32 * 1024, sim::milliseconds(1));
   } else {
-    cfg.topo.num_spines = 2;
-    cfg.topo.num_leaves = 4;
-    cfg.topo.hosts_per_leaf = 8;
-    cfg.flow_size_cap_bytes = 8e6;
-    cfg.pretrain = sim::milliseconds(40);
-    cfg.measure = sim::milliseconds(40);
-    cfg.incast_fan_in = 8;
+    topo.num_spines = 2;
+    topo.num_leaves = 4;
+    topo.hosts_per_leaf = 8;
+    builder.flow_size_cap(8e6)
+        .phases(sim::milliseconds(40), sim::milliseconds(40))
+        .incast(8, 32 * 1024, sim::milliseconds(1));
   }
-  cfg.tune_dcqcn_for_rate();
-  return cfg;
+  builder.topology(topo);
+  return builder;
 }
 
 /// Pre-training budget per mode.
@@ -98,17 +96,18 @@ inline exp::PretrainOptions make_pretrain(const BenchOptions& opt) {
 /// learning schemes), install the initial model, warm up online, measure.
 inline exp::Metrics run_scenario(const BenchOptions& opt, exp::Scheme scheme,
                                  workload::WorkloadKind kind, double load) {
-  exp::ScenarioConfig cfg = make_scenario(opt, scheme, kind, load);
+  exp::ExperimentBuilder builder = make_scenario(opt, scheme, kind, load);
   std::vector<double> weights;
   if (exp::is_learning_scheme(scheme)) {
-    weights = exp::pretrained_weights_cached(cfg, make_pretrain(opt));
-    cfg.expects_pretrained = !weights.empty();
-    cfg.pretrain_lr_boost = 1.0;  // online phase uses the paper's rates
-    cfg.pretrain = sim::milliseconds(opt.quick ? 5 : 10);  // online warmup
+    weights = exp::pretrained_weights_cached(builder.config(),
+                                             make_pretrain(opt));
+    builder.expects_pretrained(!weights.empty())
+        .pretrain_lr_boost(1.0)  // online phase uses the paper's rates
+        .pretrain(sim::milliseconds(opt.quick ? 5 : 10));  // online warmup
   }
-  exp::Experiment experiment(cfg);
-  if (!weights.empty()) experiment.install_learned_weights(weights);
-  return experiment.run();
+  auto experiment = builder.build();
+  if (!weights.empty()) experiment->install_learned_weights(weights);
+  return experiment->run();
 }
 
 inline const char* mode_name(const BenchOptions& opt) {

@@ -29,14 +29,15 @@ int main(int argc, char** argv) {
   std::vector<Series> series;
 
   for (const exp::Scheme scheme : {exp::Scheme::kPet, exp::Scheme::kAcc}) {
-    exp::ScenarioConfig cfg = bench::make_scenario(
+    exp::ExperimentBuilder builder = bench::make_scenario(
         opt, scheme, workload::WorkloadKind::kWebSearch, 0.5);
-    std::vector<double> weights =
-        exp::pretrained_weights_cached(cfg, bench::make_pretrain(opt));
-    cfg.expects_pretrained = !weights.empty();
-    cfg.pretrain_lr_boost = 1.0;
-    cfg.pretrain = warmup;
-    exp::Experiment experiment(cfg);
+    std::vector<double> weights = exp::pretrained_weights_cached(
+        builder.config(), bench::make_pretrain(opt));
+    auto experiment_ptr = builder.expects_pretrained(!weights.empty())
+                              .pretrain_lr_boost(1.0)
+                              .pretrain(warmup)
+                              .build();
+    exp::Experiment& experiment = *experiment_ptr;
     if (!weights.empty()) experiment.install_learned_weights(weights);
 
     // Phase switches: WS (initial) -> DM -> WS -> DM.

@@ -52,16 +52,16 @@ int main(int argc, char** argv) {
                                          exp::Scheme::kSecn1};
 
   for (const exp::Scheme scheme : schemes) {
-    exp::ScenarioConfig cfg = bench::make_scenario(
+    exp::ExperimentBuilder builder = bench::make_scenario(
         opt, scheme, workload::WorkloadKind::kWebSearch, 0.5);
     std::vector<double> weights;
     if (exp::is_learning_scheme(scheme)) {
-      weights = exp::pretrained_weights_cached(cfg, bench::make_pretrain(opt));
-      cfg.expects_pretrained = !weights.empty();
-      cfg.pretrain_lr_boost = 1.0;
+      weights = exp::pretrained_weights_cached(builder.config(),
+                                               bench::make_pretrain(opt));
+      builder.expects_pretrained(!weights.empty()).pretrain_lr_boost(1.0);
     }
-    cfg.pretrain = warmup;
-    exp::Experiment experiment(cfg);
+    auto experiment_ptr = builder.pretrain(warmup).build();
+    exp::Experiment& experiment = *experiment_ptr;
     if (!weights.empty()) experiment.install_learned_weights(weights);
 
     // The flap schedule. Victim links are drawn from the live topology when

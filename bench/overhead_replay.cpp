@@ -18,22 +18,24 @@ int main(int argc, char** argv) {
   const double load = 0.6;
 
   // ACC: run and read the shared replay's accounting.
-  exp::ScenarioConfig acc_cfg = bench::make_scenario(
-      opt, exp::Scheme::kAcc, workload::WorkloadKind::kWebSearch, load);
-  exp::Experiment acc_exp(acc_cfg);
-  acc_exp.run_until(acc_cfg.pretrain + acc_cfg.measure);
-  auto* acc = acc_exp.acc();
+  auto acc_exp = bench::make_scenario(opt, exp::Scheme::kAcc,
+                                      workload::WorkloadKind::kWebSearch, load)
+                     .build();
+  const exp::ScenarioConfig acc_cfg = acc_exp->config();
+  acc_exp->run_until(acc_cfg.pretrain + acc_cfg.measure);
+  auto* acc = acc_exp->acc();
   const double sim_sec = (acc_cfg.pretrain + acc_cfg.measure).sec();
   const std::size_t resident = acc->global_replay().resident_bytes();
   const std::size_t exchange = acc->replay_exchange_bytes();
   const std::size_t agents = acc->num_agents();
 
   // PET: the on-policy rollout is the only experience a switch stores.
-  exp::ScenarioConfig pet_cfg = bench::make_scenario(
-      opt, exp::Scheme::kPet, workload::WorkloadKind::kWebSearch, load);
-  exp::Experiment pet_exp(pet_cfg);
-  pet_exp.run_until(pet_cfg.pretrain + pet_cfg.measure);
-  auto* pet_ctl = pet_exp.pet();
+  auto pet_exp = bench::make_scenario(opt, exp::Scheme::kPet,
+                                      workload::WorkloadKind::kWebSearch, load)
+                     .build();
+  const exp::ScenarioConfig pet_cfg = pet_exp->config();
+  pet_exp->run_until(pet_cfg.pretrain + pet_cfg.measure);
+  auto* pet_ctl = pet_exp->pet();
   const auto& ppo_cfg = pet_ctl->agent(0).policy().config();
   // One transition: state + actions + logprob + value + reward.
   const std::size_t transition_bytes =

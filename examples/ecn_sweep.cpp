@@ -14,7 +14,7 @@
 
 #include "core/ncm.hpp"
 #include "core/reward.hpp"
-#include "exp/experiment.hpp"
+#include "exp/experiment_builder.hpp"
 #include "exp/table.hpp"
 
 int main(int argc, char** argv) {
@@ -40,24 +40,28 @@ int main(int argc, char** argv) {
                     "ncm util", "ncm reward"});
 
   for (const Point& p : grid) {
-    exp::ScenarioConfig cfg;
-    cfg.scheme = exp::Scheme::kSecn1;  // static; thresholds overridden below
-    cfg.workload = workload::WorkloadKind::kWebSearch;
-    cfg.load = load;
-    cfg.topo.num_spines = 2;
-    cfg.topo.num_leaves = 4;
-    cfg.topo.hosts_per_leaf = 8;
-    cfg.flow_size_cap_bytes = 8e6;
-    cfg.pretrain = sim::milliseconds(5);
-    cfg.measure = sim::milliseconds(measure_ms);
-    cfg.tune_dcqcn_for_rate();
-    exp::Experiment experiment(cfg);
+    net::LeafSpineConfig topo;
+    topo.num_spines = 2;
+    topo.num_leaves = 4;
+    topo.hosts_per_leaf = 8;
+    auto experiment_ptr =
+        exp::ExperimentBuilder{}
+            .scheme(exp::Scheme::kSecn1)  // static; thresholds overridden below
+            .workload(workload::WorkloadKind::kWebSearch)
+            .load(load)
+            .topology(topo)
+            .flow_size_cap(8e6)
+            .phases(sim::milliseconds(5), sim::milliseconds(measure_ms))
+            .tuned_dcqcn()
+            .build();
+    exp::Experiment& experiment = *experiment_ptr;
     const net::RedEcnConfig ecn{.kmin_bytes = p.kmin_kb * 1024,
                                 .kmax_bytes = p.kmax_kb * 1024,
                                 .pmax = p.pmax};
+    // One audited call retunes the whole fabric.
+    experiment.network().install_ecn(ecn);
     std::vector<std::unique_ptr<core::Ncm>> monitors;
     for (auto* sw : experiment.network().switches()) {
-      sw->set_ecn_config_all_ports(ecn);
       monitors.push_back(std::make_unique<core::Ncm>(experiment.scheduler(),
                                                      *sw, core::NcmConfig{}));
     }

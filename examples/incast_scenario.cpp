@@ -8,7 +8,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "exp/experiment.hpp"
+#include "exp/experiment_builder.hpp"
 #include "exp/pretrain.hpp"
 #include "exp/table.hpp"
 
@@ -25,29 +25,31 @@ int main(int argc, char** argv) {
 
   for (const exp::Scheme scheme :
        {exp::Scheme::kSecn2, exp::Scheme::kSecn1, exp::Scheme::kPet}) {
-    exp::ScenarioConfig cfg;
-    cfg.scheme = scheme;
-    cfg.workload = workload::WorkloadKind::kWebSearch;
-    cfg.load = 0.2;  // light background; incast dominates
-    cfg.topo.num_spines = 2;
-    cfg.topo.num_leaves = 4;
-    cfg.topo.hosts_per_leaf = 8;
-    cfg.incast_fan_in = fan_in;
-    cfg.incast_request_bytes = request_kb * 1024;
-    cfg.incast_period = sim::microseconds(800);
-    cfg.flow_size_cap_bytes = 2e6;
-    cfg.pretrain = sim::milliseconds(30);
-    cfg.measure = sim::milliseconds(30);
-    cfg.tune_dcqcn_for_rate();
+    net::LeafSpineConfig topo;
+    topo.num_spines = 2;
+    topo.num_leaves = 4;
+    topo.hosts_per_leaf = 8;
+    exp::ExperimentBuilder builder;
+    builder.scheme(scheme)
+        .workload(workload::WorkloadKind::kWebSearch)
+        .load(0.2)  // light background; incast dominates
+        .topology(topo)
+        .incast(fan_in, request_kb * 1024, sim::microseconds(800))
+        .flow_size_cap(2e6)
+        .phases(sim::milliseconds(30), sim::milliseconds(30))
+        .tuned_dcqcn();
     std::vector<double> weights;
     if (exp::is_learning_scheme(scheme)) {
       // Hybrid training: deploy the offline-pretrained model, adapt online.
-      weights = exp::pretrained_weights_cached(cfg, exp::PretrainOptions{});
-      cfg.expects_pretrained = !weights.empty();
-      cfg.pretrain_lr_boost = 1.0;
-      cfg.pretrain = sim::milliseconds(10);
+      weights = exp::pretrained_weights_cached(builder.config(),
+                                               exp::PretrainOptions{});
+      builder.expects_pretrained(!weights.empty())
+          .pretrain_lr_boost(1.0)
+          .pretrain(sim::milliseconds(10));
     }
-    exp::Experiment experiment(cfg);
+    auto experiment_ptr = builder.build();
+    exp::Experiment& experiment = *experiment_ptr;
+    const exp::ScenarioConfig& cfg = experiment.config();
     if (!weights.empty()) experiment.install_learned_weights(weights);
     const exp::Metrics m = experiment.run();
 

@@ -8,7 +8,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "exp/experiment.hpp"
+#include "exp/experiment_builder.hpp"
 #include "exp/pretrain.hpp"
 #include "exp/table.hpp"
 
@@ -16,25 +16,28 @@ int main(int argc, char** argv) {
   using namespace pet;
   const double load = argc > 1 ? std::atof(argv[1]) : 0.5;
 
-  exp::ScenarioConfig cfg;
-  cfg.scheme = exp::Scheme::kPet;
-  cfg.workload = workload::WorkloadKind::kWebSearch;
-  cfg.load = load;
-  cfg.topo.num_spines = 2;
-  cfg.topo.num_leaves = 4;
-  cfg.topo.hosts_per_leaf = 8;
-  cfg.flow_size_cap_bytes = 8e6;
-  cfg.pretrain = sim::milliseconds(20);
-  cfg.tune_dcqcn_for_rate();
+  net::LeafSpineConfig topo;
+  topo.num_spines = 2;
+  topo.num_leaves = 4;
+  topo.hosts_per_leaf = 8;
+  exp::ExperimentBuilder builder;
+  builder.scheme(exp::Scheme::kPet)
+      .workload(workload::WorkloadKind::kWebSearch)
+      .load(load)
+      .topology(topo)
+      .flow_size_cap(8e6)
+      .pretrain(sim::milliseconds(20))
+      .tuned_dcqcn();
 
   // Hybrid training (paper Section 4.4): offline pre-training produces the
   // initial model, each switch then keeps learning online.
   const std::vector<double> weights =
-      exp::pretrained_weights_cached(cfg, exp::PretrainOptions{});
-  cfg.expects_pretrained = !weights.empty();
-  cfg.pretrain_lr_boost = 1.0;
-
-  exp::Experiment experiment(cfg);
+      exp::pretrained_weights_cached(builder.config(), exp::PretrainOptions{});
+  auto experiment_ptr = builder.expects_pretrained(!weights.empty())
+                            .pretrain_lr_boost(1.0)
+                            .build();
+  exp::Experiment& experiment = *experiment_ptr;
+  const exp::ScenarioConfig& cfg = experiment.config();
   if (!weights.empty()) experiment.install_learned_weights(weights);
   experiment.add_event(cfg.pretrain, [&experiment] {
     experiment.mark_measurement_start();  // switch agents to deployment mode

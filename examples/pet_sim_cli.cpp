@@ -12,7 +12,7 @@
 #include <cstring>
 #include <string>
 
-#include "exp/experiment.hpp"
+#include "exp/experiment_builder.hpp"
 #include "exp/pretrain.hpp"
 #include "exp/table.hpp"
 #include "exp/telemetry.hpp"
@@ -122,25 +122,27 @@ CliOptions parse(int argc, char** argv) {
 int main(int argc, char** argv) {
   const CliOptions opt = parse(argc, argv);
 
-  exp::ScenarioConfig cfg;
-  cfg.scheme = opt.scheme;
-  cfg.workload = opt.workload;
-  cfg.load = opt.load;
-  cfg.topo.num_spines = opt.spines;
-  cfg.topo.num_leaves = opt.leaves;
-  cfg.topo.hosts_per_leaf = opt.hosts_per_leaf;
-  cfg.flow_size_cap_bytes = 8e6;
-  cfg.pretrain = sim::milliseconds(opt.pretrain_ms);
-  cfg.measure = sim::milliseconds(opt.measure_ms);
-  cfg.incast_enabled = opt.incast;
-  cfg.seed = opt.seed;
-  cfg.tune_dcqcn_for_rate();
+  net::LeafSpineConfig topo;
+  topo.num_spines = opt.spines;
+  topo.num_leaves = opt.leaves;
+  topo.hosts_per_leaf = opt.hosts_per_leaf;
+  exp::ExperimentBuilder builder;
+  builder.scheme(opt.scheme)
+      .workload(opt.workload)
+      .load(opt.load)
+      .topology(topo)
+      .flow_size_cap(8e6)
+      .phases(sim::milliseconds(opt.pretrain_ms),
+              sim::milliseconds(opt.measure_ms))
+      .incast(opt.incast)
+      .seed(opt.seed)
+      .tuned_dcqcn();
 
   std::vector<double> weights;
   if (opt.use_pretrain_cache && exp::is_learning_scheme(opt.scheme)) {
-    weights = exp::pretrained_weights_cached(cfg, exp::PretrainOptions{});
-    cfg.expects_pretrained = !weights.empty();
-    cfg.pretrain_lr_boost = 1.0;
+    weights = exp::pretrained_weights_cached(builder.config(),
+                                             exp::PretrainOptions{});
+    builder.expects_pretrained(!weights.empty()).pretrain_lr_boost(1.0);
   }
 
   std::printf("pet_sim: %s on %s, %d hosts, load %.0f%%, seed %llu\n",
@@ -149,7 +151,8 @@ int main(int argc, char** argv) {
               opt.leaves * opt.hosts_per_leaf, opt.load * 100,
               static_cast<unsigned long long>(opt.seed));
 
-  exp::Experiment experiment(cfg);
+  auto experiment_ptr = builder.build();
+  exp::Experiment& experiment = *experiment_ptr;
   if (!weights.empty()) experiment.install_learned_weights(weights);
 
   std::unique_ptr<exp::TelemetryRecorder> telemetry;

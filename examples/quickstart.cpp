@@ -7,30 +7,34 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "exp/experiment.hpp"
+#include "exp/experiment_builder.hpp"
 #include "exp/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace pet;
 
-  exp::ScenarioConfig cfg;
-  cfg.scheme = exp::Scheme::kPet;
-  cfg.workload = workload::WorkloadKind::kWebSearch;
-  cfg.load = argc > 1 ? std::atof(argv[1]) : 0.5;
-  cfg.pretrain = sim::milliseconds(10);
-  cfg.measure =
-      sim::milliseconds(argc > 2 ? std::atoll(argv[2]) : 20);
-  cfg.topo.num_spines = 2;
-  cfg.topo.num_leaves = 2;
-  cfg.topo.hosts_per_leaf = 4;
-  cfg.tune_dcqcn_for_rate();
+  net::LeafSpineConfig topo;
+  topo.num_spines = 2;
+  topo.num_leaves = 2;
+  topo.hosts_per_leaf = 4;
+
+  auto experiment =
+      exp::ExperimentBuilder{}
+          .scheme(exp::Scheme::kPet)
+          .workload(workload::WorkloadKind::kWebSearch)
+          .load(argc > 1 ? std::atof(argv[1]) : 0.5)
+          .phases(sim::milliseconds(10),
+                  sim::milliseconds(argc > 2 ? std::atoll(argv[2]) : 20))
+          .topology(topo)
+          .tuned_dcqcn()
+          .build();
+  const exp::ScenarioConfig& cfg = experiment->config();
 
   std::printf("PET quickstart: %d hosts, load %.0f%%, %s workload\n",
               cfg.topo.num_leaves * cfg.topo.hosts_per_leaf, cfg.load * 100,
               workload::workload_name(cfg.workload));
 
-  exp::Experiment experiment(cfg);
-  const exp::Metrics m = experiment.run();
+  const exp::Metrics m = experiment->run();
 
   exp::Table table({"metric", "value"});
   table.add_row({"flows measured", exp::fmt("%lld", (long long)m.flows_measured)});
@@ -46,7 +50,7 @@ int main(int argc, char** argv) {
   table.add_row({"PFC pauses", exp::fmt("%lld", (long long)m.pfc_pauses)});
   table.print();
 
-  if (auto* pet_ctl = experiment.pet()) {
+  if (auto* pet_ctl = experiment->pet()) {
     std::printf("PET agents: %zu, mean reward %.3f, steps %lld\n",
                 pet_ctl->num_agents(), pet_ctl->mean_reward(),
                 (long long)pet_ctl->total_steps());

@@ -52,7 +52,7 @@ void AccAgent::tick() {
   const std::vector<std::int32_t> actions =
       cfg_.training ? learner_->act(state, rng_) : learner_->act_greedy(state);
   current_config_ = cfg_.action_space.to_config(actions);
-  sw_.set_ecn_config_all_ports(current_config_);
+  sw_.install_ecn(current_config_);
   if (cfg_.training) {
     pending_ = Pending{.state = state, .actions = actions};
   }

@@ -70,7 +70,7 @@ void AmtTuner::tick() {
         span * util_[i] * util_[i]);
     const auto kmin = static_cast<std::int64_t>(
         static_cast<double>(kmax) * cfg_.kmin_fraction);
-    sw->set_ecn_config_all_ports(
+    sw->install_ecn(
         {.kmin_bytes = kmin, .kmax_bytes = kmax, .pmax = cfg_.pmax});
     ++adjustments_;
   }
@@ -119,7 +119,7 @@ void QaecnTuner::tick() {
         cfg_.kmax_floor_bytes, cfg_.kmax_ceiling_bytes);
     const auto kmin = static_cast<std::int64_t>(
         static_cast<double>(kmax_[i]) * cfg_.kmin_fraction);
-    sw->set_ecn_config_all_ports(
+    sw->install_ecn(
         {.kmin_bytes = kmin, .kmax_bytes = kmax_[i], .pmax = cfg_.pmax});
     ++adjustments_;
   }

@@ -1,5 +1,7 @@
 #include "core/controller.hpp"
 
+#include <algorithm>
+
 namespace pet::core {
 
 PetController::PetController(sim::Scheduler& sched,
@@ -45,9 +47,56 @@ void PetController::set_training(bool training) {
 
 void PetController::tick_all() {
   if (!running_) return;
-  for (auto& a : agents_) a->tick();
+  if (cfg_.shared_policy && cfg_.batched_inference && agents_.size() > 1) {
+    tick_all_batched();
+  } else {
+    for (auto& a : agents_) a->tick();
+  }
   next_tick_ =
       sched_.schedule_in(cfg_.agent.tuning_interval, [this] { tick_all(); });
+}
+
+void PetController::tick_all_batched() {
+  // Phase 1: close monitoring slots, reward previous actions, run any due
+  // PPO updates — in agent order, exactly as the sequential path does.
+  std::vector<std::optional<PetAgent::TickPrep>> preps(agents_.size());
+  for (std::size_t i = 0; i < agents_.size(); ++i) {
+    preps[i] = agents_[i]->tick_observe();
+  }
+
+  // Phase 2: agents whose action is a plain policy sample share one batched
+  // forward pass; everyone else (greedy/deployment paths) completes alone.
+  std::vector<std::size_t> batched;
+  batched.reserve(agents_.size());
+  for (std::size_t i = 0; i < agents_.size(); ++i) {
+    if (!preps[i].has_value()) continue;
+    if (preps[i]->batched_act) {
+      batched.push_back(i);
+    } else {
+      agents_[i]->tick_complete(*preps[i]);
+    }
+  }
+  if (batched.empty()) return;
+
+  const std::size_t bsz = batched.size();
+  const std::size_t dim = preps[batched[0]]->state.size();
+  std::vector<double> states(bsz * dim);
+  std::vector<sim::Rng*> rngs(bsz);
+  std::vector<double> exploration(bsz);
+  for (std::size_t j = 0; j < bsz; ++j) {
+    PetAgent& a = *agents_[batched[j]];
+    exploration[j] = a.tick_begin_act();
+    const auto& s = preps[batched[j]]->state;
+    std::copy(s.begin(), s.end(), states.begin() + static_cast<std::ptrdiff_t>(j * dim));
+    rngs[j] = &a.action_rng();
+  }
+  std::vector<rl::PpoAgent::ActResult> acts =
+      agents_[batched[0]]->policy().act_batch(
+          states, static_cast<std::int32_t>(bsz), rngs, exploration);
+  for (std::size_t j = 0; j < bsz; ++j) {
+    agents_[batched[j]]->tick_finish_act(*preps[batched[j]],
+                                         std::move(acts[j]));
+  }
 }
 
 void PetController::install_weights(std::span<const double> weights) {

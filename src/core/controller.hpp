@@ -19,6 +19,11 @@ struct PetControllerConfig {
   /// policy (parameter sharing), mirroring the paper's single pre-trained
   /// initial model that is later installed on every switch.
   bool shared_policy = false;
+  /// With a shared policy, evaluate all agents' observations in one batched
+  /// forward pass per tick instead of one network evaluation per agent.
+  /// Per-agent RNG streams and exploration rates are threaded through the
+  /// batch, so each agent draws the same actions it would sequentially.
+  bool batched_inference = true;
   /// First tick fires one tuning interval after start().
   sim::Time start_delay = sim::Time::zero();
 };
@@ -54,6 +59,9 @@ class PetController {
 
  private:
   void tick_all();
+  /// Shared-policy fast path: observe every agent, then act for all of them
+  /// with one batched policy forward.
+  void tick_all_batched();
 
   sim::Scheduler& sched_;
   PetControllerConfig cfg_;

@@ -41,11 +41,7 @@ MultiQueuePetAgent::MultiQueuePetAgent(
 
 void MultiQueuePetAgent::apply(std::int32_t queue_idx,
                                const net::RedEcnConfig& ecn) {
-  for (std::int32_t p = 0; p < sw_.num_ports(); ++p) {
-    if (queue_idx < sw_.port(p).num_data_queues()) {
-      sw_.port(p).set_ecn_config(queue_idx, ecn);
-    }
-  }
+  sw_.install_ecn(ecn, net::PortSelector::queue(queue_idx));
 }
 
 void MultiQueuePetAgent::tick() {

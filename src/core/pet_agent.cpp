@@ -90,7 +90,7 @@ void PetAgent::quarantine(const std::string& reason) {
   // The switch must keep forwarding sanely without its tuner: fall back to
   // the static DCQCN-style thresholds until the agent is back in service.
   current_config_ = cfg_.guardrails.fallback_ecn.clamped();
-  sw_.set_ecn_config_all_ports(current_config_);
+  sw_.install_ecn(current_config_);
 }
 
 void PetAgent::check_telemetry(const NcmSnapshot& snap) {
@@ -168,6 +168,12 @@ void PetAgent::finalize_pending(const NcmSnapshot& snap,
 }
 
 void PetAgent::tick() {
+  const std::optional<TickPrep> prep = tick_observe();
+  if (!prep.has_value()) return;
+  tick_complete(*prep);
+}
+
+std::optional<PetAgent::TickPrep> PetAgent::tick_observe() {
   // 1. Close the monitoring slot; its statistics are the outcome of the
   //    previous action.
   const NcmSnapshot snap = ncm_.sample();
@@ -181,52 +187,88 @@ void PetAgent::tick() {
       transition(AgentHealth::kProbation, "quarantine elapsed");
       probation_clean_ = 0;
     }
-    return;
+    return std::nullopt;
   }
 
   state_builder_.push_slot(snap, current_config_);
-  const std::vector<double> state = state_builder_.state();
-  if (guarded && !all_finite(state)) {
+  TickPrep prep;
+  prep.state = state_builder_.state();
+  if (guarded && !all_finite(prep.state)) {
     // Corrupted telemetry must never reach the policy network.
     quarantine("non-finite state vector");
-    return;
+    return std::nullopt;
   }
 
-  finalize_pending(snap, state);
+  finalize_pending(snap, prep.state);
 
-  // 2. Learn once enough on-policy experience accumulated.
-  if (cfg_.training &&
+  // 2. Learn once enough on-policy experience accumulated. With local
+  //    updates deferred, the buffer keeps growing until a replica runner
+  //    harvests it for a merged cross-replica update.
+  if (cfg_.training && local_updates_ &&
       rollout_.size() >= static_cast<std::size_t>(cfg_.rollout_length)) {
-    const double bootstrap = policy_->value(state);
+    const double bootstrap = policy_->value(prep.state);
     last_update_ = policy_->update(rollout_, bootstrap);
     rollout_.clear();
     ++updates_;
     if (guarded) {
       if (auto fault = update_fault(last_update_)) {
         quarantine(*fault);
-        return;
+        return std::nullopt;
       }
       maybe_checkpoint();
     }
   }
 
-  // 3. Select and apply the next ECN configuration.
+  prep.batched_act = cfg_.training && !deployment_mode_;
+  return prep;
+}
+
+double PetAgent::tick_begin_act() {
   ++steps_;
+  const double explore = health_ == AgentHealth::kProbation
+                             ? cfg_.guardrails.probation_exploration
+                             : exploration_for_step(steps_);
+  policy_->set_exploration_rate(explore);
+  const double frac = cfg_.explore_start > 0.0
+                          ? exploration_for_step(steps_) / cfg_.explore_start
+                          : 0.0;
+  policy_->set_entropy_coef(
+      std::max(cfg_.entropy_min, cfg_.entropy_start * std::min(1.0, frac)));
+  return explore;
+}
+
+void PetAgent::tick_finish_act(const TickPrep& prep,
+                               rl::PpoAgent::ActResult act) {
+  if (cfg_.guardrails.enabled &&
+      (!std::isfinite(act.log_prob) || !std::isfinite(act.value))) {
+    // NaN/Inf in the policy outputs: never actuate from a broken network.
+    quarantine("non-finite policy output");
+    return;
+  }
+  current_config_ = cfg_.action_space.to_config(act.actions);
+  pending_ = rl::Transition{.state = prep.state,
+                            .actions = std::move(act.actions),
+                            .log_prob = act.log_prob,
+                            .value = act.value,
+                            .reward = 0.0};
+  sw_.install_ecn(current_config_);
+
+  if (health_ == AgentHealth::kProbation &&
+      ++probation_clean_ >= cfg_.guardrails.probation_ticks) {
+    transition(AgentHealth::kHealthy, "probation served");
+  }
+}
+
+void PetAgent::tick_complete(const TickPrep& prep) {
+  const bool guarded = cfg_.guardrails.enabled;
+  // 3. Select and apply the next ECN configuration.
   if (cfg_.training) {
-    const double explore = health_ == AgentHealth::kProbation
-                               ? cfg_.guardrails.probation_exploration
-                               : exploration_for_step(steps_);
-    policy_->set_exploration_rate(explore);
-    const double frac = cfg_.explore_start > 0.0
-                            ? exploration_for_step(steps_) / cfg_.explore_start
-                            : 0.0;
-    policy_->set_entropy_coef(std::max(
-        cfg_.entropy_min, cfg_.entropy_start * std::min(1.0, frac)));
+    (void)tick_begin_act();
     rl::PpoAgent::ActResult act;
     if (deployment_mode_) {
       // Exploit the mode; keep the transition PPO-consistent by evaluating
       // the chosen action under the current policy.
-      act.actions = policy_->act_greedy(state);
+      act.actions = policy_->act_greedy(prep.state);
       if (policy_->exploration_rate() > 0.0 &&
           rng_.bernoulli(policy_->exploration_rate())) {
         // Deployed switches probe conservatively: one head, one level up or
@@ -234,38 +276,37 @@ void PetAgent::tick() {
         act.actions = local_exploration_step(
             std::move(act.actions), cfg_.action_space.head_sizes(), rng_);
       }
-      const rl::PpoAgent::Evaluation ev = policy_->evaluate(state, act.actions);
+      const rl::PpoAgent::Evaluation ev =
+          policy_->evaluate(prep.state, act.actions);
       act.log_prob = ev.log_prob;
       act.value = ev.value;
     } else {
-      act = policy_->act(state, rng_);
+      act = policy_->act(prep.state, rng_);
     }
-    if (guarded &&
-        (!std::isfinite(act.log_prob) || !std::isfinite(act.value))) {
-      // NaN/Inf in the policy outputs: never actuate from a broken network.
-      quarantine("non-finite policy output");
-      return;
-    }
-    current_config_ = cfg_.action_space.to_config(act.actions);
-    pending_ = rl::Transition{.state = state,
-                              .actions = std::move(act.actions),
-                              .log_prob = act.log_prob,
-                              .value = act.value,
-                              .reward = 0.0};
+    tick_finish_act(prep, std::move(act));
   } else {
-    if (guarded && !std::isfinite(policy_->value(state))) {
+    ++steps_;
+    if (guarded && !std::isfinite(policy_->value(prep.state))) {
       quarantine("non-finite policy output");
       return;
     }
-    const std::vector<std::int32_t> actions = policy_->act_greedy(state);
+    const std::vector<std::int32_t> actions = policy_->act_greedy(prep.state);
     current_config_ = cfg_.action_space.to_config(actions);
-  }
-  sw_.set_ecn_config_all_ports(current_config_);
+    sw_.install_ecn(current_config_);
 
-  if (health_ == AgentHealth::kProbation &&
-      ++probation_clean_ >= cfg_.guardrails.probation_ticks) {
-    transition(AgentHealth::kHealthy, "probation served");
+    if (health_ == AgentHealth::kProbation &&
+        ++probation_clean_ >= cfg_.guardrails.probation_ticks) {
+      transition(AgentHealth::kHealthy, "probation served");
+    }
   }
+}
+
+PetAgent::Harvest PetAgent::harvest_rollout() {
+  Harvest h;
+  h.rollout = std::move(rollout_);
+  rollout_.clear();
+  h.bootstrap = pending_.has_value() ? pending_->value : 0.0;
+  return h;
 }
 
 void PetAgent::reset_episode() {

@@ -66,6 +66,52 @@ class PetAgent {
   /// One tuning step; the controller calls this every tuning_interval.
   void tick();
 
+  // --- split tick: batched policy inference across agents -------------------
+  /// Result of the observation phase of one tuning step: the stacked state
+  /// the policy will act on, plus whether this agent's action can be
+  /// evaluated in a shared batched forward pass (training, non-deployment).
+  struct TickPrep {
+    std::vector<double> state;
+    bool batched_act = false;
+  };
+
+  /// Phase 1 of tick(): close the monitoring slot, run guardrails, build
+  /// the state, reward the previous action and (if due) run the PPO update.
+  /// Returns nullopt when the tick already completed (quarantine paths).
+  [[nodiscard]] std::optional<TickPrep> tick_observe();
+
+  /// Phase 2a (batched path): advance the step counter and set the
+  /// policy's exploration/entropy schedule; returns the exploration rate to
+  /// use for this agent's sample in the batched act.
+  [[nodiscard]] double tick_begin_act();
+
+  /// Phase 2b (batched path): install a policy decision computed by a
+  /// batched act. Equivalent to the in-tick act with the same sample.
+  void tick_finish_act(const TickPrep& prep, rl::PpoAgent::ActResult act);
+
+  /// Phase 2 (sequential path): everything after tick_observe().
+  void tick_complete(const TickPrep& prep);
+
+  // --- replica-parallel rollout collection ----------------------------------
+  /// When disabled, the agent keeps collecting transitions but never runs
+  /// its own PPO update — a replica runner harvests the rollout and merges
+  /// it with sibling replicas into one central update instead.
+  void set_local_updates(bool enabled) { local_updates_ = enabled; }
+  [[nodiscard]] bool local_updates() const { return local_updates_; }
+
+  /// A harvested on-policy trajectory plus the critic bootstrap for the
+  /// state following its last transition (the still-pending transition's
+  /// value, or 0 when the episode produced none).
+  struct Harvest {
+    rl::RolloutBuffer rollout;
+    double bootstrap = 0.0;
+  };
+
+  /// Move the collected rollout out of the agent (the buffer is left
+  /// empty). The pending transition stays in place so a continuing episode
+  /// remains consistent.
+  [[nodiscard]] Harvest harvest_rollout();
+
   void set_training(bool training) { cfg_.training = training; }
   [[nodiscard]] bool training() const { return cfg_.training; }
 
@@ -81,6 +127,9 @@ class PetAgent {
   [[nodiscard]] bool deployment_mode() const { return deployment_mode_; }
 
   [[nodiscard]] rl::PpoAgent& policy() { return *policy_; }
+  /// The agent's private action-sampling stream (batched acts draw from it
+  /// in the agent's place so sequential and batched ticks match bitwise).
+  [[nodiscard]] sim::Rng& action_rng() { return rng_; }
   [[nodiscard]] const rl::PpoAgent& policy() const { return *policy_; }
   [[nodiscard]] Ncm& ncm() { return ncm_; }
   [[nodiscard]] net::SwitchDevice& switch_device() { return sw_; }
@@ -160,6 +209,7 @@ class PetAgent {
   std::int64_t updates_ = 0;
   double frozen_exploration_ = -1.0;
   bool deployment_mode_ = false;
+  bool local_updates_ = true;
   sim::RunningStats reward_stats_;
   rl::PpoAgent::UpdateStats last_update_{};
 

@@ -90,11 +90,8 @@ workload::EmpiricalCdf Experiment::sized_cdf(
 void Experiment::install_scheme() {
   // Every scheme starts from the SECN1 static config; the learning schemes
   // then re-tune it each interval.
-  for (auto* sw : net_.switches()) {
-    sw->set_ecn_config_all_ports(cfg_.scheme == Scheme::kSecn2
-                                     ? secn2_config()
-                                     : secn1_config());
-  }
+  net_.install_ecn(cfg_.scheme == Scheme::kSecn2 ? secn2_config()
+                                                 : secn1_config());
   switch (cfg_.scheme) {
     case Scheme::kSecn1:
     case Scheme::kSecn2:

@@ -1,0 +1,224 @@
+#include "exp/replica_runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <chrono>
+#include <exception>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+
+#include "sim/rng.hpp"
+
+namespace pet::exp {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+void fold(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFFu;
+    h *= kFnvPrime;
+  }
+}
+
+void fold(std::uint64_t& h, double v) { fold(h, std::bit_cast<std::uint64_t>(v)); }
+
+void fold_harvest(std::uint64_t& h, const core::PetAgent::Harvest& harvest) {
+  fold(h, static_cast<std::uint64_t>(harvest.rollout.size()));
+  fold(h, harvest.bootstrap);
+  for (const rl::Transition& t : harvest.rollout.items()) {
+    for (const std::int32_t a : t.actions) {
+      fold(h, static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)));
+    }
+    fold(h, t.log_prob);
+    fold(h, t.value);
+    fold(h, t.reward);
+  }
+}
+
+}  // namespace
+
+struct ReplicaRunner::ReplicaResult {
+  std::vector<core::PetAgent::Harvest> harvests;  // indexed by agent
+};
+
+ReplicaRunner::ReplicaRunner(const ScenarioConfig& scenario,
+                             ReplicaRunnerConfig cfg)
+    : scenario_(scenario), cfg_(cfg) {
+  if (cfg_.replicas < 1) {
+    throw std::invalid_argument("ReplicaRunner: replicas must be >= 1");
+  }
+  if (scenario_.scheme != Scheme::kPet &&
+      scenario_.scheme != Scheme::kPetAblation) {
+    throw std::invalid_argument(
+        "ReplicaRunner: merged IPPO updates require a PET scheme");
+  }
+  // The central model holder is a full Experiment whose scheduler never
+  // advances: it exists to own one policy per switch with the exact shapes
+  // and seeds a sequential run would use.
+  ScenarioConfig central = scenario_;
+  central.pet_shared_policy = false;
+  central_ = std::make_unique<Experiment>(central);
+}
+
+ReplicaRunner::~ReplicaRunner() = default;
+
+std::size_t ReplicaRunner::num_agents() const {
+  return central_->pet()->num_agents();
+}
+
+std::vector<double> ReplicaRunner::agent_weights(std::size_t i) const {
+  return central_->pet()->agent(i).policy().weights();
+}
+
+std::vector<double> ReplicaRunner::all_weights() const {
+  std::vector<double> all;
+  for (std::size_t i = 0; i < num_agents(); ++i) {
+    const std::vector<double> w = agent_weights(i);
+    all.insert(all.end(), w.begin(), w.end());
+  }
+  return all;
+}
+
+ReplicaRunner::ReplicaResult ReplicaRunner::run_replica(
+    std::int32_t r, std::int32_t e,
+    const std::vector<std::vector<double>>& weights) const {
+  // Everything stochastic inside the replica hangs off this seed chain, so
+  // the replica's trajectory is a pure function of (seed, r, e).
+  ScenarioConfig cfg = scenario_;
+  cfg.seed = sim::Stream(scenario_.seed)
+                 .child("replica")
+                 .child(static_cast<std::uint64_t>(r))
+                 .child(static_cast<std::uint64_t>(e))
+                 .seed();
+  cfg.pet_shared_policy = false;
+  Experiment ex(cfg);
+  core::PetController* pet = ex.pet();
+  const std::size_t n = pet->num_agents();
+  for (std::size_t i = 0; i < n; ++i) {
+    core::PetAgent& agent = pet->agent(i);
+    agent.policy().set_weights(weights[i]);
+    agent.set_local_updates(false);  // experience is merged centrally
+  }
+  const sim::Time len = cfg_.episode_length > sim::Time::zero()
+                            ? cfg_.episode_length
+                            : scenario_.pretrain;
+  ex.run_until(len);
+  ReplicaResult res;
+  res.harvests.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    res.harvests.push_back(pet->agent(i).harvest_rollout());
+  }
+  return res;
+}
+
+ReplicaRunner::EpisodeStats ReplicaRunner::run_episode() {
+  const std::int32_t e = next_episode_++;
+  core::PetController* pet = central_->pet();
+  const std::size_t n = pet->num_agents();
+
+  std::vector<std::vector<double>> weights(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    weights[i] = pet->agent(i).policy().weights();
+  }
+
+  const auto replicas = static_cast<std::size_t>(cfg_.replicas);
+  std::vector<std::optional<ReplicaResult>> results(replicas);
+  std::vector<std::exception_ptr> errors(replicas);
+
+  unsigned threads = cfg_.threads > 0
+                         ? static_cast<unsigned>(cfg_.threads)
+                         : std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+  threads = std::min<unsigned>(threads, static_cast<unsigned>(replicas));
+
+  // Work distribution is an atomic ticket counter: which thread simulates
+  // which replica is scheduling noise — results land in per-replica slots
+  // and are merged in replica order below.
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&] {
+    for (std::size_t r = next.fetch_add(1); r < replicas;
+         r = next.fetch_add(1)) {
+      try {
+        results[r] = run_replica(static_cast<std::int32_t>(r), e, weights);
+      } catch (...) {
+        errors[r] = std::current_exception();
+      }
+    }
+  };
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  for (const std::exception_ptr& err : errors) {
+    if (err) std::rethrow_exception(err);
+  }
+
+  // Merge: per agent, the replicas' trajectories become GAE-isolated slices
+  // of one central PPO update, consumed in replica order.
+  EpisodeStats st;
+  st.episode = e;
+  // Chain across episodes so a multi-episode digest covers the whole run.
+  std::uint64_t digest = digest_ ^ kFnvOffset;
+  double reward_sum = 0.0;
+  std::size_t updated_agents = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<rl::PpoAgent::RolloutSlice> slices;
+    slices.reserve(replicas);
+    for (std::size_t r = 0; r < replicas; ++r) {
+      const core::PetAgent::Harvest& h = results[r]->harvests[i];
+      fold_harvest(digest, h);
+      if (h.rollout.empty()) continue;
+      slices.push_back({&h.rollout, h.bootstrap});
+      st.transitions += h.rollout.size();
+      for (const rl::Transition& t : h.rollout.items()) {
+        reward_sum += t.reward;
+      }
+    }
+    if (slices.empty()) continue;
+    const rl::PpoAgent::UpdateStats up =
+        pet->agent(i).policy().update_merged(slices);
+    st.policy_loss += up.policy_loss;
+    st.value_loss += up.value_loss;
+    st.entropy += up.entropy;
+    ++updated_agents;
+  }
+  if (updated_agents > 0) {
+    const auto inv = 1.0 / static_cast<double>(updated_agents);
+    st.policy_loss *= inv;
+    st.value_loss *= inv;
+    st.entropy *= inv;
+  }
+  if (st.transitions > 0) {
+    st.mean_reward = reward_sum / static_cast<double>(st.transitions);
+  }
+  digest_ = digest;
+  return st;
+}
+
+ReplicaRunner::RunStats ReplicaRunner::run() {
+  RunStats stats;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::int32_t e = 0; e < cfg_.episodes; ++e) {
+    stats.episodes.push_back(run_episode());
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  stats.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+  const auto replica_episodes =
+      static_cast<double>(cfg_.episodes) * static_cast<double>(cfg_.replicas);
+  if (stats.wall_seconds > 0.0) {
+    stats.replicas_per_sec = replica_episodes / stats.wall_seconds;
+  }
+  stats.rollout_digest = digest_;
+  return stats;
+}
+
+}  // namespace pet::exp

@@ -1,0 +1,107 @@
+#pragma once
+// ReplicaRunner: data-parallel IPPO training over N independent simulation
+// replicas.
+//
+// Each replica owns a complete simulation stack — its own sim::Scheduler,
+// network, transport, workload generators and PET agents — so replicas
+// share no mutable state and can run on any number of worker threads.
+// Replica r of episode e seeds every stream from the deterministic chain
+// Stream(seed).child("replica").child(r).child(e), so the experience each
+// replica collects depends only on (seed, r, e) — never on which thread ran
+// it or in what order replicas finished.
+//
+// Per episode:
+//   1. the central per-switch policies are copied into every replica;
+//   2. replicas simulate one episode with local PPO updates disabled,
+//      accumulating on-policy rollouts per agent;
+//   3. the harvested rollouts are merged in replica order — per agent — into
+//      one PpoAgent::update_merged() call on the central policy (GAE never
+//      crosses a replica boundary).
+//
+// The merge consumes slices in replica order, so the updated weights are
+// bitwise identical for a given (seed, replicas) whatever the thread count.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "exp/experiment.hpp"
+
+namespace pet::exp {
+
+struct ReplicaRunnerConfig {
+  /// Independent replicas per episode.
+  std::int32_t replicas = 4;
+  /// Worker threads (0 = hardware concurrency, capped at `replicas`).
+  std::int32_t threads = 0;
+  /// Training episodes (central update rounds).
+  std::int32_t episodes = 1;
+  /// Simulated time each replica runs per episode; zero means "use the
+  /// scenario's pretrain window".
+  sim::Time episode_length = sim::Time::zero();
+};
+
+class ReplicaRunner {
+ public:
+  struct EpisodeStats {
+    std::int32_t episode = 0;
+    /// Mean reward over every transition harvested this episode.
+    double mean_reward = 0.0;
+    /// Merged transitions across all replicas and agents.
+    std::size_t transitions = 0;
+    /// Update statistics averaged over agents that had experience.
+    double policy_loss = 0.0;
+    double value_loss = 0.0;
+    double entropy = 0.0;
+  };
+
+  struct RunStats {
+    std::vector<EpisodeStats> episodes;
+    double wall_seconds = 0.0;
+    /// Replica-episodes simulated per wall-clock second.
+    double replicas_per_sec = 0.0;
+    /// FNV-1a digest over the merged experience (replica order): equal
+    /// digests across runs prove thread-count independence bitwise.
+    std::uint64_t rollout_digest = 0;
+  };
+
+  /// Requires a PET scheme (kPet / kPetAblation); throws
+  /// std::invalid_argument otherwise or when cfg.replicas < 1.
+  ReplicaRunner(const ScenarioConfig& scenario, ReplicaRunnerConfig cfg);
+  ~ReplicaRunner();
+
+  ReplicaRunner(ReplicaRunner&&) noexcept = default;
+  ReplicaRunner& operator=(ReplicaRunner&&) noexcept = default;
+
+  /// Run all configured episodes; cumulative across calls.
+  RunStats run();
+  /// Run exactly one episode (central update round).
+  EpisodeStats run_episode();
+
+  [[nodiscard]] std::size_t num_agents() const;
+  /// Central (post-merge) weights of agent `i`'s policy.
+  [[nodiscard]] std::vector<double> agent_weights(std::size_t i) const;
+  /// Flat digest-friendly concatenation of every agent's central weights.
+  [[nodiscard]] std::vector<double> all_weights() const;
+  [[nodiscard]] const ScenarioConfig& scenario() const { return scenario_; }
+  [[nodiscard]] const ReplicaRunnerConfig& config() const { return cfg_; }
+  [[nodiscard]] std::uint64_t last_digest() const { return digest_; }
+
+ private:
+  struct ReplicaResult;
+  /// Simulate replica `r` of episode `e` starting from `weights` (one
+  /// vector per agent). Runs on a worker thread; touches no shared state.
+  [[nodiscard]] ReplicaResult run_replica(
+      std::int32_t r, std::int32_t e,
+      const std::vector<std::vector<double>>& weights) const;
+
+  ScenarioConfig scenario_;
+  ReplicaRunnerConfig cfg_;
+  /// Central model holder: constructed once, never simulated; its PET
+  /// agents' policies are the merge targets.
+  std::unique_ptr<Experiment> central_;
+  std::int32_t next_episode_ = 0;
+  std::uint64_t digest_ = 0;
+};
+
+}  // namespace pet::exp

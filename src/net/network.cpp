@@ -171,6 +171,16 @@ void Network::recompute_routes() {
   }
 }
 
+std::size_t Network::install_ecn(const RedEcnConfig& cfg,
+                                 const PortSelector& sel) {
+  std::size_t touched = 0;
+  for (auto* sw : switches_) {
+    if (!sel.matches_switch(sw->id())) continue;
+    touched += sw->install_ecn(cfg, sel);
+  }
+  return touched;
+}
+
 std::int64_t Network::total_switch_drops() const {
   std::int64_t total = 0;
   for (const auto* sw : switches_) {

@@ -42,6 +42,60 @@ struct RedEcnConfig {
   friend bool operator==(const RedEcnConfig&, const RedEcnConfig&) = default;
 };
 
+/// Selects which (switch, port, queue) triples an ECN installation targets.
+/// The default selects everything; factories narrow one dimension at a
+/// time. This is the single vocabulary for all three historical install
+/// paths: switch-wide (schemes, PET actions, static fallback), per-port,
+/// and per-queue (multiqueue adaptation).
+class PortSelector {
+ public:
+  static constexpr std::int32_t kAny = -1;
+
+  /// Every queue of every port of every switch.
+  [[nodiscard]] static PortSelector all() { return PortSelector{}; }
+  /// Every queue of one port.
+  [[nodiscard]] static PortSelector port(std::int32_t p) {
+    PortSelector s;
+    s.port_ = p;
+    return s;
+  }
+  /// One queue index across every port (multiqueue: one config per queue).
+  [[nodiscard]] static PortSelector queue(std::int32_t q) {
+    PortSelector s;
+    s.queue_ = q;
+    return s;
+  }
+  /// A single (port, queue) pair.
+  [[nodiscard]] static PortSelector port_queue(std::int32_t p, std::int32_t q) {
+    PortSelector s;
+    s.port_ = p;
+    s.queue_ = q;
+    return s;
+  }
+
+  /// Narrow any selector to one switch (network-level installs).
+  [[nodiscard]] PortSelector on_switch(std::int32_t device_id) const {
+    PortSelector s = *this;
+    s.switch_ = device_id;
+    return s;
+  }
+
+  [[nodiscard]] bool matches_switch(std::int32_t device_id) const {
+    return switch_ == kAny || switch_ == device_id;
+  }
+  [[nodiscard]] bool matches_port(std::int32_t p) const {
+    return port_ == kAny || port_ == p;
+  }
+  [[nodiscard]] bool matches_queue(std::int32_t q) const {
+    return queue_ == kAny || queue_ == q;
+  }
+
+ private:
+  std::int32_t switch_ = kAny;
+  std::int32_t port_ = kAny;
+  std::int32_t queue_ = kAny;
+};
+
 /// Marking probability for instantaneous queue length `qlen_bytes`.
 [[nodiscard]] inline double red_mark_probability(const RedEcnConfig& cfg,
                                                  std::int64_t qlen_bytes) {

@@ -142,15 +142,28 @@ void SwitchDevice::reboot(const RedEcnConfig& ecn_after) {
   set_ecn_config_all_ports(ecn_after);
 }
 
+std::size_t SwitchDevice::install_ecn(const RedEcnConfig& cfg,
+                                      const PortSelector& sel) {
+  ++ecn_installs_;
+  std::size_t touched = 0;
+  for (std::int32_t p = 0; p < num_ports(); ++p) {
+    if (!sel.matches_port(p)) continue;
+    auto& prt = port(p);
+    for (std::int32_t q = 0; q < prt.num_data_queues(); ++q) {
+      if (!sel.matches_queue(q)) continue;
+      prt.set_ecn_config(q, cfg);
+      ++touched;
+    }
+  }
+  return touched;
+}
+
 void SwitchDevice::set_ecn_config_all_ports(const RedEcnConfig& cfg) {
-  for (std::int32_t p = 0; p < num_ports(); ++p) set_ecn_config(p, cfg);
+  install_ecn(cfg, PortSelector::all());
 }
 
 void SwitchDevice::set_ecn_config(std::int32_t p, const RedEcnConfig& cfg) {
-  auto& prt = port(p);
-  for (std::int32_t q = 0; q < prt.num_data_queues(); ++q) {
-    prt.set_ecn_config(q, cfg);
-  }
+  install_ecn(cfg, PortSelector::port(p));
 }
 
 }  // namespace pet::net

@@ -64,10 +64,20 @@ class SwitchDevice : public Device {
   void on_packet_departed(std::int32_t port, const QueueEntry& entry) override;
 
   // --- actuation: the knob the RL agents turn ------------------------------
-  /// Apply an ECN config to every data queue of every port.
+  /// The single audited ECN installation entry point: every scheme, PET
+  /// action, multiqueue adaptation and static fallback lands here. Applies
+  /// `cfg` to each (port, queue) the selector matches (invalid configs are
+  /// clamped at the port), bumps the install counter, and returns the
+  /// number of queues touched.
+  std::size_t install_ecn(const RedEcnConfig& cfg,
+                          const PortSelector& sel = PortSelector::all());
+  /// Convenience wrapper: every data queue of every port.
   void set_ecn_config_all_ports(const RedEcnConfig& cfg);
-  /// Apply an ECN config to all data queues of one port.
+  /// Convenience wrapper: all data queues of one port.
   void set_ecn_config(std::int32_t port, const RedEcnConfig& cfg);
+  /// Number of install_ecn() calls over this switch's lifetime (audit
+  /// trail: actuations per agent tick are visible to tests/telemetry).
+  [[nodiscard]] std::int64_t ecn_installs() const { return ecn_installs_; }
 
   // --- fault injection ------------------------------------------------------
   /// Crash-and-restart: every queued packet is lost, shared-buffer and PFC
@@ -108,6 +118,7 @@ class SwitchDevice : public Device {
 
   std::int64_t dropped_no_route_ = 0;
   std::int64_t dropped_buffer_full_ = 0;
+  std::int64_t ecn_installs_ = 0;
   std::int64_t pfc_pauses_sent_ = 0;
   std::int64_t reboots_ = 0;
   std::int64_t dropped_on_reboot_ = 0;

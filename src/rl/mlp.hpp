@@ -37,6 +37,20 @@ class Linear {
   void backward(std::span<const double> x, std::span<const double> dy,
                 std::span<double> dx);
 
+  /// Batched forward over row-major matrices: `x` is (batch x in), `y` is
+  /// (batch x out). Uses a register-blocked GEMM inner loop but keeps each
+  /// (sample, output) accumulation in ascending-input order, so the result
+  /// is bitwise identical to `batch` sequential forward() calls.
+  void forward_batch(std::span<const double> x, std::span<double> y,
+                     std::int32_t batch) const;
+
+  /// Batched backward: `x` (batch x in), `dy` (batch x out); if `dx` is
+  /// non-empty (batch x in), also produces per-sample input gradients.
+  /// Gradient accumulation visits samples in ascending order per parameter,
+  /// bitwise-matching `batch` sequential backward() calls.
+  void backward_batch(std::span<const double> x, std::span<const double> dy,
+                      std::span<double> dx, std::int32_t batch);
+
   void zero_grad();
   void collect(ParamRefs& refs);
 
@@ -74,6 +88,31 @@ class Mlp {
   /// must come from the corresponding forward call.
   std::vector<double> backward(std::span<const double> x, const Cache& cache,
                                std::span<const double> dy);
+
+  /// Per-layer batched activations captured by forward_batch, consumed by
+  /// backward_batch. Layer l holds row-major (batch x sizes_[l+1]) planes.
+  struct BatchCache {
+    std::int32_t batch = 0;
+    std::vector<std::vector<double>> pre;
+    std::vector<std::vector<double>> post;
+  };
+
+  /// Batched forward: `x` is row-major (batch x input_size()); returns
+  /// row-major (batch x output_size()). Bitwise identical to `batch`
+  /// forward() calls — the batched path is a pure reordering of the same
+  /// per-sample dot products.
+  [[nodiscard]] std::vector<double> forward_batch(
+      std::span<const double> x, std::int32_t batch,
+      BatchCache* cache = nullptr) const;
+
+  /// Batched backprop of `dy` (batch x output_size()); accumulates
+  /// parameter gradients for the whole batch and returns dL/dx
+  /// (batch x input_size()). Bitwise identical to sequential backward()
+  /// calls over the same samples in order.
+  std::vector<double> backward_batch(std::span<const double> x,
+                                     const BatchCache& cache,
+                                     std::span<const double> dy,
+                                     std::int32_t batch);
 
   void zero_grad();
   void collect(ParamRefs& refs);

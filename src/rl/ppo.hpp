@@ -48,12 +48,25 @@ class PpoAgent {
   /// the current policy so the PPO ratio stays well-defined.
   [[nodiscard]] ActResult act(std::span<const double> state, sim::Rng& rng);
 
+  /// Batched act over row-major (batch x input_size) states — one policy
+  /// evaluated for many agents/observations in a single pass. Each sample
+  /// draws from its own RNG stream with its own exploration rate, so the
+  /// per-sample random sequences (and therefore results) are bitwise
+  /// identical to sequential act() calls in the same order.
+  [[nodiscard]] std::vector<ActResult> act_batch(
+      std::span<const double> states, std::int32_t batch,
+      std::span<sim::Rng* const> rngs, std::span<const double> exploration);
+
   /// Deterministic (argmax per head) action for evaluation.
   [[nodiscard]] std::vector<std::int32_t> act_greedy(
       std::span<const double> state) const;
 
   /// Critic value estimate (bootstrap for unfinished episodes).
   [[nodiscard]] double value(std::span<const double> state) const;
+
+  /// Batched critic values for row-major (batch x input_size) states.
+  [[nodiscard]] std::vector<double> value_batch(std::span<const double> states,
+                                                std::int32_t batch) const;
 
   /// Joint log-prob (under the current policy) and value for externally
   /// chosen actions — lets a deployment-mode agent act greedily while still
@@ -64,6 +77,12 @@ class PpoAgent {
   };
   [[nodiscard]] Evaluation evaluate(std::span<const double> state,
                                     std::span<const std::int32_t> actions) const;
+
+  /// Batched evaluate: `states` is (batch x input_size), `actions` is
+  /// (batch x num_heads), both row-major.
+  [[nodiscard]] std::vector<Evaluation> evaluate_batch(
+      std::span<const double> states, std::span<const std::int32_t> actions,
+      std::int32_t batch) const;
 
   struct UpdateStats {
     double policy_loss = 0.0;
@@ -76,6 +95,23 @@ class PpoAgent {
   /// One PPO update from a contiguous trajectory; leaves the buffer intact
   /// (callers clear it).
   UpdateStats update(const RolloutBuffer& buffer, double bootstrap_value);
+
+  /// One independently collected trajectory segment contributing to a
+  /// merged update: GAE never crosses slice boundaries, each slice
+  /// bootstraps from its own final state.
+  struct RolloutSlice {
+    const RolloutBuffer* buffer = nullptr;
+    double bootstrap_value = 0.0;
+  };
+
+  /// Merged update over trajectories from independent replicas of the same
+  /// policy (parallel rollout collection): per-slice GAE, advantages
+  /// normalized jointly, then the usual shuffled-minibatch epochs over the
+  /// union. Slices must be passed in a deterministic order (replica id) —
+  /// the result is then a pure function of (weights, slices, seed),
+  /// independent of how many threads collected them. update() is the
+  /// single-slice special case.
+  UpdateStats update_merged(std::span<const RolloutSlice> slices);
 
   // --- online-training knobs (hybrid training, Section 4.4) -----------------
   void set_exploration_rate(double rate) { exploration_rate_ = rate; }
@@ -108,6 +144,11 @@ class PpoAgent {
   void head_logits(std::span<const double> state,
                    std::vector<std::vector<double>>& logits,
                    std::vector<Mlp::Cache>* caches = nullptr) const;
+  /// Per-head logits for a (batch x input_size) state matrix; logits[h] is
+  /// row-major (batch x head_sizes[h]).
+  void head_logits_batch(std::span<const double> states, std::int32_t batch,
+                         std::vector<std::vector<double>>& logits,
+                         std::vector<Mlp::BatchCache>* caches = nullptr) const;
 
   PpoConfig cfg_;
   sim::Rng init_rng_;

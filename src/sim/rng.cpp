@@ -38,4 +38,11 @@ std::uint64_t derive_seed(std::uint64_t parent, std::string_view stream_name) {
   return splitmix64(state);
 }
 
+std::uint64_t derive_seed(std::uint64_t parent, std::uint64_t index) {
+  // Offset the index so child(0) differs from the parent's own stream and
+  // from child("") by construction, then mix through splitmix64.
+  std::uint64_t state = parent ^ (index + 0x9E3779B97F4A7C15ULL);
+  return splitmix64(state);
+}
+
 }  // namespace pet::sim

@@ -79,4 +79,35 @@ class Rng {
 /// (arrivals, flow sizes, ECMP, agents, ...) an independent stream.
 [[nodiscard]] std::uint64_t derive_seed(std::uint64_t parent, std::string_view stream_name);
 
+/// Numeric-index variant for homogeneous families (replica 0..N-1, agent
+/// 0..A-1) where a name would just be a formatted integer.
+[[nodiscard]] std::uint64_t derive_seed(std::uint64_t parent, std::uint64_t index);
+
+/// A node in the deterministic seed tree rooted at the scenario seed.
+///
+/// Components receive a Stream instead of a raw seed and split it further
+/// (`child("bg")`, `child(replica_id)`), so every consumer owns an
+/// independent reproducible sequence and adding a consumer never perturbs
+/// its siblings. Replica parallelism leans on this: replica r of a run
+/// seeds everything from `Stream(seed).child("replica").child(r)`, making
+/// results a pure function of (seed, r) — never of thread count.
+class Stream {
+ public:
+  constexpr explicit Stream(std::uint64_t seed) : seed_(seed) {}
+
+  [[nodiscard]] Stream child(std::string_view name) const {
+    return Stream(derive_seed(seed_, name));
+  }
+  [[nodiscard]] Stream child(std::uint64_t index) const {
+    return Stream(derive_seed(seed_, index));
+  }
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+  /// Materialize a generator at this node.
+  [[nodiscard]] Rng rng() const { return Rng(seed_); }
+
+ private:
+  std::uint64_t seed_;
+};
+
 }  // namespace pet::sim

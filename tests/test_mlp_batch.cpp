@@ -1,0 +1,166 @@
+// The batched MLP kernels promise bitwise identity with the sequential
+// per-sample path: forward_batch is a pure reordering of the same dot
+// products, backward_batch accumulates per-parameter gradients in the same
+// ascending-sample order. These tests pin that contract with EXPECT_EQ on
+// doubles — any reassociation of the floating-point sums is a failure.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "rl/mlp.hpp"
+#include "sim/rng.hpp"
+
+namespace pet::rl {
+namespace {
+
+std::vector<double> random_matrix(std::size_t rows, std::size_t cols,
+                                  sim::Rng& rng) {
+  std::vector<double> m(rows * cols);
+  for (double& v : m) v = rng.uniform() * 2.0 - 1.0;
+  return m;
+}
+
+TEST(MlpBatch, ForwardBatchBitwiseMatchesLoopedForward) {
+  sim::Rng rng(11);
+  const std::int32_t in = 7;
+  const std::int32_t out = 5;
+  Mlp mlp({in, 16, 16, out}, Activation::kTanh, rng);
+
+  for (const std::int32_t batch : {1, 2, 3, 4, 5, 9}) {
+    const std::vector<double> x =
+        random_matrix(static_cast<std::size_t>(batch),
+                      static_cast<std::size_t>(in), rng);
+    const std::vector<double> y = mlp.forward_batch(x, batch);
+    ASSERT_EQ(y.size(), static_cast<std::size_t>(batch * out));
+    for (std::int32_t b = 0; b < batch; ++b) {
+      const std::span<const double> row(
+          x.data() + static_cast<std::size_t>(b * in),
+          static_cast<std::size_t>(in));
+      const std::vector<double> single = mlp.forward(row);
+      for (std::int32_t j = 0; j < out; ++j) {
+        // EXPECT_EQ, not NEAR: the contract is bitwise identity.
+        EXPECT_EQ(y[static_cast<std::size_t>(b * out + j)],
+                  single[static_cast<std::size_t>(j)])
+            << "batch=" << batch << " sample=" << b << " out=" << j;
+      }
+    }
+  }
+}
+
+TEST(MlpBatch, ForwardBatchCacheMatchesSingleSampleCache) {
+  sim::Rng rng(12);
+  Mlp mlp({4, 8, 3}, Activation::kRelu, rng);
+  const std::int32_t batch = 6;
+  const std::vector<double> x = random_matrix(6, 4, rng);
+
+  Mlp::BatchCache bcache;
+  (void)mlp.forward_batch(x, batch, &bcache);
+  ASSERT_EQ(bcache.batch, batch);
+
+  for (std::int32_t b = 0; b < batch; ++b) {
+    Mlp::Cache cache;
+    const std::span<const double> row(x.data() + static_cast<std::size_t>(b) * 4,
+                                      4);
+    (void)mlp.forward(row, &cache);
+    ASSERT_EQ(bcache.pre.size(), cache.pre.size());
+    for (std::size_t l = 0; l < cache.pre.size(); ++l) {
+      const std::size_t width = cache.pre[l].size();
+      for (std::size_t j = 0; j < width; ++j) {
+        EXPECT_EQ(bcache.pre[l][static_cast<std::size_t>(b) * width + j],
+                  cache.pre[l][j]);
+        EXPECT_EQ(bcache.post[l][static_cast<std::size_t>(b) * width + j],
+                  cache.post[l][j]);
+      }
+    }
+  }
+}
+
+TEST(MlpBatch, BackwardBatchBitwiseMatchesLoopedBackward) {
+  const std::int32_t in = 6;
+  const std::int32_t out = 4;
+  const std::int32_t batch = 5;
+
+  // Two identically initialized networks: one trained by the looped path,
+  // one by the batched path.
+  sim::Rng rng_a(21);
+  sim::Rng rng_b(21);
+  Mlp looped({in, 12, out}, Activation::kTanh, rng_a);
+  Mlp batched({in, 12, out}, Activation::kTanh, rng_b);
+
+  sim::Rng data_rng(22);
+  const std::vector<double> x =
+      random_matrix(static_cast<std::size_t>(batch),
+                    static_cast<std::size_t>(in), data_rng);
+  std::vector<double> dy =
+      random_matrix(static_cast<std::size_t>(batch),
+                    static_cast<std::size_t>(out), data_rng);
+  // Exercise the `g == 0` skip path too.
+  dy[1] = 0.0;
+  dy[static_cast<std::size_t>(out) + 2] = 0.0;
+
+  looped.zero_grad();
+  std::vector<double> dx_looped;
+  for (std::int32_t b = 0; b < batch; ++b) {
+    Mlp::Cache cache;
+    const std::span<const double> row(
+        x.data() + static_cast<std::size_t>(b * in),
+        static_cast<std::size_t>(in));
+    (void)looped.forward(row, &cache);
+    const std::span<const double> grad(
+        dy.data() + static_cast<std::size_t>(b * out),
+        static_cast<std::size_t>(out));
+    const std::vector<double> dx = looped.backward(row, cache, grad);
+    dx_looped.insert(dx_looped.end(), dx.begin(), dx.end());
+  }
+
+  batched.zero_grad();
+  Mlp::BatchCache bcache;
+  (void)batched.forward_batch(x, batch, &bcache);
+  const std::vector<double> dx_batched =
+      batched.backward_batch(x, bcache, dy, batch);
+
+  ASSERT_EQ(dx_batched.size(), dx_looped.size());
+  for (std::size_t i = 0; i < dx_looped.size(); ++i) {
+    EXPECT_EQ(dx_batched[i], dx_looped[i]) << "dx element " << i;
+  }
+
+  ParamRefs ra;
+  ParamRefs rb;
+  looped.collect(ra);
+  batched.collect(rb);
+  ASSERT_EQ(ra.size(), rb.size());
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(*ra.grads[i], *rb.grads[i]) << "grad element " << i;
+  }
+}
+
+TEST(MlpBatch, LinearBatchKernelsMatchSingleSample) {
+  sim::Rng rng(31);
+  const std::int32_t in = 9;
+  const std::int32_t out = 7;  // not a multiple of the row tile
+  Linear a(in, out, rng);
+
+  sim::Rng data_rng(32);
+  const std::int32_t batch = 3;
+  const std::vector<double> x =
+      random_matrix(static_cast<std::size_t>(batch),
+                    static_cast<std::size_t>(in), data_rng);
+  std::vector<double> y_batch(static_cast<std::size_t>(batch * out));
+  a.forward_batch(x, y_batch, batch);
+  for (std::int32_t b = 0; b < batch; ++b) {
+    std::vector<double> y(static_cast<std::size_t>(out));
+    a.forward(std::span<const double>(
+                  x.data() + static_cast<std::size_t>(b * in),
+                  static_cast<std::size_t>(in)),
+              y);
+    for (std::int32_t j = 0; j < out; ++j) {
+      EXPECT_EQ(y_batch[static_cast<std::size_t>(b * out + j)],
+                y[static_cast<std::size_t>(j)]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pet::rl

@@ -1,0 +1,147 @@
+// ReplicaRunner's core promise: the merged experience and the post-merge
+// central weights are a pure function of (seed, replicas) — the worker
+// thread count is invisible, bitwise. These tests run the same tiny
+// scenario on 1 and 4 threads and demand identical digests and weights,
+// plus coverage of the ExperimentBuilder validation gate the runner sits
+// behind.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "exp/experiment_builder.hpp"
+#include "exp/replica_runner.hpp"
+
+namespace pet::exp {
+namespace {
+
+ExperimentBuilder tiny_scenario() {
+  net::LeafSpineConfig topo;
+  topo.num_spines = 1;
+  topo.num_leaves = 2;
+  topo.hosts_per_leaf = 2;
+  return ExperimentBuilder{}
+      .topology(topo)
+      .workload(workload::WorkloadKind::kWebSearch)
+      .load(0.5)
+      .scheme(Scheme::kPet)
+      .phases(sim::milliseconds(3), sim::milliseconds(1))
+      .seed(42);
+}
+
+TEST(ReplicaRunner, ThreadCountDoesNotChangeMergedResult) {
+  ReplicaRunner one = tiny_scenario().replicas(3).threads(1).build_runner();
+  ReplicaRunner four = tiny_scenario().replicas(3).threads(4).build_runner();
+
+  ReplicaRunner::EpisodeStats s1{};
+  ReplicaRunner::EpisodeStats s4{};
+  for (int e = 0; e < 2; ++e) {
+    s1 = one.run_episode();
+    s4 = four.run_episode();
+  }
+
+  // The merged experience digest covers every action, log-prob, value and
+  // reward of every replica in replica order: bitwise identity.
+  EXPECT_EQ(one.last_digest(), four.last_digest());
+  EXPECT_EQ(s1.transitions, s4.transitions);
+  EXPECT_GT(s1.transitions, 0u);
+  EXPECT_EQ(s1.mean_reward, s4.mean_reward);
+  EXPECT_EQ(s1.policy_loss, s4.policy_loss);
+  EXPECT_EQ(s1.value_loss, s4.value_loss);
+
+  // And so are the post-merge central weights of every agent.
+  const std::vector<double> w1 = one.all_weights();
+  const std::vector<double> w4 = four.all_weights();
+  ASSERT_EQ(w1.size(), w4.size());
+  ASSERT_FALSE(w1.empty());
+  for (std::size_t i = 0; i < w1.size(); ++i) {
+    EXPECT_EQ(w1[i], w4[i]) << "weight " << i;
+  }
+}
+
+TEST(ReplicaRunner, ReplicaCountChangesExperience) {
+  ReplicaRunner two = tiny_scenario().replicas(2).threads(1).build_runner();
+  ReplicaRunner three = tiny_scenario().replicas(3).threads(1).build_runner();
+  (void)two.run_episode();
+  (void)three.run_episode();
+  EXPECT_NE(two.last_digest(), three.last_digest());
+}
+
+TEST(ReplicaRunner, TrainingAccumulatesAcrossEpisodes) {
+  ReplicaRunner runner = tiny_scenario().replicas(2).threads(2).build_runner();
+  const std::vector<double> before = runner.all_weights();
+  ReplicaRunnerConfig cfg = runner.config();
+  EXPECT_EQ(cfg.replicas, 2);
+  const ReplicaRunner::EpisodeStats st = runner.run_episode();
+  EXPECT_GT(st.transitions, 0u);
+  const std::vector<double> after = runner.all_weights();
+  ASSERT_EQ(before.size(), after.size());
+  // A merged PPO update must actually move the central weights.
+  bool moved = false;
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    if (before[i] != after[i]) {
+      moved = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(moved);
+}
+
+TEST(ReplicaRunner, RunReportsThroughput) {
+  ReplicaRunner runner = tiny_scenario().replicas(2).threads(1).build_runner();
+  ReplicaRunnerConfig cfg = runner.config();
+  EXPECT_EQ(cfg.episodes, 1);
+  const ReplicaRunner::RunStats stats = runner.run();
+  ASSERT_EQ(stats.episodes.size(), 1u);
+  EXPECT_GT(stats.replicas_per_sec, 0.0);
+  EXPECT_EQ(stats.rollout_digest, runner.last_digest());
+}
+
+TEST(ReplicaRunner, RequiresPetScheme) {
+  EXPECT_THROW((void)ReplicaRunner(tiny_scenario().scheme(Scheme::kSecn1)
+                                       .config(),
+                                   ReplicaRunnerConfig{}),
+               std::invalid_argument);
+}
+
+TEST(ExperimentBuilder, ValidatesAtBuildTime) {
+  EXPECT_THROW((void)tiny_scenario().load(0.0).build(), std::invalid_argument);
+  EXPECT_THROW((void)tiny_scenario().load(1.5).build(), std::invalid_argument);
+  EXPECT_THROW((void)tiny_scenario().measure(sim::Time::zero()).build(),
+               std::invalid_argument);
+  EXPECT_THROW((void)tiny_scenario().tuning_interval(sim::Time::zero()).build(),
+               std::invalid_argument);
+  EXPECT_THROW((void)tiny_scenario().replicas(0).build_runner(),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)tiny_scenario().scheme(Scheme::kAmt).replicas(4).build_runner(),
+      std::invalid_argument);
+  net::LeafSpineConfig topo;
+  topo.num_leaves = 0;
+  EXPECT_THROW((void)tiny_scenario().topology(topo).build(),
+               std::invalid_argument);
+}
+
+TEST(ExperimentBuilder, BuildsARunnableExperiment) {
+  auto ex = tiny_scenario().build();
+  ASSERT_NE(ex, nullptr);
+  EXPECT_EQ(ex->config().seed, 42u);
+  EXPECT_EQ(ex->config().scheme, Scheme::kPet);
+  ASSERT_NE(ex->pet(), nullptr);
+  EXPECT_EQ(ex->pet()->num_agents(), 3u);  // 2 leaves + 1 spine
+}
+
+TEST(ExperimentBuilder, FromConfigRoundTrips) {
+  ScenarioConfig cfg;
+  cfg.load = 0.7;
+  cfg.seed = 9;
+  cfg.scheme = Scheme::kSecn2;
+  const ExperimentBuilder b = ExperimentBuilder::from_config(cfg);
+  EXPECT_EQ(b.config().load, 0.7);
+  EXPECT_EQ(b.config().seed, 9u);
+  EXPECT_EQ(b.config().scheme, Scheme::kSecn2);
+}
+
+}  // namespace
+}  // namespace pet::exp
