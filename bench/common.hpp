@@ -3,6 +3,10 @@
 //   --quick          smaller fabric / shorter runs (CI smoke)
 //   --scale=paper    the paper's 288-host fabric (slow; hours on one core)
 //   --seed=N         scenario seed
+//   --artifact=PATH  where to write the machine-readable run artifact
+//                    (default BENCH_<name>.json in the working directory)
+//   --trace=PATH     also export a chrome://tracing timeline of the last
+//                    instrumented run
 // No arguments reproduces the default scaled-down experiment.
 
 #include <cstdint>
@@ -14,7 +18,9 @@
 #include "exp/experiment.hpp"
 #include "exp/experiment_builder.hpp"
 #include "exp/pretrain.hpp"
+#include "exp/run_artifact.hpp"
 #include "exp/table.hpp"
+#include "exp/trace_export.hpp"
 
 namespace pet::bench {
 
@@ -22,6 +28,10 @@ struct BenchOptions {
   bool quick = false;
   bool paper_scale = false;
   std::uint64_t seed = 20250704;
+  /// Run-artifact destination; empty = BENCH_<name>.json.
+  std::string artifact_path;
+  /// Chrome-trace destination; empty = no trace export.
+  std::string trace_path;
 };
 
 inline BenchOptions parse_options(int argc, char** argv) {
@@ -34,8 +44,15 @@ inline BenchOptions parse_options(int argc, char** argv) {
       opt.paper_scale = true;
     } else if (arg.rfind("--seed=", 0) == 0) {
       opt.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--artifact=", 0) == 0) {
+      opt.artifact_path = arg.substr(11);
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      opt.trace_path = arg.substr(8);
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: %s [--quick] [--scale=paper] [--seed=N]\n", argv[0]);
+      std::printf(
+          "usage: %s [--quick] [--scale=paper] [--seed=N] [--artifact=PATH] "
+          "[--trace=PATH]\n",
+          argv[0]);
       std::exit(0);
     } else {
       std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
@@ -92,11 +109,56 @@ inline exp::PretrainOptions make_pretrain(const BenchOptions& opt) {
   return pre;
 }
 
+inline const char* mode_name(const BenchOptions& opt) {
+  return opt.paper_scale ? "paper-scale" : (opt.quick ? "quick" : "scaled");
+}
+
+/// Artifact skeleton for one bench invocation: manifest fields that come
+/// straight from the command line (mode, seed). `name` must match the
+/// binary so BENCH_<name>.json is predictable for tooling.
+inline exp::RunArtifact make_artifact(const BenchOptions& opt,
+                                      const char* name) {
+  exp::RunArtifact art(name);
+  art.set_mode(mode_name(opt));
+  art.set_seed(opt.seed);
+  return art;
+}
+
+/// Record one finished experiment into the artifact: its scenario becomes
+/// the manifest scenario and its switch summaries / event counts /
+/// profiler tables the payload (each call overwrites those sections — the
+/// last recorded run is the one the artifact details). Honors --trace=PATH
+/// by also exporting the run's chrome://tracing timeline.
+inline void record_run(const BenchOptions& opt, exp::RunArtifact& art,
+                       exp::Experiment& experiment) {
+  art.set_scenario(experiment.config());
+  art.add_switch_summaries(experiment.network().switches());
+  art.add_event_counts(experiment.event_log());
+  art.set_profiler(experiment.profiler());
+  if (!opt.trace_path.empty()) {
+    if (exp::write_chrome_trace(opt.trace_path, &experiment.event_log(),
+                                &experiment.profiler())) {
+      std::printf("  trace: %s\n", opt.trace_path.c_str());
+    }
+  }
+}
+
+/// Write the artifact to --artifact=PATH (default BENCH_<name>.json).
+inline void write_artifact(const BenchOptions& opt, const exp::RunArtifact& art) {
+  const std::string path =
+      opt.artifact_path.empty() ? art.default_path() : opt.artifact_path;
+  if (art.write(path)) std::printf("\nartifact: %s\n", path.c_str());
+}
+
 /// Run one scenario end-to-end: offline pre-train (cached on disk for the
 /// learning schemes), install the initial model, warm up online, measure.
+/// With an artifact, the run is profiled and recorded under `label.`.
 inline exp::Metrics run_scenario(const BenchOptions& opt, exp::Scheme scheme,
-                                 workload::WorkloadKind kind, double load) {
+                                 workload::WorkloadKind kind, double load,
+                                 exp::RunArtifact* art = nullptr,
+                                 const std::string& label = "") {
   exp::ExperimentBuilder builder = make_scenario(opt, scheme, kind, load);
+  if (art != nullptr) builder.profiling(true);
   std::vector<double> weights;
   if (exp::is_learning_scheme(scheme)) {
     weights = exp::pretrained_weights_cached(builder.config(),
@@ -107,11 +169,12 @@ inline exp::Metrics run_scenario(const BenchOptions& opt, exp::Scheme scheme,
   }
   auto experiment = builder.build();
   if (!weights.empty()) experiment->install_learned_weights(weights);
-  return experiment->run();
-}
-
-inline const char* mode_name(const BenchOptions& opt) {
-  return opt.paper_scale ? "paper-scale" : (opt.quick ? "quick" : "scaled");
+  const exp::Metrics m = experiment->run();
+  if (art != nullptr) {
+    art->add_metrics(label, m);
+    record_run(opt, *art, *experiment);
+  }
+  return m;
 }
 
 inline void print_header(const BenchOptions& opt, const char* title,

@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   bench::print_header(opt,
                       "Extension - static vs dynamic vs learning ECN tuning",
                       "PET paper Section 2 (scheme taxonomy)");
+  exp::RunArtifact art = bench::make_artifact(opt, "dynamic_schemes");
 
   const std::vector<double> loads =
       opt.quick ? std::vector<double>{0.6} : std::vector<double>{0.4, 0.6};
@@ -27,7 +28,9 @@ int main(int argc, char** argv) {
                       "mice p99", "elephant avg", "queue avg", "latency avg"});
     for (const exp::Scheme scheme : schemes) {
       const exp::Metrics m = bench::run_scenario(
-          opt, scheme, workload::WorkloadKind::kWebSearch, load);
+          opt, scheme, workload::WorkloadKind::kWebSearch, load, &art,
+          exp::fmt("%s.load%02d", exp::scheme_name(scheme),
+                   static_cast<int>(load * 100)));
       const char* family =
           exp::is_learning_scheme(scheme)
               ? "learning"
@@ -50,5 +53,6 @@ int main(int argc, char** argv) {
       "\npaper narrative: dynamic rules adapt but only along their "
       "pre-programmed axis; learning schemes shape the whole "
       "(Kmin,Kmax,Pmax) policy from observed state.\n");
+  bench::write_artifact(opt, art);
   return 0;
 }

@@ -11,6 +11,8 @@ int main(int argc, char** argv) {
   const bench::BenchOptions opt = bench::parse_options(argc, argv);
   bench::print_header(opt, "Fig. 3 - Traffic distributions",
                       "PET paper Fig. 3");
+  exp::RunArtifact art =
+      bench::make_artifact(opt, "fig3_traffic_distributions");
 
   const std::vector<double> percentiles{0.1, 0.25, 0.5, 0.75, 0.9,
                                         0.95, 0.99, 1.0};
@@ -41,8 +43,14 @@ int main(int argc, char** argv) {
     stats.add_row({workload::workload_name(kind), exp::fmt("%.0f", cdf.mean()),
                    exp::fmt("%.1f%%", 100.0 * mice / n),
                    exp::fmt("%.1f%%", 100.0 * elephants / n)});
+    const std::string prefix = workload::workload_name(kind);
+    art.add_metric(prefix + ".mean_flow_bytes", cdf.mean());
+    art.add_metric(prefix + ".mice_share", static_cast<double>(mice) / n);
+    art.add_metric(prefix + ".elephant_share",
+                   static_cast<double>(elephants) / n);
   }
   stats.print();
+  bench::write_artifact(opt, art);
 
   std::printf(
       "\npaper: Web Search mixes latency-sensitive queries with multi-MB "

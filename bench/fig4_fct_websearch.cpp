@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   const bench::BenchOptions opt = bench::parse_options(argc, argv);
   bench::print_header(opt, "Fig. 4 - FCT vs load, Web Search",
                       "PET paper Fig. 4(a)-(d)");
+  exp::RunArtifact art = bench::make_artifact(opt, "fig4_fct_websearch");
 
   const std::vector<double> loads =
       opt.quick ? std::vector<double>{0.5} : std::vector<double>{0.3, 0.5, 0.7};
@@ -31,10 +32,12 @@ int main(int argc, char** argv) {
   std::vector<Row> rows;
   for (const double load : loads) {
     for (const exp::Scheme scheme : schemes) {
-      rows.push_back(Row{scheme, load,
-                         bench::run_scenario(opt, scheme,
-                                             workload::WorkloadKind::kWebSearch,
-                                             load)});
+      rows.push_back(Row{
+          scheme, load,
+          bench::run_scenario(opt, scheme, workload::WorkloadKind::kWebSearch,
+                              load, &art,
+                              exp::fmt("%s.load%02d", exp::scheme_name(scheme),
+                                       static_cast<int>(load * 100)))});
       std::printf("  ran %-6s load %.0f%%: overall avg %.1fus (n=%zu)\n",
                   exp::scheme_name(scheme), load * 100, rows.back().m.overall.avg_us,
                   rows.back().m.overall.count);
@@ -79,5 +82,6 @@ int main(int argc, char** argv) {
       "\npaper: PET reduces overall avg FCT by up to 3.9%% vs ACC, 5.8%% vs "
       "SECN1, 17.6%% vs SECN2;\n       mice 99th by up to 9.9%% / 23.6%% / "
       "48.6%%.\n");
+  bench::write_artifact(opt, art);
   return 0;
 }

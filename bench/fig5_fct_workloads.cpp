@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   const bench::BenchOptions opt = bench::parse_options(argc, argv);
   bench::print_header(opt, "Fig. 5 - FCT across workloads",
                       "PET paper Fig. 5(a)-(b)");
+  exp::RunArtifact art = bench::make_artifact(opt, "fig5_fct_workloads");
 
   const std::vector<double> loads =
       opt.quick ? std::vector<double>{0.5} : std::vector<double>{0.4, 0.6};
@@ -29,7 +30,10 @@ int main(int argc, char** argv) {
     for (const double load : loads) {
       std::vector<double> vals;
       for (const exp::Scheme scheme : schemes) {
-        const exp::Metrics m = bench::run_scenario(opt, scheme, kind, load);
+        const exp::Metrics m = bench::run_scenario(
+            opt, scheme, kind, load, &art,
+            exp::fmt("%s.%s.load%02d", workload::workload_name(kind),
+                     exp::scheme_name(scheme), static_cast<int>(load * 100)));
         vals.push_back(m.overall.avg_us);
         std::printf("  ran %s %-6s load %.0f%%: overall avg %.1fus\n",
                     workload::workload_name(kind), exp::scheme_name(scheme),
@@ -49,5 +53,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\npaper: PET best in both workloads — up to -8.2%%/-23.2%%/-67.3%% "
       "(WS) and -3.7%%/-7.6%%/-13.4%% (DM) vs ACC/SECN1/SECN2.\n");
+  bench::write_artifact(opt, art);
   return 0;
 }

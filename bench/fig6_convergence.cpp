@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   const bench::BenchOptions opt = bench::parse_options(argc, argv);
   bench::print_header(opt, "Fig. 6 - Convergence under pattern switching",
                       "PET paper Fig. 6(a)-(b)");
+  exp::RunArtifact art = bench::make_artifact(opt, "fig6_convergence");
 
   const sim::Time phase =
       opt.quick ? sim::milliseconds(8) : sim::milliseconds(15);
@@ -33,6 +34,7 @@ int main(int argc, char** argv) {
         opt, scheme, workload::WorkloadKind::kWebSearch, 0.5);
     std::vector<double> weights = exp::pretrained_weights_cached(
         builder.config(), bench::make_pretrain(opt));
+    builder.profiling(true);
     auto experiment_ptr = builder.expects_pretrained(!weights.empty())
                               .pretrain_lr_boost(1.0)
                               .pretrain(warmup)
@@ -40,27 +42,46 @@ int main(int argc, char** argv) {
     exp::Experiment& experiment = *experiment_ptr;
     if (!weights.empty()) experiment.install_learned_weights(weights);
 
-    // Phase switches: WS (initial) -> DM -> WS -> DM.
+    // Phase switches: WS (initial) -> DM -> WS -> DM. Each switch lands in
+    // the event log so the exported trace shows the timeline.
     const sim::Time t0 = warmup;
-    experiment.add_event(t0 + phase, [&experiment] {
-      experiment.switch_workload(workload::WorkloadKind::kDataMining);
+    const auto switch_to = [&experiment](workload::WorkloadKind kind) {
+      experiment.switch_workload(kind);
+      experiment.event_log().record("workload-switch",
+                                    workload::workload_name(kind));
+    };
+    experiment.add_event(t0 + phase, [switch_to] {
+      switch_to(workload::WorkloadKind::kDataMining);
     });
-    experiment.add_event(t0 + 2 * phase, [&experiment] {
-      experiment.switch_workload(workload::WorkloadKind::kWebSearch);
+    experiment.add_event(t0 + 2 * phase, [switch_to] {
+      switch_to(workload::WorkloadKind::kWebSearch);
     });
-    experiment.add_event(t0 + 3 * phase, [&experiment] {
-      experiment.switch_workload(workload::WorkloadKind::kDataMining);
+    experiment.add_event(t0 + 3 * phase, [switch_to] {
+      switch_to(workload::WorkloadKind::kDataMining);
     });
 
-    experiment.run_until(warmup);
-    experiment.mark_measurement_start();
     const sim::Time end = t0 + 4 * phase;
-    experiment.run_until(end);
+    {
+      PET_PROFILE_SCOPE(&experiment.profiler(), "warmup");
+      experiment.run_until(warmup);
+    }
+    experiment.mark_measurement_start();
+    {
+      PET_PROFILE_SCOPE(&experiment.profiler(), "measure");
+      experiment.run_until(end);
+    }
 
     Series s{scheme, {}};
     for (sim::Time t = t0; t < end; t += bin) {
       s.bins.push_back(experiment.collect(t, t + bin));
     }
+    for (std::size_t b = 0; b < s.bins.size(); ++b) {
+      const std::string prefix =
+          exp::fmt("%s.bin%02zu", exp::scheme_name(scheme), b);
+      art.add_metric(prefix + ".elephant_avg_us", s.bins[b].elephants.avg_us);
+      art.add_metric(prefix + ".mice_avg_us", s.bins[b].mice.avg_us);
+    }
+    bench::record_run(opt, art, experiment);
     series.push_back(std::move(s));
     std::printf("  ran %s: %zu time bins\n", exp::scheme_name(scheme),
                 series.back().bins.size());
@@ -96,5 +117,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\npaper: both learning schemes re-converge within ~1s of each switch; "
       "PET lands 2.1%% (elephant) / 7.2%% (mice) below ACC.\n");
+  bench::write_artifact(opt, art);
   return 0;
 }

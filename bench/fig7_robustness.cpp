@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   const bench::BenchOptions opt = bench::parse_options(argc, argv);
   bench::print_header(opt, "Fig. 7 - Robustness under a fault schedule",
                       "PET paper Fig. 7 + fault-injection extension");
+  exp::RunArtifact art = bench::make_artifact(opt, "fig7_robustness");
 
   const auto seg = [&](std::int64_t full, std::int64_t quick) {
     return sim::milliseconds(opt.quick ? quick : full);
@@ -60,7 +61,7 @@ int main(int argc, char** argv) {
                                                bench::make_pretrain(opt));
       builder.expects_pretrained(!weights.empty()).pretrain_lr_boost(1.0);
     }
-    auto experiment_ptr = builder.pretrain(warmup).build();
+    auto experiment_ptr = builder.pretrain(warmup).profiling(true).build();
     exp::Experiment& experiment = *experiment_ptr;
     if (!weights.empty()) experiment.install_learned_weights(weights);
 
@@ -80,9 +81,15 @@ int main(int argc, char** argv) {
     plan.switch_reboot(topo.spine_devices.back(),
                        sim::Time((recov1_end.ps() + flap2_up.ps()) / 2));
 
-    experiment.run_until(warmup);
+    {
+      PET_PROFILE_SCOPE(&experiment.profiler(), "warmup");
+      experiment.run_until(warmup);
+    }
     experiment.mark_measurement_start();
-    experiment.run_until(end);
+    {
+      PET_PROFILE_SCOPE(&experiment.profiler(), "measure");
+      experiment.run_until(end);
+    }
 
     Series s{scheme, {}, 0, 0};
     for (const Phase& ph : phases) {
@@ -90,6 +97,18 @@ int main(int argc, char** argv) {
     }
     s.health_events = experiment.event_log().count("agent-health");
     s.fault_events = experiment.event_log().events().size() - s.health_events;
+    for (std::size_t p = 0; p < phases.size(); ++p) {
+      const std::string prefix =
+          exp::fmt("%s.phase%zu", exp::scheme_name(scheme), p);
+      art.add_metric(prefix + ".avg_fct_us", s.per_phase[p].overall.avg_us);
+      art.add_metric(prefix + ".p99_fct_us", s.per_phase[p].overall.p99_us);
+      art.add_metric(prefix + ".queue_avg_kb", s.per_phase[p].queue_avg_kb);
+    }
+    art.add_metric(std::string(exp::scheme_name(scheme)) + ".fault_events",
+                   static_cast<double>(s.fault_events));
+    art.add_metric(std::string(exp::scheme_name(scheme)) + ".health_events",
+                   static_cast<double>(s.health_events));
+    bench::record_run(opt, art, experiment);
     series.push_back(std::move(s));
     std::printf("  ran %-6s: %zu fault events, %zu health transitions\n",
                 exp::scheme_name(scheme), series.back().fault_events,
@@ -128,5 +147,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\npaper: PET achieves up to 26%% lower average FCT than ACC while "
       "links are down, recovering faster after restoration.\n");
+  bench::write_artifact(opt, art);
   return 0;
 }

@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
   const bench::BenchOptions opt = bench::parse_options(argc, argv);
   bench::print_header(opt, "Fig. 8 - Packet latency, Web Search",
                       "PET paper Fig. 8");
+  exp::RunArtifact art = bench::make_artifact(opt, "fig8_latency");
 
   const std::vector<double> loads =
       opt.quick ? std::vector<double>{0.5} : std::vector<double>{0.3, 0.5, 0.7};
@@ -28,7 +29,9 @@ int main(int argc, char** argv) {
     std::vector<double> p99;
     for (const exp::Scheme scheme : schemes) {
       const exp::Metrics m = bench::run_scenario(
-          opt, scheme, workload::WorkloadKind::kWebSearch, load);
+          opt, scheme, workload::WorkloadKind::kWebSearch, load, &art,
+          exp::fmt("%s.load%02d", exp::scheme_name(scheme),
+                   static_cast<int>(load * 100)));
       avg.push_back(m.latency_avg_us);
       p99.push_back(m.latency_p99_us);
       std::printf("  ran %-6s load %.0f%%: latency avg %.2fus p99 %.2fus\n",
@@ -54,5 +57,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\npaper: PET reduces latency by up to 3%% vs ACC, 7.2%% vs SECN1 and "
       "18.3%% vs SECN2.\n");
+  bench::write_artifact(opt, art);
   return 0;
 }

@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   bench::print_header(opt,
                       "Fig. 9 - PET state ablation (incast + M/E ratio)",
                       "PET paper Fig. 9");
+  exp::RunArtifact art = bench::make_artifact(opt, "fig9_state_ablation");
 
   const std::vector<double> loads =
       opt.quick ? std::vector<double>{0.5} : std::vector<double>{0.3, 0.5, 0.7};
@@ -23,10 +24,11 @@ int main(int argc, char** argv) {
                     "mice p99 ablated"});
   for (const double load : loads) {
     const exp::Metrics full = bench::run_scenario(
-        opt, exp::Scheme::kPet, workload::WorkloadKind::kWebSearch, load);
-    const exp::Metrics ablated =
-        bench::run_scenario(opt, exp::Scheme::kPetAblation,
-                            workload::WorkloadKind::kWebSearch, load);
+        opt, exp::Scheme::kPet, workload::WorkloadKind::kWebSearch, load, &art,
+        exp::fmt("full.load%02d", static_cast<int>(load * 100)));
+    const exp::Metrics ablated = bench::run_scenario(
+        opt, exp::Scheme::kPetAblation, workload::WorkloadKind::kWebSearch,
+        load, &art, exp::fmt("ablated.load%02d", static_cast<int>(load * 100)));
     std::printf("  ran load %.0f%%: full %.1fus, ablated %.1fus\n", load * 100,
                 full.overall.avg_us, ablated.overall.avg_us);
     table.add_row(
@@ -42,5 +44,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\npaper: including D_incast and R_flow reduces overall average FCT "
       "by up to 6.3%%.\n");
+  bench::write_artifact(opt, art);
   return 0;
 }

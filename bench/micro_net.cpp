@@ -3,6 +3,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "micro_common.hpp"
+
 #include "net/topology.hpp"
 #include "transport/dcqcn.hpp"
 #include "workload/distributions.hpp"
@@ -85,4 +87,4 @@ BENCHMARK(BM_RouteRecompute)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+PET_MICRO_BENCH_MAIN("micro_net")

@@ -35,7 +35,8 @@ double now_sec() {
       .count();
 }
 
-void bench_batched_inference(const bench::BenchOptions& opt) {
+void bench_batched_inference(const bench::BenchOptions& opt,
+                             exp::RunArtifact& art) {
   // The paper's agent shape: stacked six-factor state, factored Kmax /
   // Kmin / Pmax heads.
   rl::PpoConfig cfg;
@@ -98,9 +99,15 @@ void bench_batched_inference(const bench::BenchOptions& opt) {
               bat_us, seq_us / bat_us);
   std::printf("  decisions bitwise-identical: %s\n",
               seq_sink == bat_sink ? "yes" : "NO (BUG)");
+  art.add_metric("inference.sequential_us_per_agent_step", seq_us);
+  art.add_metric("inference.batched_us_per_agent_step", bat_us);
+  art.add_metric("inference.speedup", seq_us / bat_us);
+  art.add_metric("inference.bitwise_identical",
+                 seq_sink == bat_sink ? 1.0 : 0.0);
 }
 
-void bench_replica_throughput(const bench::BenchOptions& opt) {
+void bench_replica_throughput(const bench::BenchOptions& opt,
+                              exp::RunArtifact& art) {
   const std::int32_t replicas = 4;
   const auto scenario = [&] {
     // A fig6-style training scenario: PET on Web Search, scaled fabric.
@@ -151,6 +158,8 @@ void bench_replica_throughput(const bench::BenchOptions& opt) {
   }
   std::printf("  merged rollout digest 1-thread vs 4-thread: %s\n",
               digest1 == digest4 ? "identical (bitwise)" : "MISMATCH (BUG)");
+  art.add_metric("replicas.one_thread_per_sec", one_thread_rps);
+  art.add_metric("replicas.digest_match", digest1 == digest4 ? 1.0 : 0.0);
 }
 
 }  // namespace
@@ -160,10 +169,13 @@ int main(int argc, char** argv) {
   bench::print_header(opt,
                       "Micro - parallel replica training & batched inference",
                       "implementation scalability (no paper figure)");
-  bench_batched_inference(opt);
-  bench_replica_throughput(opt);
+  exp::RunArtifact art = bench::make_artifact(opt, "micro_parallel");
+  art.set_threads(4);
+  bench_batched_inference(opt, art);
+  bench_replica_throughput(opt, art);
   std::printf(
       "\nReplicas are fully independent simulations; on a multi-core host "
       "the replica speedup approaches min(replicas, cores).\n");
+  bench::write_artifact(opt, art);
   return 0;
 }

@@ -3,6 +3,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "micro_common.hpp"
+
 #include "rl/ddqn.hpp"
 #include "rl/gae.hpp"
 #include "rl/mlp.hpp"
@@ -126,4 +128,4 @@ BENCHMARK(BM_Gae);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+PET_MICRO_BENCH_MAIN("micro_rl")

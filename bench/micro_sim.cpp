@@ -3,6 +3,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "micro_common.hpp"
+
 #include "net/queue.hpp"
 #include "net/red_ecn.hpp"
 #include "sim/rng.hpp"
@@ -92,4 +94,4 @@ BENCHMARK(BM_RunningStats);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+PET_MICRO_BENCH_MAIN("micro_sim")

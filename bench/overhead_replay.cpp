@@ -14,12 +14,14 @@ int main(int argc, char** argv) {
                       "Overhead - global experience replay (ACC) vs "
                       "independent learning (PET)",
                       "PET paper Sections 1/4.3.1 (overhead claims)");
+  exp::RunArtifact art = bench::make_artifact(opt, "overhead_replay");
 
   const double load = 0.6;
 
   // ACC: run and read the shared replay's accounting.
   auto acc_exp = bench::make_scenario(opt, exp::Scheme::kAcc,
                                       workload::WorkloadKind::kWebSearch, load)
+                     .profiling(true)
                      .build();
   const exp::ScenarioConfig acc_cfg = acc_exp->config();
   acc_exp->run_until(acc_cfg.pretrain + acc_cfg.measure);
@@ -32,6 +34,7 @@ int main(int argc, char** argv) {
   // PET: the on-policy rollout is the only experience a switch stores.
   auto pet_exp = bench::make_scenario(opt, exp::Scheme::kPet,
                                       workload::WorkloadKind::kWebSearch, load)
+                     .profiling(true)
                      .build();
   const exp::ScenarioConfig pet_cfg = pet_exp->config();
   pet_exp->run_until(pet_cfg.pretrain + pet_cfg.measure);
@@ -67,5 +70,13 @@ int main(int argc, char** argv) {
       "\npaper claim: DDQN's global replay costs switch memory and fabric "
       "bandwidth; IPPO needs neither. The table quantifies both costs in "
       "this reproduction.\n");
+  art.add_metric("acc.replay_resident_bytes", static_cast<double>(resident));
+  art.add_metric("acc.replay_exchange_bytes", static_cast<double>(exchange));
+  art.add_metric("acc.agents", static_cast<double>(agents));
+  art.add_metric("pet.rollout_resident_bytes",
+                 static_cast<double>(pet_resident));
+  art.add_metric("pet.replay_exchange_bytes", 0.0);
+  bench::record_run(opt, art, *pet_exp);
+  bench::write_artifact(opt, art);
   return 0;
 }

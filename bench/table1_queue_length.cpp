@@ -11,6 +11,7 @@ int main(int argc, char** argv) {
   const bench::BenchOptions opt = bench::parse_options(argc, argv);
   bench::print_header(opt, "Table I - Queue length statistics at 60% load",
                       "PET paper Table I");
+  exp::RunArtifact art = bench::make_artifact(opt, "table1_queue_length");
 
   exp::Table table({"queue length", "PET", "ACC", "SECN1", "SECN2"});
   std::vector<double> avg;
@@ -20,7 +21,8 @@ int main(int argc, char** argv) {
                                          exp::Scheme::kSecn2};
   for (const exp::Scheme scheme : schemes) {
     const exp::Metrics m = bench::run_scenario(
-        opt, scheme, workload::WorkloadKind::kWebSearch, 0.6);
+        opt, scheme, workload::WorkloadKind::kWebSearch, 0.6, &art,
+        exp::scheme_name(scheme));
     avg.push_back(m.queue_avg_kb);
     stddev.push_back(m.queue_std_kb);
     std::printf("  ran %-6s: queue avg %.2f KB, stddev %.2f KB\n",
@@ -39,5 +41,6 @@ int main(int argc, char** argv) {
       "both short, PET steadier.\n"
       "note: the paper reports only PET and ACC; the static baselines are "
       "included for context.\n");
+  bench::write_artifact(opt, art);
   return 0;
 }

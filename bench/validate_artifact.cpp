@@ -1,0 +1,38 @@
+// validate_artifact: the bench-smoke gate for run artifacts. Each argument
+// is a BENCH_*.json path; the file must parse as JSON and carry the schema
+// version plus the required manifest/metrics/profiler keys
+// (RunArtifact::validate_text — the same contract the writer targets).
+// Exit 0 only when every file validates.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "exp/run_artifact.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s BENCH_*.json...\n", argv[0]);
+    return 2;
+  }
+  int failures = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i]);
+    if (!in) {
+      std::fprintf(stderr, "FAIL %s: cannot open\n", argv[i]);
+      ++failures;
+      continue;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string error;
+    if (pet::exp::RunArtifact::validate_text(buf.str(), &error)) {
+      std::printf("ok   %s\n", argv[i]);
+    } else {
+      std::fprintf(stderr, "FAIL %s: %s\n", argv[i], error.c_str());
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}

@@ -5,7 +5,8 @@
 //   ./pet_sim_cli --scheme=pet --workload=websearch --load=0.6
 //                 --hosts-per-leaf=8 --leaves=4 --spines=2
 //                 --pretrain-ms=40 --measure-ms=40 --seed=1
-//                 --telemetry=trace.csv [--no-incast] [--no-pretrain-cache]
+//                 --telemetry=trace.csv --artifact=run.json
+//                 --trace=trace.json [--no-incast] [--no-pretrain-cache]
 
 #include <cstdio>
 #include <cstdlib>
@@ -14,8 +15,10 @@
 
 #include "exp/experiment_builder.hpp"
 #include "exp/pretrain.hpp"
+#include "exp/run_artifact.hpp"
 #include "exp/table.hpp"
 #include "exp/telemetry.hpp"
+#include "exp/trace_export.hpp"
 
 namespace {
 
@@ -34,6 +37,8 @@ struct CliOptions {
   bool incast = true;
   bool use_pretrain_cache = true;
   std::string telemetry_path;
+  std::string artifact_path;
+  std::string trace_path;
 };
 
 [[noreturn]] void usage(const char* argv0, int code) {
@@ -45,6 +50,8 @@ struct CliOptions {
       "  --spines=N --leaves=N --hosts-per-leaf=N\n"
       "  --pretrain-ms=N --measure-ms=N --seed=N\n"
       "  --telemetry=PATH   write per-switch time series CSV\n"
+      "  --artifact=PATH    write a machine-readable run artifact (JSON)\n"
+      "  --trace=PATH       write a chrome://tracing timeline (JSON)\n"
       "  --no-incast        disable the incast generator\n"
       "  --no-pretrain-cache  train learning schemes inline (slow)\n",
       argv0);
@@ -98,6 +105,10 @@ CliOptions parse(int argc, char** argv) {
       opt.seed = std::strtoull(value("--seed="), nullptr, 10);
     } else if (arg.rfind("--telemetry=", 0) == 0) {
       opt.telemetry_path = value("--telemetry=");
+    } else if (arg.rfind("--artifact=", 0) == 0) {
+      opt.artifact_path = value("--artifact=");
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      opt.trace_path = value("--trace=");
     } else if (arg == "--no-incast") {
       opt.incast = false;
     } else if (arg == "--no-pretrain-cache") {
@@ -136,6 +147,7 @@ int main(int argc, char** argv) {
               sim::milliseconds(opt.measure_ms))
       .incast(opt.incast)
       .seed(opt.seed)
+      .profiling(!opt.artifact_path.empty() || !opt.trace_path.empty())
       .tuned_dcqcn();
 
   std::vector<double> weights;
@@ -191,6 +203,27 @@ int main(int argc, char** argv) {
                    opt.telemetry_path.c_str());
       return 1;
     }
+  }
+
+  if (!opt.artifact_path.empty()) {
+    exp::RunArtifact art("pet_sim_cli");
+    art.set_mode("cli");
+    art.set_seed(opt.seed);
+    art.set_scenario(experiment.config());
+    art.add_metrics("", m);
+    art.add_switch_summaries(experiment.network().switches());
+    art.add_event_counts(experiment.event_log());
+    art.set_profiler(experiment.profiler());
+    if (!art.write(opt.artifact_path)) return 1;
+    std::printf("artifact: %s\n", opt.artifact_path.c_str());
+  }
+  if (!opt.trace_path.empty()) {
+    if (!exp::write_chrome_trace(opt.trace_path, &experiment.event_log(),
+                                 &experiment.profiler(), telemetry.get())) {
+      return 1;
+    }
+    std::printf("trace: %s (open in chrome://tracing)\n",
+                opt.trace_path.c_str());
   }
   return 0;
 }

@@ -79,7 +79,7 @@ void AccController::start() {
   if (running_) return;
   running_ = true;
   next_tick_ = sched_.schedule_in(cfg_.start_delay + cfg_.agent.tuning_interval,
-                                  [this] { tick_all(); });
+                                  [this] { tick_all(); }, "rl.acc-tick");
 }
 
 void AccController::stop() {
@@ -97,8 +97,8 @@ void AccController::set_training(bool training) {
 void AccController::tick_all() {
   if (!running_) return;
   for (auto& a : agents_) a->tick();
-  next_tick_ =
-      sched_.schedule_in(cfg_.agent.tuning_interval, [this] { tick_all(); });
+  next_tick_ = sched_.schedule_in(cfg_.agent.tuning_interval,
+                                  [this] { tick_all(); }, "rl.acc-tick");
 }
 
 double AccController::mean_reward() const {

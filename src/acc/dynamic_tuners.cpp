@@ -30,7 +30,7 @@ void AmtTuner::start() {
   if (running_) return;
   running_ = true;
   last_tick_ = sched_.now();
-  ev_ = sched_.schedule_in(cfg_.period, [this] { tick(); });
+  ev_ = sched_.schedule_in(cfg_.period, [this] { tick(); }, "rl.tuner-tick");
 }
 
 void AmtTuner::stop() {
@@ -74,7 +74,7 @@ void AmtTuner::tick() {
         {.kmin_bytes = kmin, .kmax_bytes = kmax, .pmax = cfg_.pmax});
     ++adjustments_;
   }
-  ev_ = sched_.schedule_in(cfg_.period, [this] { tick(); });
+  ev_ = sched_.schedule_in(cfg_.period, [this] { tick(); }, "rl.tuner-tick");
 }
 
 // ---------------------------------------------------------------------------
@@ -92,7 +92,7 @@ QaecnTuner::QaecnTuner(sim::Scheduler& sched,
 void QaecnTuner::start() {
   if (running_) return;
   running_ = true;
-  ev_ = sched_.schedule_in(cfg_.period, [this] { tick(); });
+  ev_ = sched_.schedule_in(cfg_.period, [this] { tick(); }, "rl.tuner-tick");
 }
 
 void QaecnTuner::stop() {
@@ -123,7 +123,7 @@ void QaecnTuner::tick() {
         {.kmin_bytes = kmin, .kmax_bytes = kmax_[i], .pmax = cfg_.pmax});
     ++adjustments_;
   }
-  ev_ = sched_.schedule_in(cfg_.period, [this] { tick(); });
+  ev_ = sched_.schedule_in(cfg_.period, [this] { tick(); }, "rl.tuner-tick");
 }
 
 }  // namespace pet::baselines

@@ -30,7 +30,7 @@ void PetController::start() {
   if (running_) return;
   running_ = true;
   next_tick_ = sched_.schedule_in(cfg_.start_delay + cfg_.agent.tuning_interval,
-                                  [this] { tick_all(); });
+                                  [this] { tick_all(); }, "rl.pet-tick");
 }
 
 void PetController::stop() {
@@ -52,8 +52,8 @@ void PetController::tick_all() {
   } else {
     for (auto& a : agents_) a->tick();
   }
-  next_tick_ =
-      sched_.schedule_in(cfg_.agent.tuning_interval, [this] { tick_all(); });
+  next_tick_ = sched_.schedule_in(cfg_.agent.tuning_interval,
+                                  [this] { tick_all(); }, "rl.pet-tick");
 }
 
 void PetController::tick_all_batched() {

@@ -55,6 +55,11 @@ Experiment::Experiment(const ScenarioConfig& cfg)
                                                           inc);
   }
 
+  // Phase spans always carry simulated time (trace export relies on it);
+  // per-event sections only when profiling is requested.
+  profiler_.set_time_source([this] { return sched_.now().us(); });
+  if (cfg_.profiling) sched_.set_profiler(&profiler_);
+
   install_scheme();
   set_lr_boost(cfg_.pretrain_lr_boost);
   bg_->start();
@@ -212,9 +217,15 @@ void Experiment::switch_workload(workload::WorkloadKind kind) {
 }
 
 Metrics Experiment::run() {
-  sched_.run_until(cfg_.pretrain);
+  {
+    PET_PROFILE_SCOPE(&profiler_, "pretrain");
+    sched_.run_until(cfg_.pretrain);
+  }
   mark_measurement_start();
-  sched_.run_until(cfg_.pretrain + cfg_.measure);
+  {
+    PET_PROFILE_SCOPE(&profiler_, "measure");
+    sched_.run_until(cfg_.pretrain + cfg_.measure);
+  }
   return collect(measure_start_, sched_.now());
 }
 
@@ -223,13 +234,9 @@ Metrics Experiment::collect(sim::Time from, sim::Time to) const {
   const auto& records = recorder_.records();
   const sim::Rate host_rate = cfg_.topo.host_link_rate;
   const sim::Time rtt = topo_.base_rtt(cfg_.dcqcn.mtu_bytes);
-  m.overall = fct_bucket(records, 0, std::numeric_limits<std::int64_t>::max(),
-                         from, to, host_rate, rtt);
-  m.mice = fct_bucket(records, 0, kMiceMaxBytes, from, to, host_rate, rtt);
-  m.elephants =
-      fct_bucket(records, kElephantMinBytes - 1,
-                 std::numeric_limits<std::int64_t>::max(), from, to, host_rate,
-                 rtt);
+  m.overall = fct_bucket_overall(records, from, to, host_rate, rtt);
+  m.mice = fct_bucket_mice(records, from, to, host_rate, rtt);
+  m.elephants = fct_bucket_elephants(records, from, to, host_rate, rtt);
   m.latency_avg_us = recorder_.latency_stats().mean();
   m.latency_p99_us = recorder_.latency_percentile(99.0);
   m.queue_avg_kb = queue_probe_.stats().mean() / 1024.0;

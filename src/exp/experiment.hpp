@@ -19,6 +19,7 @@
 #include "exp/telemetry.hpp"
 #include "net/fault_plan.hpp"
 #include "net/topology.hpp"
+#include "sim/profiler.hpp"
 #include "transport/dcqcn.hpp"
 #include "workload/distributions.hpp"
 #include "workload/traffic_gen.hpp"
@@ -73,6 +74,11 @@ struct ScenarioConfig {
   /// PET initial exploration rate (offline sandboxes explore harder).
   double pet_explore_start = 0.1;
 
+  /// Attach the experiment's Profiler to its Scheduler so event kinds are
+  /// counted and wall-timed (benches turn this on; the event sequence is
+  /// unaffected either way).
+  bool profiling = false;
+
   /// Scale the DCQCN increase steps for the configured host rate.
   void tune_dcqcn_for_rate();
 };
@@ -107,6 +113,12 @@ class Experiment {
   [[nodiscard]] QueueProbe& queue_probe() { return queue_probe_; }
   [[nodiscard]] const ScenarioConfig& config() const { return cfg_; }
 
+  /// Run profiler: per-event-kind sections when cfg.profiling is set, plus
+  /// the pretrain/measure phase spans recorded by run(). Always present so
+  /// artifact/trace export never needs a null check.
+  [[nodiscard]] sim::Profiler& profiler() { return profiler_; }
+  [[nodiscard]] const sim::Profiler& profiler() const { return profiler_; }
+
   /// Scheduled fault injection for this scenario (lazily created; fired
   /// faults are mirrored into event_log()).
   [[nodiscard]] net::FaultPlan& fault_plan();
@@ -134,6 +146,7 @@ class Experiment {
   void set_lr_boost(double factor);
 
   ScenarioConfig cfg_;
+  sim::Profiler profiler_;
   sim::Scheduler sched_;
   net::Network net_;
   net::LeafSpine topo_;

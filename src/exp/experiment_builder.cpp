@@ -111,6 +111,11 @@ ExperimentBuilder& ExperimentBuilder::explore_start(double rate) {
   return *this;
 }
 
+ExperimentBuilder& ExperimentBuilder::profiling(bool enabled) {
+  cfg_.profiling = enabled;
+  return *this;
+}
+
 ExperimentBuilder& ExperimentBuilder::replicas(std::int32_t n) {
   replicas_ = n;
   return *this;

@@ -65,6 +65,11 @@ class ExperimentBuilder {
   ExperimentBuilder& expects_pretrained(bool expects);
   ExperimentBuilder& explore_start(double rate);
 
+  // --- observability --------------------------------------------------------
+  /// Attach the experiment's Profiler to its Scheduler (per-event-kind
+  /// sections; the event order is unaffected).
+  ExperimentBuilder& profiling(bool enabled = true);
+
   // --- parallel replicas ----------------------------------------------------
   /// Train N fully independent replicas per episode and merge their
   /// rollouts into one IPPO update (build_runner()).

@@ -1,0 +1,89 @@
+#pragma once
+// Minimal JSON value tree with serialization and parsing — just enough for
+// run artifacts, chrome traces, and the bench-smoke validator; deliberately
+// not a general-purpose library (no third-party deps allowed here).
+//
+// Determinism matters: objects preserve insertion order and numbers are
+// rendered via shortest-round-trip std::to_chars, so identical inputs
+// always serialize to identical bytes (the chrome-trace replay test relies
+// on this). Non-finite doubles serialize as null (JSON has no NaN/Inf).
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace pet::exp {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;  // null
+  JsonValue(bool b) : kind_(Kind::kBool), bool_(b) {}
+  JsonValue(double d) : kind_(Kind::kNumber), num_(d) {}
+  JsonValue(std::int64_t i) : kind_(Kind::kNumber), num_(static_cast<double>(i)) {}
+  JsonValue(int i) : kind_(Kind::kNumber), num_(i) {}
+  JsonValue(std::uint64_t u) : kind_(Kind::kNumber), num_(static_cast<double>(u)) {}
+  JsonValue(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}
+  JsonValue(const char* s) : kind_(Kind::kString), str_(s) {}
+
+  [[nodiscard]] static JsonValue array();
+  [[nodiscard]] static JsonValue object();
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+
+  [[nodiscard]] bool as_bool() const { return bool_; }
+  [[nodiscard]] double as_number() const { return num_; }
+  [[nodiscard]] const std::string& as_string() const { return str_; }
+
+  // --- array ----------------------------------------------------------------
+  JsonValue& push_back(JsonValue v);
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] const JsonValue& at(std::size_t i) const { return items_[i]; }
+  [[nodiscard]] const std::vector<JsonValue>& items() const { return items_; }
+
+  // --- object ---------------------------------------------------------------
+  /// Insert or overwrite a member (insertion order preserved).
+  JsonValue& set(std::string key, JsonValue v);
+  /// Member lookup; nullptr when absent (or not an object).
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+  [[nodiscard]] const std::vector<std::pair<std::string, JsonValue>>& members()
+      const {
+    return members_;
+  }
+
+  /// Serialize. `indent` > 0 pretty-prints with that many spaces per level.
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+  /// Parse a complete JSON document; std::nullopt on any syntax error
+  /// (optionally reported through `error`).
+  [[nodiscard]] static std::optional<JsonValue> parse(
+      std::string_view text, std::string* error = nullptr);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Append-to-string number rendering used by dump() (shortest round-trip).
+void json_append_number(std::string& out, double v);
+
+/// Append a quoted, escaped JSON string.
+void json_append_string(std::string& out, std::string_view s);
+
+}  // namespace pet::exp

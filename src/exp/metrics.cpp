@@ -1,5 +1,7 @@
 #include "exp/metrics.hpp"
 
+#include <limits>
+
 #include "sim/stats.hpp"
 
 namespace pet::exp {
@@ -12,7 +14,7 @@ double ideal_fct_us(std::int64_t size_bytes, sim::Rate host_rate,
 }
 
 FctBucketStats fct_bucket(const std::vector<transport::FctRecord>& records,
-                          std::int64_t min_bytes, std::int64_t max_bytes,
+                          std::int64_t lo_bytes, std::int64_t hi_bytes,
                           sim::Time from, sim::Time to, sim::Rate host_rate,
                           sim::Time base_rtt) {
   std::vector<double> fcts;
@@ -20,7 +22,7 @@ FctBucketStats fct_bucket(const std::vector<transport::FctRecord>& records,
   for (const auto& r : records) {
     const auto& spec = r.spec;
     if (spec.start_time < from || spec.start_time >= to) continue;
-    if (spec.size_bytes <= min_bytes || spec.size_bytes > max_bytes) continue;
+    if (spec.size_bytes < lo_bytes || spec.size_bytes >= hi_bytes) continue;
     const double fct_us = r.fct().us();
     fcts.push_back(fct_us);
     slowdowns.push_back(fct_us /
@@ -33,6 +35,33 @@ FctBucketStats fct_bucket(const std::vector<transport::FctRecord>& records,
   out.avg_slowdown = sim::mean_of(slowdowns);
   out.p99_slowdown = sim::percentile(slowdowns, 99.0);
   return out;
+}
+
+FctBucketStats fct_bucket_overall(
+    const std::vector<transport::FctRecord>& records, sim::Time from,
+    sim::Time to, sim::Rate host_rate, sim::Time base_rtt) {
+  return fct_bucket(records, 0, std::numeric_limits<std::int64_t>::max(),
+                    from, to, host_rate, base_rtt);
+}
+
+FctBucketStats fct_bucket_mice(const std::vector<transport::FctRecord>& records,
+                               sim::Time from, sim::Time to,
+                               sim::Rate host_rate, sim::Time base_rtt) {
+  // The paper's (0, 100KB] bucket: a flow of exactly kMiceMaxBytes is a
+  // mouse, so the exclusive upper edge sits one byte above it.
+  return fct_bucket(records, 0, kMiceMaxBytes + 1, from, to, host_rate,
+                    base_rtt);
+}
+
+FctBucketStats fct_bucket_elephants(
+    const std::vector<transport::FctRecord>& records, sim::Time from,
+    sim::Time to, sim::Rate host_rate, sim::Time base_rtt) {
+  // [kElephantMinBytes, inf): a flow of exactly the threshold is an
+  // elephant (the old call sites passed kElephantMinBytes - 1 to an
+  // exclusive lower edge to get the same set — fragile, now explicit).
+  return fct_bucket(records, kElephantMinBytes,
+                    std::numeric_limits<std::int64_t>::max(), from, to,
+                    host_rate, base_rtt);
 }
 
 }  // namespace pet::exp

@@ -49,10 +49,26 @@ inline constexpr std::int64_t kElephantMinBytes = 1'000'000;
                                   sim::Rate host_rate, sim::Time base_rtt);
 
 /// Bucket statistics over completion records filtered to flows started in
-/// [from, to).
+/// [from, to) with size in the half-open byte range [lo_bytes, hi_bytes) —
+/// the lower edge is INCLUDED, the upper excluded. Callers pass the bucket
+/// edges themselves instead of off-by-one-adjusted values.
 [[nodiscard]] FctBucketStats fct_bucket(
-    const std::vector<transport::FctRecord>& records, std::int64_t min_bytes,
-    std::int64_t max_bytes, sim::Time from, sim::Time to, sim::Rate host_rate,
+    const std::vector<transport::FctRecord>& records, std::int64_t lo_bytes,
+    std::int64_t hi_bytes, sim::Time from, sim::Time to, sim::Rate host_rate,
     sim::Time base_rtt);
+
+// Named paper buckets, so the edge arithmetic lives in exactly one place:
+//   mice      = sizes in [0, kMiceMaxBytes]   (paper: (0, 100KB])
+//   elephants = sizes in [kElephantMinBytes, inf)
+//   overall   = every flow
+[[nodiscard]] FctBucketStats fct_bucket_overall(
+    const std::vector<transport::FctRecord>& records, sim::Time from,
+    sim::Time to, sim::Rate host_rate, sim::Time base_rtt);
+[[nodiscard]] FctBucketStats fct_bucket_mice(
+    const std::vector<transport::FctRecord>& records, sim::Time from,
+    sim::Time to, sim::Rate host_rate, sim::Time base_rtt);
+[[nodiscard]] FctBucketStats fct_bucket_elephants(
+    const std::vector<transport::FctRecord>& records, sim::Time from,
+    sim::Time to, sim::Rate host_rate, sim::Time base_rtt);
 
 }  // namespace pet::exp

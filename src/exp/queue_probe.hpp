@@ -36,15 +36,18 @@ class QueueProbe {
 
  private:
   void schedule() {
-    ev_ = sched_.schedule_in(period_, [this] {
-      if (!running_) return;
-      for (const auto* sw : switches_) {
-        for (std::int32_t p = 0; p < sw->num_ports(); ++p) {
-          stats_.add(static_cast<double>(sw->port(p).total_queue_bytes()));
-        }
-      }
-      schedule();
-    });
+    ev_ = sched_.schedule_in(
+        period_,
+        [this] {
+          if (!running_) return;
+          for (const auto* sw : switches_) {
+            for (std::int32_t p = 0; p < sw->num_ports(); ++p) {
+              stats_.add(static_cast<double>(sw->port(p).total_queue_bytes()));
+            }
+          }
+          schedule();
+        },
+        "telemetry.probe");
   }
 
   sim::Scheduler& sched_;

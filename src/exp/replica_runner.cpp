@@ -9,6 +9,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "sim/log.hpp"
 #include "sim/rng.hpp"
 
 namespace pet::exp {
@@ -143,20 +144,27 @@ ReplicaRunner::EpisodeStats ReplicaRunner::run_episode() {
   const auto worker = [&] {
     for (std::size_t r = next.fetch_add(1); r < replicas;
          r = next.fetch_add(1)) {
+      // Tag this thread's PET_LOG lines with the replica it simulates so
+      // interleaved worker output stays attributable.
+      sim::set_log_replica_id(static_cast<std::int32_t>(r));
       try {
         results[r] = run_replica(static_cast<std::int32_t>(r), e, weights);
       } catch (...) {
         errors[r] = std::current_exception();
       }
     }
+    sim::set_log_replica_id(-1);
   };
-  if (threads <= 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
-    for (std::thread& t : pool) t.join();
+  {
+    PET_PROFILE_SCOPE(profiler_, "episode.simulate");
+    if (threads <= 1) {
+      worker();
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(threads);
+      for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+      for (std::thread& t : pool) t.join();
+    }
   }
   for (const std::exception_ptr& err : errors) {
     if (err) std::rethrow_exception(err);
@@ -164,6 +172,7 @@ ReplicaRunner::EpisodeStats ReplicaRunner::run_episode() {
 
   // Merge: per agent, the replicas' trajectories become GAE-isolated slices
   // of one central PPO update, consumed in replica order.
+  PET_PROFILE_SCOPE(profiler_, "episode.merge");
   EpisodeStats st;
   st.episode = e;
   // Chain across episodes so a multi-episode digest covers the whole run.

@@ -87,6 +87,11 @@ class ReplicaRunner {
   [[nodiscard]] const ReplicaRunnerConfig& config() const { return cfg_; }
   [[nodiscard]] std::uint64_t last_digest() const { return digest_; }
 
+  /// Observe episode phases ("episode.simulate" / "episode.merge") with an
+  /// external profiler. The profiler is touched only from the coordinating
+  /// thread, never from replica workers; pass nullptr to detach.
+  void set_profiler(sim::Profiler* profiler) { profiler_ = profiler; }
+
  private:
   struct ReplicaResult;
   /// Simulate replica `r` of episode `e` starting from `weights` (one
@@ -102,6 +107,7 @@ class ReplicaRunner {
   std::unique_ptr<Experiment> central_;
   std::int32_t next_episode_ = 0;
   std::uint64_t digest_ = 0;
+  sim::Profiler* profiler_ = nullptr;
 };
 
 }  // namespace pet::exp

@@ -1,0 +1,213 @@
+#include "exp/run_artifact.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+
+#include "exp/scheme.hpp"
+#include "workload/distributions.hpp"
+
+// Injected by src/exp/CMakeLists.txt from `git rev-parse` at configure
+// time; "unknown" outside a git checkout.
+#ifndef PET_GIT_SHA
+#define PET_GIT_SHA "unknown"
+#endif
+
+namespace pet::exp {
+
+RunArtifact::RunArtifact(std::string name) : name_(std::move(name)) {}
+
+void RunArtifact::set_mode(std::string mode) { mode_ = std::move(mode); }
+void RunArtifact::set_seed(std::uint64_t seed) { seed_ = seed; }
+void RunArtifact::set_threads(std::int32_t threads) { threads_ = threads; }
+
+void RunArtifact::set_scenario(const ScenarioConfig& cfg) {
+  has_scenario_ = true;
+  scenario_ = JsonValue::object();
+  scenario_.set("scheme", scheme_name(cfg.scheme));
+  scenario_.set("workload", workload::workload_name(cfg.workload));
+  scenario_.set("load", cfg.load);
+  scenario_.set("seed", cfg.seed);
+  JsonValue topo = JsonValue::object();
+  topo.set("spines", cfg.topo.num_spines);
+  topo.set("leaves", cfg.topo.num_leaves);
+  topo.set("hosts_per_leaf", cfg.topo.hosts_per_leaf);
+  topo.set("host_gbps", cfg.topo.host_link_rate.gbps());
+  scenario_.set("topology", std::move(topo));
+  scenario_.set("pretrain_ms", cfg.pretrain.ms());
+  scenario_.set("measure_ms", cfg.measure.ms());
+  scenario_.set("tuning_interval_us", cfg.tuning_interval.us());
+  scenario_.set("incast_enabled", JsonValue(cfg.incast_enabled));
+  scenario_.set("flow_size_cap_bytes", cfg.flow_size_cap_bytes);
+}
+
+void RunArtifact::add_metric(std::string key, double value) {
+  metrics_.set(std::move(key), value);
+}
+
+void RunArtifact::add_metrics(const std::string& label, const Metrics& m) {
+  const std::string p = label.empty() ? "" : label + ".";
+  add_metric(p + "overall.avg_fct_us", m.overall.avg_us);
+  add_metric(p + "overall.p99_fct_us", m.overall.p99_us);
+  add_metric(p + "overall.avg_slowdown", m.overall.avg_slowdown);
+  add_metric(p + "overall.flows", static_cast<double>(m.overall.count));
+  add_metric(p + "mice.avg_fct_us", m.mice.avg_us);
+  add_metric(p + "mice.p99_fct_us", m.mice.p99_us);
+  add_metric(p + "elephants.avg_fct_us", m.elephants.avg_us);
+  add_metric(p + "latency.avg_us", m.latency_avg_us);
+  add_metric(p + "latency.p99_us", m.latency_p99_us);
+  add_metric(p + "queue.avg_kb", m.queue_avg_kb);
+  add_metric(p + "queue.std_kb", m.queue_std_kb);
+  add_metric(p + "flows_incomplete", static_cast<double>(m.flows_incomplete));
+  add_metric(p + "switch_drops", static_cast<double>(m.switch_drops));
+  add_metric(p + "pfc_pauses", static_cast<double>(m.pfc_pauses));
+}
+
+void RunArtifact::add_switch_summaries(
+    const std::vector<net::SwitchDevice*>& switches) {
+  switches_ = JsonValue::array();
+  for (const net::SwitchDevice* sw : switches) {
+    JsonValue row = JsonValue::object();
+    row.set("id", sw->id());
+    row.set("name", sw->name());
+    std::int64_t tx_bytes = 0;
+    std::int64_t marked_bytes = 0;
+    std::int64_t dropped = 0;
+    for (std::int32_t p = 0; p < sw->num_ports(); ++p) {
+      tx_bytes += sw->port(p).tx_bytes();
+      marked_bytes += sw->port(p).tx_marked_bytes();
+      dropped += sw->port(p).dropped_packets();
+    }
+    row.set("tx_bytes", tx_bytes);
+    row.set("tx_marked_bytes", marked_bytes);
+    row.set("port_dropped_packets", dropped);
+    row.set("dropped_no_route", sw->dropped_no_route());
+    row.set("dropped_buffer_full", sw->dropped_buffer_full());
+    row.set("pfc_pauses_sent", sw->pfc_pauses_sent());
+    row.set("ecn_installs", sw->ecn_installs());
+    row.set("reboots", sw->reboots());
+    const net::EcnConfigSummary ecn = sw->ecn_config_summary();
+    JsonValue cfg = JsonValue::object();
+    cfg.set("kmin_min_bytes", ecn.kmin_min_bytes);
+    cfg.set("kmin_max_bytes", ecn.kmin_max_bytes);
+    cfg.set("kmax_min_bytes", ecn.kmax_min_bytes);
+    cfg.set("kmax_max_bytes", ecn.kmax_max_bytes);
+    cfg.set("pmax_min", ecn.pmax_min);
+    cfg.set("pmax_max", ecn.pmax_max);
+    cfg.set("uniform", JsonValue(ecn.uniform));
+    cfg.set("queues", ecn.queues);
+    row.set("ecn_config", std::move(cfg));
+    switches_.push_back(std::move(row));
+  }
+}
+
+void RunArtifact::add_event_counts(const EventLog& log) {
+  // Deterministic key order for byte-stable artifacts.
+  std::map<std::string, std::int64_t> counts;
+  for (const TelemetryEvent& e : log.events()) ++counts[e.kind];
+  event_counts_ = JsonValue::object();
+  for (const auto& [kind, n] : counts) event_counts_.set(kind, n);
+}
+
+void RunArtifact::set_profiler(const sim::Profiler& profiler) {
+  profiler_ = JsonValue::object();
+  JsonValue sections = JsonValue::array();
+  for (const sim::Profiler::Section& s : profiler.sections()) {
+    JsonValue row = JsonValue::object();
+    row.set("name", s.name);
+    row.set("calls", s.calls);
+    row.set("wall_ms", s.wall_ms);
+    sections.push_back(std::move(row));
+  }
+  profiler_.set("sections", std::move(sections));
+  JsonValue spans = JsonValue::array();
+  for (const sim::Profiler::Span& sp : profiler.spans()) {
+    JsonValue row = JsonValue::object();
+    row.set("name", sp.name);
+    row.set("sim_t0_us", sp.t0_us);
+    row.set("sim_t1_us", sp.t1_us);
+    row.set("wall_ms", sp.wall_ms);
+    spans.push_back(std::move(row));
+  }
+  profiler_.set("spans", std::move(spans));
+}
+
+JsonValue RunArtifact::to_json() const {
+  JsonValue root = JsonValue::object();
+  root.set("schema", std::string(kSchemaVersion));
+  JsonValue manifest = JsonValue::object();
+  manifest.set("name", name_);
+  manifest.set("git_sha", PET_GIT_SHA);
+  manifest.set("seed", seed_);
+  manifest.set("mode", mode_);
+  manifest.set("threads", threads_);
+  if (has_scenario_) manifest.set("scenario", scenario_);
+  root.set("manifest", std::move(manifest));
+  root.set("metrics", metrics_);
+  if (switches_.size() > 0) root.set("switches", switches_);
+  if (!event_counts_.members().empty()) root.set("events", event_counts_);
+  JsonValue prof = profiler_;
+  if (prof.find("sections") == nullptr) {
+    prof = JsonValue::object();
+    prof.set("sections", JsonValue::array());
+    prof.set("spans", JsonValue::array());
+  }
+  root.set("profiler", std::move(prof));
+  return root;
+}
+
+bool RunArtifact::write(const std::string& path) const {
+  const std::string target = path.empty() ? default_path() : path;
+  std::ofstream out(target, std::ios::trunc);
+  if (out) out << to_json_text() << '\n';
+  if (!out) {
+    std::fprintf(stderr, "run-artifact: failed to write %s\n", target.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool RunArtifact::validate_text(std::string_view text, std::string* error) {
+  const auto set_error = [error](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+  std::string parse_error;
+  const auto doc = JsonValue::parse(text, &parse_error);
+  if (!doc) return set_error("invalid JSON: " + parse_error);
+  if (!doc->is_object()) return set_error("top level is not an object");
+  const JsonValue* schema = doc->find("schema");
+  if (schema == nullptr || !schema->is_string()) {
+    return set_error("missing \"schema\"");
+  }
+  if (schema->as_string() != kSchemaVersion) {
+    return set_error("unexpected schema version: " + schema->as_string());
+  }
+  const JsonValue* manifest = doc->find("manifest");
+  if (manifest == nullptr || !manifest->is_object()) {
+    return set_error("missing \"manifest\" object");
+  }
+  for (const char* key : {"name", "git_sha", "mode"}) {
+    const JsonValue* v = manifest->find(key);
+    if (v == nullptr || !v->is_string() || v->as_string().empty()) {
+      return set_error(std::string("manifest missing string \"") + key + '"');
+    }
+  }
+  const JsonValue* seed = manifest->find("seed");
+  if (seed == nullptr || !seed->is_number()) {
+    return set_error("manifest missing numeric \"seed\"");
+  }
+  const JsonValue* metrics = doc->find("metrics");
+  if (metrics == nullptr || !metrics->is_object()) {
+    return set_error("missing \"metrics\" object");
+  }
+  const JsonValue* profiler = doc->find("profiler");
+  if (profiler == nullptr || !profiler->is_object() ||
+      profiler->find("sections") == nullptr ||
+      !profiler->find("sections")->is_array()) {
+    return set_error("missing \"profiler\" section with \"sections\" array");
+  }
+  return true;
+}
+
+}  // namespace pet::exp

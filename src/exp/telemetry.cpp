@@ -86,7 +86,8 @@ void TelemetryRecorder::start() {
     last_tx_bytes_[i] = tx;
     last_marked_bytes_[i] = marked;
   }
-  ev_ = sched_.schedule_in(period_, [this] { sample_all(); });
+  ev_ = sched_.schedule_in(period_, [this] { sample_all(); },
+                           "telemetry.sample");
 }
 
 void TelemetryRecorder::stop() {
@@ -125,28 +126,31 @@ void TelemetryRecorder::sample_all() {
     last_marked_bytes_[i] = marked;
     s.tx_mbps = tx_delta * 8.0 / window_sec / 1e6;
     s.marked_share = tx_delta > 0.0 ? marked_delta / tx_delta : 0.0;
-    const auto& ecn = sw->port(0).ecn_config(0);
-    s.kmin_bytes = ecn.kmin_bytes;
-    s.kmax_bytes = ecn.kmax_bytes;
-    s.pmax = ecn.pmax;
+    s.ecn = sw->ecn_config_summary();
     s.pfc_pauses = sw->pfc_pauses_sent();
     samples_.push_back(s);
   }
-  ev_ = sched_.schedule_in(period_, [this] { sample_all(); });
+  ev_ = sched_.schedule_in(period_, [this] { sample_all(); },
+                           "telemetry.sample");
 }
 
 std::string TelemetryRecorder::to_csv() const {
   std::string out =
       "t_ms,switch,max_queue_kb,total_queue_kb,tx_mbps,marked_share,"
-      "kmin_bytes,kmax_bytes,pmax,pfc_pauses\n";
-  char line[256];
+      "kmin_min_bytes,kmin_max_bytes,kmax_min_bytes,kmax_max_bytes,"
+      "pmax_min,pmax_max,ecn_uniform,pfc_pauses\n";
+  char line[320];
   for (const auto& s : samples_) {
-    std::snprintf(line, sizeof line,
-                  "%.3f,%d,%.3f,%.3f,%.2f,%.4f,%lld,%lld,%.3f,%lld\n", s.t_ms,
-                  s.switch_id, s.max_queue_kb, s.total_queue_kb, s.tx_mbps,
-                  s.marked_share, static_cast<long long>(s.kmin_bytes),
-                  static_cast<long long>(s.kmax_bytes), s.pmax,
-                  static_cast<long long>(s.pfc_pauses));
+    std::snprintf(
+        line, sizeof line,
+        "%.3f,%d,%.3f,%.3f,%.2f,%.4f,%lld,%lld,%lld,%lld,%.3f,%.3f,%d,%lld\n",
+        s.t_ms, s.switch_id, s.max_queue_kb, s.total_queue_kb, s.tx_mbps,
+        s.marked_share, static_cast<long long>(s.ecn.kmin_min_bytes),
+        static_cast<long long>(s.ecn.kmin_max_bytes),
+        static_cast<long long>(s.ecn.kmax_min_bytes),
+        static_cast<long long>(s.ecn.kmax_max_bytes), s.ecn.pmax_min,
+        s.ecn.pmax_max, s.ecn.uniform ? 1 : 0,
+        static_cast<long long>(s.pfc_pauses));
     out += line;
   }
   return out;

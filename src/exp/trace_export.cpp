@@ -1,0 +1,80 @@
+#include "exp/trace_export.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+namespace pet::exp {
+
+namespace {
+
+JsonValue trace_event(const char* name, const char* ph, double ts_us) {
+  JsonValue ev = JsonValue::object();
+  ev.set("name", name);
+  ev.set("ph", ph);
+  ev.set("ts", ts_us);
+  ev.set("pid", 0);
+  ev.set("tid", 0);
+  return ev;
+}
+
+}  // namespace
+
+JsonValue chrome_trace_json(const EventLog* events,
+                            const sim::Profiler* profiler,
+                            const TelemetryRecorder* telemetry) {
+  JsonValue trace = JsonValue::array();
+
+  if (profiler != nullptr) {
+    for (const sim::Profiler::Span& sp : profiler->spans()) {
+      JsonValue ev = trace_event(sp.name.c_str(), "X", sp.t0_us);
+      ev.set("dur", sp.t1_us - sp.t0_us);
+      ev.set("cat", "phase");
+      trace.push_back(std::move(ev));
+    }
+  }
+
+  if (events != nullptr) {
+    for (const TelemetryEvent& e : events->events()) {
+      JsonValue ev = trace_event(e.kind.c_str(), "i", e.t_ms * 1000.0);
+      ev.set("s", "g");  // global instant: faults concern the whole fabric
+      ev.set("cat", "event");
+      JsonValue args = JsonValue::object();
+      args.set("detail", e.detail);
+      ev.set("args", std::move(args));
+      trace.push_back(std::move(ev));
+    }
+  }
+
+  if (telemetry != nullptr) {
+    for (const TelemetrySample& s : telemetry->samples()) {
+      const std::string name = "sw" + std::to_string(s.switch_id);
+      JsonValue ev = trace_event(name.c_str(), "C", s.t_ms * 1000.0);
+      ev.set("cat", "telemetry");
+      JsonValue args = JsonValue::object();
+      args.set("max_queue_kb", s.max_queue_kb);
+      args.set("total_queue_kb", s.total_queue_kb);
+      args.set("tx_mbps", s.tx_mbps);
+      ev.set("args", std::move(args));
+      trace.push_back(std::move(ev));
+    }
+  }
+
+  JsonValue root = JsonValue::object();
+  root.set("displayTimeUnit", "ms");
+  root.set("traceEvents", std::move(trace));
+  return root;
+}
+
+bool write_chrome_trace(const std::string& path, const EventLog* events,
+                        const sim::Profiler* profiler,
+                        const TelemetryRecorder* telemetry) {
+  std::ofstream out(path, std::ios::trunc);
+  if (out) out << chrome_trace_json(events, profiler, telemetry).dump() << '\n';
+  if (!out) {
+    std::fprintf(stderr, "trace-export: failed to write %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace pet::exp

@@ -1,0 +1,32 @@
+#pragma once
+// Chrome-trace ("trace_event") export: renders an EventLog, the profiler's
+// phase spans and (optionally) telemetry time series into the JSON format
+// chrome://tracing and Perfetto load directly.
+//
+// Timestamps are SIMULATED microseconds, never wall clock, so two runs of
+// the same seed export byte-identical traces — the replay-determinism test
+// pins that down. (Wall-clock profiler timings live in the RunArtifact.)
+
+#include <string>
+
+#include "exp/json.hpp"
+#include "exp/telemetry.hpp"
+#include "sim/profiler.hpp"
+
+namespace pet::exp {
+
+/// Assemble the trace document. Any input may be null and is then skipped:
+///   events    -> instant events  (ph "i"), one per logged fault/health event
+///   profiler  -> complete events (ph "X") from the sim-time phase spans
+///   telemetry -> counter events  (ph "C") per switch: queue depth + rate
+[[nodiscard]] JsonValue chrome_trace_json(
+    const EventLog* events, const sim::Profiler* profiler,
+    const TelemetryRecorder* telemetry = nullptr);
+
+/// Serialize chrome_trace_json() to `path`; false (with a stderr note) on
+/// I/O failure.
+bool write_chrome_trace(const std::string& path, const EventLog* events,
+                        const sim::Profiler* profiler,
+                        const TelemetryRecorder* telemetry = nullptr);
+
+}  // namespace pet::exp

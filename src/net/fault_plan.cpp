@@ -35,10 +35,13 @@ void FaultPlan::fire(FaultKind kind, std::string detail) {
 
 void FaultPlan::schedule(sim::Time at, std::function<void()> fn) {
   ++pending_;
-  net_.scheduler().schedule_at(at, [this, fn = std::move(fn)] {
-    --pending_;
-    fn();
-  });
+  net_.scheduler().schedule_at(
+      at,
+      [this, fn = std::move(fn)] {
+        --pending_;
+        fn();
+      },
+      "fault.inject");
 }
 
 void FaultPlan::link_flap(DeviceId a, DeviceId b, sim::Time down_at,

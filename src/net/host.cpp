@@ -85,7 +85,8 @@ void HostDevice::kick() {
     earliest = std::min(earliest, ready);
   }
   if (earliest != sim::Time::max()) {
-    pending_kick_ = sched_.schedule_at(earliest, [this] { kick(); });
+    pending_kick_ =
+        sched_.schedule_at(earliest, [this] { kick(); }, "net.host-kick");
   }
 }
 

@@ -141,9 +141,10 @@ void EgressPort::try_transmit() {
         static_cast<double>(ser.ps()) / rate_factor_));
   }
   const sim::Time done = sched_.now() + ser;
-  sched_.schedule_at(done, [this, e = std::move(entry)]() mutable {
-    finish_transmit(std::move(e));
-  });
+  sched_.schedule_at(
+      done,
+      [this, e = std::move(entry)]() mutable { finish_transmit(std::move(e)); },
+      "net.tx");
 }
 
 void EgressPort::finish_transmit(QueueEntry entry) {
@@ -171,10 +172,12 @@ void EgressPort::finish_transmit(QueueEntry entry) {
     deliver = false;
   }
   if (deliver) {
-    sched_.schedule_in(cfg_.propagation_delay,
-                       [peer = peer_, pkt = entry.pkt, pp = peer_port_] {
-                         peer->receive(pkt, pp);
-                       });
+    sched_.schedule_in(
+        cfg_.propagation_delay,
+        [peer = peer_, pkt = entry.pkt, pp = peer_port_] {
+          peer->receive(pkt, pp);
+        },
+        "net.prop");
   } else {
     ++dropped_packets_;
   }

@@ -1,5 +1,6 @@
 #include "net/switch.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "sim/rng.hpp"
@@ -139,7 +140,39 @@ void SwitchDevice::reboot(const RedEcnConfig& ecn_after) {
       send_pfc(static_cast<std::int32_t>(ip), /*pause=*/false);
     }
   }
-  set_ecn_config_all_ports(ecn_after);
+  // The restored marking state goes through the audited install path like
+  // every other actuation: invalid boot configs are clamped-and-warned and
+  // the install shows up in ecn_installs() for tests and telemetry.
+  install_ecn(ecn_after, PortSelector::all());
+}
+
+EcnConfigSummary SwitchDevice::ecn_config_summary() const {
+  EcnConfigSummary s;
+  bool first = true;
+  const RedEcnConfig* reference = nullptr;
+  for (std::int32_t p = 0; p < num_ports(); ++p) {
+    const auto& prt = port(p);
+    for (std::int32_t q = 0; q < prt.num_data_queues(); ++q) {
+      const RedEcnConfig& cfg = prt.ecn_config(q);
+      ++s.queues;
+      if (first) {
+        s.kmin_min_bytes = s.kmin_max_bytes = cfg.kmin_bytes;
+        s.kmax_min_bytes = s.kmax_max_bytes = cfg.kmax_bytes;
+        s.pmax_min = s.pmax_max = cfg.pmax;
+        reference = &cfg;
+        first = false;
+        continue;
+      }
+      s.kmin_min_bytes = std::min(s.kmin_min_bytes, cfg.kmin_bytes);
+      s.kmin_max_bytes = std::max(s.kmin_max_bytes, cfg.kmin_bytes);
+      s.kmax_min_bytes = std::min(s.kmax_min_bytes, cfg.kmax_bytes);
+      s.kmax_max_bytes = std::max(s.kmax_max_bytes, cfg.kmax_bytes);
+      s.pmax_min = std::min(s.pmax_min, cfg.pmax);
+      s.pmax_max = std::max(s.pmax_max, cfg.pmax);
+      if (!(cfg == *reference)) s.uniform = false;
+    }
+  }
+  return s;
 }
 
 std::size_t SwitchDevice::install_ecn(const RedEcnConfig& cfg,

@@ -24,6 +24,24 @@ struct SwitchConfig {
   std::int32_t num_data_queues = 1;
 };
 
+/// Per-switch roll-up of the installed (port, queue) ECN configs: the
+/// min/max of each threshold across every data queue plus a uniformity
+/// flag. Telemetry records this instead of pretending the port-0/queue-0
+/// config speaks for the whole switch (it does not after per-port or
+/// multiqueue installs).
+struct EcnConfigSummary {
+  std::int64_t kmin_min_bytes = 0;
+  std::int64_t kmin_max_bytes = 0;
+  std::int64_t kmax_min_bytes = 0;
+  std::int64_t kmax_max_bytes = 0;
+  double pmax_min = 0.0;
+  double pmax_max = 0.0;
+  /// True when every (port, queue) carries the identical config.
+  bool uniform = true;
+  /// Data queues aggregated (0 on a portless switch).
+  std::int32_t queues = 0;
+};
+
 class SwitchDevice : public Device {
  public:
   /// Classifies a data packet into one of the port's data queues.
@@ -78,6 +96,10 @@ class SwitchDevice : public Device {
   /// Number of install_ecn() calls over this switch's lifetime (audit
   /// trail: actuations per agent tick are visible to tests/telemetry).
   [[nodiscard]] std::int64_t ecn_installs() const { return ecn_installs_; }
+  /// Min/max of the installed configs across every (port, queue), plus a
+  /// uniformity flag — the honest per-switch view of a possibly per-port
+  /// or per-queue ECN state.
+  [[nodiscard]] EcnConfigSummary ecn_config_summary() const;
 
   // --- fault injection ------------------------------------------------------
   /// Crash-and-restart: every queued packet is lost, shared-buffer and PFC

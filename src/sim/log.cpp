@@ -1,11 +1,15 @@
 #include "sim/log.hpp"
 
+#include <atomic>
 #include <cstdarg>
+#include <cstring>
+#include <vector>
 
 namespace pet::sim {
 
 namespace {
-LogLevel g_level = LogLevel::kOff;
+std::atomic<LogLevel> g_level{LogLevel::kOff};
+thread_local std::int32_t t_replica_id = -1;
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -19,18 +23,49 @@ const char* level_tag(LogLevel level) {
 }
 }  // namespace
 
-LogLevel log_level() { return g_level; }
-void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+void set_log_replica_id(std::int32_t replica) { t_replica_id = replica; }
+std::int32_t log_replica_id() { return t_replica_id; }
 
 namespace detail {
 
 void vlog(LogLevel level, Time now, const char* fmt, ...) {
-  std::fprintf(stderr, "[%s %12s] ", level_tag(level), now.to_string().c_str());
+  // Assemble the whole line first so concurrent writers emit whole lines;
+  // a single fwrite to (unbuffered) stderr is atomic in practice.
+  char prefix[96];
+  int n;
+  if (t_replica_id >= 0) {
+    n = std::snprintf(prefix, sizeof prefix, "[%s r%d %12s] ",
+                      level_tag(level), t_replica_id,
+                      now.to_string().c_str());
+  } else {
+    n = std::snprintf(prefix, sizeof prefix, "[%s %12s] ", level_tag(level),
+                      now.to_string().c_str());
+  }
+  if (n < 0) return;
+
   va_list args;
   va_start(args, fmt);
-  std::vfprintf(stderr, fmt, args);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int body = std::vsnprintf(nullptr, 0, fmt, args_copy);
+  va_end(args_copy);
+  if (body < 0) {
+    va_end(args);
+    return;
+  }
+  std::vector<char> line(static_cast<std::size_t>(n) +
+                         static_cast<std::size_t>(body) + 2);
+  std::memcpy(line.data(), prefix, static_cast<std::size_t>(n));
+  std::vsnprintf(line.data() + n, static_cast<std::size_t>(body) + 1, fmt,
+                 args);
   va_end(args);
-  std::fputc('\n', stderr);
+  line[line.size() - 2] = '\n';
+  std::fwrite(line.data(), 1, line.size() - 1, stderr);
 }
 
 }  // namespace detail

@@ -1,0 +1,96 @@
+#include "sim/profiler.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace pet::sim {
+
+std::size_t Profiler::index_of(std::string_view name) {
+  if (auto it = by_name_.find(std::string(name)); it != by_name_.end()) {
+    return it->second;
+  }
+  const std::size_t idx = sections_.size();
+  sections_.push_back(Section{std::string(name), 0, 0.0});
+  by_name_.emplace(sections_.back().name, idx);
+  return idx;
+}
+
+void Profiler::count(std::string_view name, std::uint64_t n) {
+  sections_[index_of(name)].calls += n;
+}
+
+void Profiler::add_time(std::string_view name, double wall_ms) {
+  Section& s = sections_[index_of(name)];
+  ++s.calls;
+  s.wall_ms += wall_ms;
+}
+
+void Profiler::record_event(const char* kind, double wall_ms) {
+  auto it = by_pointer_.find(kind);
+  if (it == by_pointer_.end()) {
+    it = by_pointer_.emplace(kind, index_of(kind)).first;
+  }
+  Section& s = sections_[it->second];
+  ++s.calls;
+  s.wall_ms += wall_ms;
+}
+
+const Profiler::Section* Profiler::section(std::string_view name) const {
+  for (const Section& s : sections_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::string Profiler::report() const {
+  std::vector<const Section*> by_time;
+  by_time.reserve(sections_.size());
+  for (const Section& s : sections_) by_time.push_back(&s);
+  std::sort(by_time.begin(), by_time.end(), [](const auto* a, const auto* b) {
+    return a->wall_ms > b->wall_ms;
+  });
+  std::string out = "section                          calls      wall ms\n";
+  char line[128];
+  for (const Section* s : by_time) {
+    std::snprintf(line, sizeof line, "%-28s %10llu %12.3f\n", s->name.c_str(),
+                  static_cast<unsigned long long>(s->calls), s->wall_ms);
+    out += line;
+  }
+  for (const Span& sp : spans_) {
+    std::snprintf(line, sizeof line,
+                  "phase %-22s sim [%.1f, %.1f] us, wall %.3f ms\n",
+                  sp.name.c_str(), sp.t0_us, sp.t1_us, sp.wall_ms);
+    out += line;
+  }
+  return out;
+}
+
+void Profiler::clear() {
+  sections_.clear();
+  by_name_.clear();
+  by_pointer_.clear();
+  spans_.clear();
+}
+
+Profiler::Scope::Scope(Profiler* profiler, const char* name)
+    : profiler_(profiler), name_(name) {
+  if (profiler_ == nullptr) return;
+  wall_start_ = std::chrono::steady_clock::now();
+  if (profiler_->now_us_) t0_us_ = profiler_->now_us_();
+}
+
+Profiler::Scope::~Scope() {
+  if (profiler_ == nullptr) return;
+  const auto wall_end = std::chrono::steady_clock::now();
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(wall_end - wall_start_).count();
+  Span span;
+  span.name = name_;
+  span.t0_us = t0_us_;
+  span.t1_us = profiler_->now_us_ ? profiler_->now_us_() : t0_us_;
+  span.wall_ms = wall_ms;
+  profiler_->spans_.push_back(std::move(span));
+  profiler_->add_time(name_, wall_ms);
+}
+
+}  // namespace pet::sim

@@ -1,15 +1,18 @@
 #include "sim/scheduler.hpp"
 
 #include <cassert>
+#include <chrono>
 #include <utility>
+
+#include "sim/profiler.hpp"
 
 namespace pet::sim {
 
-EventId Scheduler::schedule_at(Time at, Callback cb) {
+EventId Scheduler::schedule_at(Time at, Callback cb, const char* kind) {
   assert(at >= now_ && "cannot schedule into the past");
   assert(cb && "null event callback");
   const std::uint64_t seq = next_seq_++;
-  queue_.push(Entry{at, seq, std::move(cb)});
+  queue_.push(Entry{at, seq, std::move(cb), kind});
   pending_seqs_.insert(seq);
   return EventId(seq);
 }
@@ -21,6 +24,13 @@ bool Scheduler::cancel(EventId id) {
   if (pending_seqs_.erase(id.seq_) == 0) return false;
   cancelled_.insert(id.seq_);
   return true;
+}
+
+void Scheduler::set_profiler(Profiler* profiler) {
+  profiler_ = profiler;
+  if (profiler_ != nullptr) {
+    profiler_->set_time_source([this] { return now_.us(); });
+  }
 }
 
 std::size_t Scheduler::run_until(Time until) {
@@ -38,7 +48,16 @@ std::size_t Scheduler::run_until(Time until) {
     now_ = entry.at;
     ++executed_;
     ++ran;
-    entry.cb();
+    if (profiler_ != nullptr) {
+      const auto t0 = std::chrono::steady_clock::now();
+      entry.cb();
+      const auto t1 = std::chrono::steady_clock::now();
+      profiler_->record_event(
+          entry.kind != nullptr ? entry.kind : "event",
+          std::chrono::duration<double, std::milli>(t1 - t0).count());
+    } else {
+      entry.cb();
+    }
   }
   if (until != Time::max() && now_ < until) now_ = until;
   return ran;

@@ -15,6 +15,8 @@
 
 namespace pet::sim {
 
+class Profiler;
+
 /// Handle to a scheduled event; allows cancellation.
 class EventId {
  public:
@@ -39,11 +41,14 @@ class Scheduler {
   [[nodiscard]] Time now() const { return now_; }
 
   /// Schedule `cb` to run at absolute time `at` (must be >= now()).
-  EventId schedule_at(Time at, Callback cb);
+  /// `kind` is an optional string-literal tag (stable pointer identity)
+  /// under which an attached Profiler attributes the event's execution;
+  /// untagged events are pooled as "event".
+  EventId schedule_at(Time at, Callback cb, const char* kind = nullptr);
 
   /// Schedule `cb` to run `delay` from now.
-  EventId schedule_in(Time delay, Callback cb) {
-    return schedule_at(now_ + delay, std::move(cb));
+  EventId schedule_in(Time delay, Callback cb, const char* kind = nullptr) {
+    return schedule_at(now_ + delay, std::move(cb), kind);
   }
 
   /// Cancel a pending event. Cancelling an already-run or already-cancelled
@@ -64,11 +69,19 @@ class Scheduler {
   /// Total events executed since construction.
   [[nodiscard]] std::uint64_t executed() const { return executed_; }
 
+  /// Attach a profiler: every executed event is counted and wall-timed
+  /// under its kind tag, and the profiler's span clock follows now().
+  /// Detach with nullptr. Profiling observes only — the event sequence is
+  /// bit-identical with or without it.
+  void set_profiler(Profiler* profiler);
+  [[nodiscard]] Profiler* profiler() const { return profiler_; }
+
  private:
   struct Entry {
     Time at;
     std::uint64_t seq;
     Callback cb;
+    const char* kind;
     bool operator>(const Entry& other) const {
       if (at != other.at) return at > other.at;
       return seq > other.seq;
@@ -81,6 +94,7 @@ class Scheduler {
   Time now_ = Time::zero();
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
+  Profiler* profiler_ = nullptr;
 };
 
 }  // namespace pet::sim

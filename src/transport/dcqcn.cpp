@@ -85,13 +85,16 @@ net::Packet DcqcnSender::emit(sim::Time now) {
     if (increase_ev_.valid()) sched_.cancel(increase_ev_);
     alpha_ev_ = sim::EventId{};
     increase_ev_ = sim::EventId{};
-    deregister_ev_ = sched_.schedule_in(sim::Time(0), [this] {
-      deregister_ev_ = sim::EventId{};
-      if (registered_) {
-        host_.deregister_source(this);
-        registered_ = false;
-      }
-    });
+    deregister_ev_ = sched_.schedule_in(
+        sim::Time(0),
+        [this] {
+          deregister_ev_ = sim::EventId{};
+          if (registered_) {
+            host_.deregister_source(this);
+            registered_ = false;
+          }
+        },
+        "transport.deregister");
   }
   return pkt;
 }
@@ -134,19 +137,25 @@ void DcqcnSender::clamp_rates() {
 
 void DcqcnSender::arm_alpha_timer() {
   if (alpha_ev_.valid()) sched_.cancel(alpha_ev_);
-  alpha_ev_ = sched_.schedule_in(cfg_.alpha_timer, [this] {
-    alpha_ *= (1.0 - cfg_.gain);
-    arm_alpha_timer();
-  });
+  alpha_ev_ = sched_.schedule_in(
+      cfg_.alpha_timer,
+      [this] {
+        alpha_ *= (1.0 - cfg_.gain);
+        arm_alpha_timer();
+      },
+      "transport.alpha");
 }
 
 void DcqcnSender::arm_increase_timer() {
   if (increase_ev_.valid()) sched_.cancel(increase_ev_);
-  increase_ev_ = sched_.schedule_in(cfg_.increase_timer, [this] {
-    ++timer_stage_;
-    do_increase();
-    arm_increase_timer();
-  });
+  increase_ev_ = sched_.schedule_in(
+      cfg_.increase_timer,
+      [this] {
+        ++timer_stage_;
+        do_increase();
+        arm_increase_timer();
+      },
+      "transport.increase");
 }
 
 // ---------------------------------------------------------------------------

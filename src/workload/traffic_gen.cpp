@@ -56,7 +56,8 @@ void PoissonTrafficGenerator::set_load(double load) {
 void PoissonTrafficGenerator::schedule_next() {
   if (!running_ || sched_.now() >= cfg_.stop) return;
   const double gap_sec = rng_.exponential(1.0 / arrival_rate_per_sec());
-  next_ev_ = sched_.schedule_in(sim::seconds(gap_sec), [this] { arrival(); });
+  next_ev_ = sched_.schedule_in(sim::seconds(gap_sec), [this] { arrival(); },
+                                "workload.arrival");
 }
 
 void PoissonTrafficGenerator::arrival() {
@@ -115,7 +116,8 @@ void IncastGenerator::schedule_next() {
   const double jitter = rng_.uniform(0.9, 1.1);
   const auto gap = sim::Time(
       static_cast<std::int64_t>(static_cast<double>(cfg_.period.ps()) * jitter));
-  next_ev_ = sched_.schedule_in(gap, [this] { fire_epoch(); });
+  next_ev_ =
+      sched_.schedule_in(gap, [this] { fire_epoch(); }, "workload.incast");
 }
 
 void IncastGenerator::fire_epoch() {

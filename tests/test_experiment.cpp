@@ -45,15 +45,52 @@ TEST(Metrics, FctBucketFiltersBySizeAndWindow) {
   add(20'000'000, 20, 5000);   // elephant, in window
   const sim::Time from = sim::Time::zero();
   const sim::Time to = sim::milliseconds(1);
-  const auto mice = fct_bucket(records, 0, kMiceMaxBytes, from, to,
-                               sim::gbps(10), sim::microseconds(8));
+  const auto mice =
+      fct_bucket_mice(records, from, to, sim::gbps(10), sim::microseconds(8));
   EXPECT_EQ(mice.count, 1u);
   EXPECT_NEAR(mice.avg_us, 100.0, 1e-9);
-  const auto elephants =
-      fct_bucket(records, kElephantMinBytes - 1,
-                 std::numeric_limits<std::int64_t>::max(), from, to,
-                 sim::gbps(10), sim::microseconds(8));
+  const auto elephants = fct_bucket_elephants(records, from, to, sim::gbps(10),
+                                              sim::microseconds(8));
   EXPECT_EQ(elephants.count, 1u);
+  const auto overall =
+      fct_bucket_overall(records, from, to, sim::gbps(10),
+                         sim::microseconds(8));
+  EXPECT_EQ(overall.count, 2u);
+}
+
+TEST(Metrics, FctBucketBoundariesAreInclusive) {
+  // Regression for the off-by-one edges: a flow of exactly 100 KB is a
+  // mouse ((0,100KB] per the paper) and a flow of exactly 1 MB is an
+  // elephant ([1MB,inf)). The old call sites passed `kElephantMinBytes - 1`
+  // as an inclusive lower bound, silently re-deciding the edges.
+  std::vector<transport::FctRecord> records;
+  const auto add = [&](std::int64_t size) {
+    transport::FlowSpec spec;
+    spec.size_bytes = size;
+    spec.start_time = sim::microseconds(10);
+    records.push_back({spec, spec.start_time + sim::microseconds(100)});
+  };
+  add(kMiceMaxBytes);          // exactly 100 KB
+  add(kMiceMaxBytes + 1);      // just above: neither bucket
+  add(kElephantMinBytes - 1);  // just below 1 MB: neither bucket
+  add(kElephantMinBytes);      // exactly 1 MB
+  const sim::Time from = sim::Time::zero();
+  const sim::Time to = sim::milliseconds(1);
+  const auto mice =
+      fct_bucket_mice(records, from, to, sim::gbps(10), sim::microseconds(8));
+  EXPECT_EQ(mice.count, 1u);
+  const auto elephants = fct_bucket_elephants(records, from, to, sim::gbps(10),
+                                              sim::microseconds(8));
+  EXPECT_EQ(elephants.count, 1u);
+  const auto overall =
+      fct_bucket_overall(records, from, to, sim::gbps(10),
+                         sim::microseconds(8));
+  EXPECT_EQ(overall.count, 4u);
+
+  // The raw [lo, hi) primitive: hi is exclusive, lo inclusive.
+  const auto exact = fct_bucket(records, kMiceMaxBytes, kMiceMaxBytes + 1,
+                                from, to, sim::gbps(10), sim::microseconds(8));
+  EXPECT_EQ(exact.count, 1u);
 }
 
 TEST(Scheme, NamesAndConfigs) {

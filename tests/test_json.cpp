@@ -1,0 +1,132 @@
+#include "exp/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace pet::exp {
+namespace {
+
+TEST(Json, DumpsScalars) {
+  EXPECT_EQ(JsonValue().dump(), "null");
+  EXPECT_EQ(JsonValue(true).dump(), "true");
+  EXPECT_EQ(JsonValue(false).dump(), "false");
+  EXPECT_EQ(JsonValue(42).dump(), "42");
+  EXPECT_EQ(JsonValue(-7).dump(), "-7");
+  EXPECT_EQ(JsonValue(std::int64_t{1'000'000'000'000}).dump(),
+            "1000000000000");
+  EXPECT_EQ(JsonValue(1.5).dump(), "1.5");
+  EXPECT_EQ(JsonValue("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, IntegralDoublesRenderWithoutExponent) {
+  // Metric values are doubles but often integral (counts); they must not
+  // come out as "3e+00" or "3.0" — tooling diffs artifacts textually.
+  EXPECT_EQ(JsonValue(3.0).dump(), "3");
+  EXPECT_EQ(JsonValue(0.0).dump(), "0");
+  EXPECT_EQ(JsonValue(-250.0).dump(), "-250");
+}
+
+TEST(Json, NonFiniteNumbersBecomeNull) {
+  EXPECT_EQ(JsonValue(std::numeric_limits<double>::quiet_NaN()).dump(),
+            "null");
+  EXPECT_EQ(JsonValue(std::numeric_limits<double>::infinity()).dump(),
+            "null");
+  EXPECT_EQ(JsonValue(-std::numeric_limits<double>::infinity()).dump(),
+            "null");
+}
+
+TEST(Json, EscapesStrings) {
+  EXPECT_EQ(JsonValue("a\"b").dump(), "\"a\\\"b\"");
+  EXPECT_EQ(JsonValue("back\\slash").dump(), "\"back\\\\slash\"");
+  EXPECT_EQ(JsonValue("line\nbreak\ttab").dump(), "\"line\\nbreak\\ttab\"");
+  EXPECT_EQ(JsonValue(std::string("ctrl\x01")).dump(), "\"ctrl\\u0001\"");
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+  JsonValue obj = JsonValue::object();
+  obj.set("zeta", 1);
+  obj.set("alpha", 2);
+  obj.set("mid", 3);
+  EXPECT_EQ(obj.dump(), "{\"zeta\":1,\"alpha\":2,\"mid\":3}");
+  // Overwrite keeps the original position.
+  obj.set("alpha", 9);
+  EXPECT_EQ(obj.dump(), "{\"zeta\":1,\"alpha\":9,\"mid\":3}");
+  ASSERT_NE(obj.find("alpha"), nullptr);
+  EXPECT_DOUBLE_EQ(obj.find("alpha")->as_number(), 9.0);
+  EXPECT_EQ(obj.find("missing"), nullptr);
+}
+
+TEST(Json, PrettyPrintIndents) {
+  JsonValue obj = JsonValue::object();
+  obj.set("k", JsonValue::array().push_back(1));
+  const std::string text = obj.dump(2);
+  EXPECT_NE(text.find("{\n  \"k\": [\n"), std::string::npos) << text;
+}
+
+TEST(Json, ParseRoundTripsDump) {
+  JsonValue root = JsonValue::object();
+  root.set("name", "fig4");
+  root.set("seed", 12345);
+  root.set("load", 0.6);
+  root.set("ok", true);
+  root.set("nothing", JsonValue());
+  JsonValue arr = JsonValue::array();
+  arr.push_back(1);
+  arr.push_back("two");
+  JsonValue inner = JsonValue::object();
+  inner.set("deep", -2.25);
+  arr.push_back(std::move(inner));
+  root.set("list", std::move(arr));
+
+  const std::string once = root.dump(2);
+  std::string error;
+  const auto parsed = JsonValue::parse(once, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  // Byte-identity through a full round trip is what the chrome-trace
+  // determinism guarantee rests on.
+  EXPECT_EQ(parsed->dump(2), once);
+  EXPECT_EQ(parsed->find("name")->as_string(), "fig4");
+  EXPECT_DOUBLE_EQ(parsed->find("load")->as_number(), 0.6);
+  EXPECT_EQ(parsed->find("list")->size(), 3u);
+  EXPECT_DOUBLE_EQ(parsed->find("list")->at(2).find("deep")->as_number(),
+                   -2.25);
+}
+
+TEST(Json, ParseHandlesEscapesAndUnicode) {
+  const auto v = JsonValue::parse(R"("tab\there Aé")");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->as_string(), "tab\there A\xc3\xa9");
+}
+
+TEST(Json, ParseAcceptsWhitespaceAndNesting) {
+  const auto v = JsonValue::parse(" { \"a\" : [ 1 , { \"b\" : null } ] } ");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_TRUE(v->find("a")->at(1).find("b")->is_null());
+}
+
+TEST(Json, ParseRejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(JsonValue::parse("", &error).has_value());
+  EXPECT_FALSE(JsonValue::parse("{", &error).has_value());
+  EXPECT_FALSE(JsonValue::parse("{\"a\":}", &error).has_value());
+  EXPECT_FALSE(JsonValue::parse("[1,]", &error).has_value());
+  EXPECT_FALSE(JsonValue::parse("tru", &error).has_value());
+  EXPECT_FALSE(JsonValue::parse("\"unterminated", &error).has_value());
+  // Trailing garbage after a complete document is an error, not ignored.
+  EXPECT_FALSE(JsonValue::parse("{} extra", &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(Json, ParseRejectsPathologicalDepth) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += '[';
+  for (int i = 0; i < 200; ++i) deep += ']';
+  std::string error;
+  EXPECT_FALSE(JsonValue::parse(deep, &error).has_value());
+}
+
+}  // namespace
+}  // namespace pet::exp

@@ -1,0 +1,146 @@
+#include "sim/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+
+namespace pet::sim {
+namespace {
+
+TEST(Profiler, CountsAndTimesSections) {
+  Profiler prof;
+  prof.count("alpha");
+  prof.count("alpha", 2);
+  prof.add_time("beta", 1.5);
+  prof.add_time("beta", 0.5);
+  const Profiler::Section* alpha = prof.section("alpha");
+  ASSERT_NE(alpha, nullptr);
+  EXPECT_EQ(alpha->calls, 3u);
+  EXPECT_DOUBLE_EQ(alpha->wall_ms, 0.0);
+  const Profiler::Section* beta = prof.section("beta");
+  ASSERT_NE(beta, nullptr);
+  EXPECT_EQ(beta->calls, 2u);
+  EXPECT_DOUBLE_EQ(beta->wall_ms, 2.0);
+  EXPECT_EQ(prof.section("gamma"), nullptr);
+}
+
+TEST(Profiler, RecordEventPoolsByKindPointer) {
+  Profiler prof;
+  static const char* kKind = "net.tx";
+  prof.record_event(kKind, 0.25);
+  prof.record_event(kKind, 0.25);
+  const Profiler::Section* s = prof.section("net.tx");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->calls, 2u);
+  EXPECT_DOUBLE_EQ(s->wall_ms, 0.5);
+}
+
+TEST(Profiler, ScopeRecordsSimTimeSpan) {
+  Profiler prof;
+  double fake_now = 100.0;
+  prof.set_time_source([&fake_now] { return fake_now; });
+  {
+    PET_PROFILE_SCOPE(&prof, "phase-a");
+    fake_now = 350.0;
+  }
+  ASSERT_EQ(prof.spans().size(), 1u);
+  const Profiler::Span& span = prof.spans()[0];
+  EXPECT_EQ(span.name, "phase-a");
+  EXPECT_DOUBLE_EQ(span.t0_us, 100.0);
+  EXPECT_DOUBLE_EQ(span.t1_us, 350.0);
+  EXPECT_GE(span.wall_ms, 0.0);
+  // The scope also shows up as a section (wall-time attribution).
+  ASSERT_NE(prof.section("phase-a"), nullptr);
+  EXPECT_EQ(prof.section("phase-a")->calls, 1u);
+}
+
+TEST(Profiler, NullProfilerScopeIsNoop) {
+  Profiler* none = nullptr;
+  PET_PROFILE_SCOPE(none, "ignored");
+  SUCCEED();
+}
+
+TEST(Profiler, SchedulerAttributesEventKinds) {
+  Scheduler sched;
+  Profiler prof;
+  sched.set_profiler(&prof);
+  int fired = 0;
+  sched.schedule_at(microseconds(1), [&] { ++fired; }, "net.tx");
+  sched.schedule_at(microseconds(2), [&] { ++fired; }, "net.tx");
+  sched.schedule_at(microseconds(3), [&] { ++fired; }, "rl.tick");
+  sched.schedule_at(microseconds(4), [&] { ++fired; });  // untagged
+  sched.run_until(milliseconds(1));
+  EXPECT_EQ(fired, 4);
+  ASSERT_NE(prof.section("net.tx"), nullptr);
+  EXPECT_EQ(prof.section("net.tx")->calls, 2u);
+  ASSERT_NE(prof.section("rl.tick"), nullptr);
+  EXPECT_EQ(prof.section("rl.tick")->calls, 1u);
+  ASSERT_NE(prof.section("event"), nullptr);  // untagged pool
+  EXPECT_EQ(prof.section("event")->calls, 1u);
+}
+
+TEST(Profiler, SchedulerTimeSourceFeedsSpans) {
+  Scheduler sched;
+  Profiler prof;
+  sched.set_profiler(&prof);
+  sched.schedule_at(microseconds(250), [] {});
+  {
+    PET_PROFILE_SCOPE(&prof, "window");
+    sched.run_until(microseconds(250));
+  }
+  ASSERT_EQ(prof.spans().size(), 1u);
+  EXPECT_DOUBLE_EQ(prof.spans()[0].t0_us, 0.0);
+  EXPECT_DOUBLE_EQ(prof.spans()[0].t1_us, 250.0);
+}
+
+TEST(Profiler, ObservationDoesNotPerturbEventOrder) {
+  // The profiler must be a pure observer: the same schedule executes in
+  // the same order with and without one attached.
+  const auto run = [](bool profiled) {
+    Scheduler sched;
+    Profiler prof;
+    if (profiled) sched.set_profiler(&prof);
+    std::string order;
+    // Two ties at t=2us (insertion order breaks them) plus surrounding
+    // events, all tagged differently.
+    sched.schedule_at(microseconds(2), [&] { order += 'b'; }, "kind.b");
+    sched.schedule_at(microseconds(1), [&] { order += 'a'; }, "kind.a");
+    sched.schedule_at(microseconds(2), [&] { order += 'c'; });
+    sched.schedule_at(microseconds(3), [&] { order += 'd'; }, "kind.d");
+    sched.run_until(milliseconds(1));
+    return order;
+  };
+  EXPECT_EQ(run(false), run(true));
+  EXPECT_EQ(run(true), "abcd");
+}
+
+TEST(Profiler, ReportListsSectionsAndSpans) {
+  Profiler prof;
+  prof.set_time_source([] { return 0.0; });
+  prof.add_time("hot-section", 3.0);
+  { PET_PROFILE_SCOPE(&prof, "phase-x"); }
+  const std::string report = prof.report();
+  EXPECT_NE(report.find("hot-section"), std::string::npos);
+  EXPECT_NE(report.find("phase-x"), std::string::npos);
+}
+
+TEST(Profiler, ClearResetsEverything) {
+  Profiler prof;
+  prof.count("x");
+  { PET_PROFILE_SCOPE(&prof, "y"); }
+  prof.clear();
+  EXPECT_TRUE(prof.sections().empty());
+  EXPECT_TRUE(prof.spans().empty());
+  // Pointer cache must be invalidated too: re-recording after clear()
+  // must not index into freed sections.
+  static const char* kKind = "z";
+  prof.record_event(kKind, 0.1);
+  ASSERT_NE(prof.section("z"), nullptr);
+  EXPECT_EQ(prof.section("z")->calls, 1u);
+}
+
+}  // namespace
+}  // namespace pet::sim

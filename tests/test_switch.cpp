@@ -165,6 +165,49 @@ TEST_F(SwitchFixture, SetEcnConfigAllPortsApplies) {
   }
 }
 
+TEST_F(SwitchFixture, RebootRoutesEcnThroughAuditedInstall) {
+  // Regression: the restored config must go through install_ecn — the
+  // audited entry point that clamps invalid configs and bumps the install
+  // counter — not through a side door that would accept garbage silently.
+  build();
+  const std::int64_t installs_before = sw->ecn_installs();
+  const RedEcnConfig invalid{
+      .kmin_bytes = -500, .kmax_bytes = -1000, .pmax = 7.0};
+  sw->reboot(invalid);
+  EXPECT_EQ(sw->reboots(), 1);
+  EXPECT_EQ(sw->ecn_installs(), installs_before + 1);
+  const RedEcnConfig expected = invalid.clamped();
+  for (std::int32_t p = 0; p < sw->num_ports(); ++p) {
+    for (std::int32_t q = 0; q < sw->port(p).num_data_queues(); ++q) {
+      EXPECT_EQ(sw->port(p).ecn_config(q), expected);
+    }
+  }
+  const EcnConfigSummary summary = sw->ecn_config_summary();
+  EXPECT_TRUE(summary.uniform);
+  EXPECT_EQ(summary.kmin_min_bytes, expected.kmin_bytes);
+  EXPECT_EQ(summary.kmax_max_bytes, expected.kmax_bytes);
+  EXPECT_DOUBLE_EQ(summary.pmax_max, expected.pmax);
+}
+
+TEST_F(SwitchFixture, EcnConfigSummaryTracksPerPortSpread) {
+  build();
+  const RedEcnConfig base{.kmin_bytes = 10'000, .kmax_bytes = 50'000,
+                          .pmax = 0.2};
+  sw->set_ecn_config_all_ports(base);
+  const RedEcnConfig odd{.kmin_bytes = 2'000, .kmax_bytes = 80'000,
+                         .pmax = 0.6};
+  sw->set_ecn_config(0, odd);
+  const EcnConfigSummary summary = sw->ecn_config_summary();
+  EXPECT_FALSE(summary.uniform);
+  EXPECT_EQ(summary.kmin_min_bytes, 2'000);
+  EXPECT_EQ(summary.kmin_max_bytes, 10'000);
+  EXPECT_EQ(summary.kmax_min_bytes, 50'000);
+  EXPECT_EQ(summary.kmax_max_bytes, 80'000);
+  EXPECT_DOUBLE_EQ(summary.pmax_min, 0.2);
+  EXPECT_DOUBLE_EQ(summary.pmax_max, 0.6);
+  EXPECT_EQ(summary.queues, sw->num_ports());
+}
+
 /// ECMP fixture: two parallel switches between leaf pairs is overkill here;
 /// instead check selection is flow-stable and spreads across candidates.
 TEST(SwitchEcmp, FlowStableAndSpreads) {

@@ -63,9 +63,46 @@ TEST(Telemetry, CarriesEcnConfig) {
   experiment.run_until(sim::milliseconds(1));
   ASSERT_FALSE(telemetry.samples().empty());
   for (const auto& s : telemetry.samples()) {
-    EXPECT_EQ(s.kmin_bytes, secn1_config().kmin_bytes);
-    EXPECT_EQ(s.kmax_bytes, secn1_config().kmax_bytes);
+    // SECN1 installs one uniform config, so the roll-up collapses.
+    EXPECT_TRUE(s.ecn.uniform);
+    EXPECT_EQ(s.ecn.kmin_min_bytes, secn1_config().kmin_bytes);
+    EXPECT_EQ(s.ecn.kmin_max_bytes, secn1_config().kmin_bytes);
+    EXPECT_EQ(s.ecn.kmax_min_bytes, secn1_config().kmax_bytes);
+    EXPECT_EQ(s.ecn.kmax_max_bytes, secn1_config().kmax_bytes);
+    EXPECT_GT(s.ecn.queues, 0);
   }
+}
+
+TEST(Telemetry, ReportsPerQueueSpreadNotPortZero) {
+  // Regression: sample_all used to read port 0 / queue 0 only, so a
+  // per-queue install on any other queue was invisible in telemetry.
+  ScenarioConfig cfg = tiny_scenario();
+  cfg.topo.switch_cfg.num_data_queues = 2;
+  Experiment experiment(cfg);
+  net::SwitchDevice* sw = experiment.network().switches().front();
+  net::RedEcnConfig odd;
+  odd.kmin_bytes = 1'000;
+  odd.kmax_bytes = 5'000;
+  odd.pmax = 0.9;
+  ASSERT_GT(sw->install_ecn(odd, net::PortSelector::queue(1)), 0u);
+
+  TelemetryRecorder telemetry(experiment.scheduler(),
+                              experiment.network().switches());
+  telemetry.start();
+  experiment.run_until(sim::milliseconds(1));
+  ASSERT_FALSE(telemetry.samples().empty());
+  bool saw_modified_switch = false;
+  for (const auto& s : telemetry.samples()) {
+    if (s.switch_id != sw->id()) continue;
+    saw_modified_switch = true;
+    EXPECT_FALSE(s.ecn.uniform);
+    EXPECT_EQ(s.ecn.kmin_min_bytes, odd.kmin_bytes);
+    EXPECT_EQ(s.ecn.kmin_max_bytes, secn1_config().kmin_bytes);
+    EXPECT_EQ(s.ecn.kmax_min_bytes, odd.kmax_bytes);
+    EXPECT_EQ(s.ecn.kmax_max_bytes, secn1_config().kmax_bytes);
+    EXPECT_DOUBLE_EQ(s.ecn.pmax_max, 0.9);
+  }
+  EXPECT_TRUE(saw_modified_switch);
 }
 
 TEST(Telemetry, CsvWellFormed) {
@@ -81,12 +118,13 @@ TEST(Telemetry, CsvWellFormed) {
   std::getline(ss, header);
   EXPECT_EQ(header,
             "t_ms,switch,max_queue_kb,total_queue_kb,tx_mbps,marked_share,"
-            "kmin_bytes,kmax_bytes,pmax,pfc_pauses");
+            "kmin_min_bytes,kmin_max_bytes,kmax_min_bytes,kmax_max_bytes,"
+            "pmax_min,pmax_max,ecn_uniform,pfc_pauses");
   std::size_t rows = 0;
   std::string line;
   while (std::getline(ss, line)) {
     if (line.empty()) continue;
-    EXPECT_EQ(std::count(line.begin(), line.end(), ','), 9);
+    EXPECT_EQ(std::count(line.begin(), line.end(), ','), 13);
     ++rows;
   }
   EXPECT_EQ(rows, telemetry.samples().size());
