@@ -121,8 +121,10 @@ std::size_t AccController::replay_exchange_bytes() const {
   return total;
 }
 
-void AccController::install_weights(std::span<const double> weights) {
-  for (auto& a : agents_) a->learner().set_weights(weights);
+bool AccController::install_weights(std::span<const double> weights) {
+  bool ok = true;
+  for (auto& a : agents_) ok = a->learner().set_weights(weights) && ok;
+  return ok;
 }
 
 }  // namespace pet::acc

@@ -99,7 +99,8 @@ class AccController {
   [[nodiscard]] std::size_t replay_exchange_bytes() const;
 
   /// Install one weight vector into every agent (offline pre-training).
-  void install_weights(std::span<const double> weights);
+  /// Returns false on a parameter-count mismatch (models left untouched).
+  bool install_weights(std::span<const double> weights);
 
  private:
   void tick_all();

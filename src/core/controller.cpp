@@ -99,8 +99,10 @@ void PetController::tick_all_batched() {
   }
 }
 
-void PetController::install_weights(std::span<const double> weights) {
-  for (auto& a : agents_) a->policy().set_weights(weights);
+bool PetController::install_weights(std::span<const double> weights) {
+  bool ok = true;
+  for (auto& a : agents_) ok = a->policy().set_weights(weights) && ok;
+  return ok;
 }
 
 double PetController::mean_reward() const {

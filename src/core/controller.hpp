@@ -44,8 +44,10 @@ class PetController {
   [[nodiscard]] PetAgent& agent(std::size_t i) { return *agents_[i]; }
 
   /// Install one weight vector into every agent's policy (pre-trained
-  /// initial model deployment, Section 4.4.1).
-  void install_weights(std::span<const double> weights);
+  /// initial model deployment, Section 4.4.1). Returns false when the
+  /// vector does not match the policy's parameter count (stale cache);
+  /// agents keep their current models in that case.
+  bool install_weights(std::span<const double> weights);
 
   /// Mean per-step reward across agents (training progress signal).
   [[nodiscard]] double mean_reward() const;

@@ -168,9 +168,11 @@ void Experiment::install_scheme() {
   }
 }
 
-void Experiment::install_learned_weights(std::span<const double> weights) {
-  if (pet_ != nullptr) pet_->install_weights(weights);
-  if (acc_ != nullptr) acc_->install_weights(weights);
+bool Experiment::install_learned_weights(std::span<const double> weights) {
+  bool ok = true;
+  if (pet_ != nullptr) ok = pet_->install_weights(weights) && ok;
+  if (acc_ != nullptr) ok = acc_->install_weights(weights) && ok;
+  return ok;
 }
 
 std::vector<double> Experiment::learned_weights() const {

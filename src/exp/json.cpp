@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <charconv>
+#include <cstdint>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -154,6 +155,9 @@ class Parser {
 
  private:
   static constexpr int kMaxDepth = 64;
+  // No legitimate producer emits number tokens anywhere near this long; an
+  // unbounded scan would let a hostile document stall the parser.
+  static constexpr std::size_t kMaxNumberLength = 128;
 
   void fail(const std::string& msg) {
     if (error_ != nullptr && error_->empty()) {
@@ -221,6 +225,10 @@ class Parser {
       fail("expected a JSON value");
       return std::nullopt;
     }
+    if (pos_ - start > kMaxNumberLength) {
+      fail("number token too long");
+      return std::nullopt;
+    }
     double out = 0.0;
     const auto res =
         std::from_chars(text_.data() + start, text_.data() + pos_, out);
@@ -229,6 +237,98 @@ class Parser {
       return std::nullopt;
     }
     return JsonValue(out);
+  }
+
+  /// Reads the 4 hex digits after "\u"; nullopt on truncation/garbage.
+  std::optional<unsigned> parse_hex4() {
+    if (pos_ + 4 > text_.size()) {
+      fail("truncated \\u escape");
+      return std::nullopt;
+    }
+    unsigned code = 0;
+    const auto res = std::from_chars(text_.data() + pos_,
+                                     text_.data() + pos_ + 4, code, 16);
+    if (res.ec != std::errc{} || res.ptr != text_.data() + pos_ + 4) {
+      fail("malformed \\u escape");
+      return std::nullopt;
+    }
+    pos_ += 4;
+    return code;
+  }
+
+  void append_utf8(std::string& out, std::uint32_t code) {
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  }
+
+  /// Validates and copies one raw (non-escape) UTF-8 sequence whose lead
+  /// byte has already been consumed. Rejects truncated sequences, bad
+  /// continuation bytes, overlong encodings, surrogates and > U+10FFFF, so
+  /// every accepted string is valid UTF-8 and survives dump/parse intact.
+  bool copy_utf8_sequence(std::string& out, unsigned char lead) {
+    int extra = 0;
+    std::uint32_t code = 0;
+    std::uint32_t min_code = 0;
+    if (lead < 0x80) {
+      out += static_cast<char>(lead);
+      return true;
+    } else if ((lead & 0xE0) == 0xC0) {
+      extra = 1;
+      code = lead & 0x1Fu;
+      min_code = 0x80;
+    } else if ((lead & 0xF0) == 0xE0) {
+      extra = 2;
+      code = lead & 0x0Fu;
+      min_code = 0x800;
+    } else if ((lead & 0xF8) == 0xF0) {
+      extra = 3;
+      code = lead & 0x07u;
+      min_code = 0x10000;
+    } else {
+      fail("invalid UTF-8 byte in string");
+      return false;
+    }
+    if (pos_ + static_cast<std::size_t>(extra) > text_.size()) {
+      fail("truncated UTF-8 sequence in string");
+      return false;
+    }
+    for (int i = 0; i < extra; ++i) {
+      const auto cont = static_cast<unsigned char>(text_[pos_ + i]);
+      if ((cont & 0xC0) != 0x80) {
+        fail("invalid UTF-8 continuation byte in string");
+        return false;
+      }
+      code = (code << 6) | (cont & 0x3Fu);
+    }
+    if (code < min_code) {
+      fail("overlong UTF-8 encoding in string");
+      return false;
+    }
+    if (code >= 0xD800 && code <= 0xDFFF) {
+      fail("UTF-8 encoded surrogate in string");
+      return false;
+    }
+    if (code > 0x10FFFF) {
+      fail("UTF-8 code point above U+10FFFF in string");
+      return false;
+    }
+    out += static_cast<char>(lead);
+    out.append(text_.substr(pos_, static_cast<std::size_t>(extra)));
+    pos_ += static_cast<std::size_t>(extra);
+    return true;
   }
 
   std::optional<std::string> parse_string() {
@@ -253,39 +353,40 @@ class Parser {
           case 'r': out += '\r'; break;
           case 't': out += '\t'; break;
           case 'u': {
-            if (pos_ + 4 > text_.size()) {
-              fail("truncated \\u escape");
+            const std::optional<unsigned> code = parse_hex4();
+            if (!code) return std::nullopt;
+            std::uint32_t cp = *code;
+            if (cp >= 0xDC00 && cp <= 0xDFFF) {
+              fail("unpaired low surrogate in \\u escape");
               return std::nullopt;
             }
-            unsigned code = 0;
-            const auto res = std::from_chars(
-                text_.data() + pos_, text_.data() + pos_ + 4, code, 16);
-            if (res.ec != std::errc{} ||
-                res.ptr != text_.data() + pos_ + 4) {
-              fail("malformed \\u escape");
-              return std::nullopt;
+            if (cp >= 0xD800 && cp <= 0xDBFF) {
+              // High surrogate: must be followed by \uDC00..\uDFFF.
+              if (!consume('\\') || !consume('u')) {
+                fail("unpaired high surrogate in \\u escape");
+                return std::nullopt;
+              }
+              const std::optional<unsigned> low = parse_hex4();
+              if (!low) return std::nullopt;
+              if (*low < 0xDC00 || *low > 0xDFFF) {
+                fail("invalid surrogate pair in \\u escape");
+                return std::nullopt;
+              }
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (*low - 0xDC00);
             }
-            pos_ += 4;
-            // Encode as UTF-8 (surrogate pairs are passed through as-is;
-            // our writer only emits \u for control characters).
-            if (code < 0x80) {
-              out += static_cast<char>(code);
-            } else if (code < 0x800) {
-              out += static_cast<char>(0xC0 | (code >> 6));
-              out += static_cast<char>(0x80 | (code & 0x3F));
-            } else {
-              out += static_cast<char>(0xE0 | (code >> 12));
-              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
-              out += static_cast<char>(0x80 | (code & 0x3F));
-            }
+            append_utf8(out, cp);
             break;
           }
           default:
             fail("unknown escape");
             return std::nullopt;
         }
-      } else {
-        out += c;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+        return std::nullopt;
+      } else if (!copy_utf8_sequence(out,
+                                     static_cast<unsigned char>(c))) {
+        return std::nullopt;
       }
     }
     fail("unterminated string");

@@ -75,7 +75,7 @@ std::string WeightCache::path_for(const std::string& key) const {
 }
 
 std::optional<std::vector<double>> WeightCache::load(
-    const std::string& key) const {
+    const std::string& key, std::uint64_t expected_count) const {
   const std::string path = path_for(key);
   std::ifstream in(path, std::ios::binary);
   if (!in) return std::nullopt;
@@ -103,6 +103,14 @@ std::optional<std::vector<double>> WeightCache::load(
                  path.c_str(), static_cast<unsigned long long>(count),
                  static_cast<unsigned long long>(
                      file_size >= header ? file_size - header : 0));
+    return std::nullopt;
+  }
+  if (expected_count != 0 && count != expected_count) {
+    std::fprintf(stderr,
+                 "  [pretrain] WARN: %s holds %llu weights but the model "
+                 "expects %llu; ignoring cached model\n",
+                 path.c_str(), static_cast<unsigned long long>(count),
+                 static_cast<unsigned long long>(expected_count));
     return std::nullopt;
   }
   std::vector<double> weights(count);
@@ -141,11 +149,12 @@ void WeightCache::store(const std::string& key,
 
 std::vector<double> pretrained_weights_cached(const ScenarioConfig& base,
                                               const PretrainOptions& opt,
-                                              const std::string& cache_dir) {
+                                              const std::string& cache_dir,
+                                              std::uint64_t expected_count) {
   if (!is_learning_scheme(base.scheme)) return {};
   const WeightCache cache(cache_dir);
   const std::string key = pretrain_cache_key(base, opt);
-  if (auto cached = cache.load(key)) {
+  if (auto cached = cache.load(key, expected_count)) {
     std::printf("  [pretrain] cache hit: %s\n", key.c_str());
     return *cached;
   }

@@ -43,8 +43,13 @@ class WeightCache {
  public:
   explicit WeightCache(std::string dir) : dir_(std::move(dir)) {}
 
+  /// Loads a cached weight vector. Returns nullopt (with a warning on
+  /// stderr) for missing, truncated, corrupted or non-finite files, and —
+  /// when expected_count is nonzero — for files whose weight count does
+  /// not match the consuming model (stale cache from an older
+  /// architecture). Callers treat nullopt as a cache miss and retrain.
   [[nodiscard]] std::optional<std::vector<double>> load(
-      const std::string& key) const;
+      const std::string& key, std::uint64_t expected_count = 0) const;
   void store(const std::string& key, std::span<const double> weights) const;
 
  private:
@@ -56,6 +61,7 @@ class WeightCache {
 /// Returns empty for static schemes.
 [[nodiscard]] std::vector<double> pretrained_weights_cached(
     const ScenarioConfig& base, const PretrainOptions& opt,
-    const std::string& cache_dir = "pretrain_cache");
+    const std::string& cache_dir = "pretrain_cache",
+    std::uint64_t expected_count = 0);
 
 }  // namespace pet::exp

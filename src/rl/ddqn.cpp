@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
 
 #include "rl/categorical.hpp"
 
@@ -128,9 +129,19 @@ std::vector<double> DdqnAgent::weights() const {
   return snapshot_params(online_refs_);
 }
 
-void DdqnAgent::set_weights(std::span<const double> values) {
+std::size_t DdqnAgent::num_params() const { return online_refs_.size(); }
+
+bool DdqnAgent::set_weights(std::span<const double> values) {
+  if (values.size() != online_refs_.size()) {
+    std::fprintf(stderr,
+                 "  [ddqn] ERROR: weight vector has %zu values but the "
+                 "network has %zu parameters; keeping current model\n",
+                 values.size(), online_refs_.size());
+    return false;
+  }
   restore_params(online_refs_, values);
   sync_target();
+  return true;
 }
 
 }  // namespace pet::rl

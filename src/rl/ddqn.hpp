@@ -56,7 +56,10 @@ class DdqnAgent {
   [[nodiscard]] std::int32_t agent_id() const { return agent_id_; }
 
   [[nodiscard]] std::vector<double> weights() const;
-  void set_weights(std::span<const double> values);
+  /// Installs a full online-net snapshot (and syncs the target net).
+  /// Returns false and keeps the current model on a size mismatch.
+  bool set_weights(std::span<const double> values);
+  [[nodiscard]] std::size_t num_params() const;
 
   void set_lr(double lr);
   [[nodiscard]] double lr() const;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdio>
 #include <numeric>
 
 #include "rl/categorical.hpp"
@@ -365,8 +366,16 @@ double PpoAgent::critic_lr() const { return critic_opt_->lr(); }
 
 std::vector<double> PpoAgent::weights() const { return snapshot_params(refs_); }
 
-void PpoAgent::set_weights(std::span<const double> values) {
+bool PpoAgent::set_weights(std::span<const double> values) {
+  if (values.size() != refs_.size()) {
+    std::fprintf(stderr,
+                 "  [ppo] ERROR: weight vector has %zu values but the policy "
+                 "has %zu parameters; keeping current model\n",
+                 values.size(), refs_.size());
+    return false;
+  }
   restore_params(refs_, values);
+  return true;
 }
 
 }  // namespace pet::rl

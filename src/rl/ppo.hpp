@@ -135,7 +135,10 @@ class PpoAgent {
 
   // --- serialization (offline pre-training -> per-switch deployment) --------
   [[nodiscard]] std::vector<double> weights() const;
-  void set_weights(std::span<const double> values);
+  /// Installs a full parameter snapshot. Returns false (and leaves the
+  /// current model untouched) when `values` does not match num_params() —
+  /// e.g. a stale weight cache trained with a different architecture.
+  bool set_weights(std::span<const double> values);
 
   [[nodiscard]] const PpoConfig& config() const { return cfg_; }
   [[nodiscard]] std::size_t num_params() const { return refs_.size(); }

@@ -1,0 +1,340 @@
+#pragma once
+// Generator combinators for property-based testing.
+//
+// A Gen<T> draws a Shrinkable<T> — a value plus a lazy tree of simpler
+// candidate values — from a sim::Rng. Every generated case is a pure
+// function of one 64-bit seed (the runner derives per-case seeds from the
+// property's base stream), so any counterexample is replayable by seed and
+// shrinking is deterministic: replaying a failing seed re-runs generation
+// AND shrinking, landing on the same minimal counterexample.
+//
+// Shrinking is integrated: combinators (map, filter, tuple_of, vector_of)
+// compose the shrink trees of their inputs, so a shrunk vector of tuples is
+// still a valid draw of the original generator.
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace pet::testkit {
+
+/// A value plus a lazily computed list of "one step simpler" candidates,
+/// each itself shrinkable (a rose tree evaluated on demand).
+template <typename T>
+class Shrinkable {
+ public:
+  using ShrinksFn = std::function<std::vector<Shrinkable<T>>()>;
+
+  explicit Shrinkable(T value)
+      : value_(std::make_shared<T>(std::move(value))),
+        shrinks_([] { return std::vector<Shrinkable<T>>{}; }) {}
+  Shrinkable(T value, ShrinksFn shrinks)
+      : value_(std::make_shared<T>(std::move(value))),
+        shrinks_(std::move(shrinks)) {}
+
+  [[nodiscard]] const T& value() const { return *value_; }
+  [[nodiscard]] std::vector<Shrinkable<T>> shrinks() const { return shrinks_(); }
+
+  /// Shrinkable functor: shrinks of f(x) are f applied to shrinks of x.
+  template <typename F>
+  [[nodiscard]] auto map(F f) const -> Shrinkable<std::invoke_result_t<F, T>> {
+    using U = std::invoke_result_t<F, T>;
+    Shrinkable<T> self = *this;
+    return Shrinkable<U>(f(self.value()), [self, f]() {
+      std::vector<Shrinkable<U>> out;
+      for (const Shrinkable<T>& s : self.shrinks()) out.push_back(s.map(f));
+      return out;
+    });
+  }
+
+ private:
+  std::shared_ptr<T> value_;  // shared: shrink closures capture cheaply
+  ShrinksFn shrinks_;
+};
+
+// --- scalar shrink trees -----------------------------------------------------
+
+/// Integer shrink tree toward `target`: try the target itself, then binary
+/// bisection toward it, then the immediate predecessor.
+[[nodiscard]] inline Shrinkable<std::int64_t> shrinkable_int(
+    std::int64_t value, std::int64_t target) {
+  return Shrinkable<std::int64_t>(value, [value, target]() {
+    std::vector<Shrinkable<std::int64_t>> out;
+    if (value == target) return out;
+    out.push_back(shrinkable_int(target, target));
+    std::int64_t delta = value - target;
+    // Bisect: target + delta/2, target + delta/4, ...
+    for (std::int64_t d = delta / 2; d != 0; d /= 2) {
+      out.push_back(shrinkable_int(target + d, target));
+    }
+    const std::int64_t prev = value - (delta > 0 ? 1 : -1);
+    if (prev != target && (out.empty() || out.back().value() != prev)) {
+      out.push_back(shrinkable_int(prev, target));
+    }
+    return out;
+  });
+}
+
+/// Real shrink tree toward `target`: the target, then halvings of the
+/// distance, then a rounded version of the value (integers read better in
+/// counterexamples than 17 significant digits).
+[[nodiscard]] inline Shrinkable<double> shrinkable_real(double value,
+                                                        double target) {
+  return Shrinkable<double>(value, [value, target]() {
+    std::vector<Shrinkable<double>> out;
+    if (value == target) return out;
+    out.push_back(shrinkable_real(target, target));
+    double delta = value - target;
+    for (int i = 0; i < 16; ++i) {
+      delta /= 2.0;
+      const double cand = target + delta;
+      if (cand == value || cand == target) break;
+      out.push_back(shrinkable_real(cand, target));
+    }
+    const double rounded =
+        static_cast<double>(static_cast<std::int64_t>(value));
+    if (rounded != value && ((target <= rounded && rounded < value) ||
+                             (value < rounded && rounded <= target))) {
+      out.push_back(shrinkable_real(rounded, target));
+    }
+    return out;
+  });
+}
+
+// --- Gen<T> ------------------------------------------------------------------
+
+template <typename T>
+class Gen {
+ public:
+  using value_type = T;
+  using Fn = std::function<Shrinkable<T>(sim::Rng&)>;
+
+  explicit Gen(Fn fn) : fn_(std::move(fn)) {}
+
+  [[nodiscard]] Shrinkable<T> operator()(sim::Rng& rng) const {
+    return fn_(rng);
+  }
+
+  template <typename F>
+  [[nodiscard]] auto map(F f) const -> Gen<std::invoke_result_t<F, T>> {
+    using U = std::invoke_result_t<F, T>;
+    Fn fn = fn_;
+    return Gen<U>([fn, f](sim::Rng& rng) { return fn(rng).map(f); });
+  }
+
+  /// Keep drawing until `pred` holds (bounded); shrink candidates that fail
+  /// the predicate are pruned together with their subtrees.
+  [[nodiscard]] Gen<T> filter(std::function<bool(const T&)> pred) const {
+    Fn fn = fn_;
+    return Gen<T>([fn, pred](sim::Rng& rng) {
+      for (int attempt = 0; attempt < 100; ++attempt) {
+        Shrinkable<T> s = fn(rng);
+        if (pred(s.value())) return filter_shrinkable(std::move(s), pred);
+      }
+      // Give up gracefully: return the last draw unfiltered rather than
+      // looping forever on an impossible predicate.
+      return fn(rng);
+    });
+  }
+
+ private:
+  static Shrinkable<T> filter_shrinkable(Shrinkable<T> s,
+                                         std::function<bool(const T&)> pred) {
+    return Shrinkable<T>(s.value(), [s, pred]() {
+      std::vector<Shrinkable<T>> out;
+      for (Shrinkable<T>& cand : s.shrinks()) {
+        if (pred(cand.value())) {
+          out.push_back(filter_shrinkable(std::move(cand), pred));
+        }
+      }
+      return out;
+    });
+  }
+
+  Fn fn_;
+};
+
+// --- primitive generators ----------------------------------------------------
+
+/// Uniform integer in [lo, hi] (inclusive); shrinks toward 0 when the range
+/// contains it, else toward lo.
+[[nodiscard]] inline Gen<std::int64_t> integers(std::int64_t lo,
+                                                std::int64_t hi) {
+  const std::int64_t target = (lo <= 0 && 0 <= hi) ? 0 : lo;
+  return Gen<std::int64_t>([lo, hi, target](sim::Rng& rng) {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    const std::int64_t v =
+        lo + static_cast<std::int64_t>(span == 0 ? rng() : rng.uniform_int(span));
+    return shrinkable_int(v, target);
+  });
+}
+
+/// Uniform real in [lo, hi); shrinks toward 0 when inside the range, else lo.
+[[nodiscard]] inline Gen<double> reals(double lo, double hi) {
+  const double target = (lo <= 0.0 && 0.0 <= hi) ? 0.0 : lo;
+  return Gen<double>([lo, hi, target](sim::Rng& rng) {
+    return shrinkable_real(rng.uniform(lo, hi), target);
+  });
+}
+
+[[nodiscard]] inline Gen<bool> booleans() {
+  return Gen<bool>([](sim::Rng& rng) {
+    const bool v = rng.bernoulli(0.5);
+    return Shrinkable<bool>(v, [v]() {
+      std::vector<Shrinkable<bool>> out;
+      if (v) out.push_back(Shrinkable<bool>(false));
+      return out;
+    });
+  });
+}
+
+template <typename T>
+[[nodiscard]] Gen<T> constant(T v) {
+  return Gen<T>([v](sim::Rng&) { return Shrinkable<T>(v); });
+}
+
+/// Uniform choice from a fixed list; shrinks toward earlier elements (put
+/// the simplest first).
+template <typename T>
+[[nodiscard]] Gen<T> element_of(std::vector<T> options) {
+  auto opts = std::make_shared<std::vector<T>>(std::move(options));
+  return integers(0, static_cast<std::int64_t>(opts->size()) - 1)
+      .map([opts](std::int64_t i) {
+        return (*opts)[static_cast<std::size_t>(i)];
+      });
+}
+
+// --- tuple combinator --------------------------------------------------------
+
+namespace detail {
+
+template <typename Tuple, typename Parts, std::size_t... Is>
+Shrinkable<Tuple> combine_tuple(Parts parts, std::index_sequence<Is...> seq) {
+  Tuple value{std::get<Is>(parts).value()...};
+  return Shrinkable<Tuple>(std::move(value), [parts, seq]() {
+    std::vector<Shrinkable<Tuple>> out;
+    // Shrink one component at a time, holding the others fixed.
+    (
+        [&] {
+          for (auto& cand : std::get<Is>(parts).shrinks()) {
+            auto next = parts;
+            std::get<Is>(next) = cand;
+            out.push_back(combine_tuple<Tuple>(std::move(next), seq));
+          }
+        }(),
+        ...);
+    return out;
+  });
+}
+
+}  // namespace detail
+
+/// Draws each component in order (left to right), shrinks them one at a
+/// time — the workhorse for multi-parameter properties.
+template <typename... Ts>
+[[nodiscard]] Gen<std::tuple<Ts...>> tuple_of(Gen<Ts>... gens) {
+  using Tuple = std::tuple<Ts...>;
+  return Gen<Tuple>([gens...](sim::Rng& rng) {
+    // Explicit sequencing: braced-init-list evaluation order is left to
+    // right, keeping draws reproducible across compilers.
+    std::tuple<Shrinkable<Ts>...> parts{gens(rng)...};
+    return detail::combine_tuple<Tuple>(
+        std::move(parts), std::index_sequence_for<Ts...>{});
+  });
+}
+
+// --- vector combinator -------------------------------------------------------
+
+namespace detail {
+
+template <typename T>
+Shrinkable<std::vector<T>> combine_vector(std::vector<Shrinkable<T>> parts,
+                                          std::size_t min_size) {
+  std::vector<T> value;
+  value.reserve(parts.size());
+  for (const auto& p : parts) value.push_back(p.value());
+  return Shrinkable<std::vector<T>>(std::move(value), [parts, min_size]() {
+    std::vector<Shrinkable<std::vector<T>>> out;
+    const std::size_t n = parts.size();
+    // 1. Structural shrinks: drop the second half, then single elements.
+    if (n > min_size) {
+      const std::size_t keep = std::max(min_size, n / 2);
+      if (keep < n) {
+        std::vector<Shrinkable<T>> half(parts.begin(),
+                                        parts.begin() + static_cast<long>(keep));
+        out.push_back(combine_vector(std::move(half), min_size));
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        std::vector<Shrinkable<T>> fewer;
+        fewer.reserve(n - 1);
+        for (std::size_t j = 0; j < n; ++j) {
+          if (j != i) fewer.push_back(parts[j]);
+        }
+        out.push_back(combine_vector(std::move(fewer), min_size));
+      }
+    }
+    // 2. Element shrinks: simplify one element at a time.
+    for (std::size_t i = 0; i < n; ++i) {
+      for (auto& cand : parts[i].shrinks()) {
+        auto next = parts;
+        next[i] = cand;
+        out.push_back(combine_vector(std::move(next), min_size));
+      }
+    }
+    return out;
+  });
+}
+
+}  // namespace detail
+
+/// Vector of `elem` draws with size uniform in [min_size, max_size];
+/// shrinks by removing elements (never below min_size), then by shrinking
+/// surviving elements.
+template <typename T>
+[[nodiscard]] Gen<std::vector<T>> vector_of(Gen<T> elem, std::size_t min_size,
+                                            std::size_t max_size) {
+  return Gen<std::vector<T>>([elem, min_size, max_size](sim::Rng& rng) {
+    const std::size_t n =
+        min_size + static_cast<std::size_t>(
+                       rng.uniform_int(max_size - min_size + 1));
+    std::vector<Shrinkable<T>> parts;
+    parts.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) parts.push_back(elem(rng));
+    return detail::combine_vector(std::move(parts), min_size);
+  });
+}
+
+/// Weighted choice between alternative generators of the same type. The
+/// chosen alternative's shrinks are kept; there is no cross-alternative
+/// shrinking (put the simplest generator first and give it weight).
+template <typename T>
+[[nodiscard]] Gen<T> frequency(
+    std::vector<std::pair<std::uint64_t, Gen<T>>> choices) {
+  auto opts = std::make_shared<std::vector<std::pair<std::uint64_t, Gen<T>>>>(
+      std::move(choices));
+  std::uint64_t total = 0;
+  for (const auto& [w, g] : *opts) total += w;
+  return Gen<T>([opts, total](sim::Rng& rng) {
+    std::uint64_t pick = rng.uniform_int(total);
+    for (const auto& [w, g] : *opts) {
+      if (pick < w) return g(rng);
+      pick -= w;
+    }
+    return opts->back().second(rng);
+  });
+}
+
+template <typename T>
+[[nodiscard]] Gen<T> one_of(std::vector<Gen<T>> choices) {
+  std::vector<std::pair<std::uint64_t, Gen<T>>> weighted;
+  for (auto& g : choices) weighted.emplace_back(1, std::move(g));
+  return frequency(std::move(weighted));
+}
+
+}  // namespace pet::testkit

@@ -1,0 +1,48 @@
+#include "testkit/property.hpp"
+
+#include <cstdlib>
+
+namespace pet::testkit::detail {
+
+namespace {
+
+std::optional<std::uint64_t> env_u64(const char* name) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return std::nullopt;
+  char* end = nullptr;
+  const std::uint64_t v = std::strtoull(raw, &end, 0);
+  if (end == raw || *end != '\0') return std::nullopt;
+  return v;
+}
+
+}  // namespace
+
+RunnerEnv read_runner_env() {
+  RunnerEnv env;
+  env.base_seed = env_u64("PET_PBT_SEED");
+  env.replay = env_u64("PET_PBT_REPLAY");
+  if (const auto cases = env_u64("PET_PBT_CASES"); cases && *cases > 0) {
+    env.cases = static_cast<int>(*cases);
+  }
+  return env;
+}
+
+std::string format_failure_report(const std::string& name, int case_index,
+                                  std::uint64_t case_seed,
+                                  const std::string& original,
+                                  const std::string& shrunk, int shrink_steps,
+                                  const std::string& reason) {
+  std::string out = "property " + name + " failed (";
+  out += case_index < 0 ? "replayed case" : "case " + std::to_string(case_index);
+  out += ", seed " + std::to_string(case_seed) + ")\n";
+  out += "  original: " + original + "\n";
+  out += "  shrunk:   " + shrunk + "   [" + std::to_string(shrink_steps) +
+         " shrink steps]\n";
+  out += "  reason:   " + reason + "\n";
+  out += "  replay:   PET_PBT_REPLAY=" + std::to_string(case_seed) +
+         " <test binary> (re-runs this exact case and its deterministic "
+         "shrink)";
+  return out;
+}
+
+}  // namespace pet::testkit::detail

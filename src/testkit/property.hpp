@@ -1,0 +1,251 @@
+#pragma once
+// Property runner: drives a Gen<T> through N cases, shrinks failures and
+// reports a replayable seed.
+//
+// Every case is generated from seed = derive_seed(base, index); the base
+// seed comes from PET_PBT_SEED (env) or a per-property default derived from
+// the property name. When a case fails, the runner shrinks it greedily
+// (deterministic — no RNG involved) and reports:
+//
+//   property RedOracle.MatchesModel failed (case 37, seed 1234567890)
+//     original: (203145, 17, 0.52)
+//     shrunk:   (0, 17, 0.5)   [12 shrink steps]
+//     reason:   PROP_ASSERT failed: ...
+//     replay:   PET_PBT_REPLAY=1234567890 ./test_binary --gtest_filter=...
+//
+// Re-running with PET_PBT_REPLAY=<seed> executes exactly that case (plus
+// its deterministic shrink), reproducing the same minimal counterexample.
+//
+// Environment knobs:
+//   PET_PBT_SEED=N    base seed for the whole run (default: per-property)
+//   PET_PBT_CASES=N   override the case count of every property
+//   PET_PBT_REPLAY=N  run a single case from this exact seed
+//
+// Properties signal failure by throwing (use the PROP_ASSERT* macros);
+// gtest's EXPECT/ASSERT macros do NOT integrate with shrinking here.
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "sim/rng.hpp"
+#include "testkit/gen.hpp"
+#include "testkit/show.hpp"
+
+namespace pet::testkit {
+
+/// Thrown by PROP_ASSERT* inside a property body.
+class PropertyFailure : public std::exception {
+ public:
+  explicit PropertyFailure(std::string message) : message_(std::move(message)) {}
+  [[nodiscard]] const char* what() const noexcept override {
+    return message_.c_str();
+  }
+
+ private:
+  std::string message_;
+};
+
+struct PropertyConfig {
+  /// Cases per run (PET_PBT_CASES overrides).
+  int cases = 200;
+  /// Total shrink-candidate evaluations allowed per failure.
+  int max_shrink_evals = 2000;
+  /// Base seed; 0 = derive from the property name (PET_PBT_SEED overrides).
+  std::uint64_t seed = 0;
+};
+
+struct PropertyOutcome {
+  bool failed = false;
+  /// Full report (seed, counterexamples, replay instructions).
+  std::string message;
+  /// The seed that reproduces the failing case.
+  std::uint64_t failing_seed = 0;
+  /// Rendered minimal counterexample (after shrinking).
+  std::string shrunk;
+  /// Rendered original counterexample (before shrinking).
+  std::string original;
+  /// Number of successful shrink steps taken.
+  int shrink_steps = 0;
+};
+
+namespace detail {
+
+/// Reads the env knobs once per call (cheap; not cached so tests can tweak).
+struct RunnerEnv {
+  std::optional<std::uint64_t> base_seed;
+  std::optional<int> cases;
+  std::optional<std::uint64_t> replay;
+};
+[[nodiscard]] RunnerEnv read_runner_env();
+
+[[nodiscard]] std::string format_failure_report(
+    const std::string& name, int case_index, std::uint64_t case_seed,
+    const std::string& original, const std::string& shrunk, int shrink_steps,
+    const std::string& reason);
+
+}  // namespace detail
+
+/// Run `check` over generated inputs; never throws, never touches gtest —
+/// inspect the returned outcome (the PROPERTY macro turns it into a test
+/// failure).
+template <typename T>
+[[nodiscard]] PropertyOutcome run_property_core(
+    const std::string& name, const Gen<T>& gen,
+    const std::function<void(const T&)>& check, PropertyConfig cfg = {}) {
+  const detail::RunnerEnv env = detail::read_runner_env();
+  const std::uint64_t base_seed =
+      env.base_seed ? *env.base_seed
+                    : (cfg.seed != 0 ? cfg.seed
+                                     : sim::derive_seed(0x5045542D504254ULL,
+                                                        name));
+  const int cases = env.cases ? *env.cases : cfg.cases;
+
+  // Runs the property, capturing the failure reason.
+  const auto fails = [&check](const T& value, std::string* reason) {
+    try {
+      check(value);
+      return false;
+    } catch (const std::exception& e) {
+      if (reason != nullptr) *reason = e.what();
+      return true;
+    } catch (...) {
+      if (reason != nullptr) *reason = "non-standard exception";
+      return true;
+    }
+  };
+
+  const auto run_case = [&](std::uint64_t case_seed,
+                            int case_index) -> std::optional<PropertyOutcome> {
+    sim::Rng rng(case_seed);
+    Shrinkable<T> current = gen(rng);
+    std::string reason;
+    if (!fails(current.value(), &reason)) return std::nullopt;
+
+    PropertyOutcome out;
+    out.failed = true;
+    out.failing_seed = case_seed;
+    out.original = show(current.value());
+
+    // Greedy deterministic shrink: repeatedly take the first failing
+    // candidate until none fails or the evaluation budget runs out.
+    int evals = 0;
+    bool progressed = true;
+    while (progressed && evals < cfg.max_shrink_evals) {
+      progressed = false;
+      for (Shrinkable<T>& cand : current.shrinks()) {
+        if (++evals > cfg.max_shrink_evals) break;
+        if (fails(cand.value(), &reason)) {
+          current = std::move(cand);
+          ++out.shrink_steps;
+          progressed = true;
+          break;
+        }
+      }
+    }
+    // Re-run the minimal case so `reason` describes it (not a larger one).
+    std::string final_reason;
+    fails(current.value(), &final_reason);
+    out.shrunk = show(current.value());
+    out.message = detail::format_failure_report(
+        name, case_index, case_seed, out.original, out.shrunk,
+        out.shrink_steps, final_reason.empty() ? reason : final_reason);
+    return out;
+  };
+
+  if (env.replay) {
+    if (auto out = run_case(*env.replay, -1)) return *out;
+    return {};
+  }
+  const sim::Stream stream = sim::Stream(base_seed).child("case");
+  for (int i = 0; i < cases; ++i) {
+    const std::uint64_t case_seed =
+        stream.child(static_cast<std::uint64_t>(i)).seed();
+    if (auto out = run_case(case_seed, i)) return *out;
+  }
+  return {};
+}
+
+}  // namespace pet::testkit
+
+// --- macros ------------------------------------------------------------------
+
+/// Registers a property as a regular gtest TEST. Usage:
+///
+///   PROPERTY(RedOracle, NeverExceedsOne,
+///            tuple_of(integers(0, 1 << 20), reals(0.0, 1.0))) {
+///     const auto& [qlen, pmax] = arg;
+///     PROP_ASSERT(mark_probability(qlen, pmax) <= 1.0);
+///   }
+///
+/// The body is the property check; `arg` is a const reference to one
+/// generated value. PROPERTY_CASES additionally pins the case count.
+#define PROPERTY_CASES(Suite, Name, Cases, ...)                               \
+  namespace {                                                                 \
+  inline auto PetPropGen_##Suite##_##Name() { return (__VA_ARGS__); }         \
+  struct PetProp_##Suite##_##Name {                                           \
+    static auto generator() { return PetPropGen_##Suite##_##Name(); }         \
+    using Value = decltype(PetPropGen_##Suite##_##Name())::value_type;        \
+    static void check(const Value& arg);                                      \
+  };                                                                          \
+  }                                                                           \
+  TEST(Suite, Name) {                                                         \
+    ::pet::testkit::PropertyConfig prop_cfg;                                  \
+    prop_cfg.cases = (Cases);                                                 \
+    const ::pet::testkit::PropertyOutcome outcome =                           \
+        ::pet::testkit::run_property_core<PetProp_##Suite##_##Name::Value>(   \
+            #Suite "." #Name, PetProp_##Suite##_##Name::generator(),          \
+            &PetProp_##Suite##_##Name::check, prop_cfg);                      \
+    if (outcome.failed) GTEST_FAIL() << outcome.message;                      \
+  }                                                                           \
+  void PetProp_##Suite##_##Name::check([[maybe_unused]] const Value& arg)
+
+#define PROPERTY(Suite, Name, ...) PROPERTY_CASES(Suite, Name, 200, __VA_ARGS__)
+
+#define PET_PROP_STRINGIZE_IMPL(x) #x
+#define PET_PROP_STRINGIZE(x) PET_PROP_STRINGIZE_IMPL(x)
+
+/// Failure-signalling assertions for property bodies (they throw, which the
+/// runner catches and shrinks on).
+#define PROP_ASSERT(cond)                                                     \
+  do {                                                                        \
+    if (!(cond)) {                                                            \
+      throw ::pet::testkit::PropertyFailure(                                  \
+          "PROP_ASSERT failed: " #cond " at " __FILE__                        \
+          ":" PET_PROP_STRINGIZE(__LINE__));                                  \
+    }                                                                         \
+  } while (false)
+
+#define PROP_ASSERT_EQ(a, b)                                                  \
+  do {                                                                        \
+    const auto prop_lhs_ = (a);                                               \
+    const auto prop_rhs_ = (b);                                               \
+    if (!(prop_lhs_ == prop_rhs_)) {                                          \
+      throw ::pet::testkit::PropertyFailure(                                  \
+          std::string("PROP_ASSERT_EQ failed: " #a " == " #b " (") +          \
+          ::pet::testkit::show(prop_lhs_) + " vs " +                          \
+          ::pet::testkit::show(prop_rhs_) + ") at " __FILE__                  \
+          ":" PET_PROP_STRINGIZE(__LINE__));                                  \
+    }                                                                         \
+  } while (false)
+
+#define PROP_ASSERT_NEAR(a, b, tol)                                           \
+  do {                                                                        \
+    const double prop_lhs_ = static_cast<double>(a);                          \
+    const double prop_rhs_ = static_cast<double>(b);                          \
+    const double prop_tol_ = static_cast<double>(tol);                        \
+    const double prop_diff_ = prop_lhs_ > prop_rhs_ ? prop_lhs_ - prop_rhs_   \
+                                                    : prop_rhs_ - prop_lhs_;  \
+    if (!(prop_diff_ <= prop_tol_)) {                                         \
+      throw ::pet::testkit::PropertyFailure(                                  \
+          std::string("PROP_ASSERT_NEAR failed: " #a " vs " #b " (") +        \
+          ::pet::testkit::show(prop_lhs_) + " vs " +                          \
+          ::pet::testkit::show(prop_rhs_) + ", |diff|=" +                     \
+          ::pet::testkit::show(prop_diff_) + " > tol=" +                      \
+          ::pet::testkit::show(prop_tol_) + ") at " __FILE__                  \
+          ":" PET_PROP_STRINGIZE(__LINE__));                                  \
+    }                                                                         \
+  } while (false)

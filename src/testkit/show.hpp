@@ -1,0 +1,120 @@
+#pragma once
+// Counterexample rendering for property failures. show(v) produces a
+// single-line, copy-pasteable description of a generated value; extend for
+// a custom type either by giving it operator<< or by defining a free
+// function `testkit_show(const T&) -> std::string` in the type's namespace
+// (found by ADL).
+
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace pet::testkit {
+
+template <typename T>
+[[nodiscard]] std::string show(const T& v);
+
+namespace detail {
+
+template <typename T>
+concept HasAdlShow = requires(const T& v) {
+  { testkit_show(v) } -> std::convertible_to<std::string>;
+};
+
+template <typename T>
+concept Streamable = requires(std::ostringstream& os, const T& v) { os << v; };
+
+inline void show_bytes(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    const auto u = static_cast<unsigned char>(c);
+    if (u >= 0x20 && u < 0x7F && c != '"' && c != '\\') {
+      out += c;
+    } else {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\x%02x", u);
+      out += buf;
+    }
+  }
+  out += '"';
+}
+
+template <typename T>
+std::string show_compound(const T& v) {
+  if constexpr (Streamable<T>) {
+    std::ostringstream os;
+    os << v;
+    return os.str();
+  } else {
+    return "<value>";
+  }
+}
+
+template <typename T>
+std::string show_compound(const std::vector<T>& v) {
+  constexpr std::size_t kMaxShown = 48;
+  std::string out = "[";
+  for (std::size_t i = 0; i < v.size() && i < kMaxShown; ++i) {
+    if (i > 0) out += ", ";
+    out += show(v[i]);
+  }
+  if (v.size() > kMaxShown) {
+    out += ", … (" + std::to_string(v.size()) + " total)";
+  }
+  out += "]";
+  return out;
+}
+
+template <typename A, typename B>
+std::string show_compound(const std::pair<A, B>& v) {
+  return "(" + show(v.first) + ", " + show(v.second) + ")";
+}
+
+template <typename... Ts>
+std::string show_compound(const std::tuple<Ts...>& v) {
+  std::string out = "(";
+  bool first = true;
+  std::apply(
+      [&](const Ts&... parts) {
+        (
+            [&] {
+              if (!first) out += ", ";
+              first = false;
+              out += show(parts);
+            }(),
+            ...);
+      },
+      v);
+  out += ")";
+  return out;
+}
+
+}  // namespace detail
+
+template <typename T>
+std::string show(const T& v) {
+  if constexpr (detail::HasAdlShow<T>) {
+    return testkit_show(v);
+  } else if constexpr (std::is_same_v<T, bool>) {
+    return v ? "true" : "false";
+  } else if constexpr (std::is_same_v<T, std::string>) {
+    std::string out;
+    detail::show_bytes(out, v);
+    return out;
+  } else if constexpr (std::is_floating_point_v<T>) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.17g", static_cast<double>(v));
+    return buf;
+  } else if constexpr (std::is_integral_v<T>) {
+    return std::to_string(v);
+  } else {
+    return detail::show_compound(v);
+  }
+}
+
+}  // namespace pet::testkit

@@ -1,0 +1,157 @@
+// golden_diff: canonicalize and compare pet.run-artifact/1 JSON files for
+// the golden-artifact regression gate (ctest -L golden).
+//
+//   golden_diff canon <artifact.json>             # canonical form -> stdout
+//   golden_diff compare <golden.json> <artifact.json>
+//
+// Canonical form drops the only run-dependent content — the root "manifest"
+// object (git SHA, thread count) and every "wall_ms" member (wall-clock
+// timings) — and pretty-prints the rest. Everything that survives is a pure
+// function of the scenario seed in a single-threaded run, so `compare`
+// demands byte equality and pinpoints the first divergent path otherwise.
+
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "exp/json.hpp"
+#include "exp/run_artifact.hpp"
+
+namespace {
+
+using pet::exp::JsonValue;
+
+JsonValue canonicalize(const JsonValue& v, bool root) {
+  switch (v.kind()) {
+    case JsonValue::Kind::kObject: {
+      JsonValue out = JsonValue::object();
+      for (const auto& [key, member] : v.members()) {
+        if (key == "wall_ms") continue;
+        if (root && key == "manifest") continue;
+        out.set(key, canonicalize(member, false));
+      }
+      return out;
+    }
+    case JsonValue::Kind::kArray: {
+      JsonValue out = JsonValue::array();
+      for (const JsonValue& item : v.items()) {
+        out.push_back(canonicalize(item, false));
+      }
+      return out;
+    }
+    default:
+      return v;
+  }
+}
+
+/// First divergent path between two canonical trees, or nullopt when equal.
+std::optional<std::string> first_difference(const JsonValue& a,
+                                            const JsonValue& b,
+                                            const std::string& path) {
+  if (a.kind() != b.kind()) return path + " (kind differs)";
+  switch (a.kind()) {
+    case JsonValue::Kind::kNull:
+      return std::nullopt;
+    case JsonValue::Kind::kBool:
+      if (a.as_bool() != b.as_bool()) return path;
+      return std::nullopt;
+    case JsonValue::Kind::kNumber:
+      // Compare by serialized form: shortest-round-trip rendering is the
+      // byte-level contract the gate enforces.
+      if (a.dump() != b.dump()) return path;
+      return std::nullopt;
+    case JsonValue::Kind::kString:
+      if (a.as_string() != b.as_string()) return path;
+      return std::nullopt;
+    case JsonValue::Kind::kArray: {
+      if (a.size() != b.size()) return path + " (length differs)";
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        if (auto diff = first_difference(
+                a.at(i), b.at(i), path + "[" + std::to_string(i) + "]")) {
+          return diff;
+        }
+      }
+      return std::nullopt;
+    }
+    case JsonValue::Kind::kObject: {
+      for (const auto& [key, member] : a.members()) {
+        const JsonValue* other = b.find(key);
+        if (other == nullptr) return path + "." + key + " (missing)";
+        if (auto diff = first_difference(member, *other, path + "." + key)) {
+          return diff;
+        }
+      }
+      for (const auto& [key, member] : b.members()) {
+        (void)member;
+        if (a.find(key) == nullptr) return path + "." + key + " (unexpected)";
+      }
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::optional<JsonValue> load_canonical_artifact(const std::string& path,
+                                                 bool validate) {
+  const std::optional<std::string> text = read_file(path);
+  if (!text) {
+    std::fprintf(stderr, "golden_diff: cannot read %s\n", path.c_str());
+    return std::nullopt;
+  }
+  std::string error;
+  if (validate && !pet::exp::RunArtifact::validate_text(*text, &error)) {
+    std::fprintf(stderr, "golden_diff: %s is not a valid run artifact: %s\n",
+                 path.c_str(), error.c_str());
+    return std::nullopt;
+  }
+  const std::optional<JsonValue> doc = JsonValue::parse(*text, &error);
+  if (!doc) {
+    std::fprintf(stderr, "golden_diff: %s: %s\n", path.c_str(), error.c_str());
+    return std::nullopt;
+  }
+  return canonicalize(*doc, /*root=*/true);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string mode = argc >= 2 ? argv[1] : "";
+  if (mode == "canon" && argc == 3) {
+    const auto canon = load_canonical_artifact(argv[2], /*validate=*/true);
+    if (!canon) return 2;
+    std::printf("%s\n", canon->dump(2).c_str());
+    return 0;
+  }
+  if (mode == "compare" && argc == 4) {
+    // The golden file is stored canonical already; canonicalizing it again
+    // is a no-op that keeps the comparison symmetric.
+    const auto golden = load_canonical_artifact(argv[2], /*validate=*/false);
+    const auto actual = load_canonical_artifact(argv[3], /*validate=*/true);
+    if (!golden || !actual) return 2;
+    if (golden->dump(2) == actual->dump(2)) {
+      std::printf("golden_diff: %s matches %s\n", argv[3], argv[2]);
+      return 0;
+    }
+    const auto diff = first_difference(*golden, *actual, "$");
+    std::fprintf(stderr,
+                 "golden_diff: %s diverges from golden %s\n  first at: %s\n"
+                 "  regenerate with tools/regen_goldens.sh if the change is "
+                 "intentional\n",
+                 argv[3], argv[2], diff ? diff->c_str() : "(ordering only)");
+    return 1;
+  }
+  std::fprintf(stderr,
+               "usage: golden_diff canon <artifact.json>\n"
+               "       golden_diff compare <golden.json> <artifact.json>\n");
+  return 2;
+}

@@ -50,6 +50,13 @@ struct FaultPlanFixture : ::testing::Test {
     h0.set_app(&app0);
     h1.set_app(&app1);
   }
+
+  /// Schedules a reboot of sw0 with `cfg` at `at` and runs just past it.
+  void plan_reboot(const RedEcnConfig& cfg, sim::Time at) {
+    FaultPlan plan(net, 5);
+    plan.switch_reboot(sw0->id(), at, cfg);
+    sched.run_until(at + sim::microseconds(1));
+  }
 };
 
 TEST_F(FaultPlanFixture, LinkFlapTakesLinkDownAndBackUp) {
@@ -229,6 +236,38 @@ TEST(FaultPlanReboot, SwitchRebootFlushesQueuesAndResetsEcn) {
   }
   ASSERT_EQ(plan.fired().size(), 1u);
   EXPECT_EQ(plan.fired()[0].kind, FaultKind::kSwitchReboot);
+}
+
+TEST_F(FaultPlanFixture, RebootClampsGarbageEcnThroughPlanPath) {
+  // The FaultPlan reboot path must funnel through the same audited
+  // install_ecn clamp as a direct SwitchDevice::reboot — a fault-injection
+  // script with a garbage config must not leave an invalid marking ramp.
+  build();
+  // Kmin > Kmax plus Pmax above 1.
+  plan_reboot({.kmin_bytes = 70'000, .kmax_bytes = 300, .pmax = 9.5},
+              sim::milliseconds(1));
+  RedEcnConfig got = sw0->port(0).ecn_config(0);
+  EXPECT_EQ(got.kmin_bytes, 70'000);
+  EXPECT_EQ(got.kmax_bytes, 70'000);
+  EXPECT_DOUBLE_EQ(got.pmax, 1.0);
+  EXPECT_TRUE(got.valid());
+
+  // Negative Pmax clamps to marking-off.
+  plan_reboot({.kmin_bytes = 1000, .kmax_bytes = 2000, .pmax = -3.0},
+              sim::milliseconds(2));
+  got = sw0->port(0).ecn_config(0);
+  EXPECT_DOUBLE_EQ(got.pmax, 0.0);
+  EXPECT_TRUE(got.valid());
+
+  // Zero-sized queue: negative thresholds collapse to Kmin = Kmax = 0.
+  plan_reboot({.kmin_bytes = -400, .kmax_bytes = -900, .pmax = 0.7},
+              sim::milliseconds(3));
+  got = sw0->port(0).ecn_config(0);
+  EXPECT_EQ(got.kmin_bytes, 0);
+  EXPECT_EQ(got.kmax_bytes, 0);
+  EXPECT_DOUBLE_EQ(got.pmax, 0.7);
+  EXPECT_TRUE(got.valid());
+  EXPECT_EQ(sw0->reboots(), 3);
 }
 
 TEST_F(FaultPlanFixture, EventSinkSeesEveryFiredFault) {

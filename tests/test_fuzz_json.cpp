@@ -1,0 +1,176 @@
+// Structured fuzzing of the exp/json parser: grammar-blind byte soup,
+// JSON-flavored token soup, generated well-formed documents, and a
+// committed seed corpus. The parser must never crash, must reject or
+// accept deterministically, and every accepted document must round-trip
+// to a serialization fixpoint (dump → parse → dump is identity — the
+// property the run-artifact and chrome-trace pipelines rely on).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "exp/json.hpp"
+#include "testkit/property.hpp"
+
+namespace pet::testkit {
+namespace {
+
+using exp::JsonValue;
+
+/// Accepted input must reach a serialization fixpoint in one hop.
+void expect_roundtrip_fixpoint(const JsonValue& v) {
+  const std::string once = v.dump();
+  const std::optional<JsonValue> reparsed = JsonValue::parse(once);
+  PROP_ASSERT(reparsed.has_value());
+  PROP_ASSERT_EQ(reparsed->dump(), once);
+  // Pretty-printing must not change the value either.
+  const std::optional<JsonValue> pretty = JsonValue::parse(v.dump(2));
+  PROP_ASSERT(pretty.has_value());
+  PROP_ASSERT_EQ(pretty->dump(), once);
+}
+
+PROPERTY_CASES(JsonFuzz, ArbitraryBytesNeverCrashTheParser, 3000,
+               vector_of(integers(0, 255), 0, 160)) {
+  std::string text;
+  text.reserve(arg.size());
+  for (const std::int64_t b : arg) text.push_back(static_cast<char>(b));
+
+  std::string error;
+  const std::optional<JsonValue> parsed = JsonValue::parse(text, &error);
+  if (parsed.has_value()) {
+    expect_roundtrip_fixpoint(*parsed);
+  } else {
+    PROP_ASSERT(!error.empty());  // rejections always carry a diagnostic
+  }
+  // Determinism: a second parse of the same bytes agrees with the first.
+  PROP_ASSERT_EQ(JsonValue::parse(text).has_value(), parsed.has_value());
+}
+
+PROPERTY_CASES(JsonFuzz, TokenSoupNeverCrashesTheParser, 3000,
+               vector_of(integers(0, 21), 0, 96)) {
+  // Token alphabet biased toward structure so deep/malformed nesting,
+  // stray escapes and exotic numbers appear far more often than in raw
+  // byte soup.
+  static const char* kTokens[] = {
+      "{", "}", "[", "]", ":", ",", "\"", "\\u00", "\\", "null", "true",
+      "false", "0", "9", "-", "+", ".", "e", "1e999", " ", "\"k\":", "\t"};
+  std::string text;
+  for (const std::int64_t t : arg) text += kTokens[t];
+  const std::optional<JsonValue> parsed = JsonValue::parse(text);
+  if (parsed.has_value()) expect_roundtrip_fixpoint(*parsed);
+}
+
+/// Builds a pseudo-random document directly from an Rng: the generated
+/// value is just the seed, so shrinking walks toward small seeds while the
+/// tree construction itself stays deterministic and replayable.
+JsonValue random_document(sim::Rng& rng, int depth) {
+  const auto kind = rng.uniform_int(depth >= 4 ? 4 : 6);
+  switch (kind) {
+    case 0:
+      return JsonValue();  // null
+    case 1:
+      return JsonValue(rng.bernoulli(0.5));
+    case 2: {
+      // Mix integral, fractional and extreme-but-finite magnitudes.
+      const double mag = rng.uniform(-1e9, 1e9);
+      return rng.bernoulli(0.5)
+                 ? JsonValue(static_cast<std::int64_t>(mag))
+                 : JsonValue(mag * rng.uniform(1e-9, 1.0));
+    }
+    case 3: {
+      std::string s;
+      const std::uint64_t len = rng.uniform_int(13);
+      for (std::uint64_t i = 0; i < len; ++i) {
+        s.push_back(static_cast<char>(0x20 + rng.uniform_int(0x5f)));
+      }
+      return JsonValue(std::move(s));
+    }
+    case 4: {
+      JsonValue arr = JsonValue::array();
+      const std::uint64_t n = rng.uniform_int(7);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        arr.push_back(random_document(rng, depth + 1));
+      }
+      return arr;
+    }
+    default: {
+      JsonValue obj = JsonValue::object();
+      const std::uint64_t n = rng.uniform_int(7);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        obj.set("k" + std::to_string(i), random_document(rng, depth + 1));
+      }
+      return obj;
+    }
+  }
+}
+
+PROPERTY_CASES(JsonFuzz, GeneratedDocumentsRoundTrip, 3000,
+               integers(0, 1'000'000'000)) {
+  sim::Rng rng(static_cast<std::uint64_t>(arg) + 1);
+  const JsonValue doc = random_document(rng, 0);
+  expect_roundtrip_fixpoint(doc);
+}
+
+PROPERTY_CASES(JsonFuzz, MutatedDocumentsNeverCrashTheParser, 3000,
+               tuple_of(integers(0, 1'000'000'000),  // document seed
+                        vector_of(tuple_of(integers(0, 1 << 16),
+                                           integers(0, 255)),
+                                  1, 8))) {
+  const auto& [doc_seed, mutations] = arg;
+  sim::Rng rng(static_cast<std::uint64_t>(doc_seed) + 1);
+  std::string text = random_document(rng, 0).dump();
+  if (text.empty()) return;
+  for (const auto& [pos, byte] : mutations) {
+    text[static_cast<std::size_t>(pos) % text.size()] =
+        static_cast<char>(byte);
+  }
+  const std::optional<JsonValue> parsed = JsonValue::parse(text);
+  if (parsed.has_value()) expect_roundtrip_fixpoint(*parsed);
+}
+
+/// The committed seed corpus: interesting inputs found by hand or by
+/// earlier fuzzing sessions, re-run on every build so past parser bugs
+/// stay fixed. Files ending in .ok.json must parse; .bad.json must be
+/// rejected; anything else just must not crash.
+TEST(JsonFuzz, SeedCorpusBehavesAsLabeled) {
+  const std::filesystem::path dir =
+      std::filesystem::path(PET_FUZZ_CORPUS_DIR) / "json";
+  ASSERT_TRUE(std::filesystem::is_directory(dir))
+      << "missing corpus directory " << dir;
+  int seen = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    ++seen;
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    std::string error;
+    const std::optional<JsonValue> parsed = JsonValue::parse(text, &error);
+    const std::string name = entry.path().filename().string();
+    if (name.ends_with(".ok.json")) {
+      EXPECT_TRUE(parsed.has_value())
+          << name << " must parse but was rejected: " << error;
+      if (parsed.has_value()) {
+        const std::string once = parsed->dump();
+        const auto again = JsonValue::parse(once);
+        ASSERT_TRUE(again.has_value()) << name;
+        EXPECT_EQ(again->dump(), once) << name << " round-trip fixpoint";
+      }
+    } else if (name.ends_with(".bad.json")) {
+      EXPECT_FALSE(parsed.has_value())
+          << name << " must be rejected but parsed";
+      EXPECT_FALSE(parsed.has_value() || error.empty())
+          << name << " rejection must carry a diagnostic";
+    }
+  }
+  EXPECT_GE(seen, 10) << "corpus unexpectedly small — files lost?";
+}
+
+}  // namespace
+}  // namespace pet::testkit

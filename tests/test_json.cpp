@@ -126,6 +126,84 @@ TEST(Json, ParseRejectsPathologicalDepth) {
   for (int i = 0; i < 200; ++i) deep += ']';
   std::string error;
   EXPECT_FALSE(JsonValue::parse(deep, &error).has_value());
+  EXPECT_NE(error.find("nesting too deep"), std::string::npos) << error;
+  // 64 levels fit; object nesting hits the same wall as arrays.
+  std::string ok(64, '[');
+  ok.append(64, ']');
+  EXPECT_TRUE(JsonValue::parse(ok).has_value());
+  std::string objs;
+  for (int i = 0; i < 200; ++i) objs += "{\"k\":";
+  objs += "0";
+  objs.append(200, '}');
+  EXPECT_FALSE(JsonValue::parse(objs).has_value());
+}
+
+TEST(Json, ParseRejectsOverlongNumberTokens) {
+  // A reasonable long-but-sane number still parses…
+  std::string sane = "0.";
+  sane.append(100, '3');
+  EXPECT_TRUE(JsonValue::parse(sane).has_value());
+  // …but a multi-hundred-digit token is rejected before from_chars sees it.
+  std::string huge = "1";
+  huge.append(500, '0');
+  std::string error;
+  EXPECT_FALSE(JsonValue::parse(huge, &error).has_value());
+  EXPECT_NE(error.find("number token too long"), std::string::npos) << error;
+  // Out-of-range but short tokens are rejected as malformed, not crashes.
+  error.clear();
+  EXPECT_FALSE(JsonValue::parse("1e999", &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(Json, ParseRejectsInvalidUtf8InStrings) {
+  std::string error;
+  // Stray continuation byte.
+  EXPECT_FALSE(JsonValue::parse("\"\x80\"", &error).has_value());
+  // Truncated two-byte sequence.
+  EXPECT_FALSE(JsonValue::parse("\"\xC3\"").has_value());
+  // Lead byte followed by a non-continuation byte.
+  EXPECT_FALSE(JsonValue::parse("\"\xC3(\"").has_value());
+  // Overlong encoding of '/'.
+  EXPECT_FALSE(JsonValue::parse("\"\xC0\xAF\"").has_value());
+  // UTF-8-encoded surrogate half (CESU-8).
+  EXPECT_FALSE(JsonValue::parse("\"\xED\xA0\x80\"").has_value());
+  // Code point above U+10FFFF.
+  EXPECT_FALSE(JsonValue::parse("\"\xF4\x90\x80\x80\"").has_value());
+  // 0xFE/0xFF never appear in UTF-8.
+  EXPECT_FALSE(JsonValue::parse("\"\xFE\"").has_value());
+  EXPECT_NE(error.find("UTF-8"), std::string::npos) << error;
+  // Well-formed multi-byte text is untouched: 2-, 3- and 4-byte sequences.
+  const auto v = JsonValue::parse("\"\xC3\xA9 \xE2\x82\xAC \xF0\x9F\x98\x80\"");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->as_string(), "\xC3\xA9 \xE2\x82\xAC \xF0\x9F\x98\x80");
+}
+
+TEST(Json, ParseRejectsRawControlCharactersInStrings) {
+  std::string error;
+  EXPECT_FALSE(JsonValue::parse("\"a\nb\"", &error).has_value());
+  EXPECT_NE(error.find("control character"), std::string::npos) << error;
+  EXPECT_FALSE(JsonValue::parse(std::string("\"a\0b\"", 5)).has_value());
+  // The escaped spellings still work.
+  const auto v = JsonValue::parse(R"("a\nb\u0000c")");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->as_string(), std::string("a\nb\0c", 5));
+}
+
+TEST(Json, ParseHandlesSurrogatePairs) {
+  // Valid pair decodes to U+1F600 and round-trips as raw UTF-8.
+  const auto v = JsonValue::parse(R"("\uD83D\uDE00")");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->as_string(), "\xF0\x9F\x98\x80");
+  const auto again = JsonValue::parse(v->dump());
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->dump(), v->dump());
+  // Lone or malformed surrogates are rejected, never emitted as CESU-8.
+  std::string error;
+  EXPECT_FALSE(JsonValue::parse(R"("\uD800")", &error).has_value());
+  EXPECT_NE(error.find("surrogate"), std::string::npos) << error;
+  EXPECT_FALSE(JsonValue::parse(R"("\uDC00")").has_value());
+  EXPECT_FALSE(JsonValue::parse(R"("\uD800\uD800")").has_value());
+  EXPECT_FALSE(JsonValue::parse(R"("\uD800x")").has_value());
 }
 
 }  // namespace

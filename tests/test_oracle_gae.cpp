@@ -1,0 +1,104 @@
+// Differential oracle: rl::compute_gae (backward recursion) vs the direct
+// O(n^2) discounted-sum definition, and rl::normalize vs a scalar
+// standardization reference.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "rl/gae.hpp"
+#include "testkit/oracles.hpp"
+#include "testkit/property.hpp"
+
+namespace pet::testkit {
+namespace {
+
+// (reward, value) pairs keep the two spans the same length by construction.
+[[nodiscard]] Gen<std::tuple<std::vector<std::tuple<double, double>>, double,
+                             double, double>>
+gae_inputs() {
+  return tuple_of(vector_of(tuple_of(reals(-5.0, 5.0), reals(-5.0, 5.0)), 1, 48),
+                  reals(-5.0, 5.0),  // bootstrap V(s_T)
+                  reals(0.0, 1.0),   // gamma
+                  reals(0.0, 1.0));  // lambda
+}
+
+PROPERTY_CASES(GaeOracle, BackwardRecursionMatchesDirectSum, 2500,
+               gae_inputs()) {
+  const auto& [steps, bootstrap, gamma, lambda] = arg;
+  std::vector<double> rewards;
+  std::vector<double> values;
+  rewards.reserve(steps.size());
+  values.reserve(steps.size());
+  for (const auto& [r, v] : steps) {
+    rewards.push_back(r);
+    values.push_back(v);
+  }
+
+  const rl::GaeResult real =
+      rl::compute_gae(rewards, values, bootstrap, gamma, lambda);
+  const GaeRefResult ref = gae_ref(rewards, values, bootstrap, gamma, lambda);
+
+  PROP_ASSERT_EQ(real.advantages.size(), rewards.size());
+  PROP_ASSERT_EQ(real.returns.size(), rewards.size());
+  for (std::size_t t = 0; t < rewards.size(); ++t) {
+    // Different summation orders: allow accumulation-rounding slack scaled
+    // by the magnitude of the reference value.
+    const double tol = 1e-8 * (1.0 + std::fabs(ref.advantages[t]));
+    PROP_ASSERT_NEAR(real.advantages[t], ref.advantages[t], tol);
+    PROP_ASSERT_NEAR(real.returns[t], ref.returns[t],
+                     1e-8 * (1.0 + std::fabs(ref.returns[t])));
+    // Returns are the critic target: advantage + value, in both worlds.
+    PROP_ASSERT_NEAR(real.returns[t], real.advantages[t] + values[t], 1e-9);
+  }
+}
+
+PROPERTY_CASES(GaeOracle, LambdaZeroReducesToOneStepTdError, 2000,
+               gae_inputs()) {
+  const auto& [steps, bootstrap, gamma, lambda] = arg;
+  (void)lambda;
+  std::vector<double> rewards;
+  std::vector<double> values;
+  for (const auto& [r, v] : steps) {
+    rewards.push_back(r);
+    values.push_back(v);
+  }
+  const rl::GaeResult real =
+      rl::compute_gae(rewards, values, bootstrap, gamma, /*lambda=*/0.0);
+  for (std::size_t t = 0; t < rewards.size(); ++t) {
+    const double next_v = (t + 1 < values.size()) ? values[t + 1] : bootstrap;
+    const double delta = rewards[t] + gamma * next_v - values[t];
+    PROP_ASSERT_NEAR(real.advantages[t], delta, 1e-9);
+  }
+}
+
+PROPERTY_CASES(GaeOracle, NormalizeMatchesReference, 2500,
+               vector_of(reals(-100.0, 100.0), 0, 64)) {
+  std::vector<double> real = arg;
+  rl::normalize(real);
+  const std::vector<double> ref = normalize_ref(arg);
+  PROP_ASSERT_EQ(real.size(), ref.size());
+  for (std::size_t i = 0; i < real.size(); ++i) {
+    PROP_ASSERT_NEAR(real[i], ref[i], 1e-9 * (1.0 + std::fabs(ref[i])));
+  }
+  // Post-conditions when standardization actually ran: zero mean, unit
+  // population variance.
+  if (real.size() >= 2) {
+    double mean = 0.0;
+    for (const double x : real) mean += x;
+    mean /= static_cast<double>(real.size());
+    double var = 0.0;
+    for (const double x : real) var += (x - mean) * (x - mean);
+    var /= static_cast<double>(real.size());
+    const bool standardized = real != arg;
+    if (standardized) {
+      PROP_ASSERT_NEAR(mean, 0.0, 1e-7);
+      PROP_ASSERT_NEAR(var, 1.0, 1e-6);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pet::testkit

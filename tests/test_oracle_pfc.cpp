@@ -1,0 +1,121 @@
+// Differential oracle: SwitchDevice's PFC pause/resume hysteresis and
+// shared-buffer admission vs the testkit's PfcRef scalar model, driven by
+// generated arrival/drain interleavings across multiple ingress ports.
+
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <tuple>
+#include <vector>
+
+#include "net/network.hpp"
+#include "net/switch.hpp"
+#include "testkit/oracles.hpp"
+#include "testkit/property.hpp"
+
+namespace pet::testkit {
+namespace {
+
+class NullApp : public net::HostApp {
+ public:
+  void on_receive(const net::Packet&) override {}
+};
+
+// One op: (source host 0..2, packet bytes, drain-the-fabric-afterwards).
+using Op = std::tuple<std::int64_t, std::int64_t, bool>;
+using Case = std::tuple<std::int64_t, std::int64_t, std::int64_t,
+                        std::vector<Op>>;
+
+[[nodiscard]] Gen<Case> pfc_cases() {
+  return tuple_of(integers(4'000, 40'000),   // shared buffer bytes
+                  integers(1'000, 20'000),   // xoff
+                  integers(0, 20'000),       // xon reduction below xoff
+                  vector_of(tuple_of(integers(0, 2), integers(64, 4'000),
+                                     booleans()),
+                            1, 40));
+}
+
+PROPERTY_CASES(PfcOracle, HysteresisMatchesScalarModel, 2000, pfc_cases()) {
+  const auto& [buffer, xoff_raw, xon_delta, ops] = arg;
+  const std::int64_t xoff = xoff_raw;
+  const std::int64_t xon = std::max<std::int64_t>(0, xoff - xon_delta);
+
+  sim::Scheduler sched;
+  net::Network net(sched, 321);
+  net::PortConfig nic;
+  nic.rate = sim::gbps(10);
+  nic.propagation_delay = sim::nanoseconds(100);
+  net::SwitchConfig cfg;
+  cfg.buffer_bytes = buffer;
+  cfg.pfc_enabled = true;
+  cfg.pfc_xoff_bytes = xoff;
+  cfg.pfc_xon_bytes = xon;
+
+  // Hosts 0..2 feed ingress ports 0..2; host 3 is the single egress sink,
+  // so every data packet lands in one pausable queue.
+  auto& sw = net.add_switch(cfg);
+  NullApp app;
+  std::vector<net::HostId> hosts;
+  for (int i = 0; i < 4; ++i) {
+    auto& h = net.add_host(nic);
+    net.connect(h.id(), sw.id(), nic.rate, nic.propagation_delay);
+    h.set_app(&app);
+    hosts.push_back(h.host_id());
+  }
+  net.recompute_routes();
+  const auto& routes = sw.routes(hosts[3]);
+  PROP_ASSERT_EQ(routes.size(), std::size_t{1});
+  net::EgressPort& egress = sw.port(routes[0]);
+  egress.set_paused(true);  // packets accumulate until a drain op
+
+  PfcRef model(xoff, xon, buffer);
+  // Mirror of the switch's queued data packets, in arrival order, so drain
+  // ops can replay the departures against the model.
+  std::deque<std::pair<std::int32_t, std::int64_t>> queued;
+
+  std::uint32_t seq = 0;
+  for (const auto& [src, bytes, drain_after] : ops) {
+    const auto in_port = static_cast<std::int32_t>(src);
+    net::Packet pkt;
+    pkt.flow_id = 7;
+    pkt.src = hosts[static_cast<std::size_t>(src)];
+    pkt.dst = hosts[3];
+    pkt.type = net::PacketType::kData;
+    pkt.size_bytes = static_cast<std::int32_t>(bytes);
+    pkt.payload_bytes = pkt.size_bytes;
+    pkt.seq = seq++;
+    sw.receive(pkt, in_port);
+
+    if (model.on_arrival(in_port, bytes)) queued.emplace_back(in_port, bytes);
+    PROP_ASSERT_EQ(sw.pfc_pauses_sent(), model.pauses_sent());
+    PROP_ASSERT_EQ(sw.buffer_used_bytes(), model.buffer_used());
+    PROP_ASSERT_EQ(sw.dropped_buffer_full(), model.drops());
+
+    if (drain_after) {
+      egress.set_paused(false);
+      sched.run_all();
+      egress.set_paused(true);
+      while (!queued.empty()) {
+        model.on_departure(queued.front().first, queued.front().second);
+        queued.pop_front();
+      }
+      PROP_ASSERT_EQ(sw.buffer_used_bytes(), std::int64_t{0});
+      PROP_ASSERT_EQ(sw.buffer_used_bytes(), model.buffer_used());
+      PROP_ASSERT_EQ(sw.pfc_pauses_sent(), model.pauses_sent());
+    }
+  }
+
+  // Final drain: model and switch must agree on the fully quiesced state.
+  egress.set_paused(false);
+  sched.run_all();
+  while (!queued.empty()) {
+    model.on_departure(queued.front().first, queued.front().second);
+    queued.pop_front();
+  }
+  PROP_ASSERT_EQ(sw.buffer_used_bytes(), model.buffer_used());
+  PROP_ASSERT_EQ(sw.pfc_pauses_sent(), model.pauses_sent());
+  PROP_ASSERT_EQ(sw.dropped_buffer_full(), model.drops());
+}
+
+}  // namespace
+}  // namespace pet::testkit

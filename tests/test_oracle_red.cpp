@@ -1,0 +1,116 @@
+// Differential oracle: net::red_mark_probability vs the independently
+// written testkit reference, over thousands of generated configurations
+// including the invalid ones the clamp path has to repair.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+#include "net/red_ecn.hpp"
+#include "testkit/oracles.hpp"
+#include "testkit/property.hpp"
+
+namespace pet::testkit {
+namespace {
+
+using net::RedEcnConfig;
+
+/// Threshold spans biased toward the degenerate and tiny cases where
+/// off-by-one boundary bugs live (span 0 means Kmin == Kmax).
+[[nodiscard]] Gen<std::int64_t> spans() {
+  return frequency<std::int64_t>(
+      {{1, constant<std::int64_t>(0)},
+       {2, integers(0, 4)},
+       {3, integers(0, 1 << 20)}});
+}
+
+/// Queue lengths as (selector, offset) resolved against a config: half the
+/// probes land exactly on or within a few bytes of Kmin/Kmax, where a `<`
+/// vs `<=` mistake is the only thing that distinguishes implementations.
+[[nodiscard]] auto qlen_probes() {
+  return tuple_of(integers(0, 3), integers(-3, 3), integers(0, 1 << 21));
+}
+
+[[nodiscard]] std::int64_t resolve_qlen(
+    const RedEcnConfig& cfg,
+    const std::tuple<std::int64_t, std::int64_t, std::int64_t>& probe) {
+  const auto& [sel, off, abs] = probe;
+  switch (sel) {
+    case 0: return std::max<std::int64_t>(0, cfg.kmin_bytes + off);
+    case 1: return std::max<std::int64_t>(0, cfg.kmax_bytes + off);
+    default: return abs;  // anywhere in the range, twice the weight
+  }
+}
+
+PROPERTY_CASES(RedOracle, MatchesReferenceOnValidConfigs, 2500,
+               tuple_of(integers(0, 1 << 20),  // kmin
+                        spans(),               // kmax - kmin
+                        reals(0.0, 1.0),       // pmax
+                        qlen_probes())         // queue length
+) {
+  const auto& [kmin, span, pmax, probe] = arg;
+  const RedEcnConfig cfg{
+      .kmin_bytes = kmin, .kmax_bytes = kmin + span, .pmax = pmax};
+  PROP_ASSERT(cfg.valid());
+  const std::int64_t qlen = resolve_qlen(cfg, probe);
+  const double real = net::red_mark_probability(cfg, qlen);
+  const double ref = red_mark_probability_ref(cfg, qlen);
+  PROP_ASSERT_NEAR(real, ref, 1e-12);
+}
+
+PROPERTY_CASES(RedOracle, MatchesReferenceAfterClampingGarbage, 2500,
+               tuple_of(integers(-(1 << 20), 1 << 20),  // kmin, maybe negative
+                        integers(-(1 << 20), 1 << 20),  // kmax, maybe < kmin
+                        reals(-2.0, 3.0),               // pmax, maybe invalid
+                        qlen_probes())) {
+  const auto& [kmin, kmax, pmax, probe] = arg;
+  const RedEcnConfig raw{.kmin_bytes = kmin, .kmax_bytes = kmax, .pmax = pmax};
+  const RedEcnConfig cfg = raw.clamped();
+  PROP_ASSERT(cfg.valid());
+  if (raw.valid()) PROP_ASSERT(cfg == raw);  // clamp is identity on valid
+  const std::int64_t qlen = resolve_qlen(cfg, probe);
+  PROP_ASSERT_NEAR(net::red_mark_probability(cfg, qlen),
+                   red_mark_probability_ref(cfg, qlen), 1e-12);
+}
+
+PROPERTY_CASES(RedOracle, ProbabilityBoundedAndMonotoneInQueueLength, 2500,
+               tuple_of(integers(0, 1 << 20), spans(),
+                        reals(0.0, 1.0), integers(0, 1 << 21),
+                        integers(0, 1 << 20))) {
+  const auto& [kmin, span, pmax, q1, dq] = arg;
+  const RedEcnConfig cfg{
+      .kmin_bytes = kmin, .kmax_bytes = kmin + span, .pmax = pmax};
+  const double p1 = net::red_mark_probability(cfg, q1);
+  const double p2 = net::red_mark_probability(cfg, q1 + dq);
+  PROP_ASSERT(p1 >= 0.0 && p1 <= 1.0);
+  PROP_ASSERT(p2 >= 0.0 && p2 <= 1.0);
+  PROP_ASSERT(p2 >= p1);  // marking never relaxes as the queue grows
+  // Boundary behaviour both implementations must share: no marking at
+  // Kmin, certain marking at Kmax (when the thresholds are distinct —
+  // degenerate Kmin == Kmax resolves qlen == Kmin to "below").
+  PROP_ASSERT_EQ(net::red_mark_probability(cfg, cfg.kmin_bytes), 0.0);
+  if (cfg.kmax_bytes > cfg.kmin_bytes) {
+    PROP_ASSERT_EQ(net::red_mark_probability(cfg, cfg.kmax_bytes), 1.0);
+  }
+}
+
+PROPERTY_CASES(RedOracle, MarkerIsDeterministicAtTheExtremes, 2000,
+               tuple_of(integers(0, 1 << 18), integers(1, 1 << 18),
+                        integers(0, 1'000'000))) {
+  const auto& [kmin, span, seed] = arg;
+  const RedEcnConfig cfg{
+      .kmin_bytes = kmin, .kmax_bytes = kmin + span, .pmax = 0.5};
+  net::RedEcnMarker marker(static_cast<std::uint64_t>(seed));
+  marker.set_config(cfg);
+  // At or below Kmin: never marks; at or beyond Kmax: always marks —
+  // independent of the marker's RNG state.
+  PROP_ASSERT(!marker.should_mark(cfg.kmin_bytes));
+  PROP_ASSERT(!marker.should_mark(0));
+  PROP_ASSERT(marker.should_mark(cfg.kmax_bytes));
+  PROP_ASSERT(marker.should_mark(cfg.kmax_bytes + 1));
+}
+
+}  // namespace
+}  // namespace pet::testkit

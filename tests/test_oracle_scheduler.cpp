@@ -1,0 +1,98 @@
+// Differential oracle: sim::Scheduler (binary-heap event queue with
+// cancellation sets) vs the testkit's sorted-vector model, driven by
+// generated schedule/cancel/run interleavings. Execution order, cancel
+// results, now() and pending() must agree at every step.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+#include "testkit/oracles.hpp"
+#include "testkit/property.hpp"
+
+namespace pet::testkit {
+namespace {
+
+// One op: (selector, operand, delay_ps). selector % 6 decides the action —
+// weighted toward scheduling so runs have events to execute.
+using Op = std::tuple<std::int64_t, std::int64_t, std::int64_t>;
+
+[[nodiscard]] Gen<std::vector<Op>> op_sequences() {
+  return vector_of(
+      tuple_of(integers(0, 5), integers(0, 1 << 20), integers(0, 200'000)), 1,
+      80);
+}
+
+PROPERTY_CASES(SchedulerOracle, HeapAgreesWithSortedVectorModel, 2500,
+               op_sequences()) {
+  sim::Scheduler real;
+  SchedulerModel model;
+
+  std::vector<sim::EventId> real_ids;   // k-th scheduled event
+  std::vector<std::uint64_t> model_ids;
+  std::vector<std::size_t> real_order;  // execution order, as k indices
+  std::vector<std::size_t> model_order;
+
+  for (const auto& [sel, operand, delay_ps] : arg) {
+    const std::int64_t kind = sel % 6;
+    if (kind <= 2) {  // schedule (x3 weight)
+      const sim::Time at = real.now() + sim::Time(delay_ps);
+      const std::size_t k = real_ids.size();
+      real_ids.push_back(real.schedule_at(
+          at, [k, &real_order] { real_order.push_back(k); }));
+      model_ids.push_back(model.schedule_at(at));
+    } else if (kind == 3) {  // cancel a previously scheduled event
+      if (real_ids.empty()) continue;
+      const std::size_t k =
+          static_cast<std::size_t>(operand) % real_ids.size();
+      const bool real_cancelled = real.cancel(real_ids[k]);
+      const bool model_cancelled = model.cancel(model_ids[k]);
+      PROP_ASSERT_EQ(real_cancelled, model_cancelled);
+    } else {  // run forward
+      const sim::Time until = real.now() + sim::Time(delay_ps);
+      const std::size_t ran = real.run_until(until);
+      const std::vector<std::uint64_t> due = model.run_until(until);
+      for (const std::uint64_t id : due) {
+        // Model ids are issued in schedule order starting at 1.
+        model_order.push_back(static_cast<std::size_t>(id - 1));
+      }
+      PROP_ASSERT_EQ(ran, due.size());
+      PROP_ASSERT_EQ(real.now().ps(), model.now().ps());
+      PROP_ASSERT_EQ(real_order, model_order);
+    }
+    PROP_ASSERT_EQ(real.pending(), model.pending());
+    PROP_ASSERT_EQ(real.executed(), real_order.size());
+  }
+
+  // Drain both completely: everything left must run in the same order, and
+  // time lands on the last event (run_all does not jump to Time::max()).
+  real.run_all();
+  for (const std::uint64_t id : model.run_until(sim::Time::max())) {
+    model_order.push_back(static_cast<std::size_t>(id - 1));
+  }
+  PROP_ASSERT_EQ(real_order, model_order);
+  PROP_ASSERT_EQ(real.now().ps(), model.now().ps());
+  PROP_ASSERT_EQ(real.pending(), std::size_t{0});
+  PROP_ASSERT_EQ(model.pending(), std::size_t{0});
+}
+
+PROPERTY_CASES(SchedulerOracle, TiesExecuteInInsertionOrder, 2000,
+               tuple_of(integers(0, 1'000'000), integers(2, 12))) {
+  const auto& [at_ps, n] = arg;
+  sim::Scheduler real;
+  std::vector<std::int64_t> order;
+  for (std::int64_t k = 0; k < n; ++k) {
+    real.schedule_at(sim::Time(at_ps), [k, &order] { order.push_back(k); });
+  }
+  real.run_all();
+  PROP_ASSERT_EQ(order.size(), static_cast<std::size_t>(n));
+  for (std::int64_t k = 0; k < n; ++k) {
+    PROP_ASSERT_EQ(order[static_cast<std::size_t>(k)], k);
+  }
+  PROP_ASSERT_EQ(real.now().ps(), at_ps);
+}
+
+}  // namespace
+}  // namespace pet::testkit

@@ -152,6 +152,50 @@ TEST(WeightCache, LyingHeaderCountRejected) {
   EXPECT_FALSE(cache.load("lie").has_value());
 }
 
+TEST(WeightCache, DimensionMismatchRejected) {
+  TempDir dir;
+  WeightCache cache(dir.path.string());
+  cache.store("dim", std::vector<double>{1, 2, 3, 4});
+  // A stale cache trained with a different architecture has the wrong
+  // weight count for the consuming model: treated as a miss, not installed.
+  EXPECT_FALSE(cache.load("dim", 5).has_value());
+  EXPECT_TRUE(cache.load("dim", 4).has_value());
+  EXPECT_TRUE(cache.load("dim").has_value());  // 0 = no expectation
+}
+
+TEST(InstallLearnedWeights, WrongSizeVectorIsRejectedNotFatal) {
+  ScenarioConfig cfg = tiny_base(Scheme::kPet);
+  cfg.pretrain = sim::milliseconds(1);
+  cfg.measure = sim::milliseconds(1);
+  Experiment experiment(cfg);
+  const std::vector<double> before = experiment.learned_weights();
+  ASSERT_FALSE(before.empty());
+  // Too short, too long, and empty vectors must all leave the randomly
+  // initialized model untouched instead of aborting the process.
+  std::vector<double> wrong(before.size() - 1, 0.25);
+  EXPECT_FALSE(experiment.install_learned_weights(wrong));
+  wrong.assign(before.size() + 7, 0.25);
+  EXPECT_FALSE(experiment.install_learned_weights(wrong));
+  EXPECT_FALSE(experiment.install_learned_weights(std::vector<double>{}));
+  EXPECT_EQ(experiment.learned_weights(), before);
+  // The right size still installs.
+  std::vector<double> right(before.size(), 0.125);
+  EXPECT_TRUE(experiment.install_learned_weights(right));
+  EXPECT_EQ(experiment.learned_weights(), right);
+}
+
+TEST(InstallLearnedWeights, AccRejectsWrongSizeToo) {
+  ScenarioConfig cfg = tiny_base(Scheme::kAcc);
+  cfg.pretrain = sim::milliseconds(1);
+  cfg.measure = sim::milliseconds(1);
+  Experiment experiment(cfg);
+  const std::vector<double> before = experiment.learned_weights();
+  ASSERT_FALSE(before.empty());
+  EXPECT_FALSE(experiment.install_learned_weights(
+      std::vector<double>(before.size() + 1, 0.5)));
+  EXPECT_EQ(experiment.learned_weights(), before);
+}
+
 TEST(PretrainedWeightsCached, CachesAcrossCalls) {
   TempDir dir;
   const ScenarioConfig base = tiny_base(Scheme::kPet);

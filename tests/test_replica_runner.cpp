@@ -60,6 +60,43 @@ TEST(ReplicaRunner, ThreadCountDoesNotChangeMergedResult) {
   }
 }
 
+TEST(ReplicaRunner, UnevenReplicaToThreadRatioStaysDeterministic) {
+  // 5 replicas on 4 threads: one thread takes a second replica, so chunk
+  // boundaries and completion order differ from the even case. 5-on-3 tiles
+  // differently again, and 5-on-1 is the serial reference. All three must
+  // produce the same digest and the same merged weights — work-stealing or
+  // completion-order effects must never leak into the merge.
+  ReplicaRunner serial = tiny_scenario().replicas(5).threads(1).build_runner();
+  ReplicaRunner three = tiny_scenario().replicas(5).threads(3).build_runner();
+  ReplicaRunner four = tiny_scenario().replicas(5).threads(4).build_runner();
+
+  ReplicaRunner::EpisodeStats ss{}, s3{}, s4{};
+  for (int e = 0; e < 2; ++e) {
+    ss = serial.run_episode();
+    s3 = three.run_episode();
+    s4 = four.run_episode();
+  }
+
+  EXPECT_EQ(serial.last_digest(), three.last_digest());
+  EXPECT_EQ(serial.last_digest(), four.last_digest());
+  EXPECT_EQ(ss.transitions, s3.transitions);
+  EXPECT_EQ(ss.transitions, s4.transitions);
+  EXPECT_GT(ss.transitions, 0u);
+  EXPECT_EQ(ss.policy_loss, s3.policy_loss);
+  EXPECT_EQ(ss.policy_loss, s4.policy_loss);
+
+  const std::vector<double> ws = serial.all_weights();
+  const std::vector<double> w3 = three.all_weights();
+  const std::vector<double> w4 = four.all_weights();
+  ASSERT_EQ(ws.size(), w3.size());
+  ASSERT_EQ(ws.size(), w4.size());
+  ASSERT_FALSE(ws.empty());
+  for (std::size_t i = 0; i < ws.size(); ++i) {
+    EXPECT_EQ(ws[i], w3[i]) << "weight " << i << " (3 threads)";
+    EXPECT_EQ(ws[i], w4[i]) << "weight " << i << " (4 threads)";
+  }
+}
+
 TEST(ReplicaRunner, ReplicaCountChangesExperience) {
   ReplicaRunner two = tiny_scenario().replicas(2).threads(1).build_runner();
   ReplicaRunner three = tiny_scenario().replicas(3).threads(1).build_runner();

@@ -1,0 +1,181 @@
+// Self-tests for the property-based testing kit: generator bounds,
+// deterministic generation from seeds, integrated shrinking reaching minimal
+// counterexamples, and seed replay reproducing the exact shrunk case (the
+// contract printed in every failure report).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <numeric>
+#include <string>
+#include <tuple>
+
+#include "testkit/property.hpp"
+
+namespace pet::testkit {
+namespace {
+
+/// Scoped env var so replay tests cannot leak into other tests.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const std::string& value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) saved_ = old;
+    ::setenv(name, value.c_str(), 1);
+  }
+  ~ScopedEnv() {
+    if (saved_) {
+      ::setenv(name_, saved_->c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::optional<std::string> saved_;
+};
+
+TEST(TestkitGen, IntegersStayInBoundsAndCoverRange) {
+  sim::Rng rng(42);
+  const auto gen = integers(-5, 17);
+  std::int64_t lo_seen = 100;
+  std::int64_t hi_seen = -100;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = gen(rng).value();
+    ASSERT_GE(v, -5);
+    ASSERT_LE(v, 17);
+    lo_seen = std::min(lo_seen, v);
+    hi_seen = std::max(hi_seen, v);
+  }
+  EXPECT_EQ(lo_seen, -5);
+  EXPECT_EQ(hi_seen, 17);
+}
+
+TEST(TestkitGen, RealsStayInBounds) {
+  sim::Rng rng(43);
+  const auto gen = reals(0.25, 0.75);
+  for (int i = 0; i < 2000; ++i) {
+    const double v = gen(rng).value();
+    ASSERT_GE(v, 0.25);
+    ASSERT_LT(v, 0.75);
+  }
+}
+
+TEST(TestkitGen, SameSeedSameValue) {
+  const auto gen = tuple_of(integers(0, 1'000'000), reals(0.0, 1.0),
+                            vector_of(integers(-10, 10), 0, 20));
+  sim::Rng a(123456);
+  sim::Rng b(123456);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(gen(a).value(), gen(b).value());
+  }
+}
+
+TEST(TestkitGen, FilterHoldsPredicate) {
+  sim::Rng rng(7);
+  const auto gen =
+      integers(0, 1000).filter([](const std::int64_t& v) { return v % 2 == 0; });
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(gen(rng).value() % 2, 0);
+  }
+}
+
+TEST(TestkitShrink, IntegerShrinksToBoundary) {
+  // Fails for v >= 17: the minimal counterexample is exactly 17.
+  const auto outcome = run_property_core<std::int64_t>(
+      "self.int", integers(0, 100000),
+      [](const std::int64_t& v) { PROP_ASSERT(v < 17); });
+  ASSERT_TRUE(outcome.failed);
+  EXPECT_EQ(outcome.shrunk, "17");
+  EXPECT_NE(outcome.message.find("PET_PBT_REPLAY="), std::string::npos);
+}
+
+TEST(TestkitShrink, VectorShrinksToSingleMinimalElement) {
+  // Fails when any element is >= 50: minimal case is the one-element
+  // vector [50].
+  const auto outcome = run_property_core<std::vector<std::int64_t>>(
+      "self.vec", vector_of(integers(0, 1000), 0, 30),
+      [](const std::vector<std::int64_t>& v) {
+        for (const auto x : v) PROP_ASSERT(x < 50);
+      });
+  ASSERT_TRUE(outcome.failed);
+  EXPECT_EQ(outcome.shrunk, "[50]");
+}
+
+TEST(TestkitShrink, TupleShrinksComponentsIndependently) {
+  // Fails when a + b >= 10; a minimal pair has a + b == 10 with one
+  // component shrunk to 0.
+  using Pair = std::tuple<std::int64_t, std::int64_t>;
+  const auto outcome = run_property_core<Pair>(
+      "self.tuple", tuple_of(integers(0, 1000), integers(0, 1000)),
+      [](const Pair& p) {
+        PROP_ASSERT(std::get<0>(p) + std::get<1>(p) < 10);
+      });
+  ASSERT_TRUE(outcome.failed);
+  EXPECT_EQ(outcome.shrunk, "(0, 10)");
+}
+
+TEST(TestkitReplay, FailingSeedReproducesShrunkCounterexample) {
+  const auto check = [](const std::int64_t& v) { PROP_ASSERT(v < 17); };
+  const auto first = run_property_core<std::int64_t>(
+      "self.replay", integers(0, 100000), check);
+  ASSERT_TRUE(first.failed);
+
+  // Same run twice: bitwise identical outcome (no hidden global state).
+  const auto second = run_property_core<std::int64_t>(
+      "self.replay", integers(0, 100000), check);
+  EXPECT_EQ(first.failing_seed, second.failing_seed);
+  EXPECT_EQ(first.shrunk, second.shrunk);
+
+  // Replaying the printed seed re-runs exactly that case and lands on the
+  // same minimal counterexample — the contract the failure report states.
+  ScopedEnv replay("PET_PBT_REPLAY", std::to_string(first.failing_seed));
+  const auto replayed = run_property_core<std::int64_t>(
+      "self.replay", integers(0, 100000), check);
+  ASSERT_TRUE(replayed.failed);
+  EXPECT_EQ(replayed.failing_seed, first.failing_seed);
+  EXPECT_EQ(replayed.shrunk, first.shrunk);
+  EXPECT_EQ(replayed.original, first.original);
+}
+
+TEST(TestkitReplay, PassingSeedUnderReplayReportsSuccess) {
+  ScopedEnv replay("PET_PBT_REPLAY", "12345");
+  const auto outcome = run_property_core<std::int64_t>(
+      "self.pass", integers(0, 100), [](const std::int64_t&) {});
+  EXPECT_FALSE(outcome.failed);
+}
+
+TEST(TestkitReplay, CaseCountEnvOverrides) {
+  ScopedEnv cases("PET_PBT_CASES", "3");
+  int runs = 0;
+  const auto outcome = run_property_core<std::int64_t>(
+      "self.cases", integers(0, 100),
+      [&runs](const std::int64_t&) { ++runs; });
+  EXPECT_FALSE(outcome.failed);
+  EXPECT_EQ(runs, 3);
+}
+
+TEST(TestkitShow, RendersScalarsVectorsTuplesStrings) {
+  EXPECT_EQ(show(std::int64_t{42}), "42");
+  EXPECT_EQ(show(true), "true");
+  EXPECT_EQ(show(std::vector<std::int64_t>{1, 2}), "[1, 2]");
+  EXPECT_EQ(show(std::make_tuple(std::int64_t{1}, 2.5)), "(1, 2.5)");
+  EXPECT_EQ(show(std::string("a\"b\n")), "\"a\\x22b\\x0a\"");
+}
+
+// The PROPERTY macro registers into the normal gtest runner; this one must
+// simply pass over its 200 default cases.
+PROPERTY(TestkitMacro, SumIsCommutative,
+         tuple_of(integers(-1000, 1000), integers(-1000, 1000))) {
+  const auto& [a, b] = arg;
+  PROP_ASSERT_EQ(a + b, b + a);
+}
+
+PROPERTY_CASES(TestkitMacro, ElementOfPicksFromList, 300,
+               element_of(std::vector<std::int64_t>{2, 3, 5, 7})) {
+  PROP_ASSERT(arg == 2 || arg == 3 || arg == 5 || arg == 7);
+}
+
+}  // namespace
+}  // namespace pet::testkit
