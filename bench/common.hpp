@@ -168,7 +168,11 @@ inline exp::Metrics run_scenario(const BenchOptions& opt, exp::Scheme scheme,
         .pretrain(sim::milliseconds(opt.quick ? 5 : 10));  // online warmup
   }
   auto experiment = builder.build();
-  if (!weights.empty()) experiment->install_learned_weights(weights);
+  if (!weights.empty() && !experiment->install_learned_weights(weights)) {
+    std::fprintf(stderr,
+                 "warning: pretrained weights rejected (stale cache?); "
+                 "running untrained\n");
+  }
   const exp::Metrics m = experiment->run();
   if (art != nullptr) {
     art->add_metrics(label, m);

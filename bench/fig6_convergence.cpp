@@ -7,6 +7,7 @@
 // scaled fabric. Paper-reported shape: both adapt quickly; PET settles to
 // 2.1% (elephant) / 7.2% (mice) lower FCT than ACC after each switch.
 
+#include <cstdio>
 #include <vector>
 
 #include "common.hpp"
@@ -40,7 +41,11 @@ int main(int argc, char** argv) {
                               .pretrain(warmup)
                               .build();
     exp::Experiment& experiment = *experiment_ptr;
-    if (!weights.empty()) experiment.install_learned_weights(weights);
+    if (!weights.empty() && !experiment.install_learned_weights(weights)) {
+      std::fprintf(stderr,
+                   "warning: pretrained weights rejected (stale cache?); "
+                   "running untrained\n");
+    }
 
     // Phase switches: WS (initial) -> DM -> WS -> DM. Each switch lands in
     // the event log so the exported trace shows the timeline.

@@ -7,6 +7,7 @@
 // Paper-reported shape preserved in the first flap: PET adapts faster, up
 // to 26% lower average FCT than ACC while links are down.
 
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -63,7 +64,11 @@ int main(int argc, char** argv) {
     }
     auto experiment_ptr = builder.pretrain(warmup).profiling(true).build();
     exp::Experiment& experiment = *experiment_ptr;
-    if (!weights.empty()) experiment.install_learned_weights(weights);
+    if (!weights.empty() && !experiment.install_learned_weights(weights)) {
+      std::fprintf(stderr,
+                   "warning: pretrained weights rejected (stale cache?); "
+                   "running untrained\n");
+    }
 
     // The flap schedule. Victim links are drawn from the live topology when
     // each flap fires, using the experiment's seeded fault RNG. The paper

@@ -50,15 +50,15 @@ int main(int argc, char** argv) {
   table.add_row({"agents (switches)", exp::fmt("%zu", agents),
                  exp::fmt("%zu", pet_ctl->num_agents())});
   table.add_row({"experience resident per switch",
-                 exp::fmt("%.1f KB", resident / 1024.0),
-                 exp::fmt("%.2f KB", pet_resident / 1024.0)});
+                 exp::fmt("%.1f KB", static_cast<double>(resident) / 1024.0),
+                 exp::fmt("%.2f KB", static_cast<double>(pet_resident) / 1024.0)});
   table.add_row(
       {"replay exchange traffic (total)",
-       exp::fmt("%.1f KB over %.0f ms", exchange / 1024.0, sim_sec * 1e3),
+       exp::fmt("%.1f KB over %.0f ms", static_cast<double>(exchange) / 1024.0, sim_sec * 1e3),
        "0 (no experience sharing)"});
   table.add_row({"exchange bandwidth per switch",
                  exp::fmt("%.2f Mbps",
-                          static_cast<double>(exchange) / agents * 8.0 /
+                          static_cast<double>(exchange) / static_cast<double>(agents) * 8.0 /
                               sim_sec / 1e6),
                  "0 Mbps"});
   table.add_row({"NCM tracked flows (bounded)",

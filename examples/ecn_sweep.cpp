@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
   };
 
   std::printf("ECN sweep: Web Search, load %.0f%%, %lld ms measured\n\n",
-              load * 100, (long long)measure_ms);
+              load * 100, static_cast<long long>(measure_ms));
   exp::Table table({"Kmin", "Kmax", "Pmax", "overall avg", "mice avg",
                     "mice p99", "eleph avg", "queue avg", "latency avg",
                     "ncm util", "ncm reward"});
@@ -85,8 +85,8 @@ int main(int argc, char** argv) {
     const double reward = reward_sum / static_cast<double>(reward_n);
     const double mean_util = util_sum / static_cast<double>(reward_n);
 
-    table.add_row({exp::fmt("%lldKB", (long long)p.kmin_kb),
-                   exp::fmt("%lldKB", (long long)p.kmax_kb),
+    table.add_row({exp::fmt("%lldKB", static_cast<long long>(p.kmin_kb)),
+                   exp::fmt("%lldKB", static_cast<long long>(p.kmax_kb)),
                    exp::fmt("%.2f", p.pmax),
                    exp::fmt("%.1f", m.overall.avg_us),
                    exp::fmt("%.1f", m.mice.avg_us),
@@ -96,7 +96,7 @@ int main(int argc, char** argv) {
                    exp::fmt("%.2fus", m.latency_avg_us),
                    exp::fmt("%.3f", mean_util),
                    exp::fmt("%.3f", reward)});
-    std::printf("  done Kmax=%lldKB Pmax=%.2f\n", (long long)p.kmax_kb, p.pmax);
+    std::printf("  done Kmax=%lldKB Pmax=%.2f\n", static_cast<long long>(p.kmax_kb), p.pmax);
   }
   table.print();
   return 0;

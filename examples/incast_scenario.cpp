@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
   const std::int64_t request_kb = argc > 2 ? std::atoll(argv[2]) : 64;
 
   std::printf("Incast scenario: fan-in %d, %lld KB per response\n\n", fan_in,
-              (long long)request_kb);
+              static_cast<long long>(request_kb));
 
   exp::Table table({"scheme", "incast flow avg FCT", "incast flow p99 FCT",
                     "queue avg", "queue stddev", "PFC pauses"});
@@ -50,7 +50,11 @@ int main(int argc, char** argv) {
     auto experiment_ptr = builder.build();
     exp::Experiment& experiment = *experiment_ptr;
     const exp::ScenarioConfig& cfg = experiment.config();
-    if (!weights.empty()) experiment.install_learned_weights(weights);
+    if (!weights.empty() && !experiment.install_learned_weights(weights)) {
+      std::fprintf(stderr,
+                   "warning: pretrained weights rejected (stale cache?); "
+                   "running untrained\n");
+    }
     const exp::Metrics m = experiment.run();
 
     // Incast responses are exactly request_kb*1024 bytes.
@@ -66,7 +70,7 @@ int main(int argc, char** argv) {
                    exp::fmt("%.1f us", sim::percentile(fcts, 99.0)),
                    exp::fmt("%.1f KB", m.queue_avg_kb),
                    exp::fmt("%.1f KB", m.queue_std_kb),
-                   exp::fmt("%lld", (long long)m.pfc_pauses)});
+                   exp::fmt("%lld", static_cast<long long>(m.pfc_pauses))});
     std::printf("  ran %s (%zu incast responses measured)\n",
                 exp::scheme_name(scheme), fcts.size());
   }

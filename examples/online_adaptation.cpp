@@ -38,7 +38,11 @@ int main(int argc, char** argv) {
                             .build();
   exp::Experiment& experiment = *experiment_ptr;
   const exp::ScenarioConfig& cfg = experiment.config();
-  if (!weights.empty()) experiment.install_learned_weights(weights);
+  if (!weights.empty() && !experiment.install_learned_weights(weights)) {
+    std::fprintf(stderr,
+                 "warning: pretrained weights rejected (stale cache?); "
+                 "running untrained\n");
+  }
   experiment.add_event(cfg.pretrain, [&experiment] {
     experiment.mark_measurement_start();  // switch agents to deployment mode
   });
@@ -59,11 +63,11 @@ int main(int argc, char** argv) {
     auto* pet = experiment.pet();
     const auto& ecn = pet->agent(0).current_config();
     table.add_row(
-        {exp::fmt("%lld", (long long)t_ms),
+        {exp::fmt("%lld", static_cast<long long>(t_ms)),
          t_ms <= 50 ? "WebSearch" : "DataMining",
          exp::fmt("%.3f", pet->mean_reward()),
-         exp::fmt("%lldKB", (long long)(ecn.kmin_bytes / 1024)),
-         exp::fmt("%lldKB", (long long)(ecn.kmax_bytes / 1024)),
+         exp::fmt("%lldKB", static_cast<long long>(ecn.kmin_bytes / 1024)),
+         exp::fmt("%lldKB", static_cast<long long>(ecn.kmax_bytes / 1024)),
          exp::fmt("%.2f", ecn.pmax),
          exp::fmt("%.1fKB", experiment.queue_probe().stats().mean() / 1024.0)});
   }

@@ -165,7 +165,11 @@ int main(int argc, char** argv) {
 
   auto experiment_ptr = builder.build();
   exp::Experiment& experiment = *experiment_ptr;
-  if (!weights.empty()) experiment.install_learned_weights(weights);
+  if (!weights.empty() && !experiment.install_learned_weights(weights)) {
+    std::fprintf(stderr,
+                 "warning: pretrained weights rejected (stale cache?); "
+                 "running untrained\n");
+  }
 
   std::unique_ptr<exp::TelemetryRecorder> telemetry;
   if (!opt.telemetry_path.empty()) {
@@ -177,7 +181,7 @@ int main(int argc, char** argv) {
   const exp::Metrics m = experiment.run();
 
   exp::Table table({"metric", "value"});
-  table.add_row({"flows measured", exp::fmt("%lld", (long long)m.flows_measured)});
+  table.add_row({"flows measured", exp::fmt("%lld", static_cast<long long>(m.flows_measured))});
   table.add_row({"overall avg FCT", exp::fmt("%.1f us", m.overall.avg_us)});
   table.add_row({"overall p99 FCT", exp::fmt("%.1f us", m.overall.p99_us)});
   table.add_row({"mice avg / p99", exp::fmt("%.1f / %.1f us", m.mice.avg_us,
@@ -189,8 +193,8 @@ int main(int argc, char** argv) {
                                                m.latency_p99_us)});
   table.add_row({"queue avg / std", exp::fmt("%.1f / %.1f KB", m.queue_avg_kb,
                                              m.queue_std_kb)});
-  table.add_row({"switch drops", exp::fmt("%lld", (long long)m.switch_drops)});
-  table.add_row({"PFC pauses", exp::fmt("%lld", (long long)m.pfc_pauses)});
+  table.add_row({"switch drops", exp::fmt("%lld", static_cast<long long>(m.switch_drops))});
+  table.add_row({"PFC pauses", exp::fmt("%lld", static_cast<long long>(m.pfc_pauses))});
   table.print();
 
   if (telemetry != nullptr) {

@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
   const exp::Metrics m = experiment->run();
 
   exp::Table table({"metric", "value"});
-  table.add_row({"flows measured", exp::fmt("%lld", (long long)m.flows_measured)});
+  table.add_row({"flows measured", exp::fmt("%lld", static_cast<long long>(m.flows_measured))});
   table.add_row({"overall avg FCT", exp::fmt("%.1f us", m.overall.avg_us)});
   table.add_row({"mice avg FCT", exp::fmt("%.1f us", m.mice.avg_us)});
   table.add_row({"mice p99 FCT", exp::fmt("%.1f us", m.mice.p99_us)});
@@ -46,18 +46,18 @@ int main(int argc, char** argv) {
   table.add_row({"pkt latency avg", exp::fmt("%.2f us", m.latency_avg_us)});
   table.add_row({"queue avg", exp::fmt("%.1f KB", m.queue_avg_kb)});
   table.add_row({"queue stddev", exp::fmt("%.1f KB", m.queue_std_kb)});
-  table.add_row({"switch drops", exp::fmt("%lld", (long long)m.switch_drops)});
-  table.add_row({"PFC pauses", exp::fmt("%lld", (long long)m.pfc_pauses)});
+  table.add_row({"switch drops", exp::fmt("%lld", static_cast<long long>(m.switch_drops))});
+  table.add_row({"PFC pauses", exp::fmt("%lld", static_cast<long long>(m.pfc_pauses))});
   table.print();
 
   if (auto* pet_ctl = experiment->pet()) {
     std::printf("PET agents: %zu, mean reward %.3f, steps %lld\n",
                 pet_ctl->num_agents(), pet_ctl->mean_reward(),
-                (long long)pet_ctl->total_steps());
+                static_cast<long long>(pet_ctl->total_steps()));
     const auto& cfg0 = pet_ctl->agent(0).current_config();
     std::printf("agent0 final config: Kmin=%lldKB Kmax=%lldKB Pmax=%.2f\n",
-                (long long)cfg0.kmin_bytes / 1024,
-                (long long)cfg0.kmax_bytes / 1024, cfg0.pmax);
+                static_cast<long long>(cfg0.kmin_bytes) / 1024,
+                static_cast<long long>(cfg0.kmax_bytes) / 1024, cfg0.pmax);
   }
   return 0;
 }

@@ -100,7 +100,7 @@ class AccController {
 
   /// Install one weight vector into every agent (offline pre-training).
   /// Returns false on a parameter-count mismatch (models left untouched).
-  bool install_weights(std::span<const double> weights);
+  [[nodiscard]] bool install_weights(std::span<const double> weights);
 
  private:
   void tick_all();

@@ -47,7 +47,7 @@ class PetController {
   /// initial model deployment, Section 4.4.1). Returns false when the
   /// vector does not match the policy's parameter count (stale cache);
   /// agents keep their current models in that case.
-  bool install_weights(std::span<const double> weights);
+  [[nodiscard]] bool install_weights(std::span<const double> weights);
 
   /// Mean per-step reward across agents (training progress signal).
   [[nodiscard]] double mean_reward() const;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/sorted_keys.hpp"
+
 namespace pet::core {
 
 Ncm::Ncm(sim::Scheduler& sched, net::SwitchDevice& sw, const NcmConfig& cfg)
@@ -94,6 +96,7 @@ NcmSnapshot Ncm::sample() {
 
   // --- derived factors ------------------------------------------------------
   std::size_t max_fan_in = 0;
+  // pet-lint: allow(nondet-iteration): order-insensitive max reduction
   for (const auto& [dst, srcs] : dst_srcs_) {
     max_fan_in = std::max(max_fan_in, srcs.size());
   }
@@ -101,6 +104,7 @@ NcmSnapshot Ncm::sample() {
 
   std::int64_t mice = 0;
   std::int64_t elephants = 0;
+  // pet-lint: allow(nondet-iteration): order-insensitive counting reduction
   for (const net::FlowId id : slot_flows_) {
     const auto it = flows_.find(id);
     if (it == flows_.end()) continue;  // evicted by threshold cleanup
@@ -129,6 +133,8 @@ void Ncm::scheduled_cleanup() {
   slot_flows_.clear();
   slot_packets_ = 0;
   const std::int64_t expiry = slot_index_ - cfg_.flow_expiry_slots;
+  // pet-lint: allow(nondet-iteration): full predicate erase — every expired
+  // entry goes, so the final table is order-independent
   for (auto it = flows_.begin(); it != flows_.end();) {
     if (it->second.last_seen_slot < expiry) {
       it = flows_.erase(it);
@@ -141,14 +147,16 @@ void Ncm::scheduled_cleanup() {
 void Ncm::threshold_cleanup() {
   // Memory pressure inside a slot (e.g. an incast burst): evict the stalest
   // half of the flow table and the largest sender sets' excess.
+  // Both evictions below stop at a size threshold, so visit order decides
+  // who survives — iterate sorted key views, never hash-bucket order (the
+  // surviving state feeds NcmSnapshot and from there agent actions).
   if (flows_.size() > cfg_.max_tracked_flows) {
     const std::int64_t cutoff = slot_index_ - 1;
-    for (auto it = flows_.begin();
-         it != flows_.end() && flows_.size() > cfg_.max_tracked_flows / 2;) {
-      if (it->second.last_seen_slot < cutoff) {
-        it = flows_.erase(it);
-      } else {
-        ++it;
+    for (const net::FlowId id : sim::sorted_keys(flows_)) {
+      if (flows_.size() <= cfg_.max_tracked_flows / 2) break;
+      const auto it = flows_.find(id);
+      if (it != flows_.end() && it->second.last_seen_slot < cutoff) {
+        flows_.erase(it);
       }
     }
   }
@@ -156,15 +164,15 @@ void Ncm::threshold_cleanup() {
     // Sender sets are slot-scoped; dropping the smallest keeps the
     // incast-degree maximum intact with bounded memory.
     std::size_t max_size = 0;
+    // pet-lint: allow(nondet-iteration): order-insensitive max reduction
     for (const auto& [dst, srcs] : dst_srcs_) {
       max_size = std::max(max_size, srcs.size());
     }
-    for (auto it = dst_srcs_.begin();
-         it != dst_srcs_.end() && dst_srcs_.size() > cfg_.max_tracked_dsts / 2;) {
-      if (it->second.size() < max_size) {
-        it = dst_srcs_.erase(it);
-      } else {
-        ++it;
+    for (const net::HostId dst : sim::sorted_keys(dst_srcs_)) {
+      if (dst_srcs_.size() <= cfg_.max_tracked_dsts / 2) break;
+      const auto it = dst_srcs_.find(dst);
+      if (it != dst_srcs_.end() && it->second.size() < max_size) {
+        dst_srcs_.erase(it);
       }
     }
   }

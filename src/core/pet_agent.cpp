@@ -59,7 +59,11 @@ PetAgent::PetAgent(sim::Scheduler& sched, net::SwitchDevice& sw,
 }
 
 void PetAgent::restore(std::span<const double> weights) {
-  policy_->set_weights(weights);
+  // Rollback snapshots come from this same policy, so a size mismatch is a
+  // programming error, not a runtime condition.
+  const bool ok = policy_->set_weights(weights);
+  assert(ok && "rollback snapshot must match the policy architecture");
+  static_cast<void>(ok);
   policy_->reset_optimizers();
 }
 

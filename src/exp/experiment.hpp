@@ -135,7 +135,7 @@ class Experiment {
   /// learning scheme (no-op for static schemes). Returns false when the
   /// weights do not fit the scheme's model (agents keep their random
   /// initialization, which is safe — just untrained).
-  bool install_learned_weights(std::span<const double> weights);
+  [[nodiscard]] bool install_learned_weights(std::span<const double> weights);
 
   /// Current model of the active learning scheme's first agent (empty for
   /// static schemes) — what offline pre-training exports.

@@ -36,15 +36,18 @@ std::vector<double> offline_pretrain(ScenarioConfig base,
       auto& agent = pet->agent(0);
       const auto g = agent.policy().act_greedy(std::vector<double>(
           static_cast<std::size_t>(agent.policy().config().input_size), 0.5));
+      // pet-lint: allow(banned-api): pretrain progress is CLI UX on stdout
       std::printf(
           "  [pretrain] t=%.0fms reward(mean)=%.3f updates=%lld greedy "
           "n_min=%d n_max=%d p=%d expl=%.3f\n",
-          at.ms(), pet->mean_reward(), (long long)agent.updates(), g[0], g[1],
-          g[2], agent.policy().exploration_rate());
+          at.ms(), pet->mean_reward(), static_cast<long long>(agent.updates()),
+          g[0], g[1], g[2], agent.policy().exploration_rate());
+      // pet-lint: allow(banned-api): pretrain progress is CLI UX on stdout
       std::printf("             entropy=%.3f kl=%.4f vloss=%.4f\n",
                   agent.last_update().entropy, agent.last_update().approx_kl,
                   agent.last_update().value_loss);
     } else if (auto* acc = sandbox.acc()) {
+      // pet-lint: allow(banned-api): pretrain progress is CLI UX on stdout
       std::printf("  [pretrain] t=%.0fms reward(mean)=%.3f eps=%.3f\n",
                   at.ms(), acc->mean_reward(),
                   acc->agent(0).learner().epsilon());
@@ -155,9 +158,11 @@ std::vector<double> pretrained_weights_cached(const ScenarioConfig& base,
   const WeightCache cache(cache_dir);
   const std::string key = pretrain_cache_key(base, opt);
   if (auto cached = cache.load(key, expected_count)) {
+    // pet-lint: allow(banned-api): pretrain progress is CLI UX on stdout
     std::printf("  [pretrain] cache hit: %s\n", key.c_str());
     return *cached;
   }
+  // pet-lint: allow(banned-api): pretrain progress is CLI UX on stdout
   std::printf("  [pretrain] training %s (%.0f ms sandbox)...\n", key.c_str(),
               opt.duration.ms());
   std::fflush(stdout);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <bit>
+#include <cassert>
 #include <chrono>
 #include <exception>
 #include <optional>
@@ -102,7 +103,11 @@ ReplicaRunner::ReplicaResult ReplicaRunner::run_replica(
   const std::size_t n = pet->num_agents();
   for (std::size_t i = 0; i < n; ++i) {
     core::PetAgent& agent = pet->agent(i);
-    agent.policy().set_weights(weights[i]);
+    // Central and replica agents are built from the same config, so a
+    // weight-count mismatch here is a programming error.
+    const bool ok = agent.policy().set_weights(weights[i]);
+    assert(ok && "replica policy must match the central architecture");
+    static_cast<void>(ok);
     agent.set_local_updates(false);  // experience is merged centrally
   }
   const sim::Time len = cfg_.episode_length > sim::Time::zero()
@@ -215,10 +220,13 @@ ReplicaRunner::EpisodeStats ReplicaRunner::run_episode() {
 
 ReplicaRunner::RunStats ReplicaRunner::run() {
   RunStats stats;
+  // pet-lint: allow(banned-api): wall-clock throughput stats — reported as
+  // wall_seconds/replicas_per_sec only, never part of the merge digest
   const auto t0 = std::chrono::steady_clock::now();
   for (std::int32_t e = 0; e < cfg_.episodes; ++e) {
     stats.episodes.push_back(run_episode());
   }
+  // pet-lint: allow(banned-api): wall-clock throughput stats (see above)
   const auto t1 = std::chrono::steady_clock::now();
   stats.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
   const auto replica_episodes =

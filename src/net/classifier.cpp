@@ -1,6 +1,7 @@
 #include "net/classifier.hpp"
 
 #include "sim/rng.hpp"
+#include "sim/sorted_keys.hpp"
 
 namespace pet::net {
 
@@ -21,21 +22,27 @@ std::int32_t SizeClassClassifier::operator()(const Packet& pkt) {
   return queue;
 }
 
+std::vector<FlowId> SizeClassClassifier::tracked_ids() const {
+  return sim::sorted_keys(bytes_);
+}
+
 void SizeClassClassifier::prune() {
+  // Eviction stops at a size threshold, so the visit order decides which
+  // flows keep their classification — that must not be hash-bucket order.
+  // Ascending FlowId keeps the surviving table a pure function of the
+  // traffic, independent of hash layout or library version.
+  const std::vector<FlowId> keys = sim::sorted_keys(bytes_);
   // Evict completed mice (small accumulations) first; elephants must keep
   // their classification. Halving the table bounds the worst case.
-  for (auto it = bytes_.begin();
-       it != bytes_.end() && bytes_.size() > max_flows_ / 2;) {
-    if (it->second <= threshold_) {
-      it = bytes_.erase(it);
-    } else {
-      ++it;
-    }
+  for (const FlowId id : keys) {
+    if (bytes_.size() <= max_flows_ / 2) break;
+    const auto it = bytes_.find(id);
+    if (it != bytes_.end() && it->second <= threshold_) bytes_.erase(it);
   }
-  // Pathological case: everything is an elephant; drop arbitrarily.
-  for (auto it = bytes_.begin();
-       it != bytes_.end() && bytes_.size() > max_flows_;) {
-    it = bytes_.erase(it);
+  // Pathological case: everything is an elephant; drop the oldest flow ids.
+  for (const FlowId id : keys) {
+    if (bytes_.size() <= max_flows_) break;
+    bytes_.erase(id);
   }
 }
 

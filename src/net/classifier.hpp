@@ -8,6 +8,7 @@
 #include <functional>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "net/packet.hpp"
 
@@ -30,6 +31,11 @@ class SizeClassClassifier {
   [[nodiscard]] std::int32_t operator()(const Packet& pkt);
 
   [[nodiscard]] std::size_t tracked_flows() const { return bytes_.size(); }
+
+  /// Ascending ids of currently tracked flows — lets tests assert that
+  /// pruning survivors are a pure function of the traffic (independent of
+  /// hash layout / insertion order) without mutating the table.
+  [[nodiscard]] std::vector<FlowId> tracked_ids() const;
 
   /// Adapter usable as a SwitchDevice::Classifier (shared state).
   [[nodiscard]] static std::function<std::int32_t(const Packet&)> as_classifier(

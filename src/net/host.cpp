@@ -12,6 +12,9 @@ HostDevice::HostDevice(sim::Scheduler& sched, DeviceId id, HostId host_id,
   assert(nic == 0);
   (void)nic;
   // Hosts never ECN-mark their own egress.
+  // pet-lint: allow(unaudited-ecn): NIC marking is disabled once at
+  // construction; hosts are not an agent actuation surface and expose no
+  // install_ecn entry point
   port(0).set_ecn_config(0, RedEcnConfig{.kmin_bytes = 0,
                                          .kmax_bytes = 1LL << 60,
                                          .pmax = 0.0});

@@ -58,7 +58,7 @@ class DdqnAgent {
   [[nodiscard]] std::vector<double> weights() const;
   /// Installs a full online-net snapshot (and syncs the target net).
   /// Returns false and keeps the current model on a size mismatch.
-  bool set_weights(std::span<const double> values);
+  [[nodiscard]] bool set_weights(std::span<const double> values);
   [[nodiscard]] std::size_t num_params() const;
 
   void set_lr(double lr);

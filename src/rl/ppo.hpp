@@ -138,7 +138,7 @@ class PpoAgent {
   /// Installs a full parameter snapshot. Returns false (and leaves the
   /// current model untouched) when `values` does not match num_params() —
   /// e.g. a stale weight cache trained with a different architecture.
-  bool set_weights(std::span<const double> values);
+  [[nodiscard]] bool set_weights(std::span<const double> values);
 
   [[nodiscard]] const PpoConfig& config() const { return cfg_; }
   [[nodiscard]] std::size_t num_params() const { return refs_.size(); }

@@ -69,6 +69,7 @@ class ReplayBuffer {
   /// traffic a switch would need to fetch to mirror the global replay.
   [[nodiscard]] std::size_t bytes_from_others(std::int32_t reader_id) const {
     std::size_t total = 0;
+    // pet-lint: allow(nondet-iteration): order-insensitive sum reduction
     for (const auto& [writer, bytes] : bytes_by_writer_) {
       if (writer != reader_id) total += bytes;
     }

@@ -75,12 +75,14 @@ void Profiler::clear() {
 Profiler::Scope::Scope(Profiler* profiler, const char* name)
     : profiler_(profiler), name_(name) {
   if (profiler_ == nullptr) return;
+  // pet-lint: allow(banned-api): wall-clock profiling — observability only
   wall_start_ = std::chrono::steady_clock::now();
   if (profiler_->now_us_) t0_us_ = profiler_->now_us_();
 }
 
 Profiler::Scope::~Scope() {
   if (profiler_ == nullptr) return;
+  // pet-lint: allow(banned-api): wall-clock profiling — observability only
   const auto wall_end = std::chrono::steady_clock::now();
   const double wall_ms =
       std::chrono::duration<double, std::milli>(wall_end - wall_start_).count();

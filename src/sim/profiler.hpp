@@ -73,6 +73,8 @@ class Profiler {
    private:
     Profiler* profiler_;
     const char* name_;
+    // pet-lint: allow(banned-api): wall-clock profiling only — the value
+    // lands in wall_ms fields, which golden canonicalization strips
     std::chrono::steady_clock::time_point wall_start_{};
     double t0_us_ = 0.0;
   };

@@ -49,8 +49,10 @@ std::size_t Scheduler::run_until(Time until) {
     ++executed_;
     ++ran;
     if (profiler_ != nullptr) {
+      // pet-lint: allow(banned-api): wall-clock timing of the event body
       const auto t0 = std::chrono::steady_clock::now();
       entry.cb();
+      // pet-lint: allow(banned-api): wall-clock timing of the event body
       const auto t1 = std::chrono::steady_clock::now();
       profiler_->record_event(
           entry.kind != nullptr ? entry.kind : "event",

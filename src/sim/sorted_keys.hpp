@@ -1,0 +1,38 @@
+#pragma once
+// Deterministic iteration over unordered associative containers.
+//
+// Hash-map iteration order is an implementation detail (bucket layout,
+// libstdc++ version, hash seed) and must never influence simulation
+// behaviour or anything that feeds a run artifact or digest — the
+// pet_lint `nondet-iteration` rule enforces this at the source level.
+// When code needs to *visit* an unordered container in a way whose order
+// is observable (bounded eviction, export, digesting), it iterates the
+// sorted key view from here instead; the collection pass itself is
+// order-insensitive because the keys are sorted before use.
+
+#include <algorithm>
+#include <type_traits>
+#include <vector>
+
+namespace pet::sim {
+
+/// Keys of an unordered map/set in ascending order. O(n log n), allocates;
+/// intended for cold paths (eviction, export), not per-packet work.
+template <class Container>
+[[nodiscard]] std::vector<typename Container::key_type> sorted_keys(
+    const Container& c) {
+  std::vector<typename Container::key_type> keys;
+  keys.reserve(c.size());
+  for (const auto& entry : c) {
+    if constexpr (std::is_same_v<typename Container::key_type,
+                                 typename Container::value_type>) {
+      keys.push_back(entry);  // set-like: the entry is the key
+    } else {
+      keys.push_back(entry.first);  // map-like
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace pet::sim

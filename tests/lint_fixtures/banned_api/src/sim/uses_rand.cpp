@@ -1,0 +1,30 @@
+// Fixture: every flavor of banned API in a strict subsystem.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+
+namespace pet::sim {
+
+int roll() {
+  std::srand(42);
+  return std::rand();
+}
+
+double wall_now() {
+  const auto t = std::chrono::steady_clock::now();
+  return static_cast<double>(t.time_since_epoch().count());
+}
+
+unsigned hw_entropy() {
+  std::random_device rd;
+  return rd();
+}
+
+long stamp() { return time(nullptr) ? 1 : 0; }
+
+const char* config_channel() { return std::getenv("PET_FIXTURE"); }
+
+void chatter() { std::printf("not allowed here\n"); }
+
+}  // namespace pet::sim

@@ -1,0 +1,8 @@
+// Fixture: a grandfathered violation absorbed by the committed baseline.
+#include <cstdlib>
+
+namespace pet::sim {
+
+int legacy_roll() { return std::rand(); }
+
+}  // namespace pet::sim

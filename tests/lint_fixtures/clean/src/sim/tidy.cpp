@@ -1,0 +1,5 @@
+#include "sim/tidy.hpp"
+
+namespace pet::sim {
+std::int64_t twice(std::int64_t x) { return 2 * x; }
+}  // namespace pet::sim

@@ -1,0 +1,7 @@
+#pragma once
+// Fixture: a fully clean header/TU pair.
+#include <cstdint>
+
+namespace pet::sim {
+[[nodiscard]] std::int64_t twice(std::int64_t x);
+}  // namespace pet::sim

@@ -1,0 +1,8 @@
+// Fixture: header without #pragma once.
+#include <vector>
+
+namespace pet::net {
+struct Widget {
+  std::vector<int> parts;
+};
+}  // namespace pet::net

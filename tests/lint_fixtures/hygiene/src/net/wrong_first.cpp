@@ -1,0 +1,7 @@
+#include <vector>
+
+#include "net/wrong_first.hpp"
+
+namespace pet::net {
+int answer() { return 42; }
+}  // namespace pet::net

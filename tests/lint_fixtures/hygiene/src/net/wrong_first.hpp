@@ -1,0 +1,4 @@
+#pragma once
+namespace pet::net {
+int answer();
+}  // namespace pet::net

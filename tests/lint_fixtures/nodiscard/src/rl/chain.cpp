@@ -1,0 +1,13 @@
+#include "rl/chain.hpp"
+
+namespace pet::rl {
+
+bool Model::set_weights(const std::vector<double>& w) { return !w.empty(); }
+
+bool Model::load(const std::string& path) { return !path.empty(); }
+
+void restore(Model& m, const std::string& path) {
+  m.load(path);
+}
+
+}  // namespace pet::rl

@@ -1,0 +1,13 @@
+#pragma once
+#include <string>
+#include <vector>
+
+namespace pet::rl {
+
+class Model {
+ public:
+  bool set_weights(const std::vector<double>& w);
+  [[nodiscard]] bool load(const std::string& path);
+};
+
+}  // namespace pet::rl

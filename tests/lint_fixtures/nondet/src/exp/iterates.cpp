@@ -1,0 +1,33 @@
+#include "exp/iterates.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace pet::exp {
+namespace {
+template <class C>
+std::vector<typename C::key_type> sorted_keys(const C& c) {
+  std::vector<typename C::key_type> keys;
+  for (const auto& [k, v] : c) keys.push_back(k);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+}  // namespace
+
+std::uint64_t Exporter::digest() const {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const auto& [key, count] : counts_) {
+    h ^= static_cast<std::uint64_t>(key) + static_cast<std::uint64_t>(count);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+void Exporter::evict() {
+  for (const int key : sorted_keys(counts_)) {
+    if (counts_.size() <= 4) break;
+    counts_.erase(key);
+  }
+}
+
+}  // namespace pet::exp

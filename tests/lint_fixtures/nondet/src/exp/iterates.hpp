@@ -1,0 +1,16 @@
+#pragma once
+#include <cstdint>
+#include <unordered_map>
+
+namespace pet::exp {
+
+class Exporter {
+ public:
+  [[nodiscard]] std::uint64_t digest() const;
+  void evict();
+
+ private:
+  std::unordered_map<int, std::int64_t> counts_;
+};
+
+}  // namespace pet::exp

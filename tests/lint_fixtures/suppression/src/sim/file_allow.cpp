@@ -1,0 +1,10 @@
+// Fixture: allow-file() covers the whole translation unit.
+// pet-lint: allow-file(banned-api): fixture exercises file-wide allows
+#include <cstdlib>
+
+namespace pet::sim {
+
+int first() { return std::rand(); }
+int second() { return std::rand(); }
+
+}  // namespace pet::sim

@@ -1,0 +1,19 @@
+// Fixture: inline and file-level suppressions silence findings.
+#include <cstdlib>
+
+namespace pet::sim {
+
+int justified() {
+  // pet-lint: allow(banned-api): fixture exercises the suppression path
+  return std::rand();
+}
+
+int justified_multiline() {
+  // pet-lint: allow(banned-api): a justification that runs on long enough
+  // to need a second comment line before the offending statement
+  return std::rand();
+}
+
+int unjustified() { return std::rand(); }
+
+}  // namespace pet::sim

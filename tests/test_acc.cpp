@@ -102,7 +102,7 @@ TEST_F(AccFixture, InstallWeightsSynchronizesAgents) {
   build(2);
   AccController ctl(sched, switches, controller_config(), 6);
   const auto w = ctl.agent(0).learner().weights();
-  ctl.install_weights(w);
+  ASSERT_TRUE(ctl.install_weights(w));
   EXPECT_EQ(ctl.agent(1).learner().weights(), w);
 }
 

@@ -83,6 +83,26 @@ TEST(SizeClassClassifier, PruneKeepsElephants) {
   EXPECT_EQ(classify(packet_of(1, 100)), 1) << "elephant survived pruning";
 }
 
+TEST(SizeClassClassifier, PruneSurvivorsIndependentOfInsertionOrder) {
+  // Regression: eviction stops at a size threshold, so before prune()
+  // iterated a sorted key view the surviving flows depended on hash-bucket
+  // layout — which varies with insertion order. The same traffic must leave
+  // the same table no matter the arrival interleaving.
+  const auto feed = [](const std::vector<FlowId>& order) {
+    SizeClassClassifier classify(500, /*max_tracked_flows=*/8);
+    for (const FlowId f : order) (void)classify(packet_of(f, 100));
+    return classify.tracked_ids();
+  };
+  std::vector<FlowId> ascending;
+  for (FlowId f = 1; f <= 9; ++f) ascending.push_back(f);
+  std::vector<FlowId> descending(ascending.rbegin(), ascending.rend());
+  const std::vector<FlowId> interleaved = {5, 1, 9, 3, 7, 2, 8, 4, 6};
+
+  const auto a = feed(ascending);
+  EXPECT_EQ(a, feed(descending));
+  EXPECT_EQ(a, feed(interleaved));
+}
+
 TEST(SizeClassClassifier, AsClassifierSharesState) {
   auto shared = std::make_shared<SizeClassClassifier>(2'000);
   auto fn = SizeClassClassifier::as_classifier(shared);

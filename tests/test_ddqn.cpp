@@ -77,7 +77,7 @@ TEST(DdqnAgent, WeightsRoundTrip) {
   DdqnAgent b(cfg2, replay, 1);
   const std::vector<double> state{0.4, 0.6};
   EXPECT_NE(a.weights(), b.weights());  // different init seeds
-  b.set_weights(a.weights());
+  ASSERT_TRUE(b.set_weights(a.weights()));
   EXPECT_EQ(a.weights(), b.weights());
   EXPECT_EQ(a.act_greedy(state), b.act_greedy(state));
 }

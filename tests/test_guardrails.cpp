@@ -83,8 +83,8 @@ TEST_F(GuardrailFixture, NanPoisonedAgentQuarantinesWithinOneTick) {
   const std::int64_t updates_before = agent.updates();
 
   const std::size_t n = agent.policy().weights().size();
-  agent.policy().set_weights(
-      std::vector<double>(n, std::numeric_limits<double>::quiet_NaN()));
+  ASSERT_TRUE(agent.policy().set_weights(
+      std::vector<double>(n, std::numeric_limits<double>::quiet_NaN())));
   tick(agent);  // one tick is enough to trip the guardrail
   EXPECT_EQ(agent.health(), AgentHealth::kQuarantined);
   EXPECT_EQ(agent.rollbacks(), 1);
@@ -227,8 +227,8 @@ TEST_F(GuardrailFixture, DisabledGuardrailsNeverIntervene) {
   cfg.guardrails.enabled = false;
   PetAgent agent(sched, *sw, cfg, 9);
   const std::size_t n = agent.policy().weights().size();
-  agent.policy().set_weights(
-      std::vector<double>(n, std::numeric_limits<double>::quiet_NaN()));
+  ASSERT_TRUE(agent.policy().set_weights(
+      std::vector<double>(n, std::numeric_limits<double>::quiet_NaN())));
   tick(agent, 5);
   EXPECT_EQ(agent.health(), AgentHealth::kHealthy);
   EXPECT_TRUE(agent.health_transitions().empty());

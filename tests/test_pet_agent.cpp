@@ -197,7 +197,7 @@ TEST_F(PetFixture, InstallWeightsPropagatesToAllAgents) {
   std::vector<net::SwitchDevice*> switches{sw, &sw2};
   PetController ctl(sched, switches, cc, 80);
   const auto w = ctl.agent(0).policy().weights();
-  ctl.install_weights(w);
+  ASSERT_TRUE(ctl.install_weights(w));
   EXPECT_EQ(ctl.agent(1).policy().weights(), w);
 }
 

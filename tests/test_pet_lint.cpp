@@ -1,0 +1,274 @@
+// pet_lint self-tests: lexer corners, per-directory policies, each rule
+// against a seeded fixture violation, the suppression grammar, and the
+// baseline workflow (match / stale / bypass). Fixture trees live under
+// tests/lint_fixtures/<case>/ — each is a miniature repo root.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "driver.hpp"
+#include "lexer.hpp"
+#include "rules.hpp"
+
+namespace lint = pet::lint;
+
+namespace {
+
+std::string fixture(const std::string& name) {
+  return std::string(PET_LINT_FIXTURE_DIR) + "/" + name;
+}
+
+lint::RunResult run_fixture(const std::string& name) {
+  lint::RunOptions opts;
+  opts.root = fixture(name);
+  return lint::run(opts);
+}
+
+std::size_t count_rule(const lint::RunResult& r, const std::string& rule) {
+  return static_cast<std::size_t>(
+      std::count_if(r.findings.begin(), r.findings.end(),
+                    [&](const lint::Finding& f) { return f.rule == rule; }));
+}
+
+lint::FileReport analyze(const std::string& relpath, std::string_view src,
+                         std::string_view sibling = {}) {
+  return lint::analyze_source(relpath, src, lint::policy_for(relpath),
+                              !sibling.empty(), sibling);
+}
+
+// --- lexer -------------------------------------------------------------------
+
+TEST(LintLexer, CommentsAndStringsAreNotCode) {
+  const auto toks = lint::tokenize(
+      "// rand() in a comment\n"
+      "/* std::rand() in a block */\n"
+      "const char* s = \"rand()\";\n"
+      "const char* r = R\"pet(std::rand())pet\";\n");
+  for (const auto& t : toks) {
+    if (t.kind == lint::TokKind::kIdent) {
+      EXPECT_NE(t.text, "rand") << t.line;
+    }
+  }
+}
+
+TEST(LintLexer, RawStringWithQuotesAndEscapes) {
+  const auto toks = lint::tokenize("auto x = R\"(a \" \\ b)\" ; int y;");
+  ASSERT_GE(toks.size(), 4u);
+  const auto str = std::find_if(toks.begin(), toks.end(), [](const auto& t) {
+    return t.kind == lint::TokKind::kString;
+  });
+  ASSERT_NE(str, toks.end());
+  EXPECT_EQ(str->text, "a \" \\ b");
+}
+
+TEST(LintLexer, DirectiveIsOneTokenWithContinuation) {
+  const auto toks = lint::tokenize("#define FOO(a) \\\n  ((a) + 1)\nint x;");
+  ASSERT_FALSE(toks.empty());
+  EXPECT_EQ(toks[0].kind, lint::TokKind::kDirective);
+  EXPECT_NE(toks[0].text.find("((a) + 1)"), std::string::npos);
+}
+
+TEST(LintLexer, FusedPunctuation) {
+  const auto toks = lint::tokenize("a->b; std::x;");
+  const auto arrow = std::find_if(toks.begin(), toks.end(), [](const auto& t) {
+    return t.kind == lint::TokKind::kPunct && t.text == "->";
+  });
+  const auto scope = std::find_if(toks.begin(), toks.end(), [](const auto& t) {
+    return t.kind == lint::TokKind::kPunct && t.text == "::";
+  });
+  EXPECT_NE(arrow, toks.end());
+  EXPECT_NE(scope, toks.end());
+}
+
+// --- policies ----------------------------------------------------------------
+
+TEST(LintPolicy, StrictInDeterministicSubsystems) {
+  for (const char* p : {"src/sim/scheduler.cpp", "src/net/switch.cpp",
+                        "src/rl/ppo.hpp", "src/core/ncm.cpp",
+                        "src/exp/experiment.cpp", "src/transport/dcqcn.cpp"}) {
+    const lint::Policy pol = lint::policy_for(p);
+    EXPECT_TRUE(pol.banned_det) << p;
+    EXPECT_TRUE(pol.nondet_iteration) << p;
+    EXPECT_TRUE(pol.unaudited_ecn) << p;
+  }
+}
+
+TEST(LintPolicy, LogMayPrintTestkitMayGetenv) {
+  EXPECT_FALSE(lint::policy_for("src/sim/log.cpp").banned_io);
+  EXPECT_TRUE(lint::policy_for("src/sim/log.cpp").banned_det);
+  EXPECT_FALSE(lint::policy_for("src/testkit/kit.cpp").banned_getenv);
+}
+
+TEST(LintPolicy, ToolsAndBenchRelaxed) {
+  for (const char* p : {"tools/pet_lint/main.cpp", "bench/common.hpp",
+                        "examples/quickstart.cpp"}) {
+    const lint::Policy pol = lint::policy_for(p);
+    EXPECT_FALSE(pol.banned_det) << p;
+    EXPECT_TRUE(pol.header_hygiene) << p;
+    EXPECT_TRUE(pol.nodiscard_chain) << p;
+  }
+}
+
+// --- rules on fixture trees --------------------------------------------------
+
+TEST(LintFixtures, BannedApiCatchesEveryFlavor) {
+  const auto r = run_fixture("banned_api");
+  EXPECT_FALSE(r.io_error) << r.error;
+  // srand, rand, steady_clock, random_device, time(, getenv, printf.
+  EXPECT_GE(count_rule(r, "banned-api"), 7u);
+  EXPECT_EQ(r.findings.size(), count_rule(r, "banned-api"));
+}
+
+TEST(LintFixtures, SuppressionSilencesOnlyAnnotatedSites) {
+  const auto r = run_fixture("suppression");
+  EXPECT_FALSE(r.io_error) << r.error;
+  // Single-line allow, multi-line justification, and two allow-file hits
+  // are silenced; the one unjustified call survives.
+  ASSERT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.findings[0].rule, "banned-api");
+  EXPECT_NE(r.findings[0].line_text.find("unjustified"), std::string::npos);
+  EXPECT_EQ(r.suppressed, 4u);
+}
+
+TEST(LintFixtures, NondetIterationFlagsDigestLoopNotSortedView) {
+  const auto r = run_fixture("nondet");
+  EXPECT_FALSE(r.io_error) << r.error;
+  ASSERT_EQ(count_rule(r, "nondet-iteration"), 1u);
+  const auto f = std::find_if(r.findings.begin(), r.findings.end(),
+                              [](const lint::Finding& x) {
+                                return x.rule == "nondet-iteration";
+                              });
+  // The digest loop is the hit; the sorted_keys eviction loop is exempt.
+  EXPECT_NE(f->message.find("counts_"), std::string::npos);
+  EXPECT_NE(f->message.find("digest"), std::string::npos);
+}
+
+TEST(LintFixtures, UnauditedEcnOutsideAllowlist) {
+  const auto r = run_fixture("ecn");
+  EXPECT_FALSE(r.io_error) << r.error;
+  // Both the rogue declaration (a new unaudited entry point) and the call
+  // that bypasses install_ecn() are flagged.
+  EXPECT_EQ(count_rule(r, "unaudited-ecn"), 2u);
+}
+
+TEST(LintFixtures, NodiscardChainDeclarationAndCallSite) {
+  const auto r = run_fixture("nodiscard");
+  EXPECT_FALSE(r.io_error) << r.error;
+  ASSERT_EQ(count_rule(r, "nodiscard-chain"), 2u);
+  bool saw_decl = false;
+  bool saw_call = false;
+  for (const auto& f : r.findings) {
+    saw_decl = saw_decl ||
+               f.line_text.find("bool set_weights") != std::string::npos;
+    saw_call = saw_call || f.line_text.find("m.load(path)") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_decl);
+  EXPECT_TRUE(saw_call);
+}
+
+TEST(LintFixtures, HeaderHygieneMissingPragmaAndWrongFirstInclude) {
+  const auto r = run_fixture("hygiene");
+  EXPECT_FALSE(r.io_error) << r.error;
+  EXPECT_EQ(count_rule(r, "header-hygiene"), 2u);
+}
+
+TEST(LintFixtures, CleanTreeHasZeroFindings) {
+  const auto r = run_fixture("clean");
+  EXPECT_FALSE(r.io_error) << r.error;
+  EXPECT_TRUE(r.findings.empty());
+  EXPECT_TRUE(r.stale.empty());
+  EXPECT_GE(r.files_scanned, 2u);
+}
+
+// --- baseline workflow -------------------------------------------------------
+
+TEST(LintBaseline, MatchingEntryAbsorbsFinding) {
+  const auto r = run_fixture("baseline_match");
+  EXPECT_FALSE(r.io_error) << r.error;
+  EXPECT_TRUE(r.findings.empty());
+  EXPECT_EQ(r.baselined, 1u);
+  EXPECT_TRUE(r.stale.empty());
+}
+
+TEST(LintBaseline, StaleEntryIsReported) {
+  lint::RunOptions opts;
+  opts.root = fixture("baseline_match");
+  opts.baseline_path =
+      fixture("baseline_match") + "/tools/pet_lint/baseline_stale.txt";
+  const auto r = lint::run(opts);
+  EXPECT_TRUE(r.findings.empty());
+  EXPECT_EQ(r.baselined, 1u);
+  ASSERT_EQ(r.stale.size(), 1u);
+  EXPECT_NE(r.stale[0].find("removed.cpp"), std::string::npos);
+}
+
+TEST(LintBaseline, NoBaselineFlagSurfacesGrandfatheredFinding) {
+  lint::RunOptions opts;
+  opts.root = fixture("baseline_match");
+  opts.use_baseline = false;
+  const auto r = lint::run(opts);
+  EXPECT_EQ(r.findings.size(), 1u);
+  EXPECT_EQ(r.baselined, 0u);
+}
+
+// --- targeted rule regressions (inline sources) ------------------------------
+
+TEST(LintRules, DeclarationIsNotADiscardedCall) {
+  // `LoadResult load(const std::string&);` must not look like a bare call.
+  const auto rep = analyze("src/sim/x.hpp",
+                           "#pragma once\n"
+                           "struct S { int load(const int& path); };\n");
+  EXPECT_TRUE(rep.findings.empty());
+}
+
+TEST(LintRules, SiblingHeaderMembersAreVisible) {
+  const auto rep = analyze(
+      "src/exp/t.cpp",
+      "#include \"exp/t.hpp\"\n"
+      "void T::walk() { for (const auto& kv : table_) { use(kv); } }\n"
+      "std::uint64_t T::digest() const { return 0; }\n",
+      "#pragma once\n#include <unordered_map>\n"
+      "struct T { std::unordered_map<int,int> table_; };\n");
+  ASSERT_EQ(rep.findings.size(), 1u);
+  EXPECT_EQ(rep.findings[0].rule, "nondet-iteration");
+}
+
+TEST(LintRules, MultiLineJustificationCoversNextCodeLine) {
+  const auto rep = analyze("src/sim/x.cpp",
+                           "#include \"sim/x.hpp\"\n"
+                           "int f() {\n"
+                           "  // pet-lint: allow(banned-api): first line of a\n"
+                           "  // justification that wraps onto a second line\n"
+                           "  return std::rand();\n"
+                           "}\n");
+  EXPECT_TRUE(rep.findings.empty());
+  EXPECT_EQ(rep.suppressed, 1u);
+}
+
+TEST(LintRules, SuppressionDoesNotLeakPastItsStatement) {
+  const auto rep = analyze("src/sim/x.cpp",
+                           "#include \"sim/x.hpp\"\n"
+                           "int f() {\n"
+                           "  // pet-lint: allow(banned-api): only this one\n"
+                           "  int a = std::rand();\n"
+                           "  int b = std::rand();\n"
+                           "  return a + b;\n"
+                           "}\n");
+  ASSERT_EQ(rep.findings.size(), 1u);
+  EXPECT_EQ(rep.findings[0].line, 5);
+}
+
+TEST(LintRules, AllRuleIdsStable) {
+  const auto& ids = lint::all_rule_ids();
+  const std::vector<std::string> expected = {
+      "banned-api", "nondet-iteration", "unaudited-ecn", "nodiscard-chain",
+      "header-hygiene"};
+  for (const auto& id : expected) {
+    EXPECT_NE(std::find(ids.begin(), ids.end(), id), ids.end()) << id;
+  }
+}
+
+}  // namespace

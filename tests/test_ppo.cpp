@@ -43,7 +43,7 @@ TEST(PpoAgent, WeightsRoundTrip) {
   PpoAgent b(cfg2);
   const std::vector<double> state{0.3, 0.1, -0.2};
   EXPECT_NE(a.value(state), b.value(state));
-  b.set_weights(a.weights());
+  ASSERT_TRUE(b.set_weights(a.weights()));
   EXPECT_EQ(a.value(state), b.value(state));
   EXPECT_EQ(a.act_greedy(state), b.act_greedy(state));
 }

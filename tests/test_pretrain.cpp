@@ -45,7 +45,7 @@ TEST(OfflinePretrain, PetProducesInstallableWeights) {
   cfg.pretrain = sim::milliseconds(1);
   cfg.measure = sim::milliseconds(2);
   Experiment experiment(cfg);
-  experiment.install_learned_weights(weights);
+  ASSERT_TRUE(experiment.install_learned_weights(weights));
   EXPECT_EQ(experiment.learned_weights(), weights);
   (void)experiment.run();
 }
@@ -57,7 +57,7 @@ TEST(OfflinePretrain, AccProducesWeightsOfDdqnShape) {
   cfg.pretrain = sim::milliseconds(1);
   cfg.measure = sim::milliseconds(1);
   Experiment experiment(cfg);
-  experiment.install_learned_weights(weights);
+  ASSERT_TRUE(experiment.install_learned_weights(weights));
   EXPECT_EQ(experiment.learned_weights(), weights);
 }
 

@@ -1,0 +1,69 @@
+#include "baseline.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace pet::lint {
+
+std::string Baseline::fingerprint(const Finding& f) {
+  return f.rule + "|" + f.path + "|" + f.line_text;
+}
+
+Baseline::LoadResult Baseline::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {true, ""};  // no baseline file: empty baseline
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    // rule|path|line-text — line-text may itself contain '|'.
+    const std::size_t p1 = line.find('|');
+    const std::size_t p2 = p1 == std::string::npos ? p1 : line.find('|', p1 + 1);
+    if (p2 == std::string::npos) {
+      std::ostringstream err;
+      err << path << ":" << lineno
+          << ": malformed baseline entry (want rule|path|line-text)";
+      return {false, err.str()};
+    }
+    ++counts_[line];
+  }
+  return {true, ""};
+}
+
+bool Baseline::absorb(const Finding& f) {
+  const auto it = counts_.find(fingerprint(f));
+  if (it == counts_.end() || it->second == 0) return false;
+  --it->second;
+  return true;
+}
+
+std::vector<std::string> Baseline::unmatched() const {
+  std::vector<std::string> out;
+  for (const auto& [key, count] : counts_) {
+    for (std::size_t i = 0; i < count; ++i) out.push_back(key);
+  }
+  return out;
+}
+
+std::string Baseline::serialize(const std::vector<Finding>& findings) {
+  std::vector<std::string> keys;
+  keys.reserve(findings.size());
+  for (const Finding& f : findings) keys.push_back(fingerprint(f));
+  std::sort(keys.begin(), keys.end());
+  std::string out =
+      "# pet_lint baseline — grandfathered findings, one per line:\n"
+      "#   rule|path|trimmed-source-line\n"
+      "# Regenerate with: pet_lint --write-baseline. Keep this empty; new\n"
+      "# violations should be fixed or suppressed inline with a\n"
+      "# justification, not grandfathered.\n";
+  for (const std::string& k : keys) {
+    out += k;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace pet::lint

@@ -1,0 +1,46 @@
+#pragma once
+// Grandfathered-findings store for pet_lint.
+//
+// A baseline entry fingerprints a finding as rule|path|trimmed-line-text,
+// deliberately ignoring line numbers so unrelated edits above a
+// grandfathered hit do not invalidate it. Entries are counted (a multiset):
+// three identical grandfathered lines match exactly three findings. The
+// shipped baseline is empty — the mechanism exists so a future rule can
+// land before its sweep finishes.
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "rules.hpp"
+
+namespace pet::lint {
+
+class Baseline {
+ public:
+  /// Load from `path`. A missing file is an empty baseline (not an error);
+  /// a malformed line is reported via the return value.
+  struct LoadResult {
+    bool ok = true;
+    std::string error;
+  };
+  LoadResult load(const std::string& path);
+
+  /// True (and consumes one entry) when the finding is grandfathered.
+  [[nodiscard]] bool absorb(const Finding& f);
+
+  /// Entries never matched by any finding — stale, should be pruned.
+  [[nodiscard]] std::vector<std::string> unmatched() const;
+
+  [[nodiscard]] static std::string fingerprint(const Finding& f);
+
+  /// Serialize findings as a baseline file body.
+  [[nodiscard]] static std::string serialize(
+      const std::vector<Finding>& findings);
+
+ private:
+  std::map<std::string, std::size_t> counts_;
+};
+
+}  // namespace pet::lint

@@ -1,0 +1,160 @@
+#include "driver.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace fs = std::filesystem;
+
+namespace pet::lint {
+
+namespace {
+
+[[nodiscard]] bool ends_with(const std::string& s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+[[nodiscard]] std::string read_file(const fs::path& p, bool* ok) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) {
+    *ok = false;
+    return {};
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *ok = true;
+  return buf.str();
+}
+
+[[nodiscard]] std::string to_rel(const fs::path& p, const fs::path& root) {
+  return fs::relative(p, root).generic_string();
+}
+
+}  // namespace
+
+const std::vector<std::string>& lint_roots() {
+  static const std::vector<std::string> kRoots = {"src", "tests", "bench",
+                                                  "examples", "tools"};
+  return kRoots;
+}
+
+bool is_lintable(const std::string& relpath) {
+  if (!ends_with(relpath, ".cpp") && !ends_with(relpath, ".hpp")) return false;
+  // Seeded-violation fixtures are linted by the tests, not the gate.
+  if (relpath.find("tests/lint_fixtures/") != std::string::npos) return false;
+  return true;
+}
+
+RunResult run(const RunOptions& opts) {
+  RunResult result;
+  const fs::path root(opts.root);
+  std::error_code ec;
+  if (!fs::is_directory(root, ec)) {
+    result.io_error = true;
+    result.error = "not a directory: " + opts.root;
+    return result;
+  }
+
+  // Gather files (sorted for deterministic output and baseline order).
+  std::vector<fs::path> files;
+  if (!opts.files.empty()) {
+    for (const std::string& f : opts.files) files.emplace_back(root / f);
+  } else {
+    for (const std::string& sub : lint_roots()) {
+      const fs::path dir = root / sub;
+      if (!fs::is_directory(dir, ec)) continue;
+      for (fs::recursive_directory_iterator it(dir, ec), end; it != end;
+           it.increment(ec)) {
+        if (ec) break;
+        if (!it->is_regular_file(ec)) continue;
+        if (is_lintable(to_rel(it->path(), root))) files.push_back(it->path());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  Baseline baseline;
+  if (opts.use_baseline && !opts.write_baseline) {
+    const std::string bl_path =
+        opts.baseline_path.empty()
+            ? (root / "tools/pet_lint/baseline.txt").string()
+            : opts.baseline_path;
+    const auto loaded = baseline.load(bl_path);
+    if (!loaded.ok) {
+      result.io_error = true;
+      result.error = loaded.error;
+      return result;
+    }
+  }
+
+  std::vector<Finding> all;
+  for (const fs::path& file : files) {
+    bool ok = false;
+    const std::string content = read_file(file, &ok);
+    if (!ok) {
+      result.io_error = true;
+      result.error = "cannot read " + file.string();
+      return result;
+    }
+    const std::string rel = to_rel(file, root);
+    const fs::path sibling = fs::path(file).replace_extension(".hpp");
+    const bool sibling_header =
+        ends_with(rel, ".cpp") && fs::exists(sibling, ec);
+    std::string header_content;
+    if (sibling_header) {
+      bool header_ok = false;
+      header_content = read_file(sibling, &header_ok);
+    }
+    FileReport report = analyze_source(rel, content, policy_for(rel),
+                                       sibling_header, header_content);
+    result.suppressed += report.suppressed;
+    ++result.files_scanned;
+    for (Finding& f : report.findings) all.push_back(std::move(f));
+  }
+
+  if (opts.write_baseline) {
+    const std::string bl_path =
+        opts.baseline_path.empty()
+            ? (root / "tools/pet_lint/baseline.txt").string()
+            : opts.baseline_path;
+    std::ofstream out(bl_path, std::ios::binary | std::ios::trunc);
+    out << Baseline::serialize(all);
+    if (!out) {
+      result.io_error = true;
+      result.error = "cannot write " + bl_path;
+    }
+    return result;  // everything grandfathered by construction
+  }
+
+  for (Finding& f : all) {
+    if (opts.use_baseline && baseline.absorb(f)) {
+      ++result.baselined;
+    } else {
+      result.findings.push_back(std::move(f));
+    }
+  }
+  if (opts.use_baseline) result.stale = baseline.unmatched();
+  return result;
+}
+
+std::string render(const RunResult& result) {
+  std::ostringstream out;
+  for (const Finding& f : result.findings) {
+    out << f.path << ":" << f.line << ":" << f.col << ": [" << f.rule << "] "
+        << f.message << "\n      " << f.line_text << "\n";
+  }
+  for (const std::string& stale : result.stale) {
+    out << "stale baseline entry (fixed or moved — prune it): " << stale
+        << "\n";
+  }
+  out << "pet_lint: " << result.findings.size() << " finding(s), "
+      << result.baselined << " baselined, " << result.suppressed
+      << " suppressed, " << result.stale.size() << " stale baseline entr"
+      << (result.stale.size() == 1 ? "y" : "ies") << " across "
+      << result.files_scanned << " files\n";
+  return out.str();
+}
+
+}  // namespace pet::lint

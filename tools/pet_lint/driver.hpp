@@ -1,0 +1,46 @@
+#pragma once
+// Tree walker + reporting for pet_lint: applies the per-directory rule
+// policies to every C++ source under the repo's lintable roots, filters
+// through the committed baseline, and renders findings.
+
+#include <string>
+#include <vector>
+
+#include "baseline.hpp"
+#include "rules.hpp"
+
+namespace pet::lint {
+
+struct RunOptions {
+  std::string root;           // repo root (absolute or relative)
+  std::string baseline_path;  // empty → <root>/tools/pet_lint/baseline.txt
+  bool use_baseline = true;
+  bool write_baseline = false;
+  /// Explicit repo-relative files to lint instead of the default walk.
+  std::vector<std::string> files;
+};
+
+struct RunResult {
+  std::vector<Finding> findings;       // after baseline filtering
+  std::vector<std::string> stale;      // unmatched baseline entries
+  std::size_t files_scanned = 0;
+  std::size_t suppressed = 0;
+  std::size_t baselined = 0;
+  bool io_error = false;
+  std::string error;
+};
+
+/// Default lint roots relative to the repo root, in walk order.
+[[nodiscard]] const std::vector<std::string>& lint_roots();
+
+/// Should `relpath` (forward slashes) be scanned at all? Fixture trees and
+/// generated/vendored paths are excluded here.
+[[nodiscard]] bool is_lintable(const std::string& relpath);
+
+/// Walk + analyze. Deterministic: files are visited in sorted path order.
+[[nodiscard]] RunResult run(const RunOptions& opts);
+
+/// Render findings in file:line:col: [rule] message form.
+[[nodiscard]] std::string render(const RunResult& result);
+
+}  // namespace pet::lint

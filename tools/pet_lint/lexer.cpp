@@ -1,0 +1,302 @@
+#include "lexer.hpp"
+
+#include <cctype>
+
+namespace pet::lint {
+
+namespace {
+
+[[nodiscard]] bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+[[nodiscard]] bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  std::vector<Token> run() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        col_ = 1;
+        at_line_start_ = true;
+        ++pos_;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        advance(1);
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        lex_directive();
+        continue;
+      }
+      at_line_start_ = false;
+      if (c == '/' && peek(1) == '/') {
+        lex_line_comment();
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        lex_block_comment();
+        continue;
+      }
+      if (c == '"') {
+        lex_string(pos_);
+        continue;
+      }
+      if (c == '\'') {
+        lex_char_literal();
+        continue;
+      }
+      if (is_ident_start(c)) {
+        lex_ident_or_prefixed_literal();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+        lex_number();
+        continue;
+      }
+      lex_punct();
+    }
+    return std::move(out_);
+  }
+
+ private:
+  [[nodiscard]] char peek(std::size_t ahead) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  void advance(std::size_t n) {
+    for (std::size_t i = 0; i < n && pos_ < src_.size(); ++i) {
+      if (src_[pos_] == '\n') {
+        ++line_;
+        col_ = 1;
+      } else {
+        ++col_;
+      }
+      ++pos_;
+    }
+  }
+
+  void emit(TokKind kind, std::string text, std::int32_t line,
+            std::int32_t col) {
+    out_.push_back(Token{kind, std::move(text), line, col});
+  }
+
+  void lex_directive() {
+    const std::int32_t line = line_;
+    const std::int32_t col = col_;
+    std::string text;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\\' && peek(1) == '\n') {
+        text.push_back(' ');
+        advance(2);
+        continue;
+      }
+      if (c == '\n') break;
+      // A trailing // comment on a directive line is still a comment;
+      // stop the directive there and let the main loop pick it up.
+      if (c == '/' && (peek(1) == '/' || peek(1) == '*')) break;
+      text.push_back(c);
+      advance(1);
+    }
+    emit(TokKind::kDirective, std::move(text), line, col);
+  }
+
+  void lex_line_comment() {
+    const std::int32_t line = line_;
+    const std::int32_t col = col_;
+    advance(2);
+    std::string text;
+    while (pos_ < src_.size() && src_[pos_] != '\n') {
+      text.push_back(src_[pos_]);
+      advance(1);
+    }
+    emit(TokKind::kComment, std::move(text), line, col);
+  }
+
+  void lex_block_comment() {
+    const std::int32_t line = line_;
+    const std::int32_t col = col_;
+    advance(2);
+    std::string text;
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '*' && peek(1) == '/') {
+        advance(2);
+        break;
+      }
+      text.push_back(src_[pos_]);
+      advance(1);
+    }
+    emit(TokKind::kComment, std::move(text), line, col);
+  }
+
+  // `quote_pos` is the position of the opening '"'; the prefix (if any)
+  // has already been consumed by the caller.
+  void lex_string(std::size_t quote_pos) {
+    const std::int32_t line = line_;
+    const std::int32_t col = col_;
+    (void)quote_pos;
+    advance(1);  // opening quote
+    std::string text;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\\' && pos_ + 1 < src_.size()) {
+        text.push_back(c);
+        text.push_back(src_[pos_ + 1]);
+        advance(2);
+        continue;
+      }
+      if (c == '"' || c == '\n') {  // unterminated: close at newline
+        advance(c == '"' ? 1 : 0);
+        break;
+      }
+      text.push_back(c);
+      advance(1);
+    }
+    emit(TokKind::kString, std::move(text), line, col);
+  }
+
+  void lex_raw_string() {
+    const std::int32_t line = line_;
+    const std::int32_t col = col_;
+    advance(1);  // opening quote
+    std::string delim;
+    while (pos_ < src_.size() && src_[pos_] != '(' && src_[pos_] != '\n' &&
+           delim.size() < 16) {
+      delim.push_back(src_[pos_]);
+      advance(1);
+    }
+    advance(1);  // '('
+    const std::string closer = ")" + delim + "\"";
+    std::string text;
+    while (pos_ < src_.size()) {
+      if (src_.compare(pos_, closer.size(), closer) == 0) {
+        advance(closer.size());
+        break;
+      }
+      text.push_back(src_[pos_]);
+      advance(1);
+    }
+    emit(TokKind::kString, std::move(text), line, col);
+  }
+
+  void lex_char_literal() {
+    const std::int32_t line = line_;
+    const std::int32_t col = col_;
+    advance(1);
+    std::string text;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\\' && pos_ + 1 < src_.size()) {
+        text.push_back(c);
+        text.push_back(src_[pos_ + 1]);
+        advance(2);
+        continue;
+      }
+      if (c == '\'' || c == '\n') {
+        advance(c == '\'' ? 1 : 0);
+        break;
+      }
+      text.push_back(c);
+      advance(1);
+    }
+    emit(TokKind::kCharLit, std::move(text), line, col);
+  }
+
+  void lex_ident_or_prefixed_literal() {
+    const std::int32_t line = line_;
+    const std::int32_t col = col_;
+    std::string text;
+    while (pos_ < src_.size() && is_ident_char(src_[pos_])) {
+      text.push_back(src_[pos_]);
+      advance(1);
+    }
+    // String-literal prefixes: R"..., u8R"..., LR"..., u"..., L"..., etc.
+    if (pos_ < src_.size() && src_[pos_] == '"') {
+      const bool raw = !text.empty() && text.back() == 'R' &&
+                       (text == "R" || text == "u8R" || text == "uR" ||
+                        text == "UR" || text == "LR");
+      const bool prefix =
+          text == "u8" || text == "u" || text == "U" || text == "L";
+      if (raw) {
+        lex_raw_string();
+        return;
+      }
+      if (prefix) {
+        lex_string(pos_);
+        return;
+      }
+    }
+    if (pos_ < src_.size() && src_[pos_] == '\'' &&
+        (text == "u8" || text == "u" || text == "U" || text == "L")) {
+      lex_char_literal();
+      return;
+    }
+    emit(TokKind::kIdent, std::move(text), line, col);
+  }
+
+  void lex_number() {
+    const std::int32_t line = line_;
+    const std::int32_t col = col_;
+    std::string text;
+    // Good enough for lint purposes: digits, digit separators, hex/bin
+    // prefixes, exponents, suffixes, and a decimal point.
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '\'' ||
+          c == '.') {
+        text.push_back(c);
+        advance(1);
+        continue;
+      }
+      if ((c == '+' || c == '-') && !text.empty() &&
+          (text.back() == 'e' || text.back() == 'E' || text.back() == 'p' ||
+           text.back() == 'P')) {
+        text.push_back(c);
+        advance(1);
+        continue;
+      }
+      break;
+    }
+    emit(TokKind::kNumber, std::move(text), line, col);
+  }
+
+  void lex_punct() {
+    const std::int32_t line = line_;
+    const std::int32_t col = col_;
+    const char c = src_[pos_];
+    if (c == ':' && peek(1) == ':') {
+      advance(2);
+      emit(TokKind::kPunct, "::", line, col);
+      return;
+    }
+    if (c == '-' && peek(1) == '>') {
+      advance(2);
+      emit(TokKind::kPunct, "->", line, col);
+      return;
+    }
+    advance(1);
+    emit(TokKind::kPunct, std::string(1, c), line, col);
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  std::int32_t line_ = 1;
+  std::int32_t col_ = 1;
+  bool at_line_start_ = true;
+  std::vector<Token> out_;
+};
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view source) {
+  return Lexer(source).run();
+}
+
+}  // namespace pet::lint

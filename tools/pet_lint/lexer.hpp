@@ -1,0 +1,40 @@
+#pragma once
+// Comment/string/raw-string-aware C++ tokenizer for pet_lint.
+//
+// This is not a compiler front end: it produces exactly the token stream
+// the lint rules need — identifiers, punctuation (with `::` and `->`
+// fused), literals, preprocessor directives as opaque line blobs, and
+// comments kept verbatim so suppression annotations survive. Anything a
+// rule must never fire on (string contents, comment text, raw strings)
+// arrives as a single literal token the rules skip.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pet::lint {
+
+enum class TokKind {
+  kIdent,      // identifiers and keywords
+  kNumber,     // numeric literals (incl. digit separators)
+  kString,     // "..." / R"(...)" / u8"..." — text excludes quotes
+  kCharLit,    // '...'
+  kPunct,      // single punctuation char, or fused "::" / "->"
+  kDirective,  // whole preprocessor line (backslash continuations joined)
+  kComment,    // // or /* */, text without the comment markers
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  std::int32_t line = 1;  // 1-based line of the token's first character
+  std::int32_t col = 1;   // 1-based column
+};
+
+/// Tokenize a C++ source buffer. Never fails: unterminated literals are
+/// closed at end of file (the linter should degrade, not crash, on
+/// malformed input).
+[[nodiscard]] std::vector<Token> tokenize(std::string_view source);
+
+}  // namespace pet::lint

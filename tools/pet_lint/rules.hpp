@@ -1,0 +1,78 @@
+#pragma once
+// Rule engine for pet_lint: the repo's determinism and audit invariants as
+// machine-checked source rules.
+//
+// Rule IDs (stable; used in suppressions and the baseline file):
+//   banned-api        nondeterministic / unaudited-I/O standard APIs
+//   nondet-iteration  iteration over unordered containers in deterministic
+//                     subsystems (severity raised when the TU also feeds
+//                     artifacts, digests, or trace export)
+//   unaudited-ecn     RED/ECN config writes outside the audited
+//                     install_ecn() chain
+//   nodiscard-chain   bool-returning load/set_weights/install_* APIs must
+//                     be [[nodiscard]] and every call site must consume
+//                     the result
+//   header-hygiene    #pragma once first in headers; a TU's own header
+//                     must be its first include
+//
+// Suppressions: `// pet-lint: allow(<id>[, <id>...]): <justification>` on
+// the offending line or the line directly above it, or
+// `// pet-lint: allow-file(<id>): <justification>` anywhere for the whole
+// file. Justifications are mandatory by convention (reviewed, not parsed).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace pet::lint {
+
+/// Per-directory rule activation. The deterministic subsystems under
+/// `src/` are strict; tests keep the determinism rules but may print and
+/// read the environment; tools/bench/examples are relaxed to hygiene and
+/// result-consumption rules.
+struct Policy {
+  bool banned_det = false;     // rand/clocks/time — determinism
+  bool banned_io = false;      // printf/puts/std::cout — stdout hygiene
+  bool banned_getenv = false;  // getenv — hidden config channels
+  bool nondet_iteration = false;
+  bool unaudited_ecn = false;
+  bool nodiscard_chain = false;
+  bool header_hygiene = false;
+};
+
+/// Policy for a repo-relative path (forward slashes). Mirrors the table in
+/// DESIGN.md §Static Analysis.
+[[nodiscard]] Policy policy_for(std::string_view relpath);
+
+struct Finding {
+  std::string rule;
+  std::string path;  // repo-relative, forward slashes
+  std::int32_t line = 0;
+  std::int32_t col = 0;
+  std::string message;
+  std::string line_text;  // trimmed source line — the baseline fingerprint
+};
+
+struct FileReport {
+  std::vector<Finding> findings;
+  std::size_t suppressed = 0;  // findings silenced by allow() annotations
+};
+
+/// Analyze one file's contents. `has_sibling_header` tells the
+/// header-hygiene rule whether `<stem>.hpp` exists next to a `.cpp` TU;
+/// `sibling_header_content` (the header's source, empty if none) lets the
+/// nondet-iteration rule see unordered members a TU inherits from its own
+/// class declaration.
+[[nodiscard]] FileReport analyze_source(const std::string& relpath,
+                                        std::string_view content,
+                                        const Policy& policy,
+                                        bool has_sibling_header,
+                                        std::string_view sibling_header_content = {});
+
+/// All rule IDs, for --list-rules and suppression validation.
+[[nodiscard]] const std::vector<std::string>& all_rule_ids();
+
+}  // namespace pet::lint
