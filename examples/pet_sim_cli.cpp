@@ -7,7 +7,13 @@
 //                 --pretrain-ms=40 --measure-ms=40 --seed=1
 //                 --telemetry=trace.csv --artifact=run.json
 //                 --trace=trace.json [--no-incast] [--no-pretrain-cache]
+//
+// Crash safety: SIGINT/SIGTERM interrupt the run cooperatively — the final
+// checkpoint (training mode) and the run artifact are still flushed before
+// exit (code 130). Training mode (--train-episodes with a PET scheme) runs
+// ReplicaRunner episodes with --checkpoint/--checkpoint-every/--resume.
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -15,6 +21,7 @@
 
 #include "exp/experiment_builder.hpp"
 #include "exp/pretrain.hpp"
+#include "exp/replica_runner.hpp"
 #include "exp/run_artifact.hpp"
 #include "exp/table.hpp"
 #include "exp/telemetry.hpp"
@@ -23,6 +30,10 @@
 namespace {
 
 using namespace pet;
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void handle_stop_signal(int /*signum*/) { g_stop = 1; }
 
 struct CliOptions {
   exp::Scheme scheme = exp::Scheme::kPet;
@@ -39,6 +50,13 @@ struct CliOptions {
   std::string telemetry_path;
   std::string artifact_path;
   std::string trace_path;
+  // Training mode (PET schemes only).
+  std::int32_t train_episodes = 0;
+  std::int32_t replicas = 2;
+  std::int32_t train_threads = 0;
+  std::string checkpoint_path;
+  std::int32_t checkpoint_every = 1;
+  bool resume = false;
 };
 
 [[noreturn]] void usage(const char* argv0, int code) {
@@ -53,7 +71,13 @@ struct CliOptions {
       "  --artifact=PATH    write a machine-readable run artifact (JSON)\n"
       "  --trace=PATH       write a chrome://tracing timeline (JSON)\n"
       "  --no-incast        disable the incast generator\n"
-      "  --no-pretrain-cache  train learning schemes inline (slow)\n",
+      "  --no-pretrain-cache  train learning schemes inline (slow)\n"
+      "  --train-episodes=N run N ReplicaRunner episodes (PET schemes)\n"
+      "  --replicas=N       replicas per training episode (default 2)\n"
+      "  --train-threads=N  replica worker threads (0 = auto)\n"
+      "  --checkpoint=PATH  durable training checkpoint file\n"
+      "  --checkpoint-every=N  checkpoint cadence in episodes (default 1)\n"
+      "  --resume           continue from --checkpoint if it exists\n",
       argv0);
   std::exit(code);
 }
@@ -113,6 +137,18 @@ CliOptions parse(int argc, char** argv) {
       opt.incast = false;
     } else if (arg == "--no-pretrain-cache") {
       opt.use_pretrain_cache = false;
+    } else if (arg.rfind("--train-episodes=", 0) == 0) {
+      opt.train_episodes = std::atoi(value("--train-episodes="));
+    } else if (arg.rfind("--replicas=", 0) == 0) {
+      opt.replicas = std::atoi(value("--replicas="));
+    } else if (arg.rfind("--train-threads=", 0) == 0) {
+      opt.train_threads = std::atoi(value("--train-threads="));
+    } else if (arg.rfind("--checkpoint=", 0) == 0) {
+      opt.checkpoint_path = value("--checkpoint=");
+    } else if (arg.rfind("--checkpoint-every=", 0) == 0) {
+      opt.checkpoint_every = std::atoi(value("--checkpoint-every="));
+    } else if (arg == "--resume") {
+      opt.resume = true;
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0], 0);
     } else {
@@ -128,10 +164,92 @@ CliOptions parse(int argc, char** argv) {
   return opt;
 }
 
+/// Training mode: ReplicaRunner episodes with durable checkpoints. SIGINT/
+/// SIGTERM stop between episodes; the final checkpoint and the artifact
+/// are flushed either way.
+int run_training(const CliOptions& opt, const exp::ScenarioConfig& cfg) {
+  if (cfg.scheme != exp::Scheme::kPet &&
+      cfg.scheme != exp::Scheme::kPetAblation) {
+    std::fprintf(stderr, "--train-episodes requires a PET scheme\n");
+    return 2;
+  }
+  exp::ReplicaRunnerConfig rr;
+  rr.replicas = opt.replicas;
+  rr.threads = opt.train_threads;
+  rr.episodes = opt.train_episodes;
+  exp::ReplicaRunner runner(cfg, rr);
+
+  if (opt.resume && !opt.checkpoint_path.empty()) {
+    std::string error;
+    if (runner.load_checkpoint(opt.checkpoint_path, &error)) {
+      std::printf("resumed from %s at episode %d\n",
+                  opt.checkpoint_path.c_str(), runner.next_episode());
+    } else {
+      std::fprintf(stderr, "starting fresh (no usable checkpoint: %s)\n",
+                   error.c_str());
+    }
+  }
+
+  const auto save = [&runner, &opt] {
+    if (opt.checkpoint_path.empty()) return;
+    if (runner.save_checkpoint(opt.checkpoint_path)) {
+      std::printf("checkpoint: %s (episode %d)\n",
+                  opt.checkpoint_path.c_str(), runner.next_episode());
+    } else {
+      std::fprintf(stderr, "failed to write checkpoint %s\n",
+                   opt.checkpoint_path.c_str());
+    }
+  };
+
+  bool interrupted = false;
+  while (runner.next_episode() < opt.train_episodes) {
+    if (g_stop != 0) {
+      interrupted = true;
+      break;
+    }
+    const exp::ReplicaRunner::EpisodeStats st = runner.run_episode();
+    std::printf("episode %d: reward %.3f over %zu transitions\n", st.episode,
+                st.mean_reward, st.transitions);
+    const std::int32_t done = runner.next_episode();
+    if (opt.checkpoint_every > 0 && (done % opt.checkpoint_every == 0 ||
+                                     done == opt.train_episodes)) {
+      save();
+    }
+  }
+  if (interrupted) {
+    std::fprintf(stderr, "interrupted at episode %d; flushing state\n",
+                 runner.next_episode());
+    save();
+  }
+
+  if (!opt.artifact_path.empty()) {
+    exp::RunArtifact art("pet_sim_cli_train");
+    art.set_mode("cli-train");
+    art.set_seed(opt.seed);
+    art.set_scenario(cfg);
+    art.set_manifest_extra("interrupted", exp::JsonValue(interrupted));
+    art.add_metric("episodes",
+                   static_cast<double>(runner.history().size()));
+    art.add_metric("final_mean_reward",
+                   runner.history().empty()
+                       ? 0.0
+                       : runner.history().back().mean_reward);
+    char digest[32];
+    std::snprintf(digest, sizeof digest, "0x%016llx",
+                  static_cast<unsigned long long>(runner.last_digest()));
+    art.add_metric("rollout_digest", std::string(digest));
+    if (!art.write(opt.artifact_path)) return 1;
+    std::printf("artifact: %s\n", opt.artifact_path.c_str());
+  }
+  return interrupted ? 130 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const CliOptions opt = parse(argc, argv);
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
 
   net::LeafSpineConfig topo;
   topo.num_spines = opt.spines;
@@ -149,6 +267,8 @@ int main(int argc, char** argv) {
       .seed(opt.seed)
       .profiling(!opt.artifact_path.empty() || !opt.trace_path.empty())
       .tuned_dcqcn();
+
+  if (opt.train_episodes > 0) return run_training(opt, builder.config());
 
   std::vector<double> weights;
   if (opt.use_pretrain_cache && exp::is_learning_scheme(opt.scheme)) {
@@ -178,7 +298,18 @@ int main(int argc, char** argv) {
     telemetry->start();
   }
 
-  const exp::Metrics m = experiment.run();
+  // Chunked run with a cooperative cancellation point: SIGINT/SIGTERM stop
+  // the simulation at the next chunk boundary, and every requested output
+  // (artifact, telemetry, trace) is still flushed below before exit.
+  bool completed = false;
+  const exp::Metrics m = experiment.run_chunked(
+      sim::milliseconds(1), [] { return g_stop == 0; }, &completed);
+  const bool interrupted = !completed;
+  if (interrupted) {
+    std::fprintf(stderr,
+                 "interrupted at t=%.1fms; flushing partial outputs\n",
+                 experiment.scheduler().now().ms());
+  }
 
   exp::Table table({"metric", "value"});
   table.add_row({"flows measured", exp::fmt("%lld", static_cast<long long>(m.flows_measured))});
@@ -214,6 +345,7 @@ int main(int argc, char** argv) {
     art.set_mode("cli");
     art.set_seed(opt.seed);
     art.set_scenario(experiment.config());
+    art.set_manifest_extra("interrupted", exp::JsonValue(interrupted));
     art.add_metrics("", m);
     art.add_switch_summaries(experiment.network().switches());
     art.add_event_counts(experiment.event_log());
@@ -229,5 +361,5 @@ int main(int argc, char** argv) {
     std::printf("trace: %s (open in chrome://tracing)\n",
                 opt.trace_path.c_str());
   }
-  return 0;
+  return interrupted ? 130 : 0;
 }

@@ -1,6 +1,7 @@
 #include "acc/acc_agent.hpp"
 
 #include <cassert>
+#include <utility>
 
 namespace pet::acc {
 
@@ -125,6 +126,60 @@ bool AccController::install_weights(std::span<const double> weights) {
   bool ok = true;
   for (auto& a : agents_) ok = a->learner().set_weights(weights) && ok;
   return ok;
+}
+
+void AccAgent::save_state(sim::ByteSink& out) const {
+  learner_->save_state(out);
+  sim::save_rng(out, rng_);
+  out.u8(pending_.has_value() ? 1 : 0);
+  if (pending_.has_value()) {
+    out.f64_vec(pending_->state);
+    out.i32_vec(pending_->actions);
+  }
+  out.i64(current_config_.kmin_bytes);
+  out.i64(current_config_.kmax_bytes);
+  out.f64(current_config_.pmax);
+  out.i64(steps_);
+  reward_stats_.save_state(out);
+  state_builder_.save_state(out);
+  ncm_.save_state(out);
+}
+
+bool AccAgent::load_state(sim::ByteSource& in) {
+  if (!learner_->load_state(in)) return false;
+  if (!sim::load_rng(in, rng_)) return false;
+  const bool has_pending = in.u8() != 0;
+  pending_.reset();
+  if (has_pending) {
+    Pending p;
+    p.state = in.f64_vec();
+    p.actions = in.i32_vec();
+    pending_ = std::move(p);
+  }
+  current_config_.kmin_bytes = in.i64();
+  current_config_.kmax_bytes = in.i64();
+  current_config_.pmax = in.f64();
+  steps_ = in.i64();
+  if (!reward_stats_.load_state(in)) return false;
+  if (!state_builder_.load_state(in)) return false;
+  if (!ncm_.load_state(in)) return false;
+  return in.ok();
+}
+
+void AccController::save_state(sim::ByteSink& out) const {
+  out.u64(agents_.size());
+  replay_->save_state(out);
+  for (const auto& a : agents_) a->save_state(out);
+}
+
+bool AccController::load_state(sim::ByteSource& in) {
+  const std::uint64_t count = in.u64();
+  if (!in.ok() || count != agents_.size()) return false;
+  if (!replay_->load_state(in)) return false;
+  for (auto& a : agents_) {
+    if (!a->load_state(in)) return false;
+  }
+  return true;
 }
 
 }  // namespace pet::acc

@@ -50,6 +50,14 @@ class AccAgent {
     return current_config_;
   }
 
+  // --- checkpointing (pet.ckpt/1 section payloads) --------------------------
+  /// Learner + monitoring state. The shared global replay is checkpointed
+  /// once by the controller, not per agent.
+  void save_state(sim::ByteSink& out) const;
+  /// Restores a save_state payload; false on a corrupted payload or
+  /// architecture mismatch.
+  [[nodiscard]] bool load_state(sim::ByteSource& in);
+
  private:
   sim::Scheduler& sched_;
   net::SwitchDevice& sw_;
@@ -101,6 +109,13 @@ class AccController {
   /// Install one weight vector into every agent (offline pre-training).
   /// Returns false on a parameter-count mismatch (models left untouched).
   [[nodiscard]] bool install_weights(std::span<const double> weights);
+
+  // --- checkpointing --------------------------------------------------------
+  /// Shared replay once, then every agent's learner/monitor state.
+  void save_state(sim::ByteSink& out) const;
+  /// Restores a save_state payload; false on agent-count, replay-capacity,
+  /// or architecture mismatch.
+  [[nodiscard]] bool load_state(sim::ByteSource& in);
 
  private:
   void tick_all();

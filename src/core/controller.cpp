@@ -141,4 +141,31 @@ std::int64_t PetController::total_steps() const {
   return total;
 }
 
+void PetController::save_state(sim::ByteSink& out) const {
+  out.u8(cfg_.shared_policy ? 1 : 0);
+  out.u64(agents_.size());
+  if (cfg_.shared_policy && !agents_.empty()) {
+    agents_.front()->policy().save_state(out);
+  }
+  for (const auto& a : agents_) {
+    a->save_state(out, /*with_policy=*/!cfg_.shared_policy);
+  }
+}
+
+bool PetController::load_state(sim::ByteSource& in) {
+  const bool shared = in.u8() != 0;
+  const std::uint64_t count = in.u64();
+  if (!in.ok() || shared != cfg_.shared_policy || count != agents_.size()) {
+    return false;
+  }
+  if (cfg_.shared_policy && !agents_.empty() &&
+      !agents_.front()->policy().load_state(in)) {
+    return false;
+  }
+  for (auto& a : agents_) {
+    if (!a->load_state(in, /*with_policy=*/!cfg_.shared_policy)) return false;
+  }
+  return true;
+}
+
 }  // namespace pet::core

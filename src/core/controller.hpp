@@ -59,6 +59,15 @@ class PetController {
   [[nodiscard]] std::size_t num_in_state(AgentHealth state) const;
   [[nodiscard]] std::int64_t total_rollbacks() const;
 
+  // --- checkpointing --------------------------------------------------------
+  /// Fleet state: under parameter sharing the shared policy is saved once,
+  /// then every agent without its private policy; otherwise each agent
+  /// carries its own policy in its payload.
+  void save_state(sim::ByteSink& out) const;
+  /// Restores a save_state payload; false on agent-count or architecture
+  /// mismatch.
+  [[nodiscard]] bool load_state(sim::ByteSource& in);
+
  private:
   void tick_all();
   /// Shared-policy fast path: observe every agent, then act for all of them

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "net/switch.hpp"
+#include "sim/checkpoint.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/time.hpp"
 
@@ -62,6 +63,14 @@ class Ncm {
   /// Resident tracking-state size (for the overhead experiments).
   [[nodiscard]] std::size_t tracked_flows() const { return flows_.size(); }
   [[nodiscard]] std::size_t tracked_dsts() const { return dst_srcs_.size(); }
+
+  /// Checkpoint the monitoring state: slot clock, per-slot accumulators,
+  /// flow table, and port counter baselines. Unordered containers are
+  /// emitted in sorted-key order so the payload is layout-independent.
+  void save_state(sim::ByteSink& out) const;
+  /// Restores a save_state payload; false (monitor untouched) on a
+  /// corrupted payload or port-count mismatch.
+  [[nodiscard]] bool load_state(sim::ByteSource& in);
 
  private:
   void on_forward(const net::Packet& pkt, std::int32_t out_port,

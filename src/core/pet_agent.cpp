@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <utility>
 
 #include "sim/log.hpp"
 
@@ -317,6 +318,120 @@ void PetAgent::reset_episode() {
   rollout_.clear();
   pending_.reset();
   state_builder_.reset();
+}
+
+namespace {
+
+void save_transition(sim::ByteSink& out, const rl::Transition& t) {
+  out.f64_vec(t.state);
+  out.i32_vec(t.actions);
+  out.f64(t.log_prob);
+  out.f64(t.value);
+  out.f64(t.reward);
+}
+
+[[nodiscard]] rl::Transition load_transition(sim::ByteSource& in) {
+  rl::Transition t;
+  t.state = in.f64_vec();
+  t.actions = in.i32_vec();
+  t.log_prob = in.f64();
+  t.value = in.f64();
+  t.reward = in.f64();
+  return t;
+}
+
+}  // namespace
+
+void PetAgent::save_state(sim::ByteSink& out, bool with_policy) const {
+  if (with_policy) policy_->save_state(out);
+  sim::save_rng(out, rng_);
+  out.i64(steps_);
+  out.i64(updates_);
+  out.f64(frozen_exploration_);
+  out.u8(deployment_mode_ ? 1 : 0);
+  out.u8(local_updates_ ? 1 : 0);
+  reward_stats_.save_state(out);
+  out.f64(last_update_.policy_loss);
+  out.f64(last_update_.value_loss);
+  out.f64(last_update_.entropy);
+  out.f64(last_update_.approx_kl);
+  out.i32(last_update_.minibatches);
+  out.u8(static_cast<std::uint8_t>(health_));
+  out.u64(transitions_.size());
+  for (const HealthTransition& t : transitions_) {
+    out.i64(t.at.ps());
+    out.i32(t.switch_id);
+    out.u8(static_cast<std::uint8_t>(t.from));
+    out.u8(static_cast<std::uint8_t>(t.to));
+    out.str(t.reason);
+  }
+  out.f64_vec(last_good_);
+  out.i64(rollbacks_);
+  out.i64(checkpoints_);
+  out.i32(quarantine_remaining_);
+  out.i32(probation_clean_);
+  out.i32(stale_slots_);
+  out.i32(fresh_slots_);
+  out.i64(current_config_.kmin_bytes);
+  out.i64(current_config_.kmax_bytes);
+  out.f64(current_config_.pmax);
+  out.u8(pending_.has_value() ? 1 : 0);
+  if (pending_.has_value()) save_transition(out, *pending_);
+  out.u64(rollout_.size());
+  for (const rl::Transition& t : rollout_.items()) save_transition(out, t);
+  state_builder_.save_state(out);
+  ncm_.save_state(out);
+}
+
+bool PetAgent::load_state(sim::ByteSource& in, bool with_policy) {
+  if (with_policy && !policy_->load_state(in)) return false;
+  if (!sim::load_rng(in, rng_)) return false;
+  steps_ = in.i64();
+  updates_ = in.i64();
+  frozen_exploration_ = in.f64();
+  deployment_mode_ = in.u8() != 0;
+  local_updates_ = in.u8() != 0;
+  if (!reward_stats_.load_state(in)) return false;
+  last_update_.policy_loss = in.f64();
+  last_update_.value_loss = in.f64();
+  last_update_.entropy = in.f64();
+  last_update_.approx_kl = in.f64();
+  last_update_.minibatches = in.i32();
+  health_ = static_cast<AgentHealth>(in.u8());
+  const std::uint64_t transition_count = in.u64();
+  if (!in.ok()) return false;
+  transitions_.clear();
+  for (std::uint64_t i = 0; i < transition_count; ++i) {
+    HealthTransition t;
+    t.at = sim::Time(in.i64());
+    t.switch_id = in.i32();
+    t.from = static_cast<AgentHealth>(in.u8());
+    t.to = static_cast<AgentHealth>(in.u8());
+    t.reason = in.str();
+    transitions_.push_back(std::move(t));
+  }
+  last_good_ = in.f64_vec();
+  rollbacks_ = in.i64();
+  checkpoints_ = in.i64();
+  quarantine_remaining_ = in.i32();
+  probation_clean_ = in.i32();
+  stale_slots_ = in.i32();
+  fresh_slots_ = in.i32();
+  current_config_.kmin_bytes = in.i64();
+  current_config_.kmax_bytes = in.i64();
+  current_config_.pmax = in.f64();
+  const bool has_pending = in.u8() != 0;
+  pending_.reset();
+  if (has_pending) pending_ = load_transition(in);
+  const std::uint64_t rollout_count = in.u64();
+  if (!in.ok()) return false;
+  rollout_.clear();
+  for (std::uint64_t i = 0; i < rollout_count; ++i) {
+    rollout_.push(load_transition(in));
+  }
+  if (!state_builder_.load_state(in)) return false;
+  if (!ncm_.load_state(in)) return false;
+  return in.ok();
 }
 
 }  // namespace pet::core

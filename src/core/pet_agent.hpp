@@ -181,6 +181,15 @@ class PetAgent {
   /// path a guardrail trip takes — fallback config, rollback, halt).
   void force_quarantine(const std::string& reason) { quarantine(reason); }
 
+  // --- checkpointing (pet.ckpt/1 section payloads) --------------------------
+  /// Full learning + guardrail + monitoring state. With `with_policy` false
+  /// the policy network is skipped — used under parameter sharing, where
+  /// the controller saves the shared policy exactly once.
+  void save_state(sim::ByteSink& out, bool with_policy) const;
+  /// Restores a save_state payload (same `with_policy` the save used);
+  /// false on a corrupted payload or architecture mismatch.
+  [[nodiscard]] bool load_state(sim::ByteSource& in, bool with_policy);
+
  private:
   void finalize_pending(const NcmSnapshot& snap,
                         const std::vector<double>& next_state);

@@ -231,6 +231,37 @@ Metrics Experiment::run() {
   return collect(measure_start_, sched_.now());
 }
 
+Metrics Experiment::run_chunked(sim::Time chunk,
+                                const std::function<bool()>& keep_going,
+                                bool* completed) {
+  // Mirrors run() exactly: run_until(t) in steps is the same event sequence
+  // as one run_until(t), so the only behavioural difference is the
+  // cancellation polls between chunks.
+  if (chunk <= sim::Time::zero()) chunk = cfg_.pretrain + cfg_.measure;
+  bool cancelled = false;
+  const auto advance_to = [&](sim::Time target) {
+    while (sched_.now() < target) {
+      if (!keep_going()) {
+        cancelled = true;
+        return;
+      }
+      const sim::Time next = sched_.now() + chunk;
+      sched_.run_until(next < target ? next : target);
+    }
+  };
+  {
+    PET_PROFILE_SCOPE(&profiler_, "pretrain");
+    advance_to(cfg_.pretrain);
+  }
+  if (!cancelled) {
+    mark_measurement_start();
+    PET_PROFILE_SCOPE(&profiler_, "measure");
+    advance_to(cfg_.pretrain + cfg_.measure);
+  }
+  if (completed != nullptr) *completed = !cancelled;
+  return collect(measure_start_, sched_.now());
+}
+
 Metrics Experiment::collect(sim::Time from, sim::Time to) const {
   Metrics m;
   const auto& records = recorder_.records();

@@ -90,6 +90,18 @@ class Experiment {
   /// Standard lifecycle: pretrain, mark measurement, run, collect.
   [[nodiscard]] Metrics run();
 
+  /// run() with a cooperative cancellation point every `chunk` of simulated
+  /// time: `keep_going` is polled between chunks (e.g. against a signal
+  /// flag) and a false return stops the run early. The event sequence is
+  /// identical to run() — chunked run_until calls execute the same events
+  /// in the same order — so an uninterrupted run_chunked() produces
+  /// byte-identical artifacts to run(). `completed` (optional) reports
+  /// whether the full timeline was simulated; metrics cover the measurement
+  /// window that actually ran.
+  [[nodiscard]] Metrics run_chunked(sim::Time chunk,
+                                    const std::function<bool()>& keep_going,
+                                    bool* completed = nullptr);
+
   // --- manual timeline control (convergence/robustness benches) -----------
   void run_until(sim::Time t) { sched_.run_until(t); }
   void add_event(sim::Time t, std::function<void()> fn) {

@@ -6,6 +6,8 @@
 #include <filesystem>
 #include <fstream>
 
+#include "sim/fs_atomic.hpp"
+
 namespace pet::exp {
 
 std::vector<double> offline_pretrain(ScenarioConfig base,
@@ -140,14 +142,17 @@ void WeightCache::store(const std::string& key,
                         std::span<const double> weights) const {
   std::error_code ec;
   std::filesystem::create_directories(dir_, ec);
-  std::ofstream out(path_for(key), std::ios::binary | std::ios::trunc);
-  if (!out) return;
+  // Assemble in memory, then write atomically: a concurrent or crashed
+  // writer must never leave a torn cache entry that a later run trusts.
+  std::string blob;
+  blob.reserve(16 + weights.size() * sizeof(double));
   const std::uint64_t magic = 0x5045545754ULL;
   const std::uint64_t count = weights.size();
-  out.write(reinterpret_cast<const char*>(&magic), sizeof magic);
-  out.write(reinterpret_cast<const char*>(&count), sizeof count);
-  out.write(reinterpret_cast<const char*>(weights.data()),
-            static_cast<std::streamsize>(count * sizeof(double)));
+  blob.append(reinterpret_cast<const char*>(&magic), sizeof magic);
+  blob.append(reinterpret_cast<const char*>(&count), sizeof count);
+  blob.append(reinterpret_cast<const char*>(weights.data()),
+              count * sizeof(double));
+  static_cast<void>(sim::atomic_write_file(path_for(key), blob));
 }
 
 std::vector<double> pretrained_weights_cached(const ScenarioConfig& base,

@@ -9,6 +9,7 @@
 #include <optional>
 #include <stdexcept>
 #include <thread>
+#include <utility>
 
 #include "sim/log.hpp"
 #include "sim/rng.hpp"
@@ -215,7 +216,101 @@ ReplicaRunner::EpisodeStats ReplicaRunner::run_episode() {
     st.mean_reward = reward_sum / static_cast<double>(st.transitions);
   }
   digest_ = digest;
+  history_.push_back(st);
   return st;
+}
+
+void ReplicaRunner::save_state(sim::Checkpoint& ckpt) const {
+  sim::ByteSink meta;
+  meta.u64(scenario_.seed);
+  meta.u8(static_cast<std::uint8_t>(scenario_.scheme));
+  meta.i32(cfg_.replicas);
+  meta.u64(num_agents());
+  meta.i32(next_episode_);
+  meta.u64(digest_);
+  meta.u64(history_.size());
+  for (const EpisodeStats& st : history_) {
+    meta.i32(st.episode);
+    meta.f64(st.mean_reward);
+    meta.u64(st.transitions);
+    meta.f64(st.policy_loss);
+    meta.f64(st.value_loss);
+    meta.f64(st.entropy);
+  }
+  ckpt.set_section("replica-runner/meta", meta.take());
+  for (std::size_t i = 0; i < num_agents(); ++i) {
+    sim::ByteSink agent;
+    central_->pet()->agent(i).policy().save_state(agent);
+    ckpt.set_section("replica-runner/agent." + std::to_string(i),
+                     agent.take());
+  }
+}
+
+bool ReplicaRunner::load_state(const sim::Checkpoint& ckpt) {
+  const std::vector<std::uint8_t>* meta_bytes =
+      ckpt.section("replica-runner/meta");
+  if (meta_bytes == nullptr) return false;
+  sim::ByteSource meta(*meta_bytes);
+  const std::uint64_t seed = meta.u64();
+  const std::uint8_t scheme = meta.u8();
+  const std::int32_t replicas = meta.i32();
+  const std::uint64_t agents = meta.u64();
+  // The fingerprint ties a checkpoint to the exact scenario that produced
+  // it: resuming under a different seed/scheme/replica-count would continue
+  // a *different* run and silently break the bitwise-resume guarantee.
+  if (!meta.ok() || seed != scenario_.seed ||
+      scheme != static_cast<std::uint8_t>(scenario_.scheme) ||
+      replicas != cfg_.replicas || agents != num_agents()) {
+    return false;
+  }
+  const std::int32_t next_episode = meta.i32();
+  const std::uint64_t digest = meta.u64();
+  const std::uint64_t count = meta.u64();
+  if (!meta.ok() || next_episode < 0) return false;
+  std::vector<EpisodeStats> history;
+  history.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    EpisodeStats st;
+    st.episode = meta.i32();
+    st.mean_reward = meta.f64();
+    st.transitions = static_cast<std::size_t>(meta.u64());
+    st.policy_loss = meta.f64();
+    st.value_loss = meta.f64();
+    st.entropy = meta.f64();
+    history.push_back(st);
+  }
+  if (!meta.at_end()) return false;
+  for (std::size_t i = 0; i < num_agents(); ++i) {
+    const std::vector<std::uint8_t>* agent_bytes =
+        ckpt.section("replica-runner/agent." + std::to_string(i));
+    if (agent_bytes == nullptr) return false;
+    sim::ByteSource agent(*agent_bytes);
+    if (!central_->pet()->agent(i).policy().load_state(agent)) return false;
+  }
+  next_episode_ = next_episode;
+  digest_ = digest;
+  history_ = std::move(history);
+  return true;
+}
+
+bool ReplicaRunner::save_checkpoint(const std::string& path) const {
+  sim::Checkpoint ckpt;
+  save_state(ckpt);
+  return ckpt.write_file(path);
+}
+
+bool ReplicaRunner::load_checkpoint(const std::string& path,
+                                    std::string* error) {
+  const std::optional<sim::Checkpoint> ckpt =
+      sim::Checkpoint::read_file(path, error);
+  if (!ckpt.has_value()) return false;
+  if (!load_state(*ckpt)) {
+    if (error != nullptr) {
+      *error = "checkpoint does not match this scenario/architecture";
+    }
+    return false;
+  }
+  return true;
 }
 
 ReplicaRunner::RunStats ReplicaRunner::run() {

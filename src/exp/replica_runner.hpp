@@ -23,9 +23,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "exp/experiment.hpp"
+#include "sim/checkpoint.hpp"
 
 namespace pet::exp {
 
@@ -86,6 +88,34 @@ class ReplicaRunner {
   [[nodiscard]] const ScenarioConfig& scenario() const { return scenario_; }
   [[nodiscard]] const ReplicaRunnerConfig& config() const { return cfg_; }
   [[nodiscard]] std::uint64_t last_digest() const { return digest_; }
+  /// Next episode index (== episodes completed so far).
+  [[nodiscard]] std::int32_t next_episode() const { return next_episode_; }
+  /// Per-episode statistics accumulated across run()/run_episode() calls
+  /// (survives checkpoint/restore).
+  [[nodiscard]] const std::vector<EpisodeStats>& history() const {
+    return history_;
+  }
+
+  // --- checkpoint / resume --------------------------------------------------
+  // Episodes are the checkpoint boundary: episode e is a pure function of
+  // (central weights at its start, seed, r, e), so a runner restored from a
+  // checkpoint taken after episode e continues with a bitwise-identical
+  // trajectory — same merged updates, same chained rollout digest — as the
+  // uninterrupted run. Mid-episode state (live schedulers) is never saved.
+
+  /// Write the runner's sections ("replica-runner/meta" + one per agent
+  /// policy) into `ckpt`.
+  void save_state(sim::Checkpoint& ckpt) const;
+  /// Restore from checkpoint sections; false (runner untouched or safely
+  /// unusable) on scenario-fingerprint mismatch or corrupted sections.
+  [[nodiscard]] bool load_state(const sim::Checkpoint& ckpt);
+
+  /// Durable (atomic tmp + fsync + rename) checkpoint file.
+  [[nodiscard]] bool save_checkpoint(const std::string& path) const;
+  /// Load + validate a checkpoint file; false on any error (`error`
+  /// receives the reason when non-null).
+  [[nodiscard]] bool load_checkpoint(const std::string& path,
+                                     std::string* error = nullptr);
 
   /// Observe episode phases ("episode.simulate" / "episode.merge") with an
   /// external profiler. The profiler is touched only from the coordinating
@@ -107,6 +137,7 @@ class ReplicaRunner {
   std::unique_ptr<Experiment> central_;
   std::int32_t next_episode_ = 0;
   std::uint64_t digest_ = 0;
+  std::vector<EpisodeStats> history_;
   sim::Profiler* profiler_ = nullptr;
 };
 

@@ -1,10 +1,10 @@
 #include "exp/run_artifact.hpp"
 
 #include <cstdio>
-#include <fstream>
 #include <map>
 
 #include "exp/scheme.hpp"
+#include "sim/fs_atomic.hpp"
 #include "workload/distributions.hpp"
 
 // Injected by src/exp/CMakeLists.txt from `git rev-parse` at configure
@@ -43,6 +43,18 @@ void RunArtifact::set_scenario(const ScenarioConfig& cfg) {
 
 void RunArtifact::add_metric(std::string key, double value) {
   metrics_.set(std::move(key), value);
+}
+
+void RunArtifact::add_metric(std::string key, std::string value) {
+  metrics_.set(std::move(key), JsonValue(std::move(value)));
+}
+
+void RunArtifact::add_metric(std::string key, JsonValue value) {
+  metrics_.set(std::move(key), std::move(value));
+}
+
+void RunArtifact::set_manifest_extra(std::string key, JsonValue value) {
+  manifest_extra_.set(std::move(key), std::move(value));
 }
 
 void RunArtifact::add_metrics(const std::string& label, const Metrics& m) {
@@ -142,6 +154,9 @@ JsonValue RunArtifact::to_json() const {
   manifest.set("mode", mode_);
   manifest.set("threads", threads_);
   if (has_scenario_) manifest.set("scenario", scenario_);
+  for (const auto& [key, value] : manifest_extra_.members()) {
+    manifest.set(key, value);
+  }
   root.set("manifest", std::move(manifest));
   root.set("metrics", metrics_);
   if (switches_.size() > 0) root.set("switches", switches_);
@@ -158,9 +173,10 @@ JsonValue RunArtifact::to_json() const {
 
 bool RunArtifact::write(const std::string& path) const {
   const std::string target = path.empty() ? default_path() : path;
-  std::ofstream out(target, std::ios::trunc);
-  if (out) out << to_json_text() << '\n';
-  if (!out) {
+  // Atomic replace: resume detection and golden gates treat an existing
+  // artifact as proof of a completed run, so a torn write must be
+  // impossible.
+  if (!sim::atomic_write_file(target, to_json_text() + '\n')) {
     std::fprintf(stderr, "run-artifact: failed to write %s\n", target.c_str());
     return false;
   }

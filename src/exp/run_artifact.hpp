@@ -38,10 +38,20 @@ class RunArtifact {
   /// Capture the scenario a run was built from (scheme, workload, load,
   /// topology, phases). Multi-scenario benches record their primary one.
   void set_scenario(const ScenarioConfig& cfg);
+  /// Extra manifest member (insertion order preserved). The manifest is
+  /// stripped by golden/resume canonicalization, so this is the right home
+  /// for execution-history facts — interrupted flags, per-point sweep
+  /// status — that must not perturb byte-identity of the payload.
+  void set_manifest_extra(std::string key, JsonValue value);
 
   // --- payload ---------------------------------------------------------------
   /// Flat final metric (insertion order preserved in the JSON).
   void add_metric(std::string key, double value);
+  /// String-valued metric — used for values JSON doubles cannot hold
+  /// exactly (e.g. a 64-bit rollout digest rendered as hex).
+  void add_metric(std::string key, std::string value);
+  /// Structured metric subtree (e.g. a sweep's per-point metrics block).
+  void add_metric(std::string key, JsonValue value);
   /// Expand a Metrics block under `label.` prefixed keys (overall/mice/
   /// elephant FCT, latency, queue, loss counters).
   void add_metrics(const std::string& label, const Metrics& m);
@@ -78,6 +88,7 @@ class RunArtifact {
   std::int32_t threads_ = 1;
   bool has_scenario_ = false;
   JsonValue scenario_ = JsonValue::object();
+  JsonValue manifest_extra_ = JsonValue::object();
   JsonValue metrics_ = JsonValue::object();
   JsonValue switches_ = JsonValue::array();
   JsonValue event_counts_ = JsonValue::object();

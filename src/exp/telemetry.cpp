@@ -4,8 +4,8 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 
+#include "sim/fs_atomic.hpp"
 #include "sim/log.hpp"
 
 namespace pet::exp {
@@ -16,9 +16,8 @@ namespace {
 bool write_text_file(sim::Scheduler& sched, const std::string& path,
                      const std::string& text) {
   errno = 0;
-  std::ofstream out(path, std::ios::trunc);
-  if (out) out << text;
-  if (!out) {
+  // Atomic tmp+rename: a crash mid-export never leaves a truncated CSV.
+  if (!sim::atomic_write_file(path, text)) {
     PET_LOG_WARN(sched, "failed to write %s: %s", path.c_str(),
                  errno != 0 ? std::strerror(errno) : "stream error");
     return false;

@@ -1,7 +1,8 @@
 #include "exp/trace_export.hpp"
 
 #include <cstdio>
-#include <fstream>
+
+#include "sim/fs_atomic.hpp"
 
 namespace pet::exp {
 
@@ -68,9 +69,8 @@ JsonValue chrome_trace_json(const EventLog* events,
 bool write_chrome_trace(const std::string& path, const EventLog* events,
                         const sim::Profiler* profiler,
                         const TelemetryRecorder* telemetry) {
-  std::ofstream out(path, std::ios::trunc);
-  if (out) out << chrome_trace_json(events, profiler, telemetry).dump() << '\n';
-  if (!out) {
+  if (!sim::atomic_write_file(
+          path, chrome_trace_json(events, profiler, telemetry).dump() + '\n')) {
     std::fprintf(stderr, "trace-export: failed to write %s\n", path.c_str());
     return false;
   }

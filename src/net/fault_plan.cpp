@@ -17,6 +17,8 @@ const char* fault_kind_name(FaultKind kind) {
     case FaultKind::kPacketLossEnd: return "packet-loss-end";
     case FaultKind::kPacketCorruptStart: return "packet-corrupt-start";
     case FaultKind::kPacketCorruptEnd: return "packet-corrupt-end";
+    case FaultKind::kBurstLossStart: return "burst-loss-start";
+    case FaultKind::kBurstLossEnd: return "burst-loss-end";
     case FaultKind::kSwitchReboot: return "switch-reboot";
   }
   return "?";
@@ -125,6 +127,28 @@ void FaultPlan::packet_loss(DeviceId dev, double drop_prob, sim::Time from,
       d.port(p).set_fault_drop_prob(0.0);
     }
     fire(FaultKind::kPacketLossEnd, d.name());
+  });
+}
+
+void FaultPlan::burst_loss(DeviceId dev, const GilbertElliottConfig& cfg,
+                           sim::Time from, sim::Time to) {
+  schedule(from, [this, dev, cfg] {
+    Device& d = net_.device(dev);
+    for (std::int32_t p = 0; p < d.num_ports(); ++p) {
+      d.port(p).set_burst_loss(cfg);
+    }
+    char buf[128];
+    std::snprintf(buf, sizeof buf, "%s gb=%.3f bg=%.3f lg=%.3f lb=%.3f",
+                  d.name().c_str(), cfg.p_good_to_bad, cfg.p_bad_to_good,
+                  cfg.loss_good, cfg.loss_bad);
+    fire(FaultKind::kBurstLossStart, buf);
+  });
+  schedule(to, [this, dev] {
+    Device& d = net_.device(dev);
+    for (std::int32_t p = 0; p < d.num_ports(); ++p) {
+      d.port(p).clear_burst_loss();
+    }
+    fire(FaultKind::kBurstLossEnd, d.name());
   });
 }
 

@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "net/gilbert_elliott.hpp"
 #include "net/network.hpp"
 #include "sim/rng.hpp"
 
@@ -26,6 +27,8 @@ enum class FaultKind {
   kPacketLossEnd,
   kPacketCorruptStart,
   kPacketCorruptEnd,
+  kBurstLossStart,
+  kBurstLossEnd,
   kSwitchReboot,
 };
 
@@ -74,6 +77,13 @@ class FaultPlan {
   /// `dev` with probability `prob` during [from, to).
   void packet_corruption(DeviceId dev, double prob, sim::Time from,
                          sim::Time to);
+
+  /// Correlated (bursty) loss on every port of device `dev` during
+  /// [from, to): packets traverse a Gilbert–Elliott two-state chain, so
+  /// losses cluster into bursts instead of the independent drops of
+  /// packet_loss(). Each window starts its chains in the Good state.
+  void burst_loss(DeviceId dev, const GilbertElliottConfig& cfg,
+                  sim::Time from, sim::Time to);
 
   /// Reboot switch `sw` at `at`: flush queues, reset ECN to `ecn_after`.
   void switch_reboot(DeviceId sw, sim::Time at,

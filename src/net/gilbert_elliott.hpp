@@ -1,0 +1,54 @@
+#pragma once
+// Gilbert–Elliott two-state bursty-loss channel (Gilbert '60, Elliott '63):
+// a Markov chain alternating between a Good state (rare residual loss) and
+// a Bad state (heavy loss), producing correlated loss bursts that a single
+// Bernoulli drop probability cannot model. Used by net::FaultPlan burst-loss
+// windows to stress congestion control with realistic loss patterns.
+
+#include "sim/rng.hpp"
+
+namespace pet::net {
+
+struct GilbertElliottConfig {
+  /// Per-packet transition probability Good -> Bad.
+  double p_good_to_bad = 0.01;
+  /// Per-packet transition probability Bad -> Good.
+  double p_bad_to_good = 0.25;
+  /// Loss probability while in the Good state.
+  double loss_good = 0.0;
+  /// Loss probability while in the Bad state.
+  double loss_bad = 0.5;
+};
+
+/// The channel state machine. Deterministic contract: every step() consumes
+/// exactly two uniform draws from the caller's RNG — first the state
+/// transition, then the loss draw against the post-transition state — so
+/// RNG stream consumption is independent of the chain's trajectory.
+class GilbertElliott {
+ public:
+  explicit GilbertElliott(const GilbertElliottConfig& cfg) : cfg_(cfg) {}
+
+  /// Advance the chain by one packet; true when the packet is lost.
+  [[nodiscard]] bool step(sim::Rng& rng) {
+    const double transition = rng.uniform();
+    const double loss = rng.uniform();
+    if (bad_) {
+      if (transition < cfg_.p_bad_to_good) bad_ = false;
+    } else {
+      if (transition < cfg_.p_good_to_bad) bad_ = true;
+    }
+    return loss < (bad_ ? cfg_.loss_bad : cfg_.loss_good);
+  }
+
+  [[nodiscard]] bool in_bad_state() const { return bad_; }
+  [[nodiscard]] const GilbertElliottConfig& config() const { return cfg_; }
+
+  /// Back to the Good state (a new fault window starts fresh).
+  void reset() { bad_ = false; }
+
+ private:
+  GilbertElliottConfig cfg_;
+  bool bad_ = false;  // chains start in the Good state
+};
+
+}  // namespace pet::net

@@ -170,6 +170,11 @@ void EgressPort::finish_transmit(QueueEntry entry) {
     // Corrupted on the wire: the receiver's CRC check discards it.
     ++fault_corrupted_packets_;
     deliver = false;
+  } else if (deliver && burst_loss_.has_value() &&
+             burst_loss_->step(fault_rng_)) {
+    // Correlated burst loss (Gilbert–Elliott window).
+    ++burst_dropped_packets_;
+    deliver = false;
   }
   if (deliver) {
     sched_.schedule_in(

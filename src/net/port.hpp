@@ -4,9 +4,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "net/gilbert_elliott.hpp"
 #include "net/packet.hpp"
 #include "net/queue.hpp"
 #include "net/red_ecn.hpp"
@@ -95,6 +97,21 @@ class EgressPort {
     return fault_corrupted_packets_;
   }
 
+  /// Correlated (bursty) loss via a Gilbert–Elliott chain, evaluated per
+  /// packet at the end of serialization. Each window starts a fresh chain
+  /// in the Good state; losses are counted separately from the Bernoulli
+  /// fault drops.
+  void set_burst_loss(const GilbertElliottConfig& cfg) {
+    burst_loss_.emplace(cfg);
+  }
+  void clear_burst_loss() { burst_loss_.reset(); }
+  [[nodiscard]] bool burst_loss_active() const {
+    return burst_loss_.has_value();
+  }
+  [[nodiscard]] std::int64_t burst_dropped_packets() const {
+    return burst_dropped_packets_;
+  }
+
   /// Flush every queued packet (control + data) without transmitting, e.g.
   /// on a switch reboot. Returns the flushed entries so the owner can
   /// release buffer/PFC accounting. A packet mid-serialization still
@@ -158,6 +175,8 @@ class EgressPort {
   sim::Rng fault_rng_;
   std::int64_t fault_dropped_packets_ = 0;
   std::int64_t fault_corrupted_packets_ = 0;
+  std::optional<GilbertElliott> burst_loss_;
+  std::int64_t burst_dropped_packets_ = 0;
 
   std::int64_t tx_bytes_ = 0;
   std::int64_t tx_packets_ = 0;

@@ -1,6 +1,7 @@
 #include "rl/adam.hpp"
 
 #include <cmath>
+#include <utility>
 
 namespace pet::rl {
 
@@ -23,6 +24,29 @@ void Adam::step() {
     const double vhat = v_[i] / bc2;
     *refs_.params[i] -= cfg_.lr * mhat / (std::sqrt(vhat) + cfg_.eps);
   }
+}
+
+void Adam::save_state(sim::ByteSink& out) const {
+  out.f64(cfg_.lr);
+  out.i64(t_);
+  out.f64_vec(m_);
+  out.f64_vec(v_);
+}
+
+bool Adam::load_state(sim::ByteSource& in) {
+  const double lr = in.f64();
+  const std::int64_t t = in.i64();
+  std::vector<double> m = in.f64_vec();
+  std::vector<double> v = in.f64_vec();
+  if (!in.ok() || t < 0 || m.size() != refs_.size() ||
+      v.size() != refs_.size()) {
+    return false;
+  }
+  cfg_.lr = lr;
+  t_ = t;
+  m_ = std::move(m);
+  v_ = std::move(v);
+  return true;
 }
 
 }  // namespace pet::rl

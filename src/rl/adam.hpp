@@ -33,6 +33,14 @@ class Adam {
   /// Does NOT zero the gradients; callers own that.
   void step();
 
+  /// Checkpoint the optimizer trajectory: step count, first/second moment
+  /// estimates, and the (mutable) learning rate. The rest of the config is
+  /// construction-time and not saved.
+  void save_state(sim::ByteSink& out) const;
+  /// Restores the trajectory; false (optimizer untouched) when the moment
+  /// vectors do not match this optimizer's parameter count.
+  [[nodiscard]] bool load_state(sim::ByteSource& in);
+
  private:
   ParamRefs refs_;
   AdamConfig cfg_;

@@ -64,6 +64,15 @@ class DdqnAgent {
   void set_lr(double lr);
   [[nodiscard]] double lr() const;
 
+  // --- checkpointing (pet.ckpt/1 section payloads) --------------------------
+  /// Online + target parameters, optimizer trajectory, epsilon-schedule
+  /// counters, and the replay-sampling RNG position. The replay buffer is
+  /// shared between agents and checkpointed separately by its owner.
+  void save_state(sim::ByteSink& out) const;
+  /// Restores a save_state payload; false (agent untouched) on an
+  /// architecture mismatch or corrupted payload.
+  [[nodiscard]] bool load_state(sim::ByteSource& in);
+
  private:
   void sync_target();
   void q_values(const std::vector<Mlp>& nets, std::span<const double> state,

@@ -8,6 +8,7 @@
 #include <span>
 #include <vector>
 
+#include "sim/checkpoint.hpp"
 #include "sim/rng.hpp"
 
 namespace pet::rl {
@@ -53,6 +54,13 @@ class Linear {
 
   void zero_grad();
   void collect(ParamRefs& refs);
+
+  /// Checkpoint the layer shape + parameters (gradients are transient and
+  /// zeroed before every update, so they are not saved).
+  void save_state(sim::ByteSink& out) const;
+  /// Restores parameters; false (layer untouched) on a shape mismatch or
+  /// truncated payload.
+  [[nodiscard]] bool load_state(sim::ByteSource& in);
 
  private:
   std::int32_t in_;
@@ -118,6 +126,12 @@ class Mlp {
   void collect(ParamRefs& refs);
 
   [[nodiscard]] std::size_t num_params() const;
+
+  /// Checkpoint architecture fingerprint + all layer parameters.
+  void save_state(sim::ByteSink& out) const;
+  /// Restores all layers; false on an architecture mismatch (sizes or
+  /// activation differ) or truncated payload.
+  [[nodiscard]] bool load_state(sim::ByteSource& in);
 
  private:
   std::vector<std::int32_t> sizes_;

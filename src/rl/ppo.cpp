@@ -378,4 +378,46 @@ bool PpoAgent::set_weights(std::span<const double> values) {
   return true;
 }
 
+void PpoAgent::save_state(sim::ByteSink& out) const {
+  // Architecture fingerprint first, so a load against a differently shaped
+  // agent fails before any state is touched.
+  out.i32(cfg_.input_size);
+  out.i32_vec(cfg_.head_sizes);
+  out.i32_vec(cfg_.hidden);
+  out.u64(refs_.size());
+  out.f64_vec(weights());
+  actor_opt_->save_state(out);
+  critic_opt_->save_state(out);
+  out.f64(exploration_rate_);
+  out.f64(cfg_.clip_eps);
+  out.f64(cfg_.entropy_coef);
+  sim::save_rng(out, shuffle_rng_);
+}
+
+bool PpoAgent::load_state(sim::ByteSource& in) {
+  const std::int32_t input_size = in.i32();
+  const std::vector<std::int32_t> head_sizes = in.i32_vec();
+  const std::vector<std::int32_t> hidden = in.i32_vec();
+  const std::uint64_t num = in.u64();
+  if (!in.ok() || input_size != cfg_.input_size ||
+      head_sizes != cfg_.head_sizes || hidden != cfg_.hidden ||
+      num != refs_.size()) {
+    return false;
+  }
+  const std::vector<double> params = in.f64_vec();
+  if (!in.ok() || params.size() != refs_.size()) return false;
+  if (!actor_opt_->load_state(in)) return false;
+  if (!critic_opt_->load_state(in)) return false;
+  const double exploration = in.f64();
+  const double clip_eps = in.f64();
+  const double entropy_coef = in.f64();
+  if (!in.ok()) return false;
+  if (!load_rng(in, shuffle_rng_)) return false;
+  restore_params(refs_, params);
+  exploration_rate_ = exploration;
+  cfg_.clip_eps = clip_eps;
+  cfg_.entropy_coef = entropy_coef;
+  return true;
+}
+
 }  // namespace pet::rl

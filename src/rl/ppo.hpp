@@ -143,6 +143,16 @@ class PpoAgent {
   [[nodiscard]] const PpoConfig& config() const { return cfg_; }
   [[nodiscard]] std::size_t num_params() const { return refs_.size(); }
 
+  // --- checkpointing (pet.ckpt/1 section payloads) --------------------------
+  /// Full learning state: architecture fingerprint, parameters, both Adam
+  /// trajectories, the mutable training knobs, and the minibatch-shuffle
+  /// RNG position — everything needed so a restored agent continues the
+  /// exact update sequence an uninterrupted run would have produced.
+  void save_state(sim::ByteSink& out) const;
+  /// Restores a save_state payload; false (agent untouched) on an
+  /// architecture mismatch or corrupted payload.
+  [[nodiscard]] bool load_state(sim::ByteSource& in);
+
  private:
   void head_logits(std::span<const double> state,
                    std::vector<std::vector<double>>& logits,

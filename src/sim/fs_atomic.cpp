@@ -1,0 +1,28 @@
+#include "sim/fs_atomic.hpp"
+
+#include <cstdio>
+
+#include <unistd.h>
+
+namespace pet::sim {
+
+bool atomic_write_file(const std::string& path, std::string_view contents) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+  bool ok = contents.empty() ||
+            std::fwrite(contents.data(), 1, contents.size(), f) ==
+                contents.size();
+  // Flush user-space buffers, then force the data to stable storage before
+  // the rename makes it visible — otherwise a power loss could expose a
+  // renamed-but-empty file, which is exactly what this helper exists to
+  // prevent.
+  ok = std::fflush(f) == 0 && ok;
+  ok = ::fsync(::fileno(f)) == 0 && ok;
+  ok = std::fclose(f) == 0 && ok;
+  if (ok) ok = std::rename(tmp.c_str(), path.c_str()) == 0;
+  if (!ok) std::remove(tmp.c_str());
+  return ok;
+}
+
+}  // namespace pet::sim

@@ -5,6 +5,8 @@
 // stream derived from a single scenario seed, so runs are reproducible and
 // adding a new consumer does not perturb existing streams.
 
+#include <array>
+#include <cstddef>
 #include <cstdint>
 #include <string_view>
 
@@ -66,6 +68,15 @@ class Rng {
 
   /// Bernoulli trial with probability p.
   [[nodiscard]] bool bernoulli(double p) { return uniform() < p; }
+
+  /// Current stream position, for checkpointing. Restoring via `set_state`
+  /// resumes the exact draw sequence.
+  [[nodiscard]] std::array<std::uint64_t, 4> state() const {
+    return {s_[0], s_[1], s_[2], s_[3]};
+  }
+  void set_state(const std::array<std::uint64_t, 4>& s) {
+    for (std::size_t i = 0; i < 4; ++i) s_[i] = s[i];
+  }
 
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# SIGINT flush acceptance: interrupt pet_sim_cli mid-training (after at
+# least one checkpoint), demand exit 130 with a VALID flushed artifact
+# marked interrupted, then resume the same run to completion.
+#
+# Usage: sigint_flush.sh <pet_sim_cli> <golden_diff> <workdir>
+set -u
+
+CLI=$1
+GOLDEN_DIFF=$2
+WORK=$3
+rm -rf "$WORK"
+mkdir -p "$WORK"
+
+ARGS=(--scheme=pet --workload=websearch --load=0.5
+      --spines=1 --leaves=2 --hosts-per-leaf=2
+      --pretrain-ms=2 --seed=9
+      --train-episodes=60 --replicas=2 --train-threads=1
+      --checkpoint="$WORK/train.ckpt" --checkpoint-every=1)
+
+"$CLI" "${ARGS[@]}" --artifact="$WORK/interrupted.json" &
+pid=$!
+# Interrupt only after the first checkpoint is durable, so the kill lands
+# mid-training with resumable state on disk.
+found=0
+for _ in $(seq 1 300); do
+  if [ -f "$WORK/train.ckpt" ]; then
+    found=1
+    break
+  fi
+  if ! kill -0 "$pid" 2> /dev/null; then
+    break
+  fi
+  sleep 0.1
+done
+if [ "$found" -ne 1 ]; then
+  kill -9 "$pid" 2> /dev/null
+  wait "$pid" 2> /dev/null
+  echo "FAIL: no checkpoint appeared before the run ended"
+  exit 1
+fi
+kill -INT "$pid"
+wait "$pid"
+status=$?
+if [ "$status" -ne 130 ]; then
+  echo "FAIL: expected exit 130 after SIGINT, got $status"
+  exit 1
+fi
+
+if ! "$GOLDEN_DIFF" validate "$WORK/interrupted.json"; then
+  echo "FAIL: the interrupted run flushed an invalid artifact"
+  exit 1
+fi
+if ! grep -q '"interrupted": true' "$WORK/interrupted.json"; then
+  echo "FAIL: flushed artifact is not marked interrupted"
+  exit 1
+fi
+
+echo "--- resuming interrupted training"
+if ! "$CLI" "${ARGS[@]}" --resume --artifact="$WORK/final.json"; then
+  echo "FAIL: resume from the flushed checkpoint did not complete"
+  exit 1
+fi
+if ! "$GOLDEN_DIFF" validate "$WORK/final.json"; then
+  echo "FAIL: resumed run wrote an invalid artifact"
+  exit 1
+fi
+if ! grep -q '"interrupted": false' "$WORK/final.json"; then
+  echo "FAIL: resumed artifact should not be marked interrupted"
+  exit 1
+fi
+echo "PASS: SIGINT flushed a valid artifact + checkpoint, and resume completed"
+exit 0

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Crash-safety acceptance: kill a multi-point sweep mid-run (after at least
+# one checkpoint) with the deterministic --crash-after-writes fault, rerun
+# with --resume, and demand the canonicalized merged artifact byte-matches
+# an uninterrupted same-seed sweep.
+#
+# Usage: sweep_crash_resume.sh <pet_sweep> <golden_diff> <workdir>
+set -u
+
+PET_SWEEP=$1
+GOLDEN_DIFF=$2
+WORK=$3
+rm -rf "$WORK"
+mkdir -p "$WORK"
+
+# Two points on one worker: the PET training point first (2 episodes, a
+# checkpoint after each), then a static secn1 eval point.
+GRID=(--scheme=pet,secn1 --load=0.5 --seed=5
+      --spines=1 --leaves=2 --hosts-per-leaf=2
+      --pretrain-ms=2 --measure-ms=1
+      --train-episodes=2 --replicas=2 --checkpoint-every=1
+      --threads=1 --name=crashgrid)
+
+echo "--- reference (uninterrupted) sweep"
+"$PET_SWEEP" "${GRID[@]}" --out="$WORK/ref" || {
+  echo "FAIL: reference sweep did not complete"
+  exit 1
+}
+
+echo "--- crashing sweep after 2 durable writes (one checkpoint survives)"
+"$PET_SWEEP" "${GRID[@]}" --out="$WORK/res" --crash-after-writes=2
+status=$?
+if [ "$status" -ne 137 ]; then
+  echo "FAIL: expected injected-crash exit 137, got $status"
+  exit 1
+fi
+if [ -e "$WORK/res/sweep_crashgrid.json" ]; then
+  echo "FAIL: merged artifact must not exist after the crash"
+  exit 1
+fi
+if ! ls "$WORK"/res/point_*.ckpt > /dev/null 2>&1; then
+  echo "FAIL: expected a surviving checkpoint from before the crash"
+  exit 1
+fi
+
+echo "--- resuming the crashed sweep"
+"$PET_SWEEP" "${GRID[@]}" --out="$WORK/res" --resume || {
+  echo "FAIL: resumed sweep did not complete"
+  exit 1
+}
+
+"$GOLDEN_DIFF" canon "$WORK/ref/sweep_crashgrid.json" > "$WORK/ref.canon" || exit 1
+"$GOLDEN_DIFF" canon "$WORK/res/sweep_crashgrid.json" > "$WORK/res.canon" || exit 1
+if ! cmp "$WORK/ref.canon" "$WORK/res.canon"; then
+  echo "FAIL: resumed merged artifact diverges from the uninterrupted run"
+  exit 1
+fi
+echo "PASS: canonical merged artifacts are byte-identical"
+exit 0

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Watchdog acceptance: a point whose first attempt hangs (injected with
+# --hang-point) is watchdog-killed, retried with backoff, and the grid still
+# completes with the retry recorded in the merged artifact.
+#
+# Usage: sweep_watchdog.sh <pet_sweep> <workdir>
+set -u
+
+PET_SWEEP=$1
+WORK=$2
+rm -rf "$WORK"
+mkdir -p "$WORK"
+
+"$PET_SWEEP" --scheme=secn1 --load=0.5 --seed=3,4 \
+  --spines=1 --leaves=2 --hosts-per-leaf=2 \
+  --pretrain-ms=1 --measure-ms=1 \
+  --threads=1 --name=watchdog --out="$WORK" \
+  --hang-point=0 --hang-seconds=3 \
+  --watchdog-seconds=0.5 --grace-seconds=0.2 \
+  --max-retries=2 --backoff-base=0.05 --backoff-cap=0.2
+status=$?
+if [ "$status" -ne 0 ]; then
+  echo "FAIL: sweep with a hung first attempt should still complete, got $status"
+  exit 1
+fi
+
+MERGED="$WORK/sweep_watchdog.json"
+if ! grep -q '"status": "retried"' "$MERGED"; then
+  echo "FAIL: expected a retried point status in $MERGED"
+  exit 1
+fi
+if ! grep -q '"points_completed": 2' "$MERGED"; then
+  echo "FAIL: expected both points completed in $MERGED"
+  exit 1
+fi
+echo "PASS: hung point was watchdog-killed, retried and completed"
+exit 0

@@ -3,6 +3,7 @@
 //
 //   golden_diff canon <artifact.json>             # canonical form -> stdout
 //   golden_diff compare <golden.json> <artifact.json>
+//   golden_diff validate <artifact.json>          # schema check only
 //
 // Canonical form drops the only run-dependent content — the root "manifest"
 // object (git SHA, thread count) and every "wall_ms" member (wall-clock
@@ -132,6 +133,23 @@ int main(int argc, char** argv) {
     std::printf("%s\n", canon->dump(2).c_str());
     return 0;
   }
+  if (mode == "validate" && argc == 3) {
+    // Used by the crash-safety gate (ctest -L crash): an artifact flushed
+    // by an interrupted run must still be a valid pet.run-artifact/1 file.
+    const std::optional<std::string> text = read_file(argv[2]);
+    if (!text) {
+      std::fprintf(stderr, "golden_diff: cannot read %s\n", argv[2]);
+      return 2;
+    }
+    std::string error;
+    if (!pet::exp::RunArtifact::validate_text(*text, &error)) {
+      std::fprintf(stderr, "golden_diff: %s is not a valid run artifact: %s\n",
+                   argv[2], error.c_str());
+      return 1;
+    }
+    std::printf("golden_diff: %s validates\n", argv[2]);
+    return 0;
+  }
   if (mode == "compare" && argc == 4) {
     // The golden file is stored canonical already; canonicalizing it again
     // is a no-op that keeps the comparison symmetric.
@@ -152,6 +170,7 @@ int main(int argc, char** argv) {
   }
   std::fprintf(stderr,
                "usage: golden_diff canon <artifact.json>\n"
-               "       golden_diff compare <golden.json> <artifact.json>\n");
+               "       golden_diff compare <golden.json> <artifact.json>\n"
+               "       golden_diff validate <artifact.json>\n");
   return 2;
 }

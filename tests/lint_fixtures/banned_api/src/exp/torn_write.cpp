@@ -1,0 +1,27 @@
+// Fixture: non-atomic artifact writes in a strict subsystem. Both the
+// stream and stdio flavors must be flagged; the read-mode fopen must not.
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace pet::exp {
+
+void torn_stream_write(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  out << text;
+}
+
+void torn_stdio_write(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f != nullptr) {
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+  }
+}
+
+void fine_read(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f != nullptr) std::fclose(f);
+}
+
+}  // namespace pet::exp

@@ -1,0 +1,17 @@
+// Fixture: ECN marking config written outside the audited install_ecn()
+// chain. Both the rogue entry-point declaration and the direct marker call
+// must be flagged.
+#include "net/red_ecn.hpp"
+
+namespace pet::net {
+
+// A new unaudited entry point: resurrects the raw setter name outside the
+// audited files.
+void set_ecn_config(int port, double kmin_bytes, double kmax_bytes,
+                    double pmax);
+
+void tweak_marking(RedEcnMarker& marker) {
+  marker.set_config({});
+}
+
+}  // namespace pet::net

@@ -6,8 +6,16 @@ bool Model::set_weights(const std::vector<double>& w) { return !w.empty(); }
 
 bool Model::load(const std::string& path) { return !path.empty(); }
 
+bool Model::load_state(const std::string& blob) { return !blob.empty(); }
+
+bool Model::load_checkpoint(const std::string& path) { return !path.empty(); }
+
 void restore(Model& m, const std::string& path) {
   m.load(path);
+}
+
+void resume(Model& m, const std::string& path) {
+  m.load_checkpoint(path);
 }
 
 }  // namespace pet::rl

@@ -1,0 +1,119 @@
+// Differential oracle: net::GilbertElliott vs the independently written
+// testkit reference, driven with identical uniform draws over generated
+// channel parameters — the drop decision and the hidden state must agree
+// at every packet. Also checks the contract the port relies on: exactly
+// two RNG draws per step regardless of the chain's trajectory.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <tuple>
+
+#include "net/gilbert_elliott.hpp"
+#include "sim/rng.hpp"
+#include "testkit/oracles.hpp"
+#include "testkit/property.hpp"
+
+namespace pet::testkit {
+namespace {
+
+using net::GilbertElliott;
+using net::GilbertElliottConfig;
+
+/// Transition/loss probabilities biased toward the extremes (0 and 1)
+/// where an inverted comparison survives random-midrange testing.
+[[nodiscard]] Gen<double> probs() {
+  return frequency<double>({{1, constant(0.0)},
+                            {1, constant(1.0)},
+                            {3, reals(0.0, 1.0)}});
+}
+
+PROPERTY_CASES(GilbertOracle, MatchesReferenceStepForStep, 1500,
+               tuple_of(probs(),               // p_good_to_bad
+                        probs(),               // p_bad_to_good
+                        probs(),               // loss_good
+                        probs(),               // loss_bad
+                        integers(1, 2048),     // packets
+                        integers(1, 1 << 30))  // rng seed
+) {
+  const auto& [p_gb, p_bg, loss_g, loss_b, packets, seed] = arg;
+  const GilbertElliottConfig cfg{.p_good_to_bad = p_gb,
+                                 .p_bad_to_good = p_bg,
+                                 .loss_good = loss_g,
+                                 .loss_bad = loss_b};
+  GilbertElliott chain(cfg);
+  GilbertElliottRef ref(p_gb, p_bg, loss_g, loss_b);
+
+  // Two independent RNGs from the same seed: the production chain draws
+  // its own uniforms, the reference is fed the identical stream manually.
+  sim::Rng chain_rng(static_cast<std::uint64_t>(seed));
+  sim::Rng ref_rng(static_cast<std::uint64_t>(seed));
+  for (std::int64_t i = 0; i < packets; ++i) {
+    const bool dropped = chain.step(chain_rng);
+    const double u_transition = ref_rng.uniform();
+    const double u_loss = ref_rng.uniform();
+    const bool ref_dropped = ref.lose_packet(u_transition, u_loss);
+    PROP_ASSERT_EQ(dropped, ref_dropped);
+    PROP_ASSERT_EQ(chain.in_bad_state(), ref.bad());
+  }
+}
+
+PROPERTY_CASES(GilbertOracle, ConsumesExactlyTwoDrawsPerStep, 500,
+               tuple_of(probs(), probs(), probs(), probs(),
+                        integers(1, 512), integers(1, 1 << 30))) {
+  const auto& [p_gb, p_bg, loss_g, loss_b, packets, seed] = arg;
+  const GilbertElliottConfig cfg{.p_good_to_bad = p_gb,
+                                 .p_bad_to_good = p_bg,
+                                 .loss_good = loss_g,
+                                 .loss_bad = loss_b};
+  GilbertElliott chain(cfg);
+  sim::Rng rng(static_cast<std::uint64_t>(seed));
+  sim::Rng mirror(static_cast<std::uint64_t>(seed));
+  for (std::int64_t i = 0; i < packets; ++i) {
+    static_cast<void>(chain.step(rng));
+    static_cast<void>(mirror.uniform());
+    static_cast<void>(mirror.uniform());
+  }
+  // Equal downstream draws prove equal stream positions.
+  for (int i = 0; i < 8; ++i) {
+    PROP_ASSERT_EQ(rng.uniform(), mirror.uniform());
+  }
+}
+
+/// Degenerate corners pinned exactly: a chain that can never leave Good
+/// with zero good-loss never drops; a chain locked in Bad with loss 1
+/// drops everything after the first transition draw.
+TEST(GilbertOracle, DegenerateChains) {
+  sim::Rng rng(42);
+  GilbertElliott never(GilbertElliottConfig{.p_good_to_bad = 0.0,
+                                            .p_bad_to_good = 1.0,
+                                            .loss_good = 0.0,
+                                            .loss_bad = 1.0});
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(never.step(rng));
+    EXPECT_FALSE(never.in_bad_state());
+  }
+  GilbertElliott always(GilbertElliottConfig{.p_good_to_bad = 1.0,
+                                             .p_bad_to_good = 0.0,
+                                             .loss_good = 0.0,
+                                             .loss_bad = 1.0});
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(always.step(rng));
+    EXPECT_TRUE(always.in_bad_state());
+  }
+}
+
+TEST(GilbertOracle, ResetReturnsToGoodState) {
+  sim::Rng rng(7);
+  GilbertElliott chain(GilbertElliottConfig{.p_good_to_bad = 1.0,
+                                            .p_bad_to_good = 0.0,
+                                            .loss_good = 0.0,
+                                            .loss_bad = 1.0});
+  ASSERT_TRUE(chain.step(rng));
+  ASSERT_TRUE(chain.in_bad_state());
+  chain.reset();
+  EXPECT_FALSE(chain.in_bad_state());
+}
+
+}  // namespace
+}  // namespace pet::testkit

@@ -117,8 +117,9 @@ TEST(LintPolicy, ToolsAndBenchRelaxed) {
 TEST(LintFixtures, BannedApiCatchesEveryFlavor) {
   const auto r = run_fixture("banned_api");
   EXPECT_FALSE(r.io_error) << r.error;
-  // srand, rand, steady_clock, random_device, time(, getenv, printf.
-  EXPECT_GE(count_rule(r, "banned-api"), 7u);
+  // srand, rand, steady_clock, random_device, time(, getenv, printf, plus
+  // the two torn writes (std::ofstream, fopen "wb") — the "rb" read is fine.
+  EXPECT_GE(count_rule(r, "banned-api"), 9u);
   EXPECT_EQ(r.findings.size(), count_rule(r, "banned-api"));
 }
 
@@ -157,16 +158,25 @@ TEST(LintFixtures, UnauditedEcnOutsideAllowlist) {
 TEST(LintFixtures, NodiscardChainDeclarationAndCallSite) {
   const auto r = run_fixture("nodiscard");
   EXPECT_FALSE(r.io_error) << r.error;
-  ASSERT_EQ(count_rule(r, "nodiscard-chain"), 2u);
+  ASSERT_EQ(count_rule(r, "nodiscard-chain"), 4u);
   bool saw_decl = false;
   bool saw_call = false;
+  bool saw_ckpt_decl = false;
+  bool saw_ckpt_call = false;
   for (const auto& f : r.findings) {
     saw_decl = saw_decl ||
                f.line_text.find("bool set_weights") != std::string::npos;
     saw_call = saw_call || f.line_text.find("m.load(path)") != std::string::npos;
+    saw_ckpt_decl = saw_ckpt_decl ||
+                    f.line_text.find("bool load_state") != std::string::npos;
+    saw_ckpt_call =
+        saw_ckpt_call ||
+        f.line_text.find("m.load_checkpoint(path)") != std::string::npos;
   }
   EXPECT_TRUE(saw_decl);
   EXPECT_TRUE(saw_call);
+  EXPECT_TRUE(saw_ckpt_decl);
+  EXPECT_TRUE(saw_ckpt_call);
 }
 
 TEST(LintFixtures, HeaderHygieneMissingPragmaAndWrongFirstInclude) {
@@ -259,6 +269,56 @@ TEST(LintRules, SuppressionDoesNotLeakPastItsStatement) {
                            "}\n");
   ASSERT_EQ(rep.findings.size(), 1u);
   EXPECT_EQ(rep.findings[0].line, 5);
+}
+
+TEST(LintRules, NonAtomicWriteFlaggedOnlyInSrc) {
+  const char* kTorn =
+      "#include <fstream>\n"
+      "#include <string>\n"
+      "namespace pet::exp {\n"
+      "void dump(const std::string& p) { std::ofstream out(p); }\n"
+      "}  // namespace pet::exp\n";
+  const auto strict = analyze("src/exp/dump.cpp", kTorn);
+  ASSERT_EQ(strict.findings.size(), 1u);
+  EXPECT_EQ(strict.findings[0].rule, "banned-api");
+  EXPECT_NE(strict.findings[0].message.find("atomic_write_file"),
+            std::string::npos);
+  // tools/bench/examples may write files however they like.
+  EXPECT_TRUE(analyze("tools/plot/dump.cpp", kTorn).findings.empty());
+}
+
+TEST(LintRules, AtomicWriterItselfIsExemptAndReadsAreFine) {
+  const char* kWriter =
+      "#include <cstdio>\n"
+      "namespace pet::sim {\n"
+      "void w(const char* p) { std::FILE* f = std::fopen(p, \"wb\"); "
+      "std::fclose(f); }\n"
+      "}  // namespace pet::sim\n";
+  EXPECT_TRUE(analyze("src/sim/fs_atomic.cpp", kWriter).findings.empty());
+  const char* kReader =
+      "#include <cstdio>\n"
+      "namespace pet::exp {\n"
+      "void r(const char* p) { std::FILE* f = std::fopen(p, \"rb\"); "
+      "std::fclose(f); }\n"
+      "}  // namespace pet::exp\n";
+  EXPECT_TRUE(analyze("src/exp/reader.cpp", kReader).findings.empty());
+}
+
+TEST(LintRules, DiscardedCheckpointLoadIsFlagged) {
+  const auto rep = analyze(
+      "src/exp/resume.cpp",
+      "#include \"exp/resume.hpp\"\n"
+      "namespace pet::exp {\n"
+      "void resume(Runner& r, const std::string& p) {\n"
+      "  r.load_checkpoint(p);\n"
+      "}\n"
+      "bool keep(Runner& r, const std::string& p) {\n"
+      "  return r.load_checkpoint(p);\n"
+      "}\n"
+      "}  // namespace pet::exp\n");
+  ASSERT_EQ(rep.findings.size(), 1u);
+  EXPECT_EQ(rep.findings[0].rule, "nodiscard-chain");
+  EXPECT_EQ(rep.findings[0].line, 4);
 }
 
 TEST(LintRules, AllRuleIdsStable) {

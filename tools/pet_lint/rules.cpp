@@ -197,6 +197,23 @@ struct Ctx {
 
 // --- rule: banned-api -------------------------------------------------------
 
+/// True when a string literal is a C stdio mode string that opens for
+/// writing or appending ("w", "wb", "a+", ...). Path arguments never parse
+/// as a mode, so fopen(path, mode) calls with literal modes are matched
+/// precisely even though the path is usually not a literal.
+[[nodiscard]] bool is_write_mode(const std::string& s) {
+  if (s.empty() || s.size() > 3) return false;
+  bool writes = false;
+  for (const char ch : s) {
+    if (ch == 'w' || ch == 'a') {
+      writes = true;
+    } else if (ch != 'r' && ch != 'b' && ch != '+') {
+      return false;
+    }
+  }
+  return writes;
+}
+
 void rule_banned_api(const Ctx& c) {
   static const std::unordered_set<std::string> kDetAnyUse = {
       "random_device",       "system_clock", "steady_clock",
@@ -258,6 +275,34 @@ void rule_banned_api(const Ctx& c) {
         c.report("banned-api", t,
                  "std::cout writes raw stdout — use PET_LOG_* (sim/log) or a "
                  "caller-provided stream");
+      }
+      // Non-atomic file writes: a crash mid-write leaves a torn artifact
+      // that resume logic would then trust. The audited writer itself
+      // (sim/fs_atomic) is the one place allowed to open files for write.
+      if (c.path != "src/sim/fs_atomic.cpp") {
+        if (t.text == "ofstream") {
+          c.report("banned-api", t,
+                   "std::ofstream writes in place — a crash mid-write leaves "
+                   "a torn file; assemble the bytes and hand them to "
+                   "sim::atomic_write_file (tmp + fsync + rename)");
+          continue;
+        }
+        if (called && (t.text == "fopen" || t.text == "freopen")) {
+          const std::size_t close = tv.match(i + 1, "(", ")");
+          for (std::size_t j = i + 2; j < close && close < tv.size(); ++j) {
+            const Token& m = tv.at(j);
+            if (m.kind == TokKind::kString && is_write_mode(m.text)) {
+              c.report("banned-api", t,
+                       t.text +
+                           "(..., \"" + m.text +
+                           "\") writes in place — a crash mid-write leaves a "
+                           "torn file; use sim::atomic_write_file (tmp + "
+                           "fsync + rename)");
+              break;
+            }
+          }
+          continue;
+        }
       }
     }
   }
@@ -404,8 +449,9 @@ void rule_unaudited_ecn(const Ctx& c) {
 // --- rule: nodiscard-chain --------------------------------------------------
 
 [[nodiscard]] bool is_chain_api(const std::string& name) {
-  return name == "set_weights" || name == "load" ||
-         starts_with(name, "install_");
+  return name == "set_weights" || name == "load" || name == "save_state" ||
+         name == "load_state" || name == "save_checkpoint" ||
+         name == "load_checkpoint" || starts_with(name, "install_");
 }
 
 void rule_nodiscard_chain(const Ctx& c) {
@@ -447,10 +493,13 @@ void rule_nodiscard_chain(const Ctx& c) {
     }
 
     // Call-site check (bool-returning chain APIs only; install_ecn returns
-    // a count that callers may legitimately drop). Requires a `.`/`->`
-    // receiver so declarations (`Type load(...);`) never match.
+    // a count that callers may legitimately drop, and save_state returns
+    // void). Requires a `.`/`->` receiver so declarations
+    // (`Type load(...);`) never match.
     if (t.text != "set_weights" && t.text != "install_weights" &&
-        t.text != "install_learned_weights" && t.text != "load") {
+        t.text != "install_learned_weights" && t.text != "load" &&
+        t.text != "load_state" && t.text != "save_checkpoint" &&
+        t.text != "load_checkpoint") {
       continue;
     }
     if (i == 0 || (!tv.is_punct(i - 1, ".") && !tv.is_punct(i - 1, "->"))) {

@@ -3,15 +3,19 @@
 // machine-checked source rules.
 //
 // Rule IDs (stable; used in suppressions and the baseline file):
-//   banned-api        nondeterministic / unaudited-I/O standard APIs
+//   banned-api        nondeterministic / unaudited-I/O standard APIs, and
+//                     non-atomic file writes (ofstream / fopen-for-write)
+//                     that can leave torn artifacts — route through
+//                     sim::atomic_write_file
 //   nondet-iteration  iteration over unordered containers in deterministic
 //                     subsystems (severity raised when the TU also feeds
 //                     artifacts, digests, or trace export)
 //   unaudited-ecn     RED/ECN config writes outside the audited
 //                     install_ecn() chain
-//   nodiscard-chain   bool-returning load/set_weights/install_* APIs must
-//                     be [[nodiscard]] and every call site must consume
-//                     the result
+//   nodiscard-chain   bool-returning load/set_weights/install_* and
+//                     checkpoint (save_state/load_state/save_checkpoint/
+//                     load_checkpoint) APIs must be [[nodiscard]] and every
+//                     call site must consume the result
 //   header-hygiene    #pragma once first in headers; a TU's own header
 //                     must be its first include
 //
