@@ -92,7 +92,7 @@ inline exp::ExperimentBuilder make_scenario(const BenchOptions& opt,
         .phases(sim::milliseconds(40), sim::milliseconds(40))
         .incast(8, 32 * 1024, sim::milliseconds(1));
   }
-  builder.topology(topo);
+  builder.topology(net::TopologySpec(topo));
   return builder;
 }
 
@@ -133,6 +133,7 @@ inline void record_run(const BenchOptions& opt, exp::RunArtifact& art,
                        exp::Experiment& experiment) {
   art.set_scenario(experiment.config());
   art.add_switch_summaries(experiment.network().switches());
+  art.add_tier_summaries(experiment.topology(), experiment.network());
   art.add_event_counts(experiment.event_log());
   art.set_profiler(experiment.profiler());
   if (!opt.trace_path.empty()) {

@@ -80,10 +80,10 @@ int main(int argc, char** argv) {
     plan.random_link_flap(0.25, recov1_end, flap2_up);
     // During the second flap a surviving spine uplink runs degraded and one
     // spine takes a dataplane reboot mid-window.
-    const net::LeafSpine& topo = experiment.topology();
-    plan.link_degrade(topo.leaf_devices.front(), topo.spine_devices.front(),
+    const net::Fabric& topo = experiment.topology();
+    plan.link_degrade(topo.tor_devices().front(), topo.top_devices().front(),
                       0.25, recov1_end, flap2_up);
-    plan.switch_reboot(topo.spine_devices.back(),
+    plan.switch_reboot(topo.top_devices().back(),
                        sim::Time((recov1_end.ps() + flap2_up.ps()) / 2));
 
     {

@@ -5,7 +5,7 @@
 
 #include "micro_common.hpp"
 
-#include "net/topology.hpp"
+#include "net/fabric.hpp"
 #include "transport/dcqcn.hpp"
 #include "workload/distributions.hpp"
 #include "workload/traffic_gen.hpp"
@@ -52,7 +52,7 @@ void BM_FabricSimulation(benchmark::State& state) {
     topo_cfg.num_spines = 2;
     topo_cfg.num_leaves = 2;
     topo_cfg.hosts_per_leaf = 8;
-    const net::LeafSpine topo = net::build_leaf_spine(net, topo_cfg);
+    const net::Fabric topo = net::build_fabric(net, net::TopologySpec(topo_cfg));
     transport::FctRecorder rec;
     transport::RdmaTransport transport(net, {}, &rec);
     workload::PoissonTrafficConfig bg;
@@ -77,7 +77,7 @@ void BM_RouteRecompute(benchmark::State& state) {
   topo_cfg.num_spines = 4;
   topo_cfg.num_leaves = 8;
   topo_cfg.hosts_per_leaf = 16;  // 128 hosts
-  (void)net::build_leaf_spine(net, topo_cfg);
+  (void)net::build_fabric(net, net::TopologySpec(topo_cfg));
   for (auto _ : state) {
     net.recompute_routes();
   }

@@ -119,7 +119,7 @@ void bench_replica_throughput(const bench::BenchOptions& opt,
         .scheme(exp::Scheme::kPet)
         .workload(workload::WorkloadKind::kWebSearch)
         .load(0.5)
-        .topology(topo)
+        .topology(net::TopologySpec(topo))
         .flow_size_cap(4e6)
         .phases(opt.quick ? sim::milliseconds(2) : sim::milliseconds(10),
                 sim::milliseconds(1))

@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
             .scheme(exp::Scheme::kSecn1)  // static; thresholds overridden below
             .workload(workload::WorkloadKind::kWebSearch)
             .load(load)
-            .topology(topo)
+            .topology(net::TopologySpec(topo))
             .flow_size_cap(8e6)
             .phases(sim::milliseconds(5), sim::milliseconds(measure_ms))
             .tuned_dcqcn()

@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
     builder.scheme(scheme)
         .workload(workload::WorkloadKind::kWebSearch)
         .load(0.2)  // light background; incast dominates
-        .topology(topo)
+        .topology(net::TopologySpec(topo))
         .incast(fan_in, request_kb * 1024, sim::microseconds(800))
         .flow_size_cap(2e6)
         .phases(sim::milliseconds(30), sim::milliseconds(30))

@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
             .scheme(exp::Scheme::kSecn1)  // static placeholder; agents below
             .workload(workload::WorkloadKind::kWebSearch)
             .load(load)
-            .topology(topo)
+            .topology(net::TopologySpec(topo))
             .flow_size_cap(8e6)
             .phases(sim::milliseconds(40), sim::milliseconds(40))
             .tuned_dcqcn()
@@ -47,7 +47,7 @@ int main(int argc, char** argv) {
     mq.agent.ppo.minibatch_size = 32;
     mq.agent.explore_start = 0.1;
     mq.agent.state.qlen_norm_bytes =
-        static_cast<double>(cfg.topo.switch_cfg.pfc_xoff_bytes);
+        static_cast<double>(cfg.topo.switch_config().pfc_xoff_bytes);
     if (multiqueue) {
       // Mice ride queue 0, elephants queue 1 (per-switch classifier state).
       for (auto* sw : experiment.network().switches()) {

@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
   builder.scheme(exp::Scheme::kPet)
       .workload(workload::WorkloadKind::kWebSearch)
       .load(load)
-      .topology(topo)
+      .topology(net::TopologySpec(topo))
       .flow_size_cap(8e6)
       .pretrain(sim::milliseconds(20))
       .tuned_dcqcn();

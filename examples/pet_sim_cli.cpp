@@ -39,9 +39,17 @@ struct CliOptions {
   exp::Scheme scheme = exp::Scheme::kPet;
   workload::WorkloadKind workload = workload::WorkloadKind::kWebSearch;
   double load = 0.6;
+  // Topology family (net::TopologySpec). leaf-spine reads --spines/--leaves/
+  // --hosts-per-leaf; fat-tree reads --k/--hosts-per-edge; inter-dc joins two
+  // identical leaf-spine DCs over --border-links WAN links of --wan-delay-us.
+  std::string topo_kind = "leaf-spine";
   std::int32_t spines = 2;
   std::int32_t leaves = 4;
   std::int32_t hosts_per_leaf = 8;
+  std::int32_t fat_tree_k = 4;
+  std::int32_t hosts_per_edge = 0;  // 0 = canonical k/2
+  std::int32_t border_links = 1;
+  std::int64_t wan_delay_us = 1000;
   std::int64_t pretrain_ms = 40;
   std::int64_t measure_ms = 40;
   std::uint64_t seed = 1;
@@ -65,7 +73,10 @@ struct CliOptions {
       "  --scheme=secn1|secn2|amt|qaecn|acc|pet|pet-ablation\n"
       "  --workload=websearch|datamining\n"
       "  --load=F           fraction of host bandwidth (default 0.6)\n"
-      "  --spines=N --leaves=N --hosts-per-leaf=N\n"
+      "  --topo=leaf-spine|fat-tree|inter-dc  fabric family\n"
+      "  --spines=N --leaves=N --hosts-per-leaf=N   (leaf-spine / inter-dc)\n"
+      "  --k=N --hosts-per-edge=N                   (fat-tree; 0 = k/2)\n"
+      "  --border-links=N --wan-delay-us=N          (inter-dc)\n"
       "  --pretrain-ms=N --measure-ms=N --seed=N\n"
       "  --telemetry=PATH   write per-switch time series CSV\n"
       "  --artifact=PATH    write a machine-readable run artifact (JSON)\n"
@@ -115,12 +126,22 @@ CliOptions parse(int argc, char** argv) {
       }
     } else if (arg.rfind("--load=", 0) == 0) {
       opt.load = std::atof(value("--load="));
+    } else if (arg.rfind("--topo=", 0) == 0) {
+      opt.topo_kind = value("--topo=");
     } else if (arg.rfind("--spines=", 0) == 0) {
       opt.spines = std::atoi(value("--spines="));
     } else if (arg.rfind("--leaves=", 0) == 0) {
       opt.leaves = std::atoi(value("--leaves="));
     } else if (arg.rfind("--hosts-per-leaf=", 0) == 0) {
       opt.hosts_per_leaf = std::atoi(value("--hosts-per-leaf="));
+    } else if (arg.rfind("--k=", 0) == 0) {
+      opt.fat_tree_k = std::atoi(value("--k="));
+    } else if (arg.rfind("--hosts-per-edge=", 0) == 0) {
+      opt.hosts_per_edge = std::atoi(value("--hosts-per-edge="));
+    } else if (arg.rfind("--border-links=", 0) == 0) {
+      opt.border_links = std::atoi(value("--border-links="));
+    } else if (arg.rfind("--wan-delay-us=", 0) == 0) {
+      opt.wan_delay_us = std::atoll(value("--wan-delay-us="));
     } else if (arg.rfind("--pretrain-ms=", 0) == 0) {
       opt.pretrain_ms = std::atoll(value("--pretrain-ms="));
     } else if (arg.rfind("--measure-ms=", 0) == 0) {
@@ -156,12 +177,41 @@ CliOptions parse(int argc, char** argv) {
       usage(argv[0], 2);
     }
   }
-  if (opt.load <= 0.0 || opt.spines < 1 || opt.leaves < 1 ||
-      opt.hosts_per_leaf < 2 || opt.measure_ms < 1) {
+  if (opt.load <= 0.0 || opt.measure_ms < 1) {
+    std::fprintf(stderr, "invalid scenario parameters\n");
+    usage(argv[0], 2);
+  }
+  if (opt.topo_kind != "fat-tree" &&
+      (opt.spines < 1 || opt.leaves < 1 || opt.hosts_per_leaf < 2)) {
     std::fprintf(stderr, "invalid scenario parameters\n");
     usage(argv[0], 2);
   }
   return opt;
+}
+
+/// The TopologySpec the CLI flags describe (validated again by the builder).
+net::TopologySpec make_topology(const CliOptions& opt, const char* argv0) {
+  net::LeafSpineConfig ls;
+  ls.num_spines = opt.spines;
+  ls.num_leaves = opt.leaves;
+  ls.hosts_per_leaf = opt.hosts_per_leaf;
+  if (opt.topo_kind == "leaf-spine") return net::TopologySpec(ls);
+  if (opt.topo_kind == "fat-tree") {
+    net::FatTreeSpec ft;
+    ft.k = opt.fat_tree_k;
+    ft.hosts_per_edge = opt.hosts_per_edge;
+    return net::TopologySpec(ft);
+  }
+  if (opt.topo_kind == "inter-dc") {
+    net::InterDcSpec idc;
+    idc.dc_a = ls;
+    idc.dc_b = ls;
+    idc.border_links = opt.border_links;
+    idc.wan_delay = sim::microseconds(opt.wan_delay_us);
+    return net::TopologySpec(idc);
+  }
+  std::fprintf(stderr, "unknown topology: %s\n", opt.topo_kind.c_str());
+  usage(argv0, 2);
 }
 
 /// Training mode: ReplicaRunner episodes with durable checkpoints. SIGINT/
@@ -251,10 +301,7 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, handle_stop_signal);
   std::signal(SIGTERM, handle_stop_signal);
 
-  net::LeafSpineConfig topo;
-  topo.num_spines = opt.spines;
-  topo.num_leaves = opt.leaves;
-  topo.hosts_per_leaf = opt.hosts_per_leaf;
+  const net::TopologySpec topo = make_topology(opt, argv[0]);
   exp::ExperimentBuilder builder;
   builder.scheme(opt.scheme)
       .workload(opt.workload)
@@ -277,11 +324,11 @@ int main(int argc, char** argv) {
     builder.expects_pretrained(!weights.empty()).pretrain_lr_boost(1.0);
   }
 
-  std::printf("pet_sim: %s on %s, %d hosts, load %.0f%%, seed %llu\n",
+  std::printf("pet_sim: %s on %s, %s fabric, %d hosts, load %.0f%%, seed %llu\n",
               exp::scheme_name(opt.scheme),
               workload::workload_name(opt.workload),
-              opt.leaves * opt.hosts_per_leaf, opt.load * 100,
-              static_cast<unsigned long long>(opt.seed));
+              std::string(topo.kind_name()).c_str(), topo.num_hosts(),
+              opt.load * 100, static_cast<unsigned long long>(opt.seed));
 
   auto experiment_ptr = builder.build();
   exp::Experiment& experiment = *experiment_ptr;
@@ -348,6 +395,7 @@ int main(int argc, char** argv) {
     art.set_manifest_extra("interrupted", exp::JsonValue(interrupted));
     art.add_metrics("", m);
     art.add_switch_summaries(experiment.network().switches());
+    art.add_tier_summaries(experiment.topology(), experiment.network());
     art.add_event_counts(experiment.event_log());
     art.set_profiler(experiment.profiler());
     if (!art.write(opt.artifact_path)) return 1;

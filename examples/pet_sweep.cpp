@@ -45,9 +45,17 @@ struct CliOptions {
   std::string name = "sweep";
   std::int32_t threads = 0;
   bool resume = false;
+  /// Topology axis: comma list of leaf-spine|fat-tree|inter-dc. One entry
+  /// replaces the base topology (historical un-prefixed point ids); several
+  /// become a grid axis with "<topo>_"-prefixed ids.
+  std::vector<std::string> topos;
   std::int32_t spines = 2;
   std::int32_t leaves = 2;
   std::int32_t hosts_per_leaf = 4;
+  std::int32_t fat_tree_k = 4;
+  std::int32_t hosts_per_edge = 0;  // 0 = canonical k/2
+  std::int32_t border_links = 1;
+  std::int64_t wan_delay_us = 1000;
   std::int64_t pretrain_ms = 10;
   std::int64_t measure_ms = 10;
   bool incast = true;
@@ -75,7 +83,10 @@ struct CliOptions {
       "  --name=NAME        sweep name (default sweep)\n"
       "  --threads=N        concurrent points (0 = auto)\n"
       "  --resume           skip/continue points finished by a prior run\n"
-      "  --spines=N --leaves=N --hosts-per-leaf=N\n"
+      "  --topo=LIST        comma list of leaf-spine|fat-tree|inter-dc\n"
+      "  --spines=N --leaves=N --hosts-per-leaf=N   (leaf-spine / inter-dc)\n"
+      "  --k=N --hosts-per-edge=N                   (fat-tree; 0 = k/2)\n"
+      "  --border-links=N --wan-delay-us=N          (inter-dc)\n"
       "  --pretrain-ms=N --measure-ms=N [--no-incast]\n"
       "  --train-episodes=N --replicas=N --checkpoint-every=N\n"
       "  --watchdog-seconds=F --grace-seconds=F --max-retries=N\n"
@@ -139,12 +150,22 @@ CliOptions parse(int argc, char** argv) {
       opt.threads = std::atoi(value("--threads="));
     } else if (arg == "--resume") {
       opt.resume = true;
+    } else if (arg.rfind("--topo=", 0) == 0) {
+      opt.topos = split_list(value("--topo="));
     } else if (arg.rfind("--spines=", 0) == 0) {
       opt.spines = std::atoi(value("--spines="));
     } else if (arg.rfind("--leaves=", 0) == 0) {
       opt.leaves = std::atoi(value("--leaves="));
     } else if (arg.rfind("--hosts-per-leaf=", 0) == 0) {
       opt.hosts_per_leaf = std::atoi(value("--hosts-per-leaf="));
+    } else if (arg.rfind("--k=", 0) == 0) {
+      opt.fat_tree_k = std::atoi(value("--k="));
+    } else if (arg.rfind("--hosts-per-edge=", 0) == 0) {
+      opt.hosts_per_edge = std::atoi(value("--hosts-per-edge="));
+    } else if (arg.rfind("--border-links=", 0) == 0) {
+      opt.border_links = std::atoi(value("--border-links="));
+    } else if (arg.rfind("--wan-delay-us=", 0) == 0) {
+      opt.wan_delay_us = std::atoll(value("--wan-delay-us="));
     } else if (arg.rfind("--pretrain-ms=", 0) == 0) {
       opt.pretrain_ms = std::atoll(value("--pretrain-ms="));
     } else if (arg.rfind("--measure-ms=", 0) == 0) {
@@ -183,6 +204,36 @@ CliOptions parse(int argc, char** argv) {
   return opt;
 }
 
+/// One named topology axis value from the shared shape flags. The name keys
+/// the point ids ("ft8_", "interdc_", ...).
+exp::NamedTopologySpec make_topology(const CliOptions& opt,
+                                     const std::string& kind,
+                                     const char* argv0) {
+  net::LeafSpineConfig ls;
+  ls.num_spines = opt.spines;
+  ls.num_leaves = opt.leaves;
+  ls.hosts_per_leaf = opt.hosts_per_leaf;
+  if (kind == "leaf-spine") {
+    return {"leafspine", net::TopologySpec(ls)};
+  }
+  if (kind == "fat-tree") {
+    net::FatTreeSpec ft;
+    ft.k = opt.fat_tree_k;
+    ft.hosts_per_edge = opt.hosts_per_edge;
+    return {"ft" + std::to_string(opt.fat_tree_k), net::TopologySpec(ft)};
+  }
+  if (kind == "inter-dc") {
+    net::InterDcSpec idc;
+    idc.dc_a = ls;
+    idc.dc_b = ls;
+    idc.border_links = opt.border_links;
+    idc.wan_delay = sim::microseconds(opt.wan_delay_us);
+    return {"interdc", net::TopologySpec(idc)};
+  }
+  std::fprintf(stderr, "unknown topology: %s\n", kind.c_str());
+  usage(argv0, 2);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -193,9 +244,26 @@ int main(int argc, char** argv) {
   grid.schemes = opt.schemes;
   grid.loads = opt.loads;
   grid.seeds = opt.seeds;
-  grid.base.topo.num_spines = opt.spines;
-  grid.base.topo.num_leaves = opt.leaves;
-  grid.base.topo.hosts_per_leaf = opt.hosts_per_leaf;
+  {
+    net::LeafSpineConfig ls;
+    ls.num_spines = opt.spines;
+    ls.num_leaves = opt.leaves;
+    ls.hosts_per_leaf = opt.hosts_per_leaf;
+    grid.base.topo = net::TopologySpec(ls);
+  }
+  if (opt.topos.size() == 1) {
+    // One topology: swap it into the base scenario so the point ids keep
+    // the historical un-prefixed form and DCQCN tunes for its host rate.
+    grid.base.topo = make_topology(opt, opt.topos.front(), argv[0]).spec;
+  } else if (opt.topos.size() > 1) {
+    // A real axis. DCQCN is tuned once for the first topology's host rate;
+    // mixing families with different host speeds in one sweep is explicit
+    // operator choice.
+    for (const std::string& kind : opt.topos) {
+      grid.topologies.push_back(make_topology(opt, kind, argv[0]));
+    }
+    grid.base.topo = grid.topologies.front().spec;
+  }
   grid.base.pretrain = sim::milliseconds(opt.pretrain_ms);
   grid.base.measure = sim::milliseconds(opt.measure_ms);
   grid.base.incast_enabled = opt.incast;

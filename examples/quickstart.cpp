@@ -25,13 +25,13 @@ int main(int argc, char** argv) {
           .load(argc > 1 ? std::atof(argv[1]) : 0.5)
           .phases(sim::milliseconds(10),
                   sim::milliseconds(argc > 2 ? std::atoll(argv[2]) : 20))
-          .topology(topo)
+          .topology(net::TopologySpec(topo))
           .tuned_dcqcn()
           .build();
   const exp::ScenarioConfig& cfg = experiment->config();
 
   std::printf("PET quickstart: %d hosts, load %.0f%%, %s workload\n",
-              cfg.topo.num_leaves * cfg.topo.hosts_per_leaf, cfg.load * 100,
+              cfg.topo.num_hosts(), cfg.load * 100,
               workload::workload_name(cfg.workload));
 
   const exp::Metrics m = experiment->run();

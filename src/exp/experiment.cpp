@@ -8,7 +8,7 @@ namespace pet::exp {
 void ScenarioConfig::tune_dcqcn_for_rate() {
   // Scale DCQCN's increase machinery with the host line rate so recovery
   // behaves comparably at 10G (scaled benches) and 25G (paper scale).
-  const double line = static_cast<double>(topo.host_link_rate.bps());
+  const double line = static_cast<double>(topo.host_link_rate().bps());
   dcqcn.rate_ai_bps = line / 200.0;
   dcqcn.rate_hai_bps = line / 20.0;
   dcqcn.byte_counter = static_cast<std::int64_t>(line / 8.0 * 300e-6);
@@ -16,7 +16,7 @@ void ScenarioConfig::tune_dcqcn_for_rate() {
 }
 
 namespace {
-std::vector<net::HostId> all_hosts(const net::LeafSpine& topo) {
+std::vector<net::HostId> all_hosts(const net::Fabric& topo) {
   std::vector<net::HostId> hosts(static_cast<std::size_t>(topo.num_hosts()));
   for (std::size_t i = 0; i < hosts.size(); ++i) {
     hosts[i] = static_cast<net::HostId>(i);
@@ -28,7 +28,7 @@ std::vector<net::HostId> all_hosts(const net::LeafSpine& topo) {
 Experiment::Experiment(const ScenarioConfig& cfg)
     : cfg_(cfg),
       net_(sched_, cfg.seed),
-      topo_(net::build_leaf_spine(net_, cfg.topo)),
+      topo_(net::build_fabric(net_, cfg.topo)),
       recorder_(cfg.seed),
       queue_probe_(sched_, net_.switches()),
       event_log_(sched_) {
@@ -37,7 +37,7 @@ Experiment::Experiment(const ScenarioConfig& cfg)
 
   workload::PoissonTrafficConfig bg_cfg;
   bg_cfg.load = cfg_.load;
-  bg_cfg.host_rate = cfg_.topo.host_link_rate;
+  bg_cfg.host_rate = cfg_.topo.host_link_rate();
   bg_cfg.hosts = all_hosts(topo_);
   bg_cfg.sizes = sized_cdf(cfg_.workload);
   bg_cfg.seed = sim::derive_seed(cfg_.seed, "bg");
@@ -114,7 +114,7 @@ void Experiment::install_scheme() {
       pc.agent.explore_start =
           cfg_.expects_pretrained ? 0.02 : cfg_.pet_explore_start;
       pc.agent.state.qlen_norm_bytes =
-          static_cast<double>(cfg_.topo.switch_cfg.pfc_xoff_bytes);
+          static_cast<double>(cfg_.topo.switch_config().pfc_xoff_bytes);
       pc.shared_policy = cfg_.pet_shared_policy;
       if (cfg_.scheme == Scheme::kPetAblation) {
         pc.agent.state.include_incast = false;
@@ -152,7 +152,7 @@ void Experiment::install_scheme() {
       ac.agent.tuning_interval = cfg_.tuning_interval;
       ac.agent.reward = cfg_.reward_config();
       ac.agent.state.qlen_norm_bytes =
-          static_cast<double>(cfg_.topo.switch_cfg.pfc_xoff_bytes);
+          static_cast<double>(cfg_.topo.switch_config().pfc_xoff_bytes);
       // Anneal epsilon over the pre-training phase so measurement runs
       // mostly greedy (ACC's deployed behaviour). With a pretrained model
       // installed, start gently instead of from-scratch exploration.
@@ -265,8 +265,8 @@ Metrics Experiment::run_chunked(sim::Time chunk,
 Metrics Experiment::collect(sim::Time from, sim::Time to) const {
   Metrics m;
   const auto& records = recorder_.records();
-  const sim::Rate host_rate = cfg_.topo.host_link_rate;
-  const sim::Time rtt = topo_.base_rtt(cfg_.dcqcn.mtu_bytes);
+  const sim::Rate host_rate = cfg_.topo.host_link_rate();
+  const sim::Time rtt = topo_.diameter_rtt(cfg_.dcqcn.mtu_bytes);
   m.overall = fct_bucket_overall(records, from, to, host_rate, rtt);
   m.mice = fct_bucket_mice(records, from, to, host_rate, rtt);
   m.elephants = fct_bucket_elephants(records, from, to, host_rate, rtt);

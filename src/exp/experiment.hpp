@@ -17,8 +17,8 @@
 #include "exp/queue_probe.hpp"
 #include "exp/scheme.hpp"
 #include "exp/telemetry.hpp"
+#include "net/fabric.hpp"
 #include "net/fault_plan.hpp"
-#include "net/topology.hpp"
 #include "sim/profiler.hpp"
 #include "transport/dcqcn.hpp"
 #include "workload/distributions.hpp"
@@ -27,7 +27,9 @@
 namespace pet::exp {
 
 struct ScenarioConfig {
-  net::LeafSpineConfig topo{};
+  /// Any TopologySpec kind (leaf-spine, fat-tree, inter-DC); defaults to
+  /// the scaled-down leaf-spine the benches always used.
+  net::TopologySpec topo{};
   workload::WorkloadKind workload = workload::WorkloadKind::kWebSearch;
   double load = 0.6;
   /// Truncate the flow-size CDF so tail flows stay finishable on the scaled
@@ -113,7 +115,7 @@ class Experiment {
   // --- component access ------------------------------------------------------
   [[nodiscard]] sim::Scheduler& scheduler() { return sched_; }
   [[nodiscard]] net::Network& network() { return net_; }
-  [[nodiscard]] const net::LeafSpine& topology() const { return topo_; }
+  [[nodiscard]] const net::Fabric& topology() const { return topo_; }
   [[nodiscard]] transport::RdmaTransport& transport() { return *transport_; }
   [[nodiscard]] transport::FctRecorder& recorder() { return recorder_; }
   [[nodiscard]] workload::PoissonTrafficGenerator& background() { return *bg_; }
@@ -163,7 +165,7 @@ class Experiment {
   sim::Profiler profiler_;
   sim::Scheduler sched_;
   net::Network net_;
-  net::LeafSpine topo_;
+  net::Fabric topo_;
   transport::FctRecorder recorder_;
   std::unique_ptr<transport::RdmaTransport> transport_;
   std::unique_ptr<workload::PoissonTrafficGenerator> bg_;

@@ -13,9 +13,14 @@ ExperimentBuilder ExperimentBuilder::from_config(const ScenarioConfig& cfg) {
   return b;
 }
 
+ExperimentBuilder& ExperimentBuilder::topology(const net::TopologySpec& topo) {
+  cfg_.topo = topo;
+  return *this;
+}
+
 ExperimentBuilder& ExperimentBuilder::topology(
     const net::LeafSpineConfig& topo) {
-  cfg_.topo = topo;
+  cfg_.topo = net::TopologySpec(topo);
   return *this;
 }
 
@@ -133,16 +138,10 @@ namespace {
 }  // namespace
 
 void ExperimentBuilder::validate() const {
-  if (cfg_.topo.num_spines < 1) fail("topology.num_spines", "must be >= 1");
-  if (cfg_.topo.num_leaves < 1) fail("topology.num_leaves", "must be >= 1");
-  if (cfg_.topo.hosts_per_leaf < 1) {
-    fail("topology.hosts_per_leaf", "must be >= 1");
-  }
-  if (cfg_.topo.host_link_rate.bps() <= 0) {
-    fail("topology.host_link_rate", "must be positive");
-  }
-  if (cfg_.topo.spine_link_rate.bps() <= 0) {
-    fail("topology.spine_link_rate", "must be positive");
+  try {
+    cfg_.topo.validate();
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument(std::string("ExperimentBuilder: ") + e.what());
   }
   if (!(cfg_.load > 0.0) || cfg_.load > 1.0) {
     fail("load", "must be in (0, 1], got " + std::to_string(cfg_.load));

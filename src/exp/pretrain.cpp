@@ -62,13 +62,17 @@ std::vector<double> offline_pretrain(ScenarioConfig base,
 std::string pretrain_cache_key(const ScenarioConfig& base,
                                const PretrainOptions& opt) {
   const core::RewardConfig reward = base.reward_config();
+  // Non-leaf-spine fabrics get a kind discriminator; leaf-spine keys keep
+  // the historical format so existing on-disk caches stay valid.
+  const std::string topo_tag =
+      base.topo.is_leaf_spine() ? "" : std::string("_") + base.topo.kind_name();
   char buf[256];
   std::snprintf(
       buf, sizeof buf,
-      "%s_%s_h%d_r%" PRId64 "_seed%llu_d%" PRId64 "ms_b%g_rw%g-%g-%g",
+      "%s_%s%s_h%d_r%" PRId64 "_seed%llu_d%" PRId64 "ms_b%g_rw%g-%g-%g",
       scheme_name(base.scheme), workload::workload_name(base.workload),
-      base.topo.num_leaves * base.topo.hosts_per_leaf,
-      base.topo.host_link_rate.bps() / 1'000'000'000,
+      topo_tag.c_str(), base.topo.num_hosts(),
+      base.topo.host_link_rate().bps() / 1'000'000'000,
       static_cast<unsigned long long>(base.seed),
       static_cast<std::int64_t>(opt.duration.ms()), opt.lr_boost,
       reward.beta1, reward.beta2, reward.qref_bytes / 1024.0);

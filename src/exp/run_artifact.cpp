@@ -1,5 +1,6 @@
 #include "exp/run_artifact.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <map>
 
@@ -28,12 +29,7 @@ void RunArtifact::set_scenario(const ScenarioConfig& cfg) {
   scenario_.set("workload", workload::workload_name(cfg.workload));
   scenario_.set("load", cfg.load);
   scenario_.set("seed", cfg.seed);
-  JsonValue topo = JsonValue::object();
-  topo.set("spines", cfg.topo.num_spines);
-  topo.set("leaves", cfg.topo.num_leaves);
-  topo.set("hosts_per_leaf", cfg.topo.hosts_per_leaf);
-  topo.set("host_gbps", cfg.topo.host_link_rate.gbps());
-  scenario_.set("topology", std::move(topo));
+  scenario_.set("topology", topology_spec_json(cfg.topo));
   scenario_.set("pretrain_ms", cfg.pretrain.ms());
   scenario_.set("measure_ms", cfg.measure.ms());
   scenario_.set("tuning_interval_us", cfg.tuning_interval.us());
@@ -113,6 +109,139 @@ void RunArtifact::add_switch_summaries(
   }
 }
 
+namespace {
+
+JsonValue dc_spec_json(const net::DcSpec& dc) {
+  JsonValue out = JsonValue::object();
+  if (const auto* ls = std::get_if<net::LeafSpineConfig>(&dc)) {
+    out.set("kind", "leaf-spine");
+    out.set("spines", ls->num_spines);
+    out.set("leaves", ls->num_leaves);
+    out.set("hosts_per_leaf", ls->hosts_per_leaf);
+    out.set("host_gbps", ls->host_link_rate.gbps());
+    out.set("spine_gbps", ls->spine_link_rate.gbps());
+  } else {
+    const auto& ft = std::get<net::FatTreeSpec>(dc);
+    out.set("kind", "fat-tree");
+    out.set("k", ft.k);
+    out.set("hosts_per_edge", ft.hosts_per_edge_effective());
+    out.set("host_gbps", ft.host_link_rate.gbps());
+    out.set("edge_agg_gbps", ft.edge_agg_rate.gbps());
+    out.set("agg_core_gbps", ft.agg_core_rate.gbps());
+    out.set("edge_oversubscription", ft.edge_oversubscription());
+    out.set("agg_oversubscription", ft.agg_oversubscription());
+  }
+  return out;
+}
+
+}  // namespace
+
+JsonValue topology_spec_json(const net::TopologySpec& spec) {
+  JsonValue topo = JsonValue::object();
+  topo.set("kind", spec.kind_name());
+  topo.set("hosts", spec.num_hosts());
+  topo.set("switches", spec.num_switches());
+  switch (spec.kind()) {
+    case net::TopologySpec::Kind::kLeafSpine: {
+      const net::LeafSpineConfig& ls = spec.leaf_spine();
+      topo.set("spines", ls.num_spines);
+      topo.set("leaves", ls.num_leaves);
+      topo.set("hosts_per_leaf", ls.hosts_per_leaf);
+      topo.set("host_gbps", ls.host_link_rate.gbps());
+      topo.set("spine_gbps", ls.spine_link_rate.gbps());
+      break;
+    }
+    case net::TopologySpec::Kind::kFatTree: {
+      const net::FatTreeSpec& ft = spec.fat_tree();
+      topo.set("k", ft.k);
+      topo.set("hosts_per_edge", ft.hosts_per_edge_effective());
+      topo.set("host_gbps", ft.host_link_rate.gbps());
+      topo.set("edge_agg_gbps", ft.edge_agg_rate.gbps());
+      topo.set("agg_core_gbps", ft.agg_core_rate.gbps());
+      topo.set("edge_oversubscription", ft.edge_oversubscription());
+      topo.set("agg_oversubscription", ft.agg_oversubscription());
+      break;
+    }
+    case net::TopologySpec::Kind::kInterDc: {
+      const net::InterDcSpec& idc = spec.inter_dc();
+      topo.set("dc_a", dc_spec_json(idc.dc_a));
+      topo.set("dc_b", dc_spec_json(idc.dc_b));
+      topo.set("border_links", idc.border_links);
+      topo.set("wan_gbps", idc.wan_rate.gbps());
+      topo.set("wan_delay_us", idc.wan_delay.us());
+      break;
+    }
+  }
+  return topo;
+}
+
+JsonValue tier_summaries_json(const net::Fabric& fabric, net::Network& net) {
+  JsonValue tiers = JsonValue::array();
+  for (const net::FabricTier& tier : fabric.tiers()) {
+    JsonValue row = JsonValue::object();
+    row.set("label", tier.label);
+    row.set("switches", static_cast<std::int64_t>(tier.devices.size()));
+    std::int64_t tx_bytes = 0;
+    std::int64_t marked_bytes = 0;
+    std::int64_t dropped = 0;
+    std::int64_t no_route = 0;
+    std::int64_t buffer_full = 0;
+    std::int64_t pauses = 0;
+    std::int64_t installs = 0;
+    std::int64_t kmin_min = 0;
+    std::int64_t kmin_max = 0;
+    std::int64_t kmax_min = 0;
+    std::int64_t kmax_max = 0;
+    bool first = true;
+    for (const net::DeviceId id : tier.devices) {
+      const auto* sw = dynamic_cast<const net::SwitchDevice*>(&net.device(id));
+      if (sw == nullptr) continue;
+      for (std::int32_t p = 0; p < sw->num_ports(); ++p) {
+        tx_bytes += sw->port(p).tx_bytes();
+        marked_bytes += sw->port(p).tx_marked_bytes();
+        dropped += sw->port(p).dropped_packets();
+      }
+      no_route += sw->dropped_no_route();
+      buffer_full += sw->dropped_buffer_full();
+      pauses += sw->pfc_pauses_sent();
+      installs += sw->ecn_installs();
+      const net::EcnConfigSummary ecn = sw->ecn_config_summary();
+      if (first) {
+        kmin_min = ecn.kmin_min_bytes;
+        kmin_max = ecn.kmin_max_bytes;
+        kmax_min = ecn.kmax_min_bytes;
+        kmax_max = ecn.kmax_max_bytes;
+        first = false;
+      } else {
+        kmin_min = std::min(kmin_min, ecn.kmin_min_bytes);
+        kmin_max = std::max(kmin_max, ecn.kmin_max_bytes);
+        kmax_min = std::min(kmax_min, ecn.kmax_min_bytes);
+        kmax_max = std::max(kmax_max, ecn.kmax_max_bytes);
+      }
+    }
+    row.set("tx_bytes", tx_bytes);
+    row.set("tx_marked_bytes", marked_bytes);
+    row.set("port_dropped_packets", dropped);
+    row.set("dropped_no_route", no_route);
+    row.set("dropped_buffer_full", buffer_full);
+    row.set("pfc_pauses_sent", pauses);
+    row.set("ecn_installs", installs);
+    JsonValue ecn = JsonValue::object();
+    ecn.set("kmin_min_bytes", kmin_min);
+    ecn.set("kmin_max_bytes", kmin_max);
+    ecn.set("kmax_min_bytes", kmax_min);
+    ecn.set("kmax_max_bytes", kmax_max);
+    row.set("ecn_config", std::move(ecn));
+    tiers.push_back(std::move(row));
+  }
+  return tiers;
+}
+
+void RunArtifact::add_tier_summaries(const net::Fabric& fabric,
+                                     net::Network& net) {
+  tiers_ = tier_summaries_json(fabric, net);
+}
+
 void RunArtifact::add_event_counts(const EventLog& log) {
   // Deterministic key order for byte-stable artifacts.
   std::map<std::string, std::int64_t> counts;
@@ -160,6 +289,7 @@ JsonValue RunArtifact::to_json() const {
   root.set("manifest", std::move(manifest));
   root.set("metrics", metrics_);
   if (switches_.size() > 0) root.set("switches", switches_);
+  if (tiers_.size() > 0) root.set("tiers", tiers_);
   if (!event_counts_.members().empty()) root.set("events", event_counts_);
   JsonValue prof = profiler_;
   if (prof.find("sections") == nullptr) {
@@ -212,6 +342,25 @@ bool RunArtifact::validate_text(std::string_view text, std::string* error) {
   const JsonValue* seed = manifest->find("seed");
   if (seed == nullptr || !seed->is_number()) {
     return set_error("manifest missing numeric \"seed\"");
+  }
+  const JsonValue* scenario = manifest->find("scenario");
+  if (scenario != nullptr) {
+    // A recorded scenario must carry the full topology spec.
+    if (!scenario->is_object()) {
+      return set_error("manifest \"scenario\" is not an object");
+    }
+    const JsonValue* topo = scenario->find("topology");
+    if (topo == nullptr || !topo->is_object()) {
+      return set_error("scenario missing \"topology\" object");
+    }
+    const JsonValue* kind = topo->find("kind");
+    if (kind == nullptr || !kind->is_string() || kind->as_string().empty()) {
+      return set_error("scenario topology missing string \"kind\"");
+    }
+    const JsonValue* hosts = topo->find("hosts");
+    if (hosts == nullptr || !hosts->is_number()) {
+      return set_error("scenario topology missing numeric \"hosts\"");
+    }
   }
   const JsonValue* metrics = doc->find("metrics");
   if (metrics == nullptr || !metrics->is_object()) {

@@ -58,6 +58,9 @@ class RunArtifact {
   /// Per-switch telemetry summary: egress/drop/pause/install counters and
   /// the honest min/max ECN config roll-up.
   void add_switch_summaries(const std::vector<net::SwitchDevice*>& switches);
+  /// Per-tier roll-up of the same counters over the fabric's labeled
+  /// switch tiers (payload "tiers" section).
+  void add_tier_summaries(const net::Fabric& fabric, net::Network& net);
   /// Guardrail/fault event counts grouped by kind.
   void add_event_counts(const EventLog& log);
   /// Attach the profiler's section table and phase spans.
@@ -91,8 +94,19 @@ class RunArtifact {
   JsonValue manifest_extra_ = JsonValue::object();
   JsonValue metrics_ = JsonValue::object();
   JsonValue switches_ = JsonValue::array();
+  JsonValue tiers_ = JsonValue::array();
   JsonValue event_counts_ = JsonValue::object();
   JsonValue profiler_ = JsonValue::object();
 };
+
+/// The full topology spec as JSON — the manifest "topology" block (always
+/// carries "kind" and the derived "hosts"/"switches" counts plus every
+/// kind-specific field).
+[[nodiscard]] JsonValue topology_spec_json(const net::TopologySpec& spec);
+
+/// Per-tier switch counter roll-up for a built fabric; shared by
+/// add_tier_summaries() and the sweep's per-point metrics.
+[[nodiscard]] JsonValue tier_summaries_json(const net::Fabric& fabric,
+                                            net::Network& net);
 
 }  // namespace pet::exp

@@ -61,6 +61,12 @@ struct AttemptShared {
 }  // namespace
 
 std::vector<SweepPoint> SweepGrid::expand(std::int32_t train_episodes) const {
+  // An empty topology axis is a single unnamed point on the base topology,
+  // which keeps the historical "<scheme>_load<g>_seed<n>" ids.
+  const std::vector<NamedTopologySpec> ax_topo =
+      topologies.empty()
+          ? std::vector<NamedTopologySpec>{NamedTopologySpec{"", base.topo}}
+          : topologies;
   const std::vector<Scheme> ax_scheme =
       schemes.empty() ? std::vector<Scheme>{base.scheme} : schemes;
   const std::vector<double> ax_load =
@@ -68,20 +74,25 @@ std::vector<SweepPoint> SweepGrid::expand(std::int32_t train_episodes) const {
   const std::vector<std::uint64_t> ax_seed =
       seeds.empty() ? std::vector<std::uint64_t>{base.seed} : seeds;
   std::vector<SweepPoint> points;
-  points.reserve(ax_scheme.size() * ax_load.size() * ax_seed.size());
-  for (const Scheme scheme : ax_scheme) {
-    for (const double load : ax_load) {
-      for (const std::uint64_t seed : ax_seed) {
-        SweepPoint p;
-        p.index = static_cast<std::int32_t>(points.size());
-        p.id = format_point_id(scheme, load, seed);
-        p.cfg = base;
-        p.cfg.scheme = scheme;
-        p.cfg.load = load;
-        p.cfg.seed = seed;
-        p.training = train_episodes > 0 && (scheme == Scheme::kPet ||
-                                            scheme == Scheme::kPetAblation);
-        points.push_back(std::move(p));
+  points.reserve(ax_topo.size() * ax_scheme.size() * ax_load.size() *
+                 ax_seed.size());
+  for (const NamedTopologySpec& topo : ax_topo) {
+    for (const Scheme scheme : ax_scheme) {
+      for (const double load : ax_load) {
+        for (const std::uint64_t seed : ax_seed) {
+          SweepPoint p;
+          p.index = static_cast<std::int32_t>(points.size());
+          p.id = format_point_id(scheme, load, seed);
+          if (!topo.name.empty()) p.id = topo.name + "_" + p.id;
+          p.cfg = base;
+          p.cfg.topo = topo.spec;
+          p.cfg.scheme = scheme;
+          p.cfg.load = load;
+          p.cfg.seed = seed;
+          p.training = train_episodes > 0 && (scheme == Scheme::kPet ||
+                                              scheme == Scheme::kPetAblation);
+          points.push_back(std::move(p));
+        }
       }
     }
   }
@@ -214,9 +225,12 @@ SweepRunner::AttemptOutcome SweepRunner::run_eval_attempt(
     return out;
   }
   // Mirror the add_metrics() layout through a scratch artifact so per-point
-  // metric keys match standalone bench artifacts exactly.
+  // metric keys match standalone bench artifacts exactly. The per-tier
+  // roll-up rides in the metrics block so the merged sweep artifact
+  // carries it for every point.
   RunArtifact scratch("scratch");
   scratch.add_metrics("", m);
+  scratch.add_metric("tiers", tier_summaries_json(ex.topology(), ex.network()));
   const JsonValue doc = scratch.to_json();
   const JsonValue* metrics = doc.find("metrics");
   out.ok = metrics != nullptr && write_point_artifact(point, *metrics);

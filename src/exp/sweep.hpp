@@ -44,8 +44,9 @@ namespace pet::exp {
 /// within the sweep.
 struct SweepPoint {
   std::int32_t index = 0;
-  /// Stable id ("<scheme>_load<g>_seed<n>") naming the point's artifact and
-  /// checkpoint files.
+  /// Stable id ("<scheme>_load<g>_seed<n>", prefixed "<topology>_" when the
+  /// grid sweeps topologies) naming the point's artifact and checkpoint
+  /// files.
   std::string id;
   ScenarioConfig cfg;
   /// Training points run ReplicaRunner episodes; eval points run the
@@ -53,12 +54,21 @@ struct SweepPoint {
   bool training = false;
 };
 
+/// One topology axis value: the name keys the point id (keep it short and
+/// filename-safe, e.g. "ft8" or "interdc").
+struct NamedTopologySpec {
+  std::string name;
+  net::TopologySpec spec;
+};
+
 /// Declarative grid: the cartesian product of the axes over `base`.
 /// Axes left empty inherit the base scenario's value (a single point on
-/// that axis).
+/// that axis; an empty topology axis also keeps the historical un-prefixed
+/// point ids).
 struct SweepGrid {
   std::string name = "sweep";
   ScenarioConfig base{};
+  std::vector<NamedTopologySpec> topologies;
   std::vector<Scheme> schemes;
   std::vector<double> loads;
   std::vector<std::uint64_t> seeds;

@@ -1,6 +1,21 @@
 #include "net/topology.hpp"
 
+#include <stdexcept>
+#include <string>
+
+#include "net/fabric.hpp"
+
 namespace pet::net {
+
+DeviceId LeafSpine::leaf_of(HostId h) const {
+  if (h < 0 || static_cast<std::size_t>(h) >= host_devices.size()) {
+    throw std::out_of_range("LeafSpine::leaf_of: host " + std::to_string(h) +
+                            " outside 0.." +
+                            std::to_string(host_devices.size()) + "-1");
+  }
+  return leaf_devices[static_cast<std::size_t>(h) /
+                      static_cast<std::size_t>(cfg.hosts_per_leaf)];
+}
 
 sim::Time LeafSpine::base_rtt(std::int32_t mtu_bytes) const {
   // host -> leaf -> spine -> leaf -> host, and back.
@@ -12,39 +27,14 @@ sim::Time LeafSpine::base_rtt(std::int32_t mtu_bytes) const {
 }
 
 LeafSpine build_leaf_spine(Network& net, const LeafSpineConfig& cfg) {
+  // Shim: the fabric generator reproduces the historical creation order,
+  // so this view is just a relabeling of its tiers.
+  const Fabric fab = build_fabric(net, TopologySpec(cfg));
   LeafSpine out;
   out.cfg = cfg;
-
-  PortConfig nic;
-  nic.rate = cfg.host_link_rate;
-  nic.propagation_delay = cfg.host_link_delay;
-
-  const std::int32_t num_hosts = cfg.num_leaves * cfg.hosts_per_leaf;
-  out.host_devices.reserve(static_cast<std::size_t>(num_hosts));
-  for (std::int32_t h = 0; h < num_hosts; ++h) {
-    out.host_devices.push_back(net.add_host(nic).id());
-  }
-  for (std::int32_t l = 0; l < cfg.num_leaves; ++l) {
-    out.leaf_devices.push_back(net.add_switch(cfg.switch_cfg).id());
-  }
-  for (std::int32_t s = 0; s < cfg.num_spines; ++s) {
-    out.spine_devices.push_back(net.add_switch(cfg.switch_cfg).id());
-  }
-
-  for (std::int32_t l = 0; l < cfg.num_leaves; ++l) {
-    const DeviceId leaf = out.leaf_devices[static_cast<std::size_t>(l)];
-    for (std::int32_t h = 0; h < cfg.hosts_per_leaf; ++h) {
-      const DeviceId host =
-          out.host_devices[static_cast<std::size_t>(l * cfg.hosts_per_leaf + h)];
-      net.connect(host, leaf, cfg.host_link_rate, cfg.host_link_delay);
-    }
-    for (std::int32_t s = 0; s < cfg.num_spines; ++s) {
-      net.connect(leaf, out.spine_devices[static_cast<std::size_t>(s)],
-                  cfg.spine_link_rate, cfg.spine_link_delay);
-    }
-  }
-
-  net.recompute_routes();
+  out.host_devices = fab.host_devices();
+  out.leaf_devices = fab.tier("leaf");
+  out.spine_devices = fab.tier("spine");
   return out;
 }
 

@@ -1,0 +1,190 @@
+#include "net/topology_spec.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace pet::net {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& field, const std::string& why) {
+  throw std::invalid_argument("topology." + field + " " + why);
+}
+
+void validate_leaf_spine(const LeafSpineConfig& cfg,
+                         const std::string& prefix) {
+  if (cfg.num_spines < 1) fail(prefix + "num_spines", "must be >= 1");
+  if (cfg.num_leaves < 1) fail(prefix + "num_leaves", "must be >= 1");
+  if (cfg.hosts_per_leaf < 1) fail(prefix + "hosts_per_leaf", "must be >= 1");
+  if (cfg.host_link_rate.bps() <= 0) {
+    fail(prefix + "host_link_rate", "must be positive");
+  }
+  if (cfg.spine_link_rate.bps() <= 0) {
+    fail(prefix + "spine_link_rate", "must be positive");
+  }
+}
+
+void validate_fat_tree(const FatTreeSpec& cfg, const std::string& prefix) {
+  if (cfg.k < 2) fail(prefix + "k", "must be >= 2");
+  if (cfg.k % 2 != 0) fail(prefix + "k", "must be even");
+  if (cfg.hosts_per_edge < 0) {
+    fail(prefix + "hosts_per_edge", "must be >= 0 (0 = canonical k/2)");
+  }
+  if (cfg.host_link_rate.bps() <= 0) {
+    fail(prefix + "host_link_rate", "must be positive");
+  }
+  if (cfg.edge_agg_rate.bps() <= 0) {
+    fail(prefix + "edge_agg_rate", "must be positive");
+  }
+  if (cfg.agg_core_rate.bps() <= 0) {
+    fail(prefix + "agg_core_rate", "must be positive");
+  }
+}
+
+void validate_dc(const DcSpec& dc, const std::string& prefix) {
+  if (const auto* ls = std::get_if<LeafSpineConfig>(&dc)) {
+    validate_leaf_spine(*ls, prefix);
+  } else {
+    validate_fat_tree(std::get<FatTreeSpec>(dc), prefix);
+  }
+}
+
+}  // namespace
+
+double FatTreeSpec::edge_oversubscription() const {
+  const double down = static_cast<double>(hosts_per_edge_effective()) *
+                      static_cast<double>(host_link_rate.bps());
+  const double up = static_cast<double>(aggs_per_pod()) *
+                    static_cast<double>(edge_agg_rate.bps());
+  return down / up;
+}
+
+double FatTreeSpec::agg_oversubscription() const {
+  const double down = static_cast<double>(edges_per_pod()) *
+                      static_cast<double>(edge_agg_rate.bps());
+  const double up = static_cast<double>(k / 2) *
+                    static_cast<double>(agg_core_rate.bps());
+  return down / up;
+}
+
+std::int32_t dc_num_hosts(const DcSpec& dc) {
+  if (const auto* ls = std::get_if<LeafSpineConfig>(&dc)) {
+    return ls->num_leaves * ls->hosts_per_leaf;
+  }
+  return std::get<FatTreeSpec>(dc).num_hosts();
+}
+
+std::int32_t dc_num_switches(const DcSpec& dc) {
+  if (const auto* ls = std::get_if<LeafSpineConfig>(&dc)) {
+    return ls->num_leaves + ls->num_spines;
+  }
+  const FatTreeSpec& ft = std::get<FatTreeSpec>(dc);
+  return ft.num_edges() + ft.num_aggs() + ft.num_cores();
+}
+
+sim::Rate dc_host_link_rate(const DcSpec& dc) {
+  if (const auto* ls = std::get_if<LeafSpineConfig>(&dc)) {
+    return ls->host_link_rate;
+  }
+  return std::get<FatTreeSpec>(dc).host_link_rate;
+}
+
+const char* TopologySpec::kind_name() const {
+  switch (kind()) {
+    case Kind::kLeafSpine:
+      return "leaf-spine";
+    case Kind::kFatTree:
+      return "fat-tree";
+    case Kind::kInterDc:
+      return "inter-dc";
+  }
+  return "unknown";
+}
+
+std::int32_t TopologySpec::num_hosts() const {
+  switch (kind()) {
+    case Kind::kLeafSpine: {
+      const LeafSpineConfig& ls = leaf_spine();
+      return ls.num_leaves * ls.hosts_per_leaf;
+    }
+    case Kind::kFatTree:
+      return fat_tree().num_hosts();
+    case Kind::kInterDc:
+      return dc_num_hosts(inter_dc().dc_a) + dc_num_hosts(inter_dc().dc_b);
+  }
+  return 0;
+}
+
+std::int32_t TopologySpec::num_switches() const {
+  switch (kind()) {
+    case Kind::kLeafSpine: {
+      const LeafSpineConfig& ls = leaf_spine();
+      return ls.num_leaves + ls.num_spines;
+    }
+    case Kind::kFatTree: {
+      const FatTreeSpec& ft = fat_tree();
+      return ft.num_edges() + ft.num_aggs() + ft.num_cores();
+    }
+    case Kind::kInterDc:
+      // Two border routers join the datacenters.
+      return dc_num_switches(inter_dc().dc_a) +
+             dc_num_switches(inter_dc().dc_b) + 2;
+  }
+  return 0;
+}
+
+sim::Rate TopologySpec::host_link_rate() const {
+  switch (kind()) {
+    case Kind::kLeafSpine:
+      return leaf_spine().host_link_rate;
+    case Kind::kFatTree:
+      return fat_tree().host_link_rate;
+    case Kind::kInterDc: {
+      const sim::Rate a = dc_host_link_rate(inter_dc().dc_a);
+      const sim::Rate b = dc_host_link_rate(inter_dc().dc_b);
+      return a.bps() <= b.bps() ? a : b;
+    }
+  }
+  return sim::Rate{};
+}
+
+const SwitchConfig& TopologySpec::switch_config() const {
+  switch (kind()) {
+    case Kind::kLeafSpine:
+      return leaf_spine().switch_cfg;
+    case Kind::kFatTree:
+      return fat_tree().switch_cfg;
+    case Kind::kInterDc: {
+      const DcSpec& dc = inter_dc().dc_a;
+      if (const auto* ls = std::get_if<LeafSpineConfig>(&dc)) {
+        return ls->switch_cfg;
+      }
+      return std::get<FatTreeSpec>(dc).switch_cfg;
+    }
+  }
+  return leaf_spine().switch_cfg;
+}
+
+void TopologySpec::validate() const {
+  switch (kind()) {
+    case Kind::kLeafSpine:
+      validate_leaf_spine(leaf_spine(), "");
+      break;
+    case Kind::kFatTree:
+      validate_fat_tree(fat_tree(), "");
+      break;
+    case Kind::kInterDc: {
+      const InterDcSpec& idc = inter_dc();
+      validate_dc(idc.dc_a, "dc_a.");
+      validate_dc(idc.dc_b, "dc_b.");
+      if (idc.border_links < 1) fail("border_links", "must be >= 1");
+      if (idc.wan_rate.bps() <= 0) fail("wan_rate", "must be positive");
+      if (idc.wan_delay <= sim::Time::zero()) {
+        fail("wan_delay", "must be positive");
+      }
+      break;
+    }
+  }
+}
+
+}  // namespace pet::net

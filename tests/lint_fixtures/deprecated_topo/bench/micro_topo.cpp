@@ -1,0 +1,12 @@
+// Fixture: a bench reaching for the deprecated leaf-spine shim instead of
+// the TopologySpec front door. Must be flagged.
+#include "net/fabric.hpp"
+
+namespace pet::bench {
+
+void build_fixture_fabric(net::Network& net) {
+  net::LeafSpineConfig cfg;
+  (void)net::build_leaf_spine(net, cfg);
+}
+
+}  // namespace pet::bench

@@ -1,0 +1,11 @@
+// Fixture: the shim's own home under src/net/ is exempt — it implements
+// build_leaf_spine() in terms of build_fabric(). Must NOT be flagged.
+namespace pet::net {
+
+struct Network;
+struct LeafSpine;
+struct LeafSpineConfig;
+
+LeafSpine build_leaf_spine(Network& net, const LeafSpineConfig& cfg);
+
+}  // namespace pet::net

@@ -1,0 +1,12 @@
+// Fixture: tests may keep exercising the deprecated shim (they guard its
+// bitwise compatibility). Must NOT be flagged.
+#include "net/fabric.hpp"
+
+namespace pet::net {
+
+void exercise_shim(Network& net) {
+  LeafSpineConfig cfg;
+  (void)build_leaf_spine(net, cfg);
+}
+
+}  // namespace pet::net

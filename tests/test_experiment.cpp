@@ -10,9 +10,9 @@ namespace {
 ScenarioConfig tiny_scenario(Scheme scheme) {
   ScenarioConfig cfg;
   cfg.scheme = scheme;
-  cfg.topo.num_spines = 1;
-  cfg.topo.num_leaves = 2;
-  cfg.topo.hosts_per_leaf = 4;
+  cfg.topo.leaf_spine().num_spines = 1;
+  cfg.topo.leaf_spine().num_leaves = 2;
+  cfg.topo.leaf_spine().hosts_per_leaf = 4;
   cfg.load = 0.4;
   cfg.flow_size_cap_bytes = 2e6;
   cfg.pretrain = sim::milliseconds(2);
@@ -198,10 +198,10 @@ TEST(Experiment, PfcKeepsFabricLossless) {
 
 TEST(Experiment, TuneDcqcnScalesWithRate) {
   ScenarioConfig a;
-  a.topo.host_link_rate = sim::gbps(10);
+  a.topo.leaf_spine().host_link_rate = sim::gbps(10);
   a.tune_dcqcn_for_rate();
   ScenarioConfig b;
-  b.topo.host_link_rate = sim::gbps(40);
+  b.topo.leaf_spine().host_link_rate = sim::gbps(40);
   b.tune_dcqcn_for_rate();
   EXPECT_GT(b.dcqcn.rate_ai_bps, a.dcqcn.rate_ai_bps);
   EXPECT_GT(b.dcqcn.byte_counter, a.dcqcn.byte_counter);

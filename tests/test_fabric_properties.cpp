@@ -1,0 +1,199 @@
+// Property sweeps over fat-tree and inter-DC fabric shapes: routing
+// completeness, dense host IDs, ECMP closed forms, oversubscription
+// arithmetic and base-RTT symmetry must hold for every k and radix.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "net/fabric.hpp"
+
+namespace pet::net {
+namespace {
+
+class FatTreeSweepTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(FatTreeSweepTest, RoutingCompleteWithDenseHostIds) {
+  const auto [k, hosts_per_edge] = GetParam();
+  sim::Scheduler sched;
+  Network net(sched, 43);
+  FatTreeSpec ft;
+  ft.k = k;
+  ft.hosts_per_edge = hosts_per_edge;
+  const Fabric fab = build_fabric(net, TopologySpec(ft));
+
+  // Host IDs are dense: the network sees exactly spec.num_hosts() hosts
+  // numbered 0..H-1, each with a ToR.
+  EXPECT_EQ(net.num_hosts(), ft.num_hosts());
+  EXPECT_EQ(fab.num_hosts(), ft.num_hosts());
+  for (HostId h = 0; h < fab.num_hosts(); ++h) {
+    EXPECT_NO_THROW((void)fab.tor_of(h));
+  }
+
+  // Every switch in every tier routes to every host.
+  for (const auto& tier : fab.tiers()) {
+    for (const DeviceId id : tier.devices) {
+      auto* sw = dynamic_cast<SwitchDevice*>(&net.device(id));
+      ASSERT_NE(sw, nullptr);
+      for (HostId h = 0; h < fab.num_hosts(); ++h) {
+        EXPECT_FALSE(sw->routes(h).empty())
+            << tier.label << " switch " << id << " cannot reach host " << h;
+      }
+    }
+  }
+}
+
+TEST_P(FatTreeSweepTest, EcmpFanOutMatchesClosedForm) {
+  const auto [k, hosts_per_edge] = GetParam();
+  sim::Scheduler sched;
+  Network net(sched, 47);
+  FatTreeSpec ft;
+  ft.k = k;
+  ft.hosts_per_edge = hosts_per_edge;
+  const Fabric fab = build_fabric(net, TopologySpec(ft));
+  const std::size_t half_k = static_cast<std::size_t>(k) / 2;
+  const std::int32_t hpe = ft.hosts_per_edge_effective();
+
+  for (std::size_t e = 0; e < fab.tier("edge").size(); ++e) {
+    auto* edge =
+        dynamic_cast<SwitchDevice*>(&net.device(fab.tier("edge")[e]));
+    ASSERT_NE(edge, nullptr);
+    EXPECT_EQ(edge->num_ports(), hpe + static_cast<std::int32_t>(half_k));
+    for (HostId h = 0; h < fab.num_hosts(); ++h) {
+      if (static_cast<std::size_t>(h / hpe) == e) {
+        EXPECT_EQ(edge->routes(h).size(), 1u) << "direct host port";
+      } else {
+        // Any non-local destination spreads over all k/2 agg uplinks.
+        EXPECT_EQ(edge->routes(h).size(), half_k);
+      }
+    }
+  }
+  // An agg switch spreads inter-pod traffic over its k/2 core uplinks, so
+  // the end-to-end inter-pod ECMP width is (k/2) * (k/2) = (k/2)^2.
+  auto* agg = dynamic_cast<SwitchDevice*>(&net.device(fab.tier("agg")[0]));
+  ASSERT_NE(agg, nullptr);
+  const HostId remote = fab.num_hosts() - 1;  // last pod, never pod 0
+  EXPECT_EQ(agg->routes(remote).size(), half_k);
+  auto* edge0 = dynamic_cast<SwitchDevice*>(&net.device(fab.tier("edge")[0]));
+  EXPECT_EQ(edge0->routes(remote).size() * agg->routes(remote).size(),
+            half_k * half_k);
+}
+
+TEST_P(FatTreeSweepTest, OversubscriptionArithmetic) {
+  const auto [k, hosts_per_edge] = GetParam();
+  FatTreeSpec ft;
+  ft.k = k;
+  ft.hosts_per_edge = hosts_per_edge;
+  const double down = static_cast<double>(ft.hosts_per_edge_effective()) *
+                      static_cast<double>(ft.host_link_rate.bps());
+  const double up = static_cast<double>(k / 2) *
+                    static_cast<double>(ft.edge_agg_rate.bps());
+  EXPECT_DOUBLE_EQ(ft.edge_oversubscription(), down / up);
+  const double agg_up = static_cast<double>(k / 2) *
+                        static_cast<double>(ft.agg_core_rate.bps());
+  const double agg_down = static_cast<double>(k / 2) *
+                          static_cast<double>(ft.edge_agg_rate.bps());
+  EXPECT_DOUBLE_EQ(ft.agg_oversubscription(), agg_down / agg_up);
+}
+
+TEST_P(FatTreeSweepTest, BaseRttSymmetricAndBounded) {
+  const auto [k, hosts_per_edge] = GetParam();
+  sim::Scheduler sched;
+  Network net(sched, 53);
+  FatTreeSpec ft;
+  ft.k = k;
+  ft.hosts_per_edge = hosts_per_edge;
+  const Fabric fab = build_fabric(net, TopologySpec(ft));
+  const std::int32_t mtu = 1000;
+  const sim::Time diameter = fab.diameter_rtt(mtu);
+  for (HostId a = 0; a < fab.num_hosts(); ++a) {
+    for (HostId b = 0; b < fab.num_hosts(); ++b) {
+      const sim::Time rtt = fab.base_rtt(a, b, mtu);
+      EXPECT_EQ(rtt, fab.base_rtt(b, a, mtu)) << a << "<->" << b;
+      EXPECT_LE(rtt, diameter);
+      if (a == b) {
+        EXPECT_EQ(rtt, sim::Time::zero());
+      } else {
+        EXPECT_GT(rtt, sim::Time::zero());
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, FatTreeSweepTest,
+    ::testing::Combine(::testing::Values(2, 4, 6),
+                       ::testing::Values(0, 1, 4)),
+    [](const auto& param_info) {
+      return "k" + std::to_string(std::get<0>(param_info.param)) + "h" +
+             std::to_string(std::get<1>(param_info.param));
+    });
+
+TEST(InterDcProperty, MixedDcsRouteAcrossTheWan) {
+  // A fat-tree DC joined to a leaf-spine DC: every ToR on either side
+  // reaches every host, and crossing the WAN always costs more than the
+  // worst intra-DC path.
+  sim::Scheduler sched;
+  Network net(sched, 59);
+  InterDcSpec idc;
+  FatTreeSpec ft;
+  ft.k = 4;
+  ft.hosts_per_edge = 1;
+  idc.dc_a = ft;
+  LeafSpineConfig ls;
+  ls.num_spines = 2;
+  ls.num_leaves = 2;
+  ls.hosts_per_leaf = 2;
+  idc.dc_b = ls;
+  idc.border_links = 2;
+  const Fabric fab = build_fabric(net, TopologySpec(idc));
+
+  const HostId dc_a_hosts = ft.num_hosts();
+  ASSERT_EQ(fab.num_hosts(), dc_a_hosts + 4);
+  for (const DeviceId tor : fab.tor_devices()) {
+    auto* sw = dynamic_cast<SwitchDevice*>(&net.device(tor));
+    ASSERT_NE(sw, nullptr);
+    for (HostId h = 0; h < fab.num_hosts(); ++h) {
+      EXPECT_FALSE(sw->routes(h).empty())
+          << "ToR " << tor << " cannot reach host " << h;
+    }
+  }
+
+  const std::int32_t mtu = 1000;
+  sim::Time worst_intra = sim::Time::zero();
+  for (HostId a = 0; a < dc_a_hosts; ++a) {
+    for (HostId b = 0; b < dc_a_hosts; ++b) {
+      worst_intra = std::max(worst_intra, fab.base_rtt(a, b, mtu));
+    }
+  }
+  const sim::Time cross = fab.base_rtt(0, dc_a_hosts, mtu);
+  EXPECT_GT(cross, worst_intra);
+  EXPECT_EQ(cross, fab.base_rtt(dc_a_hosts, 0, mtu));
+  EXPECT_EQ(fab.diameter_rtt(mtu), cross);
+}
+
+TEST(FatTreeProperty, SingleUplinkFailureKeepsFabricConnected) {
+  // k >= 4 gives every edge two or more agg uplinks: failing any one
+  // edge-agg link must leave all routes intact (with narrower ECMP).
+  sim::Scheduler sched;
+  Network net(sched, 61);
+  FatTreeSpec ft;
+  ft.k = 4;
+  ft.hosts_per_edge = 1;
+  const Fabric fab = build_fabric(net, TopologySpec(ft));
+  const DeviceId edge = fab.tier("edge")[0];
+  const DeviceId agg = fab.tier("agg")[0];
+  ASSERT_TRUE(net.set_link_state(edge, agg, false));
+  for (const DeviceId tor : fab.tor_devices()) {
+    auto* sw = dynamic_cast<SwitchDevice*>(&net.device(tor));
+    for (HostId h = 0; h < fab.num_hosts(); ++h) {
+      EXPECT_FALSE(sw->routes(h).empty())
+          << "ToR " << tor << " lost host " << h;
+    }
+  }
+  ASSERT_TRUE(net.set_link_state(edge, agg, true));
+}
+
+}  // namespace
+}  // namespace pet::net

@@ -14,9 +14,9 @@ namespace {
 ScenarioConfig base_scenario(Scheme scheme, std::uint64_t seed = 7) {
   ScenarioConfig cfg;
   cfg.scheme = scheme;
-  cfg.topo.num_spines = 1;
-  cfg.topo.num_leaves = 2;
-  cfg.topo.hosts_per_leaf = 4;
+  cfg.topo.leaf_spine().num_spines = 1;
+  cfg.topo.leaf_spine().num_leaves = 2;
+  cfg.topo.leaf_spine().hosts_per_leaf = 4;
   cfg.load = 0.5;
   cfg.flow_size_cap_bytes = 2e6;
   cfg.pretrain = sim::milliseconds(2);
@@ -97,16 +97,16 @@ TEST(IncastEffect, IncastInflatesQueuesAtAggregator) {
 
 TEST(LinkFailure, TrafficReroutesAndRecovers) {
   ScenarioConfig cfg = base_scenario(Scheme::kSecn1);
-  cfg.topo.num_spines = 2;  // redundancy to reroute over
+  cfg.topo.leaf_spine().num_spines = 2;  // redundancy to reroute over
   Experiment experiment(cfg);
-  auto& topo = experiment.topology();
+  const auto& topo = experiment.topology();
   experiment.run_until(sim::milliseconds(2));
   // Kill one of leaf0's two uplinks.
   ASSERT_TRUE(experiment.network().set_link_state(
-      topo.leaf_devices[0], topo.spine_devices[0], false));
+      topo.tier("leaf")[0], topo.tier("spine")[0], false));
   experiment.run_until(sim::milliseconds(6));
   ASSERT_TRUE(experiment.network().set_link_state(
-      topo.leaf_devices[0], topo.spine_devices[0], true));
+      topo.tier("leaf")[0], topo.tier("spine")[0], true));
   experiment.run_until(sim::milliseconds(10));
   const Metrics m =
       experiment.collect(sim::milliseconds(2), sim::milliseconds(10));
@@ -154,8 +154,8 @@ TEST(ElephantThroughput, SaturatesWithoutCongestion) {
   for (const auto& r : experiment.recorder().records()) {
     if (r.spec.size_bytes == 1'500'000) {
       slowdown = r.fct().us() /
-                 ideal_fct_us(r.spec.size_bytes, cfg.topo.host_link_rate,
-                              experiment.topology().base_rtt(1000));
+                 ideal_fct_us(r.spec.size_bytes, cfg.topo.host_link_rate(),
+                              experiment.topology().diameter_rtt(1000));
     }
   }
   ASSERT_GT(slowdown, 0.0) << "elephant did not complete";

@@ -14,9 +14,9 @@ namespace {
 ScenarioConfig tiny_base(Scheme scheme) {
   ScenarioConfig cfg;
   cfg.scheme = scheme;
-  cfg.topo.num_spines = 1;
-  cfg.topo.num_leaves = 2;
-  cfg.topo.hosts_per_leaf = 4;
+  cfg.topo.leaf_spine().num_spines = 1;
+  cfg.topo.leaf_spine().num_leaves = 2;
+  cfg.topo.leaf_spine().hosts_per_leaf = 4;
   cfg.load = 0.5;
   cfg.flow_size_cap_bytes = 2e6;
   cfg.tune_dcqcn_for_rate();

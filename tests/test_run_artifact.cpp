@@ -15,9 +15,9 @@ namespace {
 ScenarioConfig tiny_scenario() {
   ScenarioConfig cfg;
   cfg.scheme = Scheme::kSecn1;
-  cfg.topo.num_spines = 1;
-  cfg.topo.num_leaves = 2;
-  cfg.topo.hosts_per_leaf = 4;
+  cfg.topo.leaf_spine().num_spines = 1;
+  cfg.topo.leaf_spine().num_leaves = 2;
+  cfg.topo.leaf_spine().hosts_per_leaf = 4;
   cfg.load = 0.4;
   cfg.flow_size_cap_bytes = 2e6;
   cfg.pretrain = sim::milliseconds(1);
@@ -58,6 +58,7 @@ TEST(RunArtifact, FullExperimentArtifactValidatesAndCarriesPayload) {
   art.set_scenario(experiment.config());
   art.add_metrics("", m);
   art.add_switch_summaries(experiment.network().switches());
+  art.add_tier_summaries(experiment.topology(), experiment.network());
   art.add_event_counts(experiment.event_log());
   art.set_profiler(experiment.profiler());
 
@@ -78,6 +79,18 @@ TEST(RunArtifact, FullExperimentArtifactValidatesAndCarriesPayload) {
   ASSERT_NE(switches, nullptr);
   EXPECT_EQ(switches->size(), 3u);  // 2 leaves + 1 spine
   EXPECT_NE(switches->at(0).find("ecn_config")->find("uniform"), nullptr);
+  // The manifest carries the topology spec; the payload the per-tier rollup.
+  const JsonValue* topo = manifest->find("scenario")->find("topology");
+  ASSERT_NE(topo, nullptr);
+  EXPECT_EQ(topo->find("kind")->as_string(), "leaf-spine");
+  EXPECT_EQ(topo->find("hosts")->as_number(), 8.0);
+  const JsonValue* tiers = doc->find("tiers");
+  ASSERT_NE(tiers, nullptr);
+  ASSERT_EQ(tiers->size(), 2u);
+  EXPECT_EQ(tiers->at(0).find("label")->as_string(), "leaf");
+  EXPECT_EQ(tiers->at(0).find("switches")->as_number(), 2.0);
+  EXPECT_EQ(tiers->at(1).find("label")->as_string(), "spine");
+  EXPECT_GT(tiers->at(0).find("tx_bytes")->as_number(), 0.0);
   // Profiling was on, so the scheduler attributed event kinds.
   const JsonValue* sections = doc->find("profiler")->find("sections");
   ASSERT_NE(sections, nullptr);
@@ -142,6 +155,28 @@ TEST(RunArtifact, ValidatorRejectsBadDocuments) {
   JsonValue no_prof = populated_artifact().to_json();
   no_prof.set("profiler", JsonValue::object());
   EXPECT_FALSE(RunArtifact::validate_text(no_prof.dump(), nullptr));
+}
+
+TEST(RunArtifact, ValidatorRequiresTopologyInRecordedScenarios) {
+  RunArtifact art = populated_artifact();
+  art.set_scenario(tiny_scenario());
+  std::string error;
+  ASSERT_TRUE(RunArtifact::validate_text(art.to_json_text(), &error)) << error;
+
+  // Strip the topology block: a scenario without it must be rejected.
+  JsonValue doc = art.to_json();
+  const JsonValue* scenario = doc.find("manifest")->find("scenario");
+  ASSERT_NE(scenario, nullptr);
+  JsonValue stripped = JsonValue::object();
+  for (const auto& [key, value] : scenario->members()) {
+    if (key != "topology") stripped.set(key, value);
+  }
+  JsonValue manifest = *doc.find("manifest");
+  manifest.set("scenario", std::move(stripped));
+  doc.set("manifest", std::move(manifest));
+  error.clear();
+  EXPECT_FALSE(RunArtifact::validate_text(doc.dump(), &error));
+  EXPECT_NE(error.find("topology"), std::string::npos) << error;
 }
 
 TEST(TraceExport, EmitsPhaseSpansAndInstantEvents) {

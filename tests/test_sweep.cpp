@@ -37,9 +37,9 @@ class ScratchDir {
 
 ScenarioConfig tiny_base() {
   ScenarioConfig cfg;
-  cfg.topo.num_spines = 1;
-  cfg.topo.num_leaves = 2;
-  cfg.topo.hosts_per_leaf = 2;
+  cfg.topo.leaf_spine().num_spines = 1;
+  cfg.topo.leaf_spine().num_leaves = 2;
+  cfg.topo.leaf_spine().hosts_per_leaf = 2;
   cfg.load = 0.5;
   cfg.flow_size_cap_bytes = 8e6;
   cfg.pretrain = sim::milliseconds(1);

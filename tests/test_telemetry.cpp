@@ -15,9 +15,9 @@ namespace {
 ScenarioConfig tiny_scenario() {
   ScenarioConfig cfg;
   cfg.scheme = Scheme::kSecn1;
-  cfg.topo.num_spines = 1;
-  cfg.topo.num_leaves = 2;
-  cfg.topo.hosts_per_leaf = 4;
+  cfg.topo.leaf_spine().num_spines = 1;
+  cfg.topo.leaf_spine().num_leaves = 2;
+  cfg.topo.leaf_spine().hosts_per_leaf = 4;
   cfg.load = 0.5;
   cfg.flow_size_cap_bytes = 2e6;
   cfg.pretrain = sim::milliseconds(1);
@@ -77,7 +77,7 @@ TEST(Telemetry, ReportsPerQueueSpreadNotPortZero) {
   // Regression: sample_all used to read port 0 / queue 0 only, so a
   // per-queue install on any other queue was invisible in telemetry.
   ScenarioConfig cfg = tiny_scenario();
-  cfg.topo.switch_cfg.num_data_queues = 2;
+  cfg.topo.leaf_spine().switch_cfg.num_data_queues = 2;
   Experiment experiment(cfg);
   net::SwitchDevice* sw = experiment.network().switches().front();
   net::RedEcnConfig odd;

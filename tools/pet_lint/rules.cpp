@@ -446,6 +446,25 @@ void rule_unaudited_ecn(const Ctx& c) {
   }
 }
 
+// --- rule: deprecated-topology ----------------------------------------------
+
+void rule_deprecated_topology(const Ctx& c) {
+  // The shim lives in src/net/topology.{hpp,cpp}; everything else builds
+  // fabrics through the TopologySpec front door.
+  if (starts_with(c.path, "src/net/")) return;
+  const TokenView& tv = c.tv;
+  for (std::size_t i = 0; i < tv.size(); ++i) {
+    const Token& t = tv.at(i);
+    if (t.kind == TokKind::kIdent && t.text == "build_leaf_spine" &&
+        tv.is_punct(i + 1, "(")) {
+      c.report("deprecated-topology", t,
+               "build_leaf_spine() is a deprecated shim — build fabrics "
+               "with net::build_fabric(net, net::TopologySpec{...}) so "
+               "fat-tree and inter-DC scenarios work unchanged");
+    }
+  }
+}
+
 // --- rule: nodiscard-chain --------------------------------------------------
 
 [[nodiscard]] bool is_chain_api(const std::string& name) {
@@ -601,6 +620,7 @@ Policy policy_for(std::string_view relpath) {
     p.unaudited_ecn = true;
     p.nodiscard_chain = true;
     p.header_hygiene = true;
+    p.deprecated_topology = true;  // rule itself skips the src/net shim
     if (starts_with(relpath, "src/sim/log.")) p.banned_io = false;
     if (starts_with(relpath, "src/testkit/")) p.banned_getenv = false;
     return p;
@@ -615,13 +635,18 @@ Policy policy_for(std::string_view relpath) {
   // tools/, bench/, examples/: relaxed — hygiene and result consumption.
   p.nodiscard_chain = true;
   p.header_hygiene = true;
+  // bench/examples must also stay off the deprecated topology shim (tests
+  // keep exercising it; pet_lint's own sources name the identifier).
+  if (starts_with(relpath, "bench/") || starts_with(relpath, "examples/")) {
+    p.deprecated_topology = true;
+  }
   return p;
 }
 
 const std::vector<std::string>& all_rule_ids() {
   static const std::vector<std::string> kIds = {
       "banned-api", "nondet-iteration", "unaudited-ecn", "nodiscard-chain",
-      "header-hygiene"};
+      "header-hygiene", "deprecated-topology"};
   return kIds;
 }
 
@@ -647,6 +672,7 @@ FileReport analyze_source(const std::string& relpath, std::string_view content,
     rule_nondet_iteration(c, inherited);
   }
   if (policy.unaudited_ecn) rule_unaudited_ecn(c);
+  if (policy.deprecated_topology) rule_deprecated_topology(c);
   if (policy.nodiscard_chain) rule_nodiscard_chain(c);
   if (policy.header_hygiene) rule_header_hygiene(c, has_sibling_header);
 

@@ -18,6 +18,9 @@
 //                     call site must consume the result
 //   header-hygiene    #pragma once first in headers; a TU's own header
 //                     must be its first include
+//   deprecated-topology  direct build_leaf_spine() calls outside the
+//                     src/net shim and tests — new code builds fabrics via
+//                     net::build_fabric(net, TopologySpec)
 //
 // Suppressions: `// pet-lint: allow(<id>[, <id>...]): <justification>` on
 // the offending line or the line directly above it, or
@@ -45,6 +48,7 @@ struct Policy {
   bool unaudited_ecn = false;
   bool nodiscard_chain = false;
   bool header_hygiene = false;
+  bool deprecated_topology = false;
 };
 
 /// Policy for a repo-relative path (forward slashes). Mirrors the table in

@@ -48,4 +48,15 @@ regen pet_tiny \
   --spines=1 --leaves=2 --hosts-per-leaf=2 \
   --pretrain-ms=2 --measure-ms=2 --seed=11 --no-pretrain-cache
 
+regen fat_tree_tiny \
+  --scheme=secn1 --workload=websearch --load=0.5 \
+  --topo=fat-tree --k=4 --hosts-per-edge=1 \
+  --pretrain-ms=1 --measure-ms=2 --seed=7
+
+regen inter_dc_tiny \
+  --scheme=pet --workload=datamining --load=0.5 \
+  --topo=inter-dc --spines=1 --leaves=1 --hosts-per-leaf=2 \
+  --border-links=2 --wan-delay-us=10 \
+  --pretrain-ms=1 --measure-ms=2 --seed=13 --no-pretrain-cache
+
 echo "regen_goldens: done — review with 'git diff tests/golden/'"
