@@ -21,7 +21,10 @@ namespace pet::bench {
 
 /// Console reporter that additionally records per-run times into the
 /// artifact as flat metrics: "<benchmark>.real_ns", ".cpu_ns",
-/// ".iterations" (aggregate rows are skipped — raw iterations only).
+/// ".iterations", plus every user counter under its own name (rate
+/// counters arrive already divided by elapsed time, so e.g.
+/// "<benchmark>.events_per_sec" is the headline number the bench gate
+/// compares). Aggregate rows are skipped — raw iterations only.
 class ArtifactReporter : public benchmark::ConsoleReporter {
  public:
   explicit ArtifactReporter(exp::RunArtifact* art) : art_(art) {}
@@ -37,6 +40,10 @@ class ArtifactReporter : public benchmark::ConsoleReporter {
                        run.real_accumulated_time * 1e9 / iters);
       art_->add_metric(key + ".cpu_ns", run.cpu_accumulated_time * 1e9 / iters);
       art_->add_metric(key + ".iterations", iters);
+      for (const auto& [name, counter] : run.counters) {
+        art_->add_metric(key + "." + name,
+                         static_cast<double>(counter.value));
+      }
     }
   }
 

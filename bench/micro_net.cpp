@@ -16,6 +16,7 @@ using namespace pet;
 
 /// Saturated single-switch forwarding: events/packet cost of the datapath.
 void BM_SwitchDatapath(benchmark::State& state) {
+  std::uint64_t events = 0;
   for (auto _ : state) {
     sim::Scheduler sched;
     net::Network net(sched, 1);
@@ -36,15 +37,23 @@ void BM_SwitchDatapath(benchmark::State& state) {
     spec.size_bytes = 1'000'000;  // 1000 packets end to end
     transport.start_flow(spec);
     sched.run_until(sim::milliseconds(2));
+    events += sched.executed();
     benchmark::DoNotOptimize(sched.executed());
   }
   state.SetItemsProcessed(state.iterations() * 1000);
   state.SetLabel("items = simulated data packets");
+  state.counters["packets_per_sec"] = benchmark::Counter(
+      static_cast<double>(state.iterations() * 1000),
+      benchmark::Counter::kIsRate);
+  state.counters["events_per_sec"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_SwitchDatapath)->Unit(benchmark::kMillisecond);
 
 /// Whole-fabric simulation throughput at 50% load on the scaled topology.
 void BM_FabricSimulation(benchmark::State& state) {
+  std::uint64_t events = 0;
+  std::int64_t packets = 0;
   for (auto _ : state) {
     sim::Scheduler sched;
     net::Network net(sched, 2);
@@ -63,9 +72,19 @@ void BM_FabricSimulation(benchmark::State& state) {
     workload::PoissonTrafficGenerator gen(sched, transport, bg);
     gen.start();
     sched.run_until(sim::milliseconds(5));
+    events += sched.executed();
+    for (const auto& sw : net.switches()) {
+      for (std::int32_t p = 0; p < sw->num_ports(); ++p) {
+        packets += sw->port(p).tx_packets();
+      }
+    }
     benchmark::DoNotOptimize(sched.executed());
   }
   state.SetLabel("5 simulated ms, 16 hosts @ 50% load");
+  state.counters["events_per_sec"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+  state.counters["packets_per_sec"] = benchmark::Counter(
+      static_cast<double>(packets), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_FabricSimulation)->Unit(benchmark::kMillisecond);
 

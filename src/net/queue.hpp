@@ -1,10 +1,16 @@
 #pragma once
 // FIFO byte-accounted packet queue with optional time-weighted occupancy
 // statistics (used by Table I and the reward's average queue length).
+//
+// Entries live in a flat power-of-two ring buffer rather than a std::deque:
+// the deque paid a node allocation every few entries on the per-packet hot
+// path, while the ring reaches its high-water capacity once and then serves
+// push/pop allocation-free (pinned by tests/test_alloc_steady.cpp).
 
 #include <cstdint>
-#include <deque>
 #include <optional>
+#include <utility>
+#include <vector>
 
 #include "net/packet.hpp"
 #include "sim/stats.hpp"
@@ -27,22 +33,28 @@ class FifoQueue {
     note_change(now);
     bytes_ += entry.pkt.size_bytes;
     ++packets_;
-    entries_.push_back(std::move(entry));
+    if (count_ == ring_.size()) grow();
+    ring_[(head_ + count_) & (ring_.size() - 1)] = std::move(entry);
+    ++count_;
   }
 
   [[nodiscard]] std::optional<QueueEntry> pop(sim::Time now) {
-    if (entries_.empty()) return std::nullopt;
+    if (count_ == 0) return std::nullopt;
     note_change(now);
-    QueueEntry e = std::move(entries_.front());
-    entries_.pop_front();
+    QueueEntry e = std::move(ring_[head_]);
+    head_ = (head_ + 1) & (ring_.size() - 1);
+    --count_;
     bytes_ -= e.pkt.size_bytes;
     --packets_;
     return e;
   }
 
-  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] bool empty() const { return count_ == 0; }
   [[nodiscard]] std::int64_t bytes() const { return bytes_; }
   [[nodiscard]] std::int64_t packets() const { return packets_; }
+
+  /// Ring capacity (high-water mark observability for the bench gate).
+  [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
 
   /// Enable/disable occupancy tracking (adds O(1) work per push/pop).
   void track_occupancy(bool enabled, sim::Time now) {
@@ -69,7 +81,19 @@ class FifoQueue {
     last_change_ = now;
   }
 
-  std::deque<QueueEntry> entries_;
+  void grow() {
+    // Double (min 8) and unroll the ring so the oldest entry lands at 0.
+    std::vector<QueueEntry> bigger(ring_.empty() ? 8 : ring_.size() * 2);
+    for (std::size_t i = 0; i < count_; ++i) {
+      bigger[i] = std::move(ring_[(head_ + i) & (ring_.size() - 1)]);
+    }
+    ring_ = std::move(bigger);
+    head_ = 0;
+  }
+
+  std::vector<QueueEntry> ring_;  // size always a power of two (or empty)
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
   std::int64_t bytes_ = 0;
   std::int64_t packets_ = 0;
   bool tracking_ = false;

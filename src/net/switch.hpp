@@ -45,9 +45,12 @@ struct EcnConfigSummary {
 class SwitchDevice : public Device {
  public:
   /// Classifies a data packet into one of the port's data queues.
+  // pet-lint: allow(hot-path-alloc): classifiers are installed once at
+  // setup; the per-packet call itself does not allocate
   using Classifier = std::function<std::int32_t(const Packet&)>;
   /// Observer invoked for every data packet accepted for forwarding
   /// (NCM taps this for incast degree and mice/elephant accounting).
+  // pet-lint: allow(hot-path-alloc): observer installed once at setup
   using ForwardObserver = std::function<void(
       const Packet&, std::int32_t out_port, std::int32_t queue_idx)>;
 

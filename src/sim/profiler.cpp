@@ -17,35 +17,70 @@ std::size_t Profiler::index_of(std::string_view name) {
 
 void Profiler::count(std::string_view name, std::uint64_t n) {
   sections_[index_of(name)].calls += n;
+  merged_dirty_ = true;
 }
 
 void Profiler::add_time(std::string_view name, double wall_ms) {
   Section& s = sections_[index_of(name)];
   ++s.calls;
   s.wall_ms += wall_ms;
+  merged_dirty_ = true;
 }
 
 void Profiler::record_event(const char* kind, double wall_ms) {
+  // Pure pointer-identity fast path: a previously unseen pointer opens its
+  // own row even when another TU's identical literal already has one (the
+  // language does not guarantee cross-TU literal merging) — readers merge
+  // rows by content, so the split is invisible outside this class.
   auto it = by_pointer_.find(kind);
   if (it == by_pointer_.end()) {
-    it = by_pointer_.emplace(kind, index_of(kind)).first;
+    const std::size_t idx = sections_.size();
+    sections_.push_back(Section{std::string(kind), 0, 0.0});
+    it = by_pointer_.emplace(kind, idx).first;
   }
   Section& s = sections_[it->second];
   ++s.calls;
   s.wall_ms += wall_ms;
+  merged_dirty_ = true;
+}
+
+void Profiler::count_untagged_event() {
+  if (untagged_idx_ == kNoIndex) untagged_idx_ = index_of("event");
+  ++sections_[untagged_idx_].calls;
+  merged_dirty_ = true;
+}
+
+const std::vector<Profiler::Section>& Profiler::sections() const {
+  if (merged_dirty_) {
+    merged_.clear();
+    for (const Section& s : sections_) {
+      auto it = std::find_if(
+          merged_.begin(), merged_.end(),
+          [&](const Section& m) { return m.name == s.name; });
+      if (it == merged_.end()) {
+        merged_.push_back(s);
+      } else {
+        it->calls += s.calls;
+        it->wall_ms += s.wall_ms;
+      }
+    }
+    merged_dirty_ = false;
+  }
+  return merged_;
 }
 
 const Profiler::Section* Profiler::section(std::string_view name) const {
-  for (const Section& s : sections_) {
+  for (const Section& s : sections()) {
     if (s.name == name) return &s;
   }
   return nullptr;
 }
 
 std::string Profiler::report() const {
+  const std::vector<Section>& merged = sections();
   std::vector<const Section*> by_time;
-  by_time.reserve(sections_.size());
-  for (const Section& s : sections_) by_time.push_back(&s);
+  by_time.reserve(merged.size());
+  for (const Section& s : merged) by_time.push_back(&s);
   std::sort(by_time.begin(), by_time.end(), [](const auto* a, const auto* b) {
     return a->wall_ms > b->wall_ms;
   });
@@ -69,6 +104,9 @@ void Profiler::clear() {
   sections_.clear();
   by_name_.clear();
   by_pointer_.clear();
+  untagged_idx_ = kNoIndex;
+  merged_.clear();
+  merged_dirty_ = false;
   spans_.clear();
 }
 

@@ -47,6 +47,8 @@ class Profiler {
 
   /// Simulated-time source for spans (the Scheduler attaches itself when
   /// set_profiler is called; standalone users may supply their own).
+  // pet-lint: allow(hot-path-alloc): time source is installed once at
+  // attach time, never on the per-event path
   void set_time_source(std::function<double()> now_us) {
     now_us_ = std::move(now_us);
   }
@@ -58,8 +60,18 @@ class Profiler {
   void add_time(std::string_view name, double wall_ms);
 
   /// Scheduler fast path: `kind` is a string literal whose pointer identity
-  /// is stable, so repeat events resolve without hashing the characters.
+  /// is stable for the process lifetime, so repeat events resolve without
+  /// hashing the characters. String-literal merging across translation
+  /// units is NOT guaranteed by the language, so identical tags from
+  /// different TUs may arrive under distinct pointers — each pointer gets
+  /// its own internal row here, and sections()/section()/report() merge
+  /// rows by content, so readers always see one section per tag.
   void record_event(const char* kind, double wall_ms);
+
+  /// Scheduler fast path for events scheduled without a kind tag: bumps the
+  /// "event" pool's call count with no clock access and no hashing (a
+  /// cached index after the first call).
+  void count_untagged_event();
 
   /// RAII phase scope; tolerates a null profiler so instrumented code
   /// needs no `if (profiler)` at every site.
@@ -79,11 +91,13 @@ class Profiler {
     double t0_us_ = 0.0;
   };
 
-  [[nodiscard]] const std::vector<Section>& sections() const {
-    return sections_;
-  }
+  /// Report-time view: rows merged by section name (calls and wall time
+  /// summed), in first-appearance order. The reference stays valid until
+  /// the next recording call.
+  [[nodiscard]] const std::vector<Section>& sections() const;
   [[nodiscard]] const std::vector<Span>& spans() const { return spans_; }
-  /// Section by name (nullptr if never recorded).
+  /// Merged section by name (nullptr if never recorded). The pointer stays
+  /// valid until the next recording call.
   [[nodiscard]] const Section* section(std::string_view name) const;
 
   /// Human-readable table of sections (sorted by wall time, descending).
@@ -92,12 +106,20 @@ class Profiler {
   void clear();
 
  private:
+  static constexpr std::size_t kNoIndex = static_cast<std::size_t>(-1);
+
   std::size_t index_of(std::string_view name);
 
+  // Raw rows: one per named counter plus one per distinct kind pointer —
+  // duplicates by content are possible and merged lazily on read.
   std::vector<Section> sections_;
   std::unordered_map<std::string, std::size_t> by_name_;
   std::unordered_map<const void*, std::size_t> by_pointer_;
+  std::size_t untagged_idx_ = kNoIndex;
+  mutable std::vector<Section> merged_;
+  mutable bool merged_dirty_ = false;
   std::vector<Span> spans_;
+  // pet-lint: allow(hot-path-alloc): cold member — written once at setup
   std::function<double()> now_us_;
 };
 

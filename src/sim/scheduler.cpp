@@ -1,28 +1,92 @@
 #include "sim/scheduler.hpp"
 
-#include <cassert>
+#include <algorithm>
 #include <chrono>
-#include <utility>
+#include <memory>
 
 #include "sim/profiler.hpp"
 
 namespace pet::sim {
 
-EventId Scheduler::schedule_at(Time at, Callback cb, const char* kind) {
-  assert(at >= now_ && "cannot schedule into the past");
-  assert(cb && "null event callback");
-  const std::uint64_t seq = next_seq_++;
-  queue_.push(Entry{at, seq, std::move(cb), kind});
-  pending_seqs_.insert(seq);
-  return EventId(seq);
+void Scheduler::grow_pool() {
+  pool_.push_back(std::make_unique<Record[]>(kChunkSize));
+}
+
+void Scheduler::release_slot(std::uint32_t slot) {
+  Record& rec = record(slot);
+  rec.cb.reset();
+  rec.kind = nullptr;
+  ++rec.gen;  // invalidate every EventId issued for the previous occupant
+  rec.next_free = free_head_;
+  free_head_ = slot;
+}
+
+void Scheduler::sift_down(std::size_t i, HeapItem item) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first = i * kArity + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = std::min(first + kArity, n);
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (heap_[c].before(heap_[best])) best = c;
+    }
+    if (!heap_[best].before(item)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = item;
+}
+
+void Scheduler::heap_pop_root() {
+  const HeapItem last = heap_.back();
+  heap_.pop_back();
+  if (heap_.empty()) return;
+  sift_down(0, last);
+}
+
+void Scheduler::compact_tombstones() {
+  // Drop every tombstoned entry, free its slot, and re-heapify in place.
+  // Pop order is a pure function of the (at, seq) total order, so the
+  // rebuilt heap replays the exact same event sequence.
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < heap_.size(); ++i) {
+    const std::uint32_t slot = heap_[i].slot;
+    if (record(slot).cancelled) {
+      record(slot).cancelled = false;
+      release_slot(slot);
+    } else {
+      heap_[kept++] = heap_[i];
+    }
+  }
+  heap_.resize(kept);
+  tombstones_ = 0;
+  if (kept <= 1) return;
+  for (std::size_t start = (kept - 2) / kArity + 1; start-- > 0;) {
+    sift_down(start, heap_[start]);
+  }
 }
 
 bool Scheduler::cancel(EventId id) {
   if (!id.valid()) return false;
+  const std::uint32_t slot =
+      static_cast<std::uint32_t>((id.token_ & 0xffffffffu) - 1);
+  const std::uint32_t gen = static_cast<std::uint32_t>(id.token_ >> 32);
   // Only a genuinely pending event may be cancelled; stale ids (already run
-  // or already cancelled) are ignored so callers can cancel defensively.
-  if (pending_seqs_.erase(id.seq_) == 0) return false;
-  cancelled_.insert(id.seq_);
+  // or already cancelled — the slot's generation moved on) are ignored so
+  // callers can cancel defensively.
+  if (slot >= pool_count_) return false;
+  Record& rec = record(slot);
+  if (rec.gen != gen || rec.cancelled) return false;
+  rec.cancelled = true;
+  // Release the capture now: a cancelled retransmit/watchdog timer must not
+  // pin its captured state until the (possibly far-future) deadline pops.
+  rec.cb.reset();
+  --live_;
+  ++tombstones_;
+  if (tombstones_ > kCompactMinTombstones && tombstones_ * 2 > heap_.size()) {
+    compact_tombstones();
+  }
   return true;
 }
 
@@ -35,31 +99,46 @@ void Scheduler::set_profiler(Profiler* profiler) {
 
 std::size_t Scheduler::run_until(Time until) {
   std::size_t ran = 0;
-  while (!queue_.empty() && queue_.top().at <= until) {
-    // priority_queue::top() is const; the element is about to be popped, so
-    // moving out of it is safe.
-    Entry entry = std::move(const_cast<Entry&>(queue_.top()));
-    queue_.pop();
-    if (auto it = cancelled_.find(entry.seq); it != cancelled_.end()) {
-      cancelled_.erase(it);
+  while (!heap_.empty() && heap_[0].at <= until) {
+    const HeapItem item = heap_[0];
+    heap_pop_root();
+    Record& rec = record(item.slot);
+    if (rec.cancelled) {
+      rec.cancelled = false;
+      release_slot(item.slot);
+      --tombstones_;
       continue;
     }
-    pending_seqs_.erase(entry.seq);
-    now_ = entry.at;
+    const char* kind = rec.kind;
+    // Invalidate outstanding EventIds before invoking: the callback runs in
+    // place out of its pool slot (chunks never move), so a self-cancel from
+    // inside the body must already see a stale handle.
+    ++rec.gen;
+    --live_;
+    now_ = item.at;
     ++executed_;
     ++ran;
-    if (profiler_ != nullptr) {
+    if (profiler_ != nullptr && kind != nullptr) {
       // pet-lint: allow(banned-api): wall-clock timing of the event body
       const auto t0 = std::chrono::steady_clock::now();
-      entry.cb();
+      rec.cb.consume();
       // pet-lint: allow(banned-api): wall-clock timing of the event body
       const auto t1 = std::chrono::steady_clock::now();
       profiler_->record_event(
-          entry.kind != nullptr ? entry.kind : "event",
-          std::chrono::duration<double, std::milli>(t1 - t0).count());
+          kind, std::chrono::duration<double, std::milli>(t1 - t0).count());
     } else {
-      entry.cb();
+      rec.cb.consume();
+      // Untagged events are counted but not wall-timed: two steady_clock
+      // samples per event would distort the numbers the profiler exists to
+      // report (and the micro benches gate on).
+      if (profiler_ != nullptr) profiler_->count_untagged_event();
     }
+    // The body may have scheduled (into other slots — this one is not on the
+    // free list yet) or cancelled (compacting the heap); both leave rec's
+    // address intact. Free the slot without a second generation bump.
+    rec.kind = nullptr;
+    rec.next_free = free_head_;
+    free_head_ = item.slot;
   }
   if (until != Time::max() && now_ < until) now_ = until;
   return ran;

@@ -4,34 +4,53 @@
 // Single-threaded by design (determinism is a hard requirement for the RL
 // experiments); ties in event time are broken by insertion order so two runs
 // with the same seed replay the exact same event sequence.
+//
+// Hot-path layout (see DESIGN.md "Hot path & bench gate"):
+//   * events live in a chunked slot pool with per-slot generation counters;
+//     an EventId is (generation, slot), so cancel() is one array index and a
+//     tombstone-bit flip — no hashing, no per-event bookkeeping sets. Chunks
+//     never move, so callbacks run in place straight out of their slot;
+//   * the ready queue is a flat 4-ary min-heap over (time, sequence) keys.
+//     The key order is total, so pop order — and therefore every golden
+//     artifact — is bitwise independent of heap arity and layout;
+//   * callbacks are sim::SmallCallback: capture storage is inline in the
+//     pool record, so a warmed-up schedule/run steady state performs zero
+//     heap allocations (pinned by tests/test_alloc_steady.cpp);
+//   * tombstoned entries are compacted away once they outnumber the live
+//     half of the heap, so schedule-then-cancel patterns (retransmit and
+//     watchdog timers) run in bounded memory.
 
+#include <cassert>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
+#include <memory>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "sim/callback.hpp"
 #include "sim/time.hpp"
 
 namespace pet::sim {
 
 class Profiler;
 
-/// Handle to a scheduled event; allows cancellation.
+/// Handle to a scheduled event; allows cancellation. Encodes the pool slot
+/// plus its generation at schedule time, so stale handles (already run,
+/// already cancelled, slot since reused) are recognized and ignored.
 class EventId {
  public:
   constexpr EventId() = default;
-  [[nodiscard]] constexpr bool valid() const { return seq_ != 0; }
+  [[nodiscard]] constexpr bool valid() const { return token_ != 0; }
 
  private:
   friend class Scheduler;
-  constexpr explicit EventId(std::uint64_t seq) : seq_(seq) {}
-  std::uint64_t seq_ = 0;
+  constexpr explicit EventId(std::uint64_t token) : token_(token) {}
+  std::uint64_t token_ = 0;
 };
 
 class Scheduler {
  public:
-  using Callback = std::function<void()>;
+  using Callback = SmallCallback;
 
   Scheduler() = default;
   Scheduler(const Scheduler&) = delete;
@@ -40,19 +59,41 @@ class Scheduler {
   /// Current simulated time.
   [[nodiscard]] Time now() const { return now_; }
 
-  /// Schedule `cb` to run at absolute time `at` (must be >= now()).
-  /// `kind` is an optional string-literal tag (stable pointer identity)
-  /// under which an attached Profiler attributes the event's execution;
-  /// untagged events are pooled as "event".
-  EventId schedule_at(Time at, Callback cb, const char* kind = nullptr);
+  /// Schedule `fn` to run at absolute time `at` (must be >= now()).
+  /// `kind` is an optional string-literal tag under which an attached
+  /// Profiler attributes the event's execution; untagged events are counted
+  /// (but not wall-timed) under "event". Accepts any void() callable and
+  /// constructs it directly into the slot pool (no intermediate Callback).
+  template <typename Fn, typename = std::enable_if_t<std::is_invocable_r_v<
+                             void, std::decay_t<Fn>&>>>
+  EventId schedule_at(Time at, Fn&& fn, const char* kind = nullptr) {
+    assert(at >= now_ && "cannot schedule into the past");
+    const std::uint32_t slot = acquire_slot();
+    Record& rec = record(slot);
+    if constexpr (std::is_same_v<std::decay_t<Fn>, Callback>) {
+      assert(fn && "null event callback");
+      rec.cb = std::forward<Fn>(fn);
+    } else {
+      rec.cb.emplace(std::forward<Fn>(fn));
+    }
+    rec.kind = kind;
+    heap_push(HeapItem{at, next_seq_++, slot});
+    ++live_;
+    return EventId((static_cast<std::uint64_t>(rec.gen) << 32) |
+                   (static_cast<std::uint64_t>(slot) + 1));
+  }
 
-  /// Schedule `cb` to run `delay` from now.
-  EventId schedule_in(Time delay, Callback cb, const char* kind = nullptr) {
-    return schedule_at(now_ + delay, std::move(cb), kind);
+  /// Schedule `fn` to run `delay` from now.
+  template <typename Fn, typename = std::enable_if_t<std::is_invocable_r_v<
+                             void, std::decay_t<Fn>&>>>
+  EventId schedule_in(Time delay, Fn&& fn, const char* kind = nullptr) {
+    return schedule_at(now_ + delay, std::forward<Fn>(fn), kind);
   }
 
   /// Cancel a pending event. Cancelling an already-run or already-cancelled
   /// event is a harmless no-op. Returns true if the event was still pending.
+  /// O(1): flips the slot's tombstone bit and releases the captured
+  /// callback immediately (timers that never fire hold no resources).
   bool cancel(EventId id);
 
   /// Run events until the queue drains or `until` is reached (events at
@@ -64,33 +105,103 @@ class Scheduler {
   std::size_t run_all() { return run_until(Time::max()); }
 
   /// Number of live (non-cancelled) pending events.
-  [[nodiscard]] std::size_t pending() const { return pending_seqs_.size(); }
+  [[nodiscard]] std::size_t pending() const { return live_; }
 
   /// Total events executed since construction.
   [[nodiscard]] std::uint64_t executed() const { return executed_; }
 
-  /// Attach a profiler: every executed event is counted and wall-timed
-  /// under its kind tag, and the profiler's span clock follows now().
-  /// Detach with nullptr. Profiling observes only — the event sequence is
-  /// bit-identical with or without it.
+  // --- capacity observability (leak regression tests, bench reports) -------
+  /// Heap entries, including not-yet-compacted tombstones.
+  [[nodiscard]] std::size_t heap_size() const { return heap_.size(); }
+  /// Pool slots ever created (high-water mark of concurrent events).
+  [[nodiscard]] std::size_t pool_size() const { return pool_count_; }
+  /// Cancelled entries still awaiting compaction or expiry.
+  [[nodiscard]] std::size_t tombstones() const { return tombstones_; }
+
+  /// Attach a profiler: every executed event is counted under its kind tag,
+  /// and tagged events are additionally wall-timed (untagged events skip
+  /// the clock samples so micro-bench numbers stay undistorted); the
+  /// profiler's span clock follows now(). Detach with nullptr. Profiling
+  /// observes only — the event sequence is bit-identical with or without it.
   void set_profiler(Profiler* profiler);
   [[nodiscard]] Profiler* profiler() const { return profiler_; }
 
  private:
-  struct Entry {
+  /// Pool record: callback + tag live here (stable address — chunks never
+  /// move — reused via the free list); the heap carries only the 24-byte
+  /// ordering key.
+  struct Record {
+    Callback cb;
+    const char* kind = nullptr;
+    std::uint32_t gen = 0;
+    bool cancelled = false;
+    std::uint32_t next_free = kNilSlot;
+  };
+
+  struct HeapItem {
     Time at;
     std::uint64_t seq;
-    Callback cb;
-    const char* kind;
-    bool operator>(const Entry& other) const {
-      if (at != other.at) return at > other.at;
-      return seq > other.seq;
+    std::uint32_t slot;
+    [[nodiscard]] bool before(const HeapItem& other) const {
+      if (at != other.at) return at < other.at;
+      return seq < other.seq;
     }
   };
 
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue_;
-  std::unordered_set<std::uint64_t> pending_seqs_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  static constexpr std::uint32_t kNilSlot = 0xffffffffu;
+  /// 4-ary heap indexing: children of i are 4i+1..4i+4.
+  static constexpr std::size_t kArity = 4;
+  /// Compaction kicks in only past this many tombstones, so small schedulers
+  /// never pay the rebuild.
+  static constexpr std::size_t kCompactMinTombstones = 64;
+  /// Pool chunking: 256 records per chunk. Growth allocates a fresh chunk
+  /// and never relocates existing records, so in-flight callbacks and the
+  /// free list survive any reentrant schedule_at.
+  static constexpr std::uint32_t kChunkShift = 8;
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
+  static constexpr std::uint32_t kChunkMask = kChunkSize - 1;
+
+  [[nodiscard]] Record& record(std::uint32_t slot) {
+    return pool_[slot >> kChunkShift][slot & kChunkMask];
+  }
+
+  [[nodiscard]] std::uint32_t acquire_slot() {
+    if (free_head_ != kNilSlot) {
+      const std::uint32_t slot = free_head_;
+      free_head_ = record(slot).next_free;
+      return slot;
+    }
+    const std::uint32_t slot = pool_count_++;
+    if ((slot & kChunkMask) == 0) grow_pool();
+    return slot;
+  }
+
+  void heap_push(HeapItem item) {
+    // Hole insertion: bubble the hole up with single copies, then place the
+    // item once (a swap chain would move three times per level).
+    std::size_t i = heap_.size();
+    heap_.push_back(item);
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / kArity;
+      if (!item.before(heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      i = parent;
+    }
+    heap_[i] = item;
+  }
+
+  void grow_pool();
+  void release_slot(std::uint32_t slot);
+  void heap_pop_root();
+  void sift_down(std::size_t i, HeapItem item);
+  void compact_tombstones();
+
+  std::vector<HeapItem> heap_;  // flat 4-ary min-heap by (at, seq)
+  std::vector<std::unique_ptr<Record[]>> pool_;
+  std::uint32_t pool_count_ = 0;
+  std::uint32_t free_head_ = kNilSlot;
+  std::size_t live_ = 0;
+  std::size_t tombstones_ = 0;
   Time now_ = Time::zero();
   std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;

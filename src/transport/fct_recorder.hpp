@@ -18,7 +18,11 @@ class FctRecorder {
   explicit FctRecorder(std::uint64_t seed = 0x5151,
                        std::size_t latency_reservoir = 1 << 16)
       : rng_(sim::derive_seed(seed, "fct-reservoir")),
-        reservoir_capacity_(latency_reservoir) {}
+        reservoir_capacity_(latency_reservoir) {
+    // Fill-phase push_backs must never reallocate mid-run: the per-packet
+    // record_latency call sits on the DES hot path.
+    latency_reservoir_.reserve(reservoir_capacity_);
+  }
 
   void record_flow(const FlowSpec& spec, sim::Time finish) {
     records_.push_back(FctRecord{spec, finish});

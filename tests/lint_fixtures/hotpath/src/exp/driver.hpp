@@ -1,0 +1,11 @@
+#pragma once
+// Fixture: std::function outside the hot-path subsystems (src/exp) is fine —
+// the hot-path-alloc rule only activates under src/sim/ and src/net/.
+
+#include <functional>
+
+namespace pet::exp {
+
+using ProgressSink = std::function<void(int)>;  // NOT flagged
+
+}  // namespace pet::exp

@@ -1,0 +1,22 @@
+#pragma once
+// Fixture: hot-path containers inside src/sim/ — both banned containers are
+// flagged, and the annotated cold-path member is suppressed.
+
+#include <deque>
+#include <functional>
+
+namespace pet::sim {
+
+class TimerWheel {
+ public:
+  using Callback = std::function<void()>;  // flagged: event callback type
+
+  void arm(long at_ps, Callback cb);
+
+ private:
+  std::deque<long> deadlines_;  // flagged: per-block allocation
+  // pet-lint: allow(hot-path-alloc): report hook runs once at teardown
+  std::function<void()> report_hook_;
+};
+
+}  // namespace pet::sim

@@ -1,0 +1,15 @@
+// Second translation unit for the profiler content-merge regression test:
+// this file's "net.tx" literal may (or may not) share an address with the
+// one in test_profiler.cpp — the linker is free either way, which is exactly
+// why the profiler must merge sections by content at report time rather than
+// trusting pointer identity across TUs.
+
+#include "sim/profiler.hpp"
+
+namespace pet::sim::testhook {
+
+void record_net_tx_from_second_tu(Profiler& prof, double wall_ms) {
+  prof.record_event("net.tx", wall_ms);
+}
+
+}  // namespace pet::sim::testhook

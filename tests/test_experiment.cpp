@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include "exp/json.hpp"
 #include "exp/metrics.hpp"
+#include "exp/run_artifact.hpp"
+
+#include <string>
 
 namespace pet::exp {
 namespace {
@@ -149,6 +153,58 @@ TEST(Experiment, DeterministicForSameSeed) {
   EXPECT_EQ(a.flows_measured, b.flows_measured);
   EXPECT_DOUBLE_EQ(a.overall.avg_us, b.overall.avg_us);
   EXPECT_DOUBLE_EQ(a.queue_avg_kb, b.queue_avg_kb);
+}
+
+// Strip the observer-dependent parts of an artifact: the manifest (host
+// facts), the profiler section itself, and every wall_ms field. What is
+// left — scenario, metrics, telemetry tables — must not depend on whether
+// a profiler was watching.
+JsonValue strip_observer(const JsonValue& v, bool root) {
+  switch (v.kind()) {
+    case JsonValue::Kind::kObject: {
+      JsonValue out = JsonValue::object();
+      for (const auto& [key, member] : v.members()) {
+        if (key == "wall_ms") continue;
+        if (root && (key == "manifest" || key == "profiler")) continue;
+        out.set(key, strip_observer(member, false));
+      }
+      return out;
+    }
+    case JsonValue::Kind::kArray: {
+      JsonValue out = JsonValue::array();
+      for (const JsonValue& item : v.items()) {
+        out.push_back(strip_observer(item, false));
+      }
+      return out;
+    }
+    default:
+      return v;
+  }
+}
+
+TEST(Experiment, ProfilingDoesNotPerturbArtifact) {
+  // Regression for profiler overhead in the event loop: sampling the wall
+  // clock (or anything else the profiler does) must be invisible to the
+  // simulation. The full run artifact of a profiled run, canonicalized by
+  // dropping the profiler/manifest/wall_ms parts, is byte-identical to the
+  // unprofiled run's.
+  const auto canonical_artifact = [](bool profiling) {
+    ScenarioConfig cfg = tiny_scenario(Scheme::kSecn1);
+    cfg.profiling = profiling;
+    Experiment experiment(cfg);
+    const Metrics m = experiment.run();
+    RunArtifact art("profiling_identity");
+    art.set_scenario(cfg);
+    art.add_metrics("", m);
+    art.set_profiler(experiment.profiler());
+    const auto doc = JsonValue::parse(art.to_json_text());
+    EXPECT_TRUE(doc.has_value());
+    return strip_observer(*doc, /*root=*/true).dump(2);
+  };
+  const std::string off = canonical_artifact(false);
+  const std::string on = canonical_artifact(true);
+  EXPECT_EQ(off, on);
+  EXPECT_NE(off.find("\"metrics\""), std::string::npos);
 }
 
 TEST(Experiment, SeedChangesOutcome) {

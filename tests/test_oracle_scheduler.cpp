@@ -78,6 +78,67 @@ PROPERTY_CASES(SchedulerOracle, HeapAgreesWithSortedVectorModel, 2500,
   PROP_ASSERT_EQ(model.pending(), std::size_t{0});
 }
 
+// Cancel-heavy churn: cancels outnumber schedules, repeatedly re-cancelling
+// earlier targets (stale ids after execution or slot reuse must stay inert)
+// and driving tombstone compaction while the run interleaves. schedule_in is
+// exercised alongside schedule_at; the model sees the equivalent absolute
+// time.
+PROPERTY_CASES(SchedulerOracle, CancelHeavyChurnAgreesWithModel, 2000,
+               vector_of(tuple_of(integers(0, 7), integers(0, 1 << 20),
+                                  integers(0, 50'000)),
+                         1, 120)) {
+  sim::Scheduler real;
+  SchedulerModel model;
+
+  std::vector<sim::EventId> real_ids;
+  std::vector<std::uint64_t> model_ids;
+  std::vector<std::size_t> real_order;
+  std::vector<std::size_t> model_order;
+
+  for (const auto& [sel, operand, delay_ps] : arg) {
+    const std::int64_t kind = sel % 8;
+    if (kind <= 1) {  // schedule_at
+      const sim::Time at = real.now() + sim::Time(delay_ps);
+      const std::size_t k = real_ids.size();
+      real_ids.push_back(real.schedule_at(
+          at, [k, &real_order] { real_order.push_back(k); }));
+      model_ids.push_back(model.schedule_at(at));
+    } else if (kind == 2) {  // schedule_in — sugar for now() + delay
+      const std::size_t k = real_ids.size();
+      real_ids.push_back(real.schedule_in(
+          sim::Time(delay_ps), [k, &real_order] { real_order.push_back(k); }));
+      model_ids.push_back(model.schedule_at(real.now() + sim::Time(delay_ps)));
+    } else if (kind <= 6) {  // cancel (x4 weight: most targets end up stale)
+      if (real_ids.empty()) continue;
+      const std::size_t k =
+          static_cast<std::size_t>(operand) % real_ids.size();
+      PROP_ASSERT_EQ(real.cancel(real_ids[k]), model.cancel(model_ids[k]));
+    } else {  // run forward
+      const sim::Time until = real.now() + sim::Time(delay_ps);
+      const std::size_t ran = real.run_until(until);
+      const std::vector<std::uint64_t> due = model.run_until(until);
+      for (const std::uint64_t id : due) {
+        model_order.push_back(static_cast<std::size_t>(id - 1));
+      }
+      PROP_ASSERT_EQ(ran, due.size());
+      PROP_ASSERT_EQ(real.now().ps(), model.now().ps());
+      PROP_ASSERT_EQ(real_order, model_order);
+    }
+    PROP_ASSERT_EQ(real.pending(), model.pending());
+    // Tombstones may lag cancels between compactions, but never exceed the
+    // live half of the heap plus the compaction threshold.
+    PROP_ASSERT(real.heap_size() <= 2 * real.pending() + 256);
+  }
+
+  real.run_all();
+  for (const std::uint64_t id : model.run_until(sim::Time::max())) {
+    model_order.push_back(static_cast<std::size_t>(id - 1));
+  }
+  PROP_ASSERT_EQ(real_order, model_order);
+  PROP_ASSERT_EQ(real.pending(), std::size_t{0});
+  PROP_ASSERT_EQ(real.tombstones(), std::size_t{0});
+}
+
 PROPERTY_CASES(SchedulerOracle, TiesExecuteInInsertionOrder, 2000,
                tuple_of(integers(0, 1'000'000), integers(2, 12))) {
   const auto& [at_ps, n] = arg;

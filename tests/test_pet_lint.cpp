@@ -201,6 +201,35 @@ TEST(LintPolicy, DeprecatedTopologyActivation) {
   EXPECT_FALSE(lint::policy_for("tools/pet_lint/rules.cpp").deprecated_topology);
 }
 
+TEST(LintPolicy, HotPathAllocActivation) {
+  EXPECT_TRUE(lint::policy_for("src/sim/scheduler.hpp").hot_path_alloc);
+  EXPECT_TRUE(lint::policy_for("src/net/queue.hpp").hot_path_alloc);
+  EXPECT_FALSE(lint::policy_for("src/exp/experiment.cpp").hot_path_alloc);
+  EXPECT_FALSE(lint::policy_for("src/rl/ppo.cpp").hot_path_alloc);
+  EXPECT_FALSE(lint::policy_for("tests/test_scheduler.cpp").hot_path_alloc);
+  EXPECT_FALSE(lint::policy_for("bench/micro_sim.cpp").hot_path_alloc);
+}
+
+TEST(LintFixtures, HotPathAllocFlagsSimNetOnlyAndHonorsAllow) {
+  const auto r = run_fixture("hotpath");
+  EXPECT_FALSE(r.io_error) << r.error;
+  // The src/sim std::function alias and std::deque member are flagged; the
+  // annotated report hook is suppressed; src/exp stays out of scope.
+  ASSERT_EQ(count_rule(r, "hot-path-alloc"), 2u);
+  bool saw_function = false;
+  bool saw_deque = false;
+  for (const auto& f : r.findings) {
+    EXPECT_NE(f.path.find("src/sim/"), std::string::npos);
+    saw_function =
+        saw_function || f.message.find("SmallCallback") != std::string::npos;
+    saw_deque = saw_deque || f.message.find("FifoQueue") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_function);
+  EXPECT_TRUE(saw_deque);
+  EXPECT_EQ(r.findings.size(), 2u);
+  EXPECT_EQ(r.suppressed, 1u);
+}
+
 TEST(LintFixtures, HeaderHygieneMissingPragmaAndWrongFirstInclude) {
   const auto r = run_fixture("hygiene");
   EXPECT_FALSE(r.io_error) << r.error;

@@ -8,6 +8,11 @@
 #include "sim/scheduler.hpp"
 
 namespace pet::sim {
+namespace testhook {
+// Defined in profiler_second_tu.cpp: records "net.tx" via that TU's literal.
+void record_net_tx_from_second_tu(Profiler& prof, double wall_ms);
+}  // namespace testhook
+
 namespace {
 
 TEST(Profiler, CountsAndTimesSections) {
@@ -36,6 +41,59 @@ TEST(Profiler, RecordEventPoolsByKindPointer) {
   ASSERT_NE(s, nullptr);
   EXPECT_EQ(s->calls, 2u);
   EXPECT_DOUBLE_EQ(s->wall_ms, 0.5);
+}
+
+TEST(Profiler, DistinctPointersSameContentMergeInReport) {
+  // Regression: record_event caches by pointer identity for speed, but two
+  // distinct pointers with equal content (string literals from different
+  // TUs, or any non-literal tag) must land in ONE reported section, not two.
+  Profiler prof;
+  static const char* kLiteral = "net.tx";
+  const char stack_copy[] = {'n', 'e', 't', '.', 't', 'x', '\0'};
+  ASSERT_NE(kLiteral, static_cast<const char*>(stack_copy));
+  prof.record_event(kLiteral, 0.25);
+  prof.record_event(stack_copy, 0.75);
+  prof.record_event(kLiteral, 0.25);
+  const Profiler::Section* s = prof.section("net.tx");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->calls, 3u);
+  EXPECT_DOUBLE_EQ(s->wall_ms, 1.25);
+  // The merged view exposes exactly one "net.tx" row.
+  int rows = 0;
+  for (const Profiler::Section& sec : prof.sections()) {
+    if (sec.name == "net.tx") ++rows;
+  }
+  EXPECT_EQ(rows, 1);
+}
+
+TEST(Profiler, CrossTuLiteralsMergeByContent) {
+  // Same tag recorded through another translation unit's "net.tx" literal:
+  // whether or not the linker merged the two literals, the report must show
+  // a single section with the summed totals.
+  Profiler prof;
+  static const char* kLiteral = "net.tx";
+  prof.record_event(kLiteral, 1.0);
+  testhook::record_net_tx_from_second_tu(prof, 2.0);
+  const Profiler::Section* s = prof.section("net.tx");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->calls, 2u);
+  EXPECT_DOUBLE_EQ(s->wall_ms, 3.0);
+  int rows = 0;
+  for (const Profiler::Section& sec : prof.sections()) {
+    if (sec.name == "net.tx") ++rows;
+  }
+  EXPECT_EQ(rows, 1);
+}
+
+TEST(Profiler, MergedViewStaysCurrentAcrossRecordings) {
+  Profiler prof;
+  static const char* kKind = "a";
+  prof.record_event(kKind, 1.0);
+  EXPECT_EQ(prof.section("a")->calls, 1u);  // builds the merged view
+  prof.record_event(kKind, 1.0);            // must invalidate it
+  EXPECT_EQ(prof.section("a")->calls, 2u);
+  prof.count("b");
+  EXPECT_EQ(prof.sections().size(), 2u);
 }
 
 TEST(Profiler, ScopeRecordsSimTimeSpan) {

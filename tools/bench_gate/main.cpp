@@ -1,0 +1,169 @@
+// bench_gate: throughput-regression gate for the micro benches.
+//
+// Usage: bench_gate --baseline-dir=DIR BENCH_micro_*.json...
+//
+// Each artifact is compared against the committed baseline of the same
+// filename in DIR. Only rate-style metrics are gated — ".<counter>_per_sec" /
+// "_per_second" counters (higher is better) and ".p99_*_ns" latencies (lower
+// is better). Raw "real_ns" / "cpu_ns" / "iterations" values are ignored:
+// they are not normalized across --benchmark_min_time settings, so they only
+// add noise.
+//
+// The tolerance band is deliberately generous: the gate exists to catch an
+// order-of-magnitude cliff (an accidental O(n) heap scan, a pessimized
+// allocation path), not 10% jitter between container runs. A metric passes
+// while current >= PET_BENCH_GATE_MIN_RATIO * baseline (rates) or
+// current <= baseline / PET_BENCH_GATE_MIN_RATIO (p99 latencies). Default
+// ratio 0.30; override with the PET_BENCH_GATE_MIN_RATIO env var.
+//
+// A gated metric present in the baseline but missing from the fresh artifact
+// fails: renaming or dropping a benchmark requires regenerating baselines
+// (tools/regen_bench_baselines.sh), not silently shrinking coverage.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+#include "exp/json.hpp"
+
+namespace {
+
+using pet::exp::JsonValue;
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+/// The final dot-separated component of a metric key, e.g.
+/// "BM_SchedulerSteadyState/4096.p99_event_ns" -> "p99_event_ns".
+std::string_view counter_of(std::string_view key) {
+  const std::size_t dot = key.rfind('.');
+  return dot == std::string_view::npos ? key : key.substr(dot + 1);
+}
+
+enum class Direction { kSkip, kHigherBetter, kLowerBetter };
+
+Direction classify(std::string_view key) {
+  const std::string_view counter = counter_of(key);
+  if (ends_with(counter, "_per_sec") || ends_with(counter, "_per_second")) {
+    return Direction::kHigherBetter;
+  }
+  if (counter.rfind("p99_", 0) == 0 && ends_with(counter, "_ns")) {
+    return Direction::kLowerBetter;
+  }
+  return Direction::kSkip;
+}
+
+/// Load a run artifact and return its "metrics" object, or null on failure.
+JsonValue load_metrics(const std::string& path, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open";
+    return JsonValue();
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const auto doc = JsonValue::parse(buf.str(), error);
+  if (!doc) return JsonValue();
+  const JsonValue* metrics = doc->find("metrics");
+  if (metrics == nullptr || !metrics->is_object()) {
+    *error = "no metrics object";
+    return JsonValue();
+  }
+  return *metrics;
+}
+
+std::string basename_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string baseline_dir;
+  double min_ratio = 0.30;
+  if (const char* env = std::getenv("PET_BENCH_GATE_MIN_RATIO")) {
+    char* end = nullptr;
+    const double v = std::strtod(env, &end);
+    if (end != env && v > 0.0 && v <= 1.0) {
+      min_ratio = v;
+    } else {
+      std::fprintf(stderr, "bench_gate: ignoring bad PET_BENCH_GATE_MIN_RATIO=%s\n", env);
+    }
+  }
+
+  int failures = 0;
+  int gated = 0;
+  bool any_artifact = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--baseline-dir=", 0) == 0) {
+      baseline_dir = arg.substr(15);
+      continue;
+    }
+    if (baseline_dir.empty()) {
+      std::fprintf(stderr,
+                   "usage: %s --baseline-dir=DIR BENCH_micro_*.json...\n",
+                   argv[0]);
+      return 2;
+    }
+    any_artifact = true;
+
+    std::string error;
+    const JsonValue current = load_metrics(arg, &error);
+    if (!current.is_object()) {
+      std::fprintf(stderr, "FAIL %s: %s\n", arg.c_str(), error.c_str());
+      ++failures;
+      continue;
+    }
+    const std::string baseline_path = baseline_dir + "/" + basename_of(arg);
+    const JsonValue baseline = load_metrics(baseline_path, &error);
+    if (!baseline.is_object()) {
+      std::fprintf(stderr,
+                   "FAIL %s: baseline %s: %s (run "
+                   "tools/regen_bench_baselines.sh and commit the result)\n",
+                   arg.c_str(), baseline_path.c_str(), error.c_str());
+      ++failures;
+      continue;
+    }
+
+    for (const auto& [key, base_val] : baseline.members()) {
+      const Direction dir = classify(key);
+      if (dir == Direction::kSkip || !base_val.is_number()) continue;
+      ++gated;
+      const double base = base_val.as_number();
+      const JsonValue* cur_val = current.find(key);
+      if (cur_val == nullptr || !cur_val->is_number()) {
+        std::fprintf(stderr, "FAIL %s: gated metric %s missing from artifact\n",
+                     arg.c_str(), key.c_str());
+        ++failures;
+        continue;
+      }
+      const double cur = cur_val->as_number();
+      const bool ok = dir == Direction::kHigherBetter
+                          ? cur >= min_ratio * base
+                          : cur <= base / min_ratio;
+      const double ratio = dir == Direction::kHigherBetter
+                               ? (base > 0.0 ? cur / base : 1.0)
+                               : (cur > 0.0 ? base / cur : 1.0);
+      std::printf("%s %-62s %12.4g -> %12.4g  (x%.2f, floor x%.2f)\n",
+                  ok ? "ok  " : "FAIL", key.c_str(), base, cur, ratio,
+                  min_ratio);
+      if (!ok) ++failures;
+    }
+  }
+
+  if (!any_artifact) {
+    std::fprintf(stderr, "usage: %s --baseline-dir=DIR BENCH_micro_*.json...\n",
+                 argv[0]);
+    return 2;
+  }
+  std::printf("bench_gate: %d gated metric(s), %d failure(s)\n", gated,
+              failures);
+  return failures == 0 ? 0 : 1;
+}

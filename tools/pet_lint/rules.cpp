@@ -465,6 +465,30 @@ void rule_deprecated_topology(const Ctx& c) {
   }
 }
 
+// --- rule: hot-path-alloc ---------------------------------------------------
+
+void rule_hot_path_alloc(const Ctx& c) {
+  // The DES hot path (src/sim, src/net) is allocation-free by contract —
+  // test_alloc_steady enforces zero steady-state heap traffic. std::function
+  // boxes any capture past its tiny SSO, and std::deque allocates per block;
+  // both reintroduce per-event allocation silently. Cold control-plane uses
+  // (setup-time classifiers, fault plans, BFS scratch) carry explicit
+  // allow() suppressions with the justification.
+  const TokenView& tv = c.tv;
+  for (std::size_t i = 0; i + 2 < tv.size(); ++i) {
+    if (!tv.is_ident(i, "std") || !tv.is_punct(i + 1, "::")) continue;
+    if (tv.is_ident(i + 2, "function")) {
+      c.report("hot-path-alloc", tv.at(i + 2),
+               "std::function heap-boxes captures on the event hot path — "
+               "use sim::SmallCallback (inline storage, pooled slots)");
+    } else if (tv.is_ident(i + 2, "deque")) {
+      c.report("hot-path-alloc", tv.at(i + 2),
+               "std::deque allocates per block on the packet hot path — "
+               "use a flat ring buffer (see net::FifoQueue)");
+    }
+  }
+}
+
 // --- rule: nodiscard-chain --------------------------------------------------
 
 [[nodiscard]] bool is_chain_api(const std::string& name) {
@@ -623,6 +647,11 @@ Policy policy_for(std::string_view relpath) {
     p.deprecated_topology = true;  // rule itself skips the src/net shim
     if (starts_with(relpath, "src/sim/log.")) p.banned_io = false;
     if (starts_with(relpath, "src/testkit/")) p.banned_getenv = false;
+    // The DES hot path is allocation-free by contract (test_alloc_steady);
+    // only the event/packet subsystems carry the container ban.
+    if (starts_with(relpath, "src/sim/") || starts_with(relpath, "src/net/")) {
+      p.hot_path_alloc = true;
+    }
     return p;
   }
   if (starts_with(relpath, "tests/")) {
@@ -646,7 +675,7 @@ Policy policy_for(std::string_view relpath) {
 const std::vector<std::string>& all_rule_ids() {
   static const std::vector<std::string> kIds = {
       "banned-api", "nondet-iteration", "unaudited-ecn", "nodiscard-chain",
-      "header-hygiene", "deprecated-topology"};
+      "header-hygiene", "deprecated-topology", "hot-path-alloc"};
   return kIds;
 }
 
@@ -673,6 +702,7 @@ FileReport analyze_source(const std::string& relpath, std::string_view content,
   }
   if (policy.unaudited_ecn) rule_unaudited_ecn(c);
   if (policy.deprecated_topology) rule_deprecated_topology(c);
+  if (policy.hot_path_alloc) rule_hot_path_alloc(c);
   if (policy.nodiscard_chain) rule_nodiscard_chain(c);
   if (policy.header_hygiene) rule_header_hygiene(c, has_sibling_header);
 

@@ -21,6 +21,10 @@
 //   deprecated-topology  direct build_leaf_spine() calls outside the
 //                     src/net shim and tests — new code builds fabrics via
 //                     net::build_fabric(net, TopologySpec)
+//   hot-path-alloc    std::function / std::deque in the DES hot-path
+//                     subsystems (src/sim, src/net) — per-event heap
+//                     allocation is banned there; use sim::SmallCallback
+//                     and flat ring buffers (net::FifoQueue pattern)
 //
 // Suppressions: `// pet-lint: allow(<id>[, <id>...]): <justification>` on
 // the offending line or the line directly above it, or
@@ -49,6 +53,7 @@ struct Policy {
   bool nodiscard_chain = false;
   bool header_hygiene = false;
   bool deprecated_topology = false;
+  bool hot_path_alloc = false;
 };
 
 /// Policy for a repo-relative path (forward slashes). Mirrors the table in
