@@ -53,6 +53,7 @@ struct CliOptions {
   std::int64_t pretrain_ms = 40;
   std::int64_t measure_ms = 40;
   std::uint64_t seed = 1;
+  rl::InferMode infer = rl::InferMode::kDirect;
   bool incast = true;
   bool use_pretrain_cache = true;
   std::string telemetry_path;
@@ -78,6 +79,10 @@ struct CliOptions {
       "  --k=N --hosts-per-edge=N                   (fat-tree; 0 = k/2)\n"
       "  --border-links=N --wan-delay-us=N          (inter-dc)\n"
       "  --pretrain-ms=N --measure-ms=N --seed=N\n"
+      "  --infer=direct|fp64|fp32|int8  PET deployment-decision serving:\n"
+      "                     direct = per-agent fp64 (default); others route\n"
+      "                     decisions through the batched policy server\n"
+      "                     (fp64 serving is bitwise identical to direct)\n"
       "  --telemetry=PATH   write per-switch time series CSV\n"
       "  --artifact=PATH    write a machine-readable run artifact (JSON)\n"
       "  --trace=PATH       write a chrome://tracing timeline (JSON)\n"
@@ -102,6 +107,15 @@ exp::Scheme parse_scheme(const std::string& name, const char* argv0) {
   if (name == "pet") return exp::Scheme::kPet;
   if (name == "pet-ablation") return exp::Scheme::kPetAblation;
   std::fprintf(stderr, "unknown scheme: %s\n", name.c_str());
+  usage(argv0, 2);
+}
+
+rl::InferMode parse_infer(const std::string& name, const char* argv0) {
+  if (name == "direct") return rl::InferMode::kDirect;
+  if (name == "fp64") return rl::InferMode::kFp64;
+  if (name == "fp32") return rl::InferMode::kFp32;
+  if (name == "int8") return rl::InferMode::kInt8;
+  std::fprintf(stderr, "unknown infer mode: %s\n", name.c_str());
   usage(argv0, 2);
 }
 
@@ -148,6 +162,8 @@ CliOptions parse(int argc, char** argv) {
       opt.measure_ms = std::atoll(value("--measure-ms="));
     } else if (arg.rfind("--seed=", 0) == 0) {
       opt.seed = std::strtoull(value("--seed="), nullptr, 10);
+    } else if (arg.rfind("--infer=", 0) == 0) {
+      opt.infer = parse_infer(value("--infer="), argv[0]);
     } else if (arg.rfind("--telemetry=", 0) == 0) {
       opt.telemetry_path = value("--telemetry=");
     } else if (arg.rfind("--artifact=", 0) == 0) {
@@ -312,6 +328,7 @@ int main(int argc, char** argv) {
               sim::milliseconds(opt.measure_ms))
       .incast(opt.incast)
       .seed(opt.seed)
+      .infer(opt.infer)
       .profiling(!opt.artifact_path.empty() || !opt.trace_path.empty())
       .tuned_dcqcn();
 

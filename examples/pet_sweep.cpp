@@ -58,6 +58,7 @@ struct CliOptions {
   std::int64_t wan_delay_us = 1000;
   std::int64_t pretrain_ms = 10;
   std::int64_t measure_ms = 10;
+  rl::InferMode infer = rl::InferMode::kDirect;
   bool incast = true;
   std::int32_t train_episodes = 0;
   std::int32_t replicas = 2;
@@ -88,6 +89,7 @@ struct CliOptions {
       "  --k=N --hosts-per-edge=N                   (fat-tree; 0 = k/2)\n"
       "  --border-links=N --wan-delay-us=N          (inter-dc)\n"
       "  --pretrain-ms=N --measure-ms=N [--no-incast]\n"
+      "  --infer=direct|fp64|fp32|int8  PET decision serving for every point\n"
       "  --train-episodes=N --replicas=N --checkpoint-every=N\n"
       "  --watchdog-seconds=F --grace-seconds=F --max-retries=N\n"
       "  --backoff-base=F --backoff-cap=F\n"
@@ -105,6 +107,15 @@ exp::Scheme parse_scheme(const std::string& name, const char* argv0) {
   if (name == "pet") return exp::Scheme::kPet;
   if (name == "pet-ablation") return exp::Scheme::kPetAblation;
   std::fprintf(stderr, "unknown scheme: %s\n", name.c_str());
+  usage(argv0, 2);
+}
+
+rl::InferMode parse_infer(const std::string& name, const char* argv0) {
+  if (name == "direct") return rl::InferMode::kDirect;
+  if (name == "fp64") return rl::InferMode::kFp64;
+  if (name == "fp32") return rl::InferMode::kFp32;
+  if (name == "int8") return rl::InferMode::kInt8;
+  std::fprintf(stderr, "unknown infer mode: %s\n", name.c_str());
   usage(argv0, 2);
 }
 
@@ -170,6 +181,8 @@ CliOptions parse(int argc, char** argv) {
       opt.pretrain_ms = std::atoll(value("--pretrain-ms="));
     } else if (arg.rfind("--measure-ms=", 0) == 0) {
       opt.measure_ms = std::atoll(value("--measure-ms="));
+    } else if (arg.rfind("--infer=", 0) == 0) {
+      opt.infer = parse_infer(value("--infer="), argv[0]);
     } else if (arg == "--no-incast") {
       opt.incast = false;
     } else if (arg.rfind("--train-episodes=", 0) == 0) {
@@ -267,6 +280,7 @@ int main(int argc, char** argv) {
   grid.base.pretrain = sim::milliseconds(opt.pretrain_ms);
   grid.base.measure = sim::milliseconds(opt.measure_ms);
   grid.base.incast_enabled = opt.incast;
+  grid.base.pet_infer = opt.infer;
   grid.base.flow_size_cap_bytes = 8e6;
   if (!opt.seeds.empty()) grid.base.seed = opt.seeds.front();
   grid.base.tune_dcqcn_for_rate();

@@ -47,7 +47,12 @@ void PetController::set_training(bool training) {
 
 void PetController::tick_all() {
   if (!running_) return;
-  if (cfg_.shared_policy && cfg_.batched_inference && agents_.size() > 1) {
+  // The policy server needs the two-phase tick even for a single agent;
+  // plain batched inference only pays off past one.
+  const bool serving =
+      cfg_.shared_policy && cfg_.infer != rl::InferMode::kDirect;
+  if (cfg_.shared_policy &&
+      (serving || (cfg_.batched_inference && agents_.size() > 1))) {
     tick_all_batched();
   } else {
     for (auto& a : agents_) a->tick();
@@ -65,17 +70,24 @@ void PetController::tick_all_batched() {
   }
 
   // Phase 2: agents whose action is a plain policy sample share one batched
-  // forward pass; everyone else (greedy/deployment paths) completes alone.
+  // forward pass; deployed agents are served batched greedy decisions by
+  // the policy server (when enabled); everyone else completes alone.
+  const bool serving = cfg_.infer != rl::InferMode::kDirect;
   std::vector<std::size_t> batched;
+  std::vector<std::size_t> served;
   batched.reserve(agents_.size());
+  if (serving) served.reserve(agents_.size());
   for (std::size_t i = 0; i < agents_.size(); ++i) {
     if (!preps[i].has_value()) continue;
     if (preps[i]->batched_act) {
       batched.push_back(i);
+    } else if (serving && preps[i]->serve_act) {
+      served.push_back(i);
     } else {
       agents_[i]->tick_complete(*preps[i]);
     }
   }
+  if (!served.empty()) serve_group(preps, served);
   if (batched.empty()) return;
 
   const std::size_t bsz = batched.size();
@@ -96,6 +108,58 @@ void PetController::tick_all_batched() {
   for (std::size_t j = 0; j < bsz; ++j) {
     agents_[batched[j]]->tick_finish_act(*preps[batched[j]],
                                          std::move(acts[j]));
+  }
+}
+
+void PetController::serve_group(
+    std::span<const std::optional<PetAgent::TickPrep>> preps,
+    std::span<const std::size_t> served) {
+  rl::PpoAgent& policy = agents_[served[0]]->policy();
+  const bool ok = server_.ready()
+                      ? server_.refresh(policy)
+                      : server_.install(policy,
+                                        rl::infer_mode_precision(cfg_.infer));
+  if (!ok) {
+    // A poisoned policy cannot be quantized; complete sequentially and let
+    // the per-agent guardrails quarantine it.
+    for (const std::size_t i : served) agents_[i]->tick_complete(*preps[i]);
+    return;
+  }
+
+  const auto bsz = static_cast<std::int32_t>(served.size());
+  const std::size_t dim = preps[served[0]]->state.size();
+  const std::size_t heads = server_.num_heads();
+  serve_states_.resize(served.size() * dim);
+  serve_explore_.resize(served.size());
+  serve_actions_.resize(served.size() * heads);
+  for (std::size_t j = 0; j < served.size(); ++j) {
+    PetAgent& a = *agents_[served[j]];
+    serve_explore_[j] = a.tick_begin_act();
+    const auto& s = preps[served[j]]->state;
+    std::copy(s.begin(), s.end(),
+              serve_states_.begin() + static_cast<std::ptrdiff_t>(j * dim));
+  }
+  server_.reserve(bsz);
+  server_.serve_greedy(serve_states_, bsz, serve_actions_);
+  // Residual deployment exploration draws from each agent's private stream,
+  // so served and sequential runs consume identical RNG sequences.
+  for (std::size_t j = 0; j < served.size(); ++j) {
+    agents_[served[j]]->apply_serve_exploration(
+        std::span<std::int32_t>(&serve_actions_[j * heads], heads),
+        serve_explore_[j]);
+  }
+  // One batched evaluate under the training policy keeps the stored
+  // transitions PPO-consistent (log-prob/value stay fp64 regardless of the
+  // serving precision).
+  const std::vector<rl::PpoAgent::Evaluation> evs =
+      policy.evaluate_batch(serve_states_, serve_actions_, bsz);
+  for (std::size_t j = 0; j < served.size(); ++j) {
+    rl::PpoAgent::ActResult act;
+    act.actions.assign(&serve_actions_[j * heads],
+                       &serve_actions_[j * heads] + heads);
+    act.log_prob = evs[j].log_prob;
+    act.value = evs[j].value;
+    agents_[served[j]]->tick_finish_act(*preps[served[j]], std::move(act));
   }
 }
 

@@ -10,6 +10,7 @@
 
 #include "core/pet_agent.hpp"
 #include "net/network.hpp"
+#include "rl/inference.hpp"
 
 namespace pet::core {
 
@@ -24,6 +25,13 @@ struct PetControllerConfig {
   /// Per-agent RNG streams and exploration rates are threaded through the
   /// batch, so each agent draws the same actions it would sequentially.
   bool batched_inference = true;
+  /// Deployment-mode decision serving. kDirect keeps the legacy per-agent
+  /// fp64 path; any other mode routes greedy decisions for all deployed
+  /// agents through one batched rl::PolicyServer at the chosen precision
+  /// (requires shared_policy — the server snapshots one policy). kFp64
+  /// serving is bitwise identical to kDirect; kFp32/kInt8 trade bounded
+  /// action divergence for throughput (see DESIGN.md "Fast Inference Path").
+  rl::InferMode infer = rl::InferMode::kDirect;
   /// First tick fires one tuning interval after start().
   sim::Time start_delay = sim::Time::zero();
 };
@@ -68,17 +76,35 @@ class PetController {
   /// mismatch.
   [[nodiscard]] bool load_state(sim::ByteSource& in);
 
+  /// The batched decision server (non-kDirect infer modes). Exposed for
+  /// tests/telemetry; installed lazily on the first served tick.
+  [[nodiscard]] const rl::PolicyServer& policy_server() const {
+    return server_;
+  }
+
  private:
   void tick_all();
   /// Shared-policy fast path: observe every agent, then act for all of them
   /// with one batched policy forward.
   void tick_all_batched();
+  /// Serve one tick of greedy deployment decisions for `served` (indices
+  /// into agents_/preps) through the policy server; falls back to the
+  /// sequential path when the policy cannot be (re)quantized.
+  void serve_group(std::span<const std::optional<PetAgent::TickPrep>> preps,
+                   std::span<const std::size_t> served);
 
   sim::Scheduler& sched_;
   PetControllerConfig cfg_;
   std::vector<std::unique_ptr<PetAgent>> agents_;
   sim::EventId next_tick_;
   bool running_ = false;
+
+  // Policy-server state + scratch (reused every tick; allocation-free once
+  // warm at a stable served-group size).
+  rl::PolicyServer server_;
+  std::vector<double> serve_states_;
+  std::vector<double> serve_explore_;
+  std::vector<std::int32_t> serve_actions_;
 };
 
 }  // namespace pet::core

@@ -154,12 +154,18 @@ double PetAgent::exploration_for_step(std::int64_t t) const {
   return std::max(cfg_.explore_min, e);
 }
 
-std::vector<std::int32_t> local_exploration_step(
-    std::vector<std::int32_t> actions,
-    const std::vector<std::int32_t>& head_sizes, sim::Rng& rng) {
+void local_exploration_step_inplace(std::span<std::int32_t> actions,
+                                    const std::vector<std::int32_t>& head_sizes,
+                                    sim::Rng& rng) {
   const std::size_t h = rng.uniform_int(head_sizes.size());
   const std::int32_t step = rng.bernoulli(0.5) ? 1 : -1;
   actions[h] = std::clamp(actions[h] + step, 0, head_sizes[h] - 1);
+}
+
+std::vector<std::int32_t> local_exploration_step(
+    std::vector<std::int32_t> actions,
+    const std::vector<std::int32_t>& head_sizes, sim::Rng& rng) {
+  local_exploration_step_inplace(actions, head_sizes, rng);
   return actions;
 }
 
@@ -225,7 +231,16 @@ std::optional<PetAgent::TickPrep> PetAgent::tick_observe() {
   }
 
   prep.batched_act = cfg_.training && !deployment_mode_;
+  prep.serve_act = cfg_.training && deployment_mode_;
   return prep;
+}
+
+void PetAgent::apply_serve_exploration(std::span<std::int32_t> actions,
+                                       double explore) {
+  // Mirrors the deployment branch of tick_complete(): one bernoulli gate,
+  // then (rarely) one conservative single-head perturbation.
+  if (explore <= 0.0 || !rng_.bernoulli(explore)) return;
+  local_exploration_step_inplace(actions, cfg_.action_space.head_sizes(), rng_);
 }
 
 double PetAgent::tick_begin_act() {

@@ -54,6 +54,12 @@ struct PetAgentConfig {
     std::vector<std::int32_t> actions,
     const std::vector<std::int32_t>& head_sizes, sim::Rng& rng);
 
+/// In-place variant (batched policy-server path, no per-agent allocation);
+/// draws the identical RNG sequence.
+void local_exploration_step_inplace(std::span<std::int32_t> actions,
+                                    const std::vector<std::int32_t>& head_sizes,
+                                    sim::Rng& rng);
+
 class PetAgent {
  public:
   /// If `shared_policy` is non-null the agent trains/acts through it
@@ -73,6 +79,10 @@ class PetAgent {
   struct TickPrep {
     std::vector<double> state;
     bool batched_act = false;
+    /// Greedy deployment decision servable by a batched policy server
+    /// (training, deployment mode): argmax per head plus the residual local
+    /// exploration probe.
+    bool serve_act = false;
   };
 
   /// Phase 1 of tick(): close the monitoring slot, run guardrails, build
@@ -88,6 +98,12 @@ class PetAgent {
   /// Phase 2b (batched path): install a policy decision computed by a
   /// batched act. Equivalent to the in-tick act with the same sample.
   void tick_finish_act(const TickPrep& prep, rl::PpoAgent::ActResult act);
+
+  /// Policy-server path: apply the deployment-mode residual exploration to a
+  /// served greedy decision, in place. Draws the exact RNG sequence the
+  /// sequential deployment branch of tick_complete() draws, so a fp64-served
+  /// run is bitwise identical to the direct path.
+  void apply_serve_exploration(std::span<std::int32_t> actions, double explore);
 
   /// Phase 2 (sequential path): everything after tick_observe().
   void tick_complete(const TickPrep& prep);

@@ -76,6 +76,12 @@ struct ScenarioConfig {
   /// PET initial exploration rate (offline sandboxes explore harder).
   double pet_explore_start = 0.1;
 
+  /// Deployment-decision serving mode (rl::PolicyServer). Non-kDirect modes
+  /// imply pet_shared_policy — the server snapshots one shared policy.
+  /// kFp64 is bitwise identical to kDirect; kFp32/kInt8 trade bounded
+  /// divergence for throughput.
+  rl::InferMode pet_infer = rl::InferMode::kDirect;
+
   /// Attach the experiment's Profiler to its Scheduler so event kinds are
   /// counted and wall-timed (benches turn this on; the event sequence is
   /// unaffected either way).

@@ -116,6 +116,11 @@ ExperimentBuilder& ExperimentBuilder::explore_start(double rate) {
   return *this;
 }
 
+ExperimentBuilder& ExperimentBuilder::infer(rl::InferMode mode) {
+  cfg_.pet_infer = mode;
+  return *this;
+}
+
 ExperimentBuilder& ExperimentBuilder::profiling(bool enabled) {
   cfg_.profiling = enabled;
   return *this;

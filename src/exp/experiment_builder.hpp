@@ -69,6 +69,9 @@ class ExperimentBuilder {
   ExperimentBuilder& shared_policy(bool shared);
   ExperimentBuilder& expects_pretrained(bool expects);
   ExperimentBuilder& explore_start(double rate);
+  /// Deployment-decision serving precision (rl::PolicyServer). Non-kDirect
+  /// modes imply shared_policy(true).
+  ExperimentBuilder& infer(rl::InferMode mode);
 
   // --- observability --------------------------------------------------------
   /// Attach the experiment's Profiler to its Scheduler (per-event-kind

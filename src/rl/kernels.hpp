@@ -1,0 +1,96 @@
+#pragma once
+// Batched dense kernels for the RL hot path. Every kernel has a scalar
+// reference implementation and (on x86-64) an AVX2 implementation selected
+// by runtime dispatch; the two produce bitwise-identical results:
+//
+//  - f64: each output accumulates inputs in ascending order with separate
+//    multiply and add roundings (no FMA contraction) — the exact floating-
+//    point sequence of the naive per-sample loop, so the batched/AVX2 path
+//    is a pure reordering of the training forward and goldens are safe.
+//  - f32: each output is one fused-multiply-add chain in ascending order;
+//    the scalar path uses std::fma(float) which is the same IEEE operation
+//    as one vfmadd lane.
+//  - s8:  exact int32 arithmetic (order-independent), scales applied by the
+//    caller in a fixed scalar sequence; activation quantization rounds the
+//    single-precision product to nearest-even and clamps in the float
+//    domain, the same operation chain on every backend.
+//
+// Results are therefore a function of the *precision*, never of the machine
+// the binary happens to run on.
+
+#include <cstdint>
+#include <vector>
+
+#if defined(__GNUC__) || defined(__clang__)
+#define PET_KERN_RESTRICT __restrict__
+#else
+#define PET_KERN_RESTRICT
+#endif
+
+namespace pet::rl::kern {
+
+enum class Backend : std::uint8_t { kScalar = 0, kAvx2 = 1 };
+
+/// True when the CPU supports the AVX2 kernels (always false off x86-64).
+[[nodiscard]] bool avx2_supported();
+
+/// Backend the next kernel call will use. Defaults to runtime detection
+/// (kAvx2 when supported, kScalar otherwise).
+[[nodiscard]] Backend active_backend();
+
+/// Pin the backend (tests and benchmarks); requests for an unsupported
+/// backend clamp to kScalar. The setting is process-global.
+void set_backend(Backend backend);
+
+/// Restore runtime detection.
+void reset_backend();
+
+/// y[s,o] = b[o] + sum_i w[o,i] * x[s,i] over row-major operands:
+/// `w` is (out x in), `x` is (batch x in), `y` is (batch x out).
+/// The AVX2 path repacks weights into thread-local scratch; steady-state
+/// calls at a fixed shape are allocation-free on every backend.
+void gemm_bias_f64(const double* PET_KERN_RESTRICT w,
+                   const double* PET_KERN_RESTRICT b,
+                   const double* PET_KERN_RESTRICT x,
+                   double* PET_KERN_RESTRICT y, std::int32_t batch,
+                   std::int32_t in, std::int32_t out);
+
+/// fp32 variant; one FMA chain per output (see header comment).
+void gemm_bias_f32(const float* PET_KERN_RESTRICT w,
+                   const float* PET_KERN_RESTRICT b,
+                   const float* PET_KERN_RESTRICT x,
+                   float* PET_KERN_RESTRICT y, std::int32_t batch,
+                   std::int32_t in, std::int32_t out);
+
+/// Exact int32 accumulation acc[s,o] = sum_i w[o,i] * x[s,i] of int8
+/// operands. Safe against overflow for in <= 2^16 (|product| <= 127^2).
+/// The caller applies bias and scales.
+void gemm_s8i32(const std::int8_t* PET_KERN_RESTRICT w,
+                const std::int8_t* PET_KERN_RESTRICT x,
+                std::int32_t* PET_KERN_RESTRICT acc, std::int32_t batch,
+                std::int32_t in, std::int32_t out);
+
+/// Per-sample dynamic int8 quantization of a (batch x in) row-major fp32
+/// activation plane. For each row s: sx[s] = max|row| / 127 and
+/// q[s,i] = clamp(rne(x[s,i] * (127 / max|row|)), -127, 127), where rne is
+/// round-to-nearest-even of the single-precision product; an all-zero row
+/// emits sx[s] = 0 and a zero q row. Inputs must be finite (quantize()
+/// validates weights; activations are finite by construction). Scalar and
+/// AVX2 backends run the identical operation sequence, so the quantized
+/// plane and scales are bitwise backend-independent.
+void quantize_rows_s8(const float* PET_KERN_RESTRICT x,
+                      std::int8_t* PET_KERN_RESTRICT q,
+                      float* PET_KERN_RESTRICT sx, std::int32_t batch,
+                      std::int32_t in);
+
+/// Elementwise tanh for the fp64 inference path: exactly std::tanh per
+/// element (bitwise-matching the training-path activation), all backends.
+void tanh_inplace_f64(double* v, std::int64_t n);
+
+/// Elementwise tanh for the fp32/int8 inference paths: a clamped rational
+/// minimax approximation (|error vs std::tanh| <= 2e-6 over all finite
+/// inputs; NaN is outside the domain). Scalar and AVX2 apply the identical
+/// operation sequence, so the result is bitwise backend-independent.
+void tanh_inplace_f32(float* v, std::int64_t n);
+
+}  // namespace pet::rl::kern

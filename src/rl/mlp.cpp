@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "rl/kernels.hpp"
+
 namespace pet::rl {
 
 // ---------------------------------------------------------------------------
@@ -58,42 +60,12 @@ void Linear::forward_batch(std::span<const double> x, std::span<double> y,
                            std::int32_t batch) const {
   assert(static_cast<std::int32_t>(x.size()) == batch * in_);
   assert(static_cast<std::int32_t>(y.size()) == batch * out_);
-  // Register blocking: four output rows share each load of the input row.
-  // Every accumulator still sums inputs in ascending order, so each output
-  // is bitwise identical to the unbatched forward().
-  constexpr std::int32_t kRowTile = 4;
-  for (std::int32_t s = 0; s < batch; ++s) {
-    const double* xs = &x[static_cast<std::size_t>(s) * in_];
-    double* ys = &y[static_cast<std::size_t>(s) * out_];
-    std::int32_t o = 0;
-    for (; o + kRowTile <= out_; o += kRowTile) {
-      const double* r0 = &w_[static_cast<std::size_t>(o) * in_];
-      const double* r1 = r0 + in_;
-      const double* r2 = r1 + in_;
-      const double* r3 = r2 + in_;
-      double a0 = b_[o];
-      double a1 = b_[o + 1];
-      double a2 = b_[o + 2];
-      double a3 = b_[o + 3];
-      for (std::int32_t i = 0; i < in_; ++i) {
-        const double xi = xs[i];
-        a0 += r0[i] * xi;
-        a1 += r1[i] * xi;
-        a2 += r2[i] * xi;
-        a3 += r3[i] * xi;
-      }
-      ys[o] = a0;
-      ys[o + 1] = a1;
-      ys[o + 2] = a2;
-      ys[o + 3] = a3;
-    }
-    for (; o < out_; ++o) {
-      const double* row = &w_[static_cast<std::size_t>(o) * in_];
-      double acc = b_[o];
-      for (std::int32_t i = 0; i < in_; ++i) acc += row[i] * xs[i];
-      ys[o] = acc;
-    }
-  }
+  // Runtime-dispatched GEMM (scalar reference or AVX2); both backends keep
+  // each (sample, output) accumulation in ascending-input order with
+  // separate multiply/add roundings, so the result is bitwise identical to
+  // `batch` sequential forward() calls.
+  kern::gemm_bias_f64(w_.data(), b_.data(), x.data(), y.data(), batch, in_,
+                      out_);
 }
 
 void Linear::backward_batch(std::span<const double> x,
@@ -182,15 +154,21 @@ std::vector<double> Mlp::forward(std::span<const double> x,
     std::vector<double> pre(static_cast<std::size_t>(layers_[l].out_size()));
     layers_[l].forward(cur, pre);
     const bool is_last = (l + 1 == layers_.size());
-    std::vector<double> post = pre;
-    if (!is_last) {
-      for (auto& v : post) v = activate(act_, v);
-    }
     if (cache != nullptr) {
+      std::vector<double> post = pre;
+      if (!is_last) {
+        for (auto& v : post) v = activate(act_, v);
+      }
       cache->pre[l] = pre;
       cache->post[l] = post;
+      cur = std::move(post);
+    } else {
+      // Inference path: activate in place, skip the capture copy.
+      if (!is_last) {
+        for (auto& v : pre) v = activate(act_, v);
+      }
+      cur = std::move(pre);
     }
-    cur = std::move(post);
   }
   return cur;
 }
@@ -232,15 +210,25 @@ std::vector<double> Mlp::forward_batch(std::span<const double> x,
                             static_cast<std::size_t>(layers_[l].out_size()));
     layers_[l].forward_batch(cur, pre, batch);
     const bool is_last = (l + 1 == layers_.size());
-    std::vector<double> post = pre;
-    if (!is_last) {
-      for (auto& v : post) v = activate(act_, v);
-    }
     if (cache != nullptr) {
+      // Training path: capture pre-activations for backward_batch, then the
+      // post-activation plane (backprop reads both).
+      std::vector<double> post = pre;
+      if (!is_last) {
+        for (auto& v : post) v = activate(act_, v);
+      }
       cache->pre[l] = pre;
       cache->post[l] = post;
+      cur = std::move(post);
+    } else {
+      // Inference path: no consumer for the per-layer planes — activate in
+      // place and skip the capture copies entirely. Numerics are unchanged
+      // (the same activate() is applied to the same linear outputs).
+      if (!is_last) {
+        for (auto& v : pre) v = activate(act_, v);
+      }
+      cur = std::move(pre);
     }
-    cur = std::move(post);
   }
   return cur;
 }

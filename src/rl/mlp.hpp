@@ -31,6 +31,11 @@ class Linear {
   [[nodiscard]] std::int32_t in_size() const { return in_; }
   [[nodiscard]] std::int32_t out_size() const { return out_; }
 
+  /// Read-only parameter views (row-major out x in), for inference-only
+  /// snapshots (rl::InferenceModel) and test oracles.
+  [[nodiscard]] std::span<const double> weights() const { return w_; }
+  [[nodiscard]] std::span<const double> biases() const { return b_; }
+
   void forward(std::span<const double> x, std::span<double> y) const;
 
   /// Accumulate dL/dW, dL/db from upstream gradient `dy`; if `dx` is
@@ -82,6 +87,14 @@ class Mlp {
 
   [[nodiscard]] std::int32_t input_size() const { return sizes_.front(); }
   [[nodiscard]] std::int32_t output_size() const { return sizes_.back(); }
+
+  /// Architecture introspection for inference-only weight snapshots.
+  [[nodiscard]] const std::vector<std::int32_t>& sizes() const {
+    return sizes_;
+  }
+  [[nodiscard]] Activation activation() const { return act_; }
+  [[nodiscard]] std::size_t num_layers() const { return layers_.size(); }
+  [[nodiscard]] const Linear& layer(std::size_t l) const { return layers_[l]; }
 
   /// Per-layer activations captured in forward, consumed by backward.
   struct Cache {

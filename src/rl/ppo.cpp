@@ -344,6 +344,7 @@ PpoAgent::UpdateStats PpoAgent::update_merged(
     stats.entropy = total_entropy * inv;
     stats.approx_kl = total_kl * inv;
   }
+  if (stats.minibatches > 0) ++weights_version_;
   return stats;
 }
 
@@ -375,6 +376,7 @@ bool PpoAgent::set_weights(std::span<const double> values) {
     return false;
   }
   restore_params(refs_, values);
+  ++weights_version_;
   return true;
 }
 
@@ -414,6 +416,7 @@ bool PpoAgent::load_state(sim::ByteSource& in) {
   if (!in.ok()) return false;
   if (!load_rng(in, shuffle_rng_)) return false;
   restore_params(refs_, params);
+  ++weights_version_;
   exploration_rate_ = exploration;
   cfg_.clip_eps = clip_eps;
   cfg_.entropy_coef = entropy_coef;

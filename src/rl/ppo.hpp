@@ -143,6 +143,18 @@ class PpoAgent {
   [[nodiscard]] const PpoConfig& config() const { return cfg_; }
   [[nodiscard]] std::size_t num_params() const { return refs_.size(); }
 
+  // --- inference-only snapshots (rl::InferenceModel / rl::PolicyServer) -----
+  [[nodiscard]] std::size_t num_heads() const { return actor_heads_.size(); }
+  [[nodiscard]] const Mlp& actor_head(std::size_t h) const {
+    return actor_heads_[h];
+  }
+  /// Monotonic counter bumped whenever the parameters change (optimizer
+  /// steps, set_weights, load_state). A policy server compares it against
+  /// the version it quantized so steady-state ticks skip re-quantization.
+  [[nodiscard]] std::uint64_t weights_version() const {
+    return weights_version_;
+  }
+
   // --- checkpointing (pet.ckpt/1 section payloads) --------------------------
   /// Full learning state: architecture fingerprint, parameters, both Adam
   /// trajectories, the mutable training knobs, and the minibatch-shuffle
@@ -173,6 +185,7 @@ class PpoAgent {
   std::unique_ptr<Adam> actor_opt_;
   std::unique_ptr<Adam> critic_opt_;
   double exploration_rate_ = 0.0;
+  std::uint64_t weights_version_ = 1;
   sim::Rng shuffle_rng_;
 };
 

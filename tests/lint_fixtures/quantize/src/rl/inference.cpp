@@ -1,0 +1,13 @@
+// The audited fp64 -> int8 narrowing site: quantize-narrowing exempts
+// exactly this path, so the clamp/cast below must not be flagged.
+#include <algorithm>
+#include <cstdint>
+
+namespace pet::rl {
+
+std::int8_t quantize_one(double v, double inv) {
+  const int q = static_cast<int>(v * inv);
+  return static_cast<std::int8_t>(std::clamp(q, -127, 127));
+}
+
+}  // namespace pet::rl

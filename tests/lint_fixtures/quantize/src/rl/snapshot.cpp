@@ -1,0 +1,27 @@
+#include "rl/snapshot.hpp"
+
+#include <cstdint>
+
+namespace pet::rl {
+
+bool Snapshot::quantize(const std::vector<double>& w) { return !w.empty(); }
+
+bool Snapshot::install(const Snapshot&) { return true; }
+
+bool Snapshot::refresh(const Snapshot&) { return true; }
+
+void rogue_serving(Snapshot& s, const Snapshot& other,
+                   const std::vector<double>& w) {
+  s.quantize(w);
+  s.install(other);
+  if (!s.refresh(other)) return;
+}
+
+std::int8_t rogue_narrow(double v) { return static_cast<std::int8_t>(v); }
+
+std::int8_t allowed_narrow(double v) {
+  // pet-lint: allow(quantize-narrowing): fixture-only reference quantizer
+  return static_cast<std::int8_t>(v);
+}
+
+}  // namespace pet::rl

@@ -1,0 +1,13 @@
+#pragma once
+#include <vector>
+
+namespace pet::rl {
+
+class Snapshot {
+ public:
+  bool quantize(const std::vector<double>& w);
+  [[nodiscard]] bool install(const Snapshot& other);
+  [[nodiscard]] bool refresh(const Snapshot& other);
+};
+
+}  // namespace pet::rl

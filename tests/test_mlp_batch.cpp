@@ -136,6 +136,56 @@ TEST(MlpBatch, BackwardBatchBitwiseMatchesLoopedBackward) {
   }
 }
 
+TEST(MlpBatch, NoCacheForwardMatchesCachedAndLeavesTrainingUntouched) {
+  // Without a cache, forward/forward_batch take the inference fast path:
+  // activations applied in place, no per-layer capture. That path must be
+  // bitwise identical to the cached forward, and interleaving it with
+  // training must not perturb the gradients of a subsequent backward pass.
+  sim::Rng rng_a(41);
+  sim::Rng rng_b(41);
+  Mlp clean({5, 10, 4}, Activation::kTanh, rng_a);
+  Mlp mixed({5, 10, 4}, Activation::kTanh, rng_b);
+
+  sim::Rng data_rng(42);
+  const std::int32_t batch = 4;
+  const std::vector<double> x = random_matrix(4, 5, data_rng);
+  const std::vector<double> dy = random_matrix(4, 4, data_rng);
+  const std::vector<double> probe = random_matrix(3, 5, data_rng);
+
+  // The no-cache output equals the cached output bit for bit.
+  Mlp::BatchCache cache;
+  const std::vector<double> y_cached = clean.forward_batch(x, batch, &cache);
+  const std::vector<double> y_nocache = mixed.forward_batch(x, batch);
+  ASSERT_EQ(y_cached.size(), y_nocache.size());
+  for (std::size_t i = 0; i < y_cached.size(); ++i) {
+    EXPECT_EQ(y_cached[i], y_nocache[i]) << "output element " << i;
+  }
+
+  // Reference gradients: one clean cached-forward + backward.
+  clean.zero_grad();
+  (void)clean.forward_batch(x, batch, &cache);
+  (void)clean.backward_batch(x, cache, dy, batch);
+
+  // Same training step with inference traffic interleaved everywhere the
+  // serving path could run it.
+  mixed.zero_grad();
+  (void)mixed.forward_batch(probe, 3);
+  Mlp::BatchCache mixed_cache;
+  (void)mixed.forward_batch(x, batch, &mixed_cache);
+  (void)mixed.forward(std::span<const double>(probe.data(), 5));
+  (void)mixed.backward_batch(x, mixed_cache, dy, batch);
+
+  ParamRefs ra;
+  ParamRefs rb;
+  clean.collect(ra);
+  mixed.collect(rb);
+  ASSERT_EQ(ra.size(), rb.size());
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(*ra.params[i], *rb.params[i]) << "param element " << i;
+    EXPECT_EQ(*ra.grads[i], *rb.grads[i]) << "grad element " << i;
+  }
+}
+
 TEST(MlpBatch, LinearBatchKernelsMatchSingleSample) {
   sim::Rng rng(31);
   const std::int32_t in = 9;

@@ -230,6 +230,62 @@ TEST(LintFixtures, HotPathAllocFlagsSimNetOnlyAndHonorsAllow) {
   EXPECT_EQ(r.suppressed, 1u);
 }
 
+TEST(LintFixtures, QuantizeNarrowingFlagsRogueCastNotAuditedSite) {
+  const auto r = run_fixture("quantize");
+  EXPECT_FALSE(r.io_error) << r.error;
+  // One rogue static_cast<int8_t> in snapshot.cpp; the annotated reference
+  // quantizer is suppressed and the audited src/rl/inference.cpp is exempt.
+  ASSERT_EQ(count_rule(r, "quantize-narrowing"), 1u);
+  const auto f = std::find_if(r.findings.begin(), r.findings.end(),
+                              [](const lint::Finding& x) {
+                                return x.rule == "quantize-narrowing";
+                              });
+  EXPECT_NE(f->path.find("snapshot.cpp"), std::string::npos);
+  EXPECT_NE(f->message.find("InferenceModel::quantize"), std::string::npos);
+  EXPECT_EQ(r.suppressed, 1u);
+  // The inference-snapshot chain APIs are nodiscard-chain members: the
+  // un-annotated `bool quantize` declaration plus the two discarded call
+  // sites; the consumed refresh() stays clean.
+  EXPECT_EQ(count_rule(r, "nodiscard-chain"), 3u);
+  bool saw_decl = false;
+  bool saw_quantize_call = false;
+  bool saw_install_call = false;
+  for (const auto& x : r.findings) {
+    if (x.rule != "nodiscard-chain") continue;
+    saw_decl =
+        saw_decl || x.line_text.find("bool quantize") != std::string::npos;
+    saw_quantize_call = saw_quantize_call ||
+                        x.line_text.find("s.quantize(w)") != std::string::npos;
+    saw_install_call =
+        saw_install_call ||
+        x.line_text.find("s.install(other)") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_decl);
+  EXPECT_TRUE(saw_quantize_call);
+  EXPECT_TRUE(saw_install_call);
+}
+
+TEST(LintPolicy, QuantizeNarrowingActivation) {
+  EXPECT_TRUE(lint::policy_for("src/rl/mlp.cpp").quantize_narrowing);
+  // The audited TU keeps the policy bit; the rule itself exempts the path.
+  EXPECT_TRUE(lint::policy_for("src/rl/inference.cpp").quantize_narrowing);
+  EXPECT_FALSE(lint::policy_for("src/core/controller.cpp").quantize_narrowing);
+  EXPECT_FALSE(lint::policy_for("tests/test_mlp.cpp").quantize_narrowing);
+  EXPECT_FALSE(lint::policy_for("bench/micro_rl.cpp").quantize_narrowing);
+}
+
+TEST(LintRules, AuditedQuantizerTuIsExemptOtherRlTusAreNot) {
+  const char* kNarrow =
+      "#include <cstdint>\n"
+      "namespace pet::rl {\n"
+      "std::int8_t q(double v) { return static_cast<std::int8_t>(v); }\n"
+      "}  // namespace pet::rl\n";
+  EXPECT_TRUE(analyze("src/rl/inference.cpp", kNarrow).findings.empty());
+  const auto rep = analyze("src/rl/kernels.cpp", kNarrow);
+  ASSERT_EQ(rep.findings.size(), 1u);
+  EXPECT_EQ(rep.findings[0].rule, "quantize-narrowing");
+}
+
 TEST(LintFixtures, HeaderHygieneMissingPragmaAndWrongFirstInclude) {
   const auto r = run_fixture("hygiene");
   EXPECT_FALSE(r.io_error) << r.error;
@@ -376,7 +432,7 @@ TEST(LintRules, AllRuleIdsStable) {
   const auto& ids = lint::all_rule_ids();
   const std::vector<std::string> expected = {
       "banned-api", "nondet-iteration", "unaudited-ecn", "nodiscard-chain",
-      "header-hygiene"};
+      "header-hygiene", "quantize-narrowing"};
   for (const auto& id : expected) {
     EXPECT_NE(std::find(ids.begin(), ids.end(), id), ids.end()) << id;
   }

@@ -12,10 +12,11 @@
 //                     artifacts, digests, or trace export)
 //   unaudited-ecn     RED/ECN config writes outside the audited
 //                     install_ecn() chain
-//   nodiscard-chain   bool-returning load/set_weights/install_* and
-//                     checkpoint (save_state/load_state/save_checkpoint/
-//                     load_checkpoint) APIs must be [[nodiscard]] and every
-//                     call site must consume the result
+//   nodiscard-chain   bool-returning load/set_weights/install_*, checkpoint
+//                     (save_state/load_state/save_checkpoint/
+//                     load_checkpoint), and inference-snapshot
+//                     (quantize/install/refresh) APIs must be [[nodiscard]]
+//                     and every call site must consume the result
 //   header-hygiene    #pragma once first in headers; a TU's own header
 //                     must be its first include
 //   deprecated-topology  direct build_leaf_spine() calls outside the
@@ -25,6 +26,10 @@
 //                     subsystems (src/sim, src/net) — per-event heap
 //                     allocation is banned there; use sim::SmallCallback
 //                     and flat ring buffers (net::FifoQueue pattern)
+//   quantize-narrowing  static_cast to int8_t in src/rl outside the single
+//                     audited quantizer (rl::InferenceModel::quantize in
+//                     src/rl/inference.cpp) — ad-hoc fp64->int8 narrowing
+//                     skips the verified scale/clamp/lrint sequence
 //
 // Suppressions: `// pet-lint: allow(<id>[, <id>...]): <justification>` on
 // the offending line or the line directly above it, or
@@ -54,6 +59,7 @@ struct Policy {
   bool header_hygiene = false;
   bool deprecated_topology = false;
   bool hot_path_alloc = false;
+  bool quantize_narrowing = false;  // src/rl only; rule exempts inference.cpp
 };
 
 /// Policy for a repo-relative path (forward slashes). Mirrors the table in

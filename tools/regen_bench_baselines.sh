@@ -22,7 +22,7 @@ out_dir="$repo_root/bench/baselines"
 min_time=0.05
 
 mkdir -p "$out_dir"
-for name in micro_sim micro_net; do
+for name in micro_sim micro_net micro_rl; do
   bin="$build_dir/bench/$name"
   if [[ ! -x "$bin" ]]; then
     echo "regen_bench_baselines: build the benches first:" >&2

@@ -59,4 +59,12 @@ regen inter_dc_tiny \
   --border-links=2 --wan-delay-us=10 \
   --pretrain-ms=1 --measure-ms=2 --seed=13 --no-pretrain-cache
 
+# Committed with fp64 serving; CI also replays it with --infer=fp32 and
+# diffs against the SAME golden (the serving-parity contract).
+regen pet_serve_tiny \
+  --scheme=pet --workload=datamining --load=0.5 \
+  --spines=1 --leaves=2 --hosts-per-leaf=2 \
+  --pretrain-ms=2 --measure-ms=2 --seed=11 --no-pretrain-cache \
+  --infer=fp64
+
 echo "regen_goldens: done — review with 'git diff tests/golden/'"
