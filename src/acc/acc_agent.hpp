@@ -15,8 +15,15 @@
 #include "core/reward.hpp"
 #include "core/state.hpp"
 #include "net/network.hpp"
+#include "net/red_ecn.hpp"
+#include "net/switch.hpp"
 #include "rl/ddqn.hpp"
+#include "rl/replay.hpp"
+#include "sim/checkpoint.hpp"
+#include "sim/rng.hpp"
+#include "sim/scheduler.hpp"
 #include "sim/stats.hpp"
+#include "sim/time.hpp"
 
 namespace pet::acc {
 

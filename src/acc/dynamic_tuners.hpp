@@ -21,7 +21,9 @@
 #include <vector>
 
 #include "net/network.hpp"
+#include "net/switch.hpp"
 #include "sim/scheduler.hpp"
+#include "sim/time.hpp"
 
 namespace pet::baselines {
 

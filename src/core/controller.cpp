@@ -2,6 +2,10 @@
 
 #include <algorithm>
 
+#include "core/state.hpp"
+#include "rl/ppo.hpp"
+#include "sim/rng.hpp"
+
 namespace pet::core {
 
 PetController::PetController(sim::Scheduler& sched,

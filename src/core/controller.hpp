@@ -8,9 +8,14 @@
 #include <span>
 #include <vector>
 
+#include "core/guardrails.hpp"
 #include "core/pet_agent.hpp"
 #include "net/network.hpp"
+#include "net/switch.hpp"
 #include "rl/inference.hpp"
+#include "sim/checkpoint.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
 
 namespace pet::core {
 

@@ -11,7 +11,17 @@
 #include <span>
 #include <vector>
 
+#include "core/action.hpp"
+#include "core/ncm.hpp"
 #include "core/pet_agent.hpp"
+#include "core/state.hpp"
+#include "net/red_ecn.hpp"
+#include "net/switch.hpp"
+#include "rl/ppo.hpp"
+#include "rl/rollout.hpp"
+#include "sim/rng.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/stats.hpp"
 
 namespace pet::core {
 

@@ -9,6 +9,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "net/packet.hpp"
 #include "net/switch.hpp"
 #include "sim/checkpoint.hpp"
 #include "sim/scheduler.hpp"

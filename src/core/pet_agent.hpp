@@ -15,9 +15,15 @@
 #include "core/ncm.hpp"
 #include "core/reward.hpp"
 #include "core/state.hpp"
+#include "net/red_ecn.hpp"
+#include "net/switch.hpp"
 #include "rl/ppo.hpp"
 #include "rl/rollout.hpp"
+#include "sim/checkpoint.hpp"
+#include "sim/rng.hpp"
+#include "sim/scheduler.hpp"
 #include "sim/stats.hpp"
+#include "sim/time.hpp"
 
 namespace pet::core {
 

@@ -13,6 +13,7 @@
 
 #include "core/action.hpp"
 #include "core/ncm.hpp"
+#include "net/red_ecn.hpp"
 #include "sim/checkpoint.hpp"
 
 namespace pet::core {

@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <limits>
 
+#include "core/guardrails.hpp"
+#include "core/pet_agent.hpp"
+#include "sim/rng.hpp"
+
 namespace pet::exp {
 
 void ScenarioConfig::tune_dcqcn_for_rate() {

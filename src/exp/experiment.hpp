@@ -13,14 +13,22 @@
 #include "acc/acc_agent.hpp"
 #include "acc/dynamic_tuners.hpp"
 #include "core/controller.hpp"
+#include "core/reward.hpp"
 #include "exp/metrics.hpp"
 #include "exp/queue_probe.hpp"
 #include "exp/scheme.hpp"
 #include "exp/telemetry.hpp"
 #include "net/fabric.hpp"
 #include "net/fault_plan.hpp"
+#include "net/network.hpp"
+#include "net/topology_spec.hpp"
+#include "rl/inference.hpp"
 #include "sim/profiler.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
 #include "transport/dcqcn.hpp"
+#include "transport/fct_recorder.hpp"
+#include "workload/cdf.hpp"
 #include "workload/distributions.hpp"
 #include "workload/traffic_gen.hpp"
 

@@ -22,6 +22,13 @@
 #include <memory>
 
 #include "exp/experiment.hpp"
+#include "exp/scheme.hpp"
+#include "net/topology.hpp"
+#include "net/topology_spec.hpp"
+#include "rl/inference.hpp"
+#include "sim/time.hpp"
+#include "transport/dcqcn.hpp"
+#include "workload/distributions.hpp"
 
 namespace pet::exp {
 

@@ -6,7 +6,10 @@
 #include <filesystem>
 #include <fstream>
 
+#include "core/reward.hpp"
 #include "sim/fs_atomic.hpp"
+#include "sim/rng.hpp"
+#include "workload/distributions.hpp"
 
 namespace pet::exp {
 

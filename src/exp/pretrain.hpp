@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "exp/experiment.hpp"
+#include "sim/time.hpp"
 
 namespace pet::exp {
 

@@ -8,6 +8,7 @@
 #include "net/switch.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/stats.hpp"
+#include "sim/time.hpp"
 
 namespace pet::exp {
 

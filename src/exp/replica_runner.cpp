@@ -11,6 +11,11 @@
 #include <thread>
 #include <utility>
 
+#include "core/controller.hpp"
+#include "core/pet_agent.hpp"
+#include "exp/scheme.hpp"
+#include "rl/ppo.hpp"
+#include "rl/rollout.hpp"
 #include "sim/log.hpp"
 #include "sim/rng.hpp"
 

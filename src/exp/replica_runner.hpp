@@ -28,6 +28,9 @@
 
 #include "exp/experiment.hpp"
 #include "sim/checkpoint.hpp"
+#include "sim/profiler.hpp"
+#include "sim/thread_annotations.hpp"
+#include "sim/time.hpp"
 
 namespace pet::exp {
 
@@ -130,15 +133,17 @@ class ReplicaRunner {
       std::int32_t r, std::int32_t e,
       const std::vector<std::vector<double>>& weights) const;
 
-  ScenarioConfig scenario_;
-  ReplicaRunnerConfig cfg_;
+  // Workers touch only their ReplicaResult slot and the weights snapshot
+  // passed by const ref; everything below stays on the coordinator thread.
+  ScenarioConfig scenario_ PET_THREAD_CONFINED(coordinator);
+  ReplicaRunnerConfig cfg_ PET_THREAD_CONFINED(coordinator);
   /// Central model holder: constructed once, never simulated; its PET
   /// agents' policies are the merge targets.
-  std::unique_ptr<Experiment> central_;
-  std::int32_t next_episode_ = 0;
-  std::uint64_t digest_ = 0;
-  std::vector<EpisodeStats> history_;
-  sim::Profiler* profiler_ = nullptr;
+  std::unique_ptr<Experiment> central_ PET_THREAD_CONFINED(coordinator);
+  std::int32_t next_episode_ PET_THREAD_CONFINED(coordinator) = 0;
+  std::uint64_t digest_ PET_THREAD_CONFINED(coordinator) = 0;
+  std::vector<EpisodeStats> history_ PET_THREAD_CONFINED(coordinator);
+  sim::Profiler* profiler_ PET_THREAD_CONFINED(coordinator) = nullptr;
 };
 
 }  // namespace pet::exp

@@ -5,6 +5,7 @@
 #include <map>
 
 #include "exp/scheme.hpp"
+#include "net/topology.hpp"
 #include "sim/fs_atomic.hpp"
 #include "workload/distributions.hpp"
 

@@ -16,6 +16,12 @@
 
 #include "exp/experiment.hpp"
 #include "exp/json.hpp"
+#include "exp/metrics.hpp"
+#include "exp/telemetry.hpp"
+#include "net/fabric.hpp"
+#include "net/network.hpp"
+#include "net/switch.hpp"
+#include "net/topology_spec.hpp"
 #include "sim/profiler.hpp"
 
 namespace pet::exp {

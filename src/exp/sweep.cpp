@@ -12,9 +12,11 @@
 #include <thread>
 #include <utility>
 
+#include "exp/metrics.hpp"
 #include "exp/replica_runner.hpp"
 #include "exp/run_artifact.hpp"
 #include "sim/rng.hpp"
+#include "sim/time.hpp"
 
 namespace pet::exp {
 
@@ -54,7 +56,7 @@ std::string hex_u64(std::uint64_t v) {
 struct AttemptShared {
   std::mutex m;
   std::condition_variable cv;
-  bool done = false;
+  bool done PET_GUARDED_BY(m) = false;
   std::atomic<bool> cancel{false};
 };
 
@@ -174,10 +176,10 @@ SweepRunner::AttemptOutcome SweepRunner::run_training_attempt(
       return out;
     }
     static_cast<void>(runner.run_episode());
-    const std::int32_t done = runner.next_episode();
+    const std::int32_t episodes_done = runner.next_episode();
     if (cfg_.checkpoint_every > 0 &&
-        (done % cfg_.checkpoint_every == 0 ||
-         done == cfg_.train_episodes)) {
+        (episodes_done % cfg_.checkpoint_every == 0 ||
+         episodes_done == cfg_.train_episodes)) {
       if (runner.save_checkpoint(ckpt)) {
         note_durable_write();
       } else {

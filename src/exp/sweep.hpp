@@ -37,6 +37,8 @@
 #include "exp/experiment.hpp"
 #include "exp/json.hpp"
 #include "exp/scheme.hpp"
+#include "net/topology_spec.hpp"
+#include "sim/thread_annotations.hpp"
 
 namespace pet::exp {
 
@@ -187,15 +189,15 @@ class SweepRunner {
                                           const JsonValue& metrics);
   void write_merged_artifact(Result& result) const;
 
-  SweepGrid grid_;
-  SweepRunnerConfig cfg_;
-  std::vector<SweepPoint> points_;
+  SweepGrid grid_ PET_READ_SHARED;
+  SweepRunnerConfig cfg_ PET_READ_SHARED;
+  std::vector<SweepPoint> points_ PET_READ_SHARED;  // filled before the pool
   std::atomic<bool> stop_{false};
   std::atomic<std::int32_t> durable_writes_{0};
   /// Watchdog-abandoned attempt threads; joined at the end of run() once
   /// they observe cancellation, so they never outlive the runner.
   std::mutex abandoned_mutex_;
-  std::vector<std::thread> abandoned_;
+  std::vector<std::thread> abandoned_ PET_GUARDED_BY(abandoned_mutex_);
 };
 
 }  // namespace pet::exp

@@ -11,6 +11,7 @@
 
 #include "net/switch.hpp"
 #include "sim/scheduler.hpp"
+#include "sim/time.hpp"
 
 namespace pet::exp {
 

@@ -8,7 +8,9 @@
 #include <string>
 #include <vector>
 
+#include "net/packet.hpp"
 #include "net/port.hpp"
+#include "net/queue.hpp"
 #include "sim/scheduler.hpp"
 
 namespace pet::net {

@@ -4,6 +4,9 @@
 #include <string>
 #include <utility>
 
+#include "net/port.hpp"
+#include "net/topology.hpp"
+
 namespace pet::net {
 
 namespace {

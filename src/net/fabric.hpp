@@ -17,7 +17,9 @@
 #include <string_view>
 #include <vector>
 
+#include "net/network.hpp"
 #include "net/topology_spec.hpp"
+#include "sim/time.hpp"
 
 namespace pet::net {
 

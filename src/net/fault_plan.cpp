@@ -3,6 +3,9 @@
 #include <cstdio>
 #include <memory>
 
+#include "net/device.hpp"
+#include "net/port.hpp"
+#include "net/switch.hpp"
 #include "sim/log.hpp"
 
 namespace pet::net {

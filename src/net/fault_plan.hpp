@@ -14,7 +14,9 @@
 
 #include "net/gilbert_elliott.hpp"
 #include "net/network.hpp"
+#include "net/red_ecn.hpp"
 #include "sim/rng.hpp"
+#include "sim/time.hpp"
 
 namespace pet::net {
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "net/red_ecn.hpp"
+
 namespace pet::net {
 
 HostDevice::HostDevice(sim::Scheduler& sched, DeviceId id, HostId host_id,

@@ -11,6 +11,10 @@
 #include "net/device.hpp"
 #include "net/flow_source.hpp"
 #include "net/packet.hpp"
+#include "net/port.hpp"
+#include "net/queue.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
 
 namespace pet::net {
 

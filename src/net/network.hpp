@@ -7,10 +7,14 @@
 #include <utility>
 #include <vector>
 
+#include "net/device.hpp"
 #include "net/host.hpp"
+#include "net/port.hpp"
+#include "net/red_ecn.hpp"
 #include "net/switch.hpp"
 #include "sim/rng.hpp"
 #include "sim/scheduler.hpp"
+#include "sim/time.hpp"
 
 namespace pet::net {
 

@@ -12,7 +12,9 @@
 #include "net/packet.hpp"
 #include "net/queue.hpp"
 #include "net/red_ecn.hpp"
+#include "sim/rng.hpp"
 #include "sim/scheduler.hpp"
+#include "sim/stats.hpp"
 #include "sim/time.hpp"
 
 namespace pet::net {

@@ -10,6 +10,9 @@
 
 #include "net/device.hpp"
 #include "net/packet.hpp"
+#include "net/queue.hpp"
+#include "net/red_ecn.hpp"
+#include "sim/scheduler.hpp"
 
 namespace pet::net {
 

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "net/fabric.hpp"
+#include "net/topology_spec.hpp"
 
 namespace pet::net {
 

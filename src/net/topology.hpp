@@ -18,6 +18,8 @@
 #include <vector>
 
 #include "net/network.hpp"
+#include "net/switch.hpp"
+#include "sim/time.hpp"
 
 namespace pet::net {
 

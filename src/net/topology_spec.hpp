@@ -19,7 +19,9 @@
 #include <cstdint>
 #include <variant>
 
+#include "net/switch.hpp"
 #include "net/topology.hpp"
+#include "sim/time.hpp"
 
 namespace pet::net {
 

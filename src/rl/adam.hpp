@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "rl/mlp.hpp"
+#include "sim/checkpoint.hpp"
 
 namespace pet::rl {
 

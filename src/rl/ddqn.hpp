@@ -11,6 +11,7 @@
 #include "rl/adam.hpp"
 #include "rl/mlp.hpp"
 #include "rl/replay.hpp"
+#include "sim/checkpoint.hpp"
 #include "sim/rng.hpp"
 
 namespace pet::rl {

@@ -22,6 +22,7 @@
 #include "rl/mlp.hpp"
 #include "rl/ppo.hpp"
 #include "sim/checkpoint.hpp"
+#include "sim/thread_annotations.hpp"
 
 namespace pet::rl {
 
@@ -152,12 +153,15 @@ class PolicyServer {
                     std::span<std::int32_t> actions);
 
  private:
-  bool ready_ = false;
-  InferPrecision precision_ = InferPrecision::kFp64;
-  std::uint64_t version_ = 0;
-  std::vector<InferenceModel> heads_;
-  std::vector<std::int32_t> head_sizes_;
-  std::vector<double> logits_;
+  // The server is owned and driven by one serving thread (the controller
+  // tick); install/refresh and serve_greedy never race by construction.
+  bool ready_ PET_THREAD_CONFINED(serving_thread) = false;
+  InferPrecision precision_ PET_THREAD_CONFINED(serving_thread) =
+      InferPrecision::kFp64;
+  std::uint64_t version_ PET_THREAD_CONFINED(serving_thread) = 0;
+  std::vector<InferenceModel> heads_ PET_THREAD_CONFINED(serving_thread);
+  std::vector<std::int32_t> head_sizes_ PET_THREAD_CONFINED(serving_thread);
+  std::vector<double> logits_ PET_THREAD_CONFINED(serving_thread);
 };
 
 }  // namespace pet::rl

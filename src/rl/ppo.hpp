@@ -12,6 +12,7 @@
 #include "rl/adam.hpp"
 #include "rl/mlp.hpp"
 #include "rl/rollout.hpp"
+#include "sim/checkpoint.hpp"
 #include "sim/rng.hpp"
 
 namespace pet::rl {

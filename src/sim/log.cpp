@@ -5,11 +5,16 @@
 #include <cstring>
 #include <vector>
 
+#include "sim/thread_annotations.hpp"
+
 namespace pet::sim {
 
 namespace {
+// The logger's only mutable state: the level is an atomic read by every
+// thread, and the replica id is per-thread by construction.
 std::atomic<LogLevel> g_level{LogLevel::kOff};
-thread_local std::int32_t t_replica_id = -1;
+thread_local std::int32_t t_replica_id PET_THREAD_CONFINED(owning_thread) =
+    -1;
 
 const char* level_tag(LogLevel level) {
   switch (level) {

@@ -1,0 +1,28 @@
+#pragma once
+// Lightweight thread-safety annotations, checked statically by pet_lint's
+// lock-discipline rule (tools/pet_lint/project_rules.cpp) the way Clang's
+// -Wthread-safety-analysis checks its capability attributes. The macros
+// compile to nothing — they are machine-checked documentation, not runtime
+// behaviour — so they are safe on every toolchain.
+//
+//   PET_GUARDED_BY(mu)       field: may only be read or written while a
+//                            lock_guard/scoped_lock/unique_lock on `mu` is
+//                            in scope (constructors/destructors exempt)
+//   PET_REQUIRES(mu)         function: the caller already holds `mu` for
+//                            the whole body
+//   PET_THREAD_CONFINED(who) field: touched by exactly one thread (`who`
+//                            names it, e.g. coordinator); never shared
+//   PET_READ_SHARED          field: written only while single-threaded
+//                            (setup, or between worker pools); workers may
+//                            read it concurrently but never write
+//
+// In a TU that spawns threads, every mutable field of a class that owns a
+// sync primitive (mutex/atomic/condition_variable/...) must carry one of
+// these — pet_lint flags unannotated fields so the discipline stays
+// complete as code grows. Fields that are themselves sync primitives, and
+// const/constexpr fields, need no annotation.
+
+#define PET_GUARDED_BY(mu)
+#define PET_REQUIRES(mu)
+#define PET_THREAD_CONFINED(who)
+#define PET_READ_SHARED

@@ -10,8 +10,11 @@
 #include <unordered_map>
 
 #include "net/flow_source.hpp"
+#include "net/host.hpp"
 #include "net/network.hpp"
+#include "net/packet.hpp"
 #include "sim/scheduler.hpp"
+#include "sim/time.hpp"
 #include "transport/fct_recorder.hpp"
 #include "transport/flow.hpp"
 

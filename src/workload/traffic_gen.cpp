@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "transport/flow.hpp"
+
 namespace pet::workload {
 
 // ---------------------------------------------------------------------------

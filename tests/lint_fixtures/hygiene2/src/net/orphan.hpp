@@ -1,0 +1,6 @@
+#pragma once
+namespace pet::net {
+struct Orphan {
+  int unused = 0;
+};
+}  // namespace pet::net

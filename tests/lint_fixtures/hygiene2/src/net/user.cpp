@@ -1,0 +1,8 @@
+#include "sim/api.hpp"
+
+namespace pet::net {
+int probe(const sim::Api& api) {
+  sim::Widget copy = api.widget;
+  return copy.id();
+}
+}  // namespace pet::net

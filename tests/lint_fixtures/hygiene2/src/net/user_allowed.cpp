@@ -1,0 +1,10 @@
+#include "sim/api.hpp"
+
+namespace pet::net {
+int probe_allowed(const sim::Api& api) {
+  // pet-lint: allow(include-hygiene-v2): fixture exercises suppression of
+  // a use reached only through a transitive include.
+  sim::Widget copy = api.widget;
+  return copy.id();
+}
+}  // namespace pet::net

@@ -1,0 +1,9 @@
+#include "sim/api.hpp"
+#include "sim/widget.hpp"
+
+namespace pet::net {
+int probe_ok(const sim::Api& api) {
+  sim::Widget copy = api.widget;
+  return copy.id();
+}
+}  // namespace pet::net

@@ -1,0 +1,7 @@
+#pragma once
+#include "sim/widget.hpp"
+namespace pet::sim {
+struct Api {
+  Widget widget;
+};
+}  // namespace pet::sim

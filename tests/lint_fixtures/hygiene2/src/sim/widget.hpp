@@ -1,0 +1,10 @@
+#pragma once
+namespace pet::sim {
+class Widget {
+ public:
+  [[nodiscard]] int id() const { return id_; }
+
+ private:
+  int id_ = 0;
+};
+}  // namespace pet::sim

@@ -1,0 +1,14 @@
+#include "exp/top.hpp"
+
+#include "net/climb.hpp"
+#include "net/climb_allowed.hpp"
+#include "sim/base.hpp"
+#include "sim/cycle_a.hpp"
+
+namespace pet::exp {
+int use_all(const Top& t, const net::Climb& c, const net::ClimbAllowed& a,
+            const sim::CycleA& ca) {
+  return t.base.v + c.top.base.v + a.top.base.v +
+         static_cast<int>(ca.peer != nullptr);
+}
+}  // namespace pet::exp

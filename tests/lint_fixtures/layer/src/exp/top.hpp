@@ -1,0 +1,7 @@
+#pragma once
+#include "sim/base.hpp"
+namespace pet::exp {
+struct Top {
+  sim::Base base;
+};
+}  // namespace pet::exp

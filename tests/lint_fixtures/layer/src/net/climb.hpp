@@ -1,0 +1,7 @@
+#pragma once
+#include "exp/top.hpp"
+namespace pet::net {
+struct Climb {
+  exp::Top top;
+};
+}  // namespace pet::net

@@ -1,0 +1,9 @@
+#pragma once
+// pet-lint: allow(layer-order): fixture exercises the suppression grammar
+// on a climbing include edge.
+#include "exp/top.hpp"
+namespace pet::net {
+struct ClimbAllowed {
+  exp::Top top;
+};
+}  // namespace pet::net

@@ -1,0 +1,6 @@
+#pragma once
+namespace pet::sim {
+struct Base {
+  int v = 0;
+};
+}  // namespace pet::sim

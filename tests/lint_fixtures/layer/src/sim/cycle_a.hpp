@@ -1,0 +1,7 @@
+#pragma once
+#include "sim/cycle_b.hpp"
+namespace pet::sim {
+struct CycleA {
+  CycleB* peer = nullptr;
+};
+}  // namespace pet::sim

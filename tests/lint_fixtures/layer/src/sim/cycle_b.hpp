@@ -1,0 +1,7 @@
+#pragma once
+#include "sim/cycle_a.hpp"
+namespace pet::sim {
+struct CycleB {
+  CycleA* peer = nullptr;
+};
+}  // namespace pet::sim

@@ -1,0 +1,4 @@
+#pragma once
+// Fixture copies of the no-op sync annotations.
+#define PET_GUARDED_BY(mu)
+#define PET_THREAD_CONFINED(who)

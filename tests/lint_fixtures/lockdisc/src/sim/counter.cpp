@@ -1,0 +1,25 @@
+#include "sim/counter.hpp"
+
+#include <mutex>
+#include <thread>
+
+namespace pet::sim {
+
+void Counter::bump() {
+  std::lock_guard<std::mutex> lock(mu_);
+  value_ += 1;
+}
+
+void Counter::bad_bump() { value_ += 1; }
+
+int Counter::peek() {
+  std::scoped_lock lock(mu_);
+  return value_;
+}
+
+void run_worker(Counter& counter) {
+  std::thread worker([&counter] { counter.bump(); });
+  worker.join();
+}
+
+}  // namespace pet::sim

@@ -1,0 +1,17 @@
+#pragma once
+#include <mutex>
+
+#include "sim/annot.hpp"
+
+namespace pet::sim {
+class Counter {
+ public:
+  void bump();
+  void bad_bump();
+  [[nodiscard]] int peek();
+
+ private:
+  std::mutex mu_;
+  int value_ PET_GUARDED_BY(mu_) = 0;
+};
+}  // namespace pet::sim

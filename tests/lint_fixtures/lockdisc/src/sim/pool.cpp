@@ -1,0 +1,18 @@
+#include "sim/pool.hpp"
+
+#include <mutex>
+#include <thread>
+
+namespace pet::sim {
+
+void Pool::submit(int job) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pending_jobs_ += job;
+}
+
+void drain(Pool& pool) {
+  std::thread worker([&pool] { pool.submit(1); });
+  worker.join();
+}
+
+}  // namespace pet::sim

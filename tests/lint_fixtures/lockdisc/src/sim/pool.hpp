@@ -1,0 +1,13 @@
+#pragma once
+#include <mutex>
+
+namespace pet::sim {
+class Pool {
+ public:
+  void submit(int job);
+
+ private:
+  std::mutex mu_;
+  int pending_jobs_ = 0;
+};
+}  // namespace pet::sim

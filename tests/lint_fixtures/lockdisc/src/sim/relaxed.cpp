@@ -1,0 +1,11 @@
+#include "sim/relaxed.hpp"
+
+namespace pet::sim {
+
+int Relaxed::snapshot() {
+  // pet-lint: allow(lock-discipline): fixture exercises suppression — a
+  // deliberately unlocked read of a guarded field.
+  return reading_;
+}
+
+}  // namespace pet::sim

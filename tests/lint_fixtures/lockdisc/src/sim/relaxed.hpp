@@ -1,0 +1,15 @@
+#pragma once
+#include <mutex>
+
+#include "sim/annot.hpp"
+
+namespace pet::sim {
+class Relaxed {
+ public:
+  [[nodiscard]] int snapshot();
+
+ private:
+  std::mutex mu_;
+  int reading_ PET_GUARDED_BY(mu_) = 0;
+};
+}  // namespace pet::sim

@@ -1,0 +1,5 @@
+namespace pet::fixture {
+struct Dash {
+  int v = 0;
+};
+}  // namespace pet::fixture

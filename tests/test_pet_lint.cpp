@@ -6,10 +6,14 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "driver.hpp"
+#include "exp/json.hpp"
+#include "index.hpp"
 #include "lexer.hpp"
 #include "rules.hpp"
 
@@ -69,6 +73,38 @@ TEST(LintLexer, DirectiveIsOneTokenWithContinuation) {
   ASSERT_FALSE(toks.empty());
   EXPECT_EQ(toks[0].kind, lint::TokKind::kDirective);
   EXPECT_NE(toks[0].text.find("((a) + 1)"), std::string::npos);
+}
+
+TEST(LintLexer, LineCommentBackslashSpliceStaysComment) {
+  // A backslash-newline inside a `//` comment splices the next physical
+  // line into the comment (phase-2 splicing happens before comments are
+  // recognized); the spliced text must never leak out as code tokens.
+  const auto toks = lint::tokenize(
+      "// spliced comment \\\n"
+      "std::rand() would be a finding if this were code\n"
+      "int x = 1;\n");
+  for (const auto& t : toks) {
+    if (t.kind == lint::TokKind::kIdent) {
+      EXPECT_NE(t.text, "rand") << t.line;
+    }
+  }
+  // The comment is one token and the following real code still lexes.
+  const auto id = std::find_if(toks.begin(), toks.end(), [](const auto& t) {
+    return t.kind == lint::TokKind::kIdent && t.text == "x";
+  });
+  ASSERT_NE(id, toks.end());
+  EXPECT_EQ(id->line, 3);
+}
+
+TEST(LintRules, SplicedCommentDoesNotSwallowFollowingFinding) {
+  const auto rep = analyze("src/sim/x.cpp",
+                           "#include \"sim/x.hpp\"\n"
+                           "// note that wraps via splice \\\n"
+                           "and keeps going here\n"
+                           "int seed() { return std::rand(); }\n");
+  ASSERT_EQ(rep.findings.size(), 1u);
+  EXPECT_EQ(rep.findings[0].rule, "banned-api");
+  EXPECT_EQ(rep.findings[0].line, 4);
 }
 
 TEST(LintLexer, FusedPunctuation) {
@@ -432,10 +468,355 @@ TEST(LintRules, AllRuleIdsStable) {
   const auto& ids = lint::all_rule_ids();
   const std::vector<std::string> expected = {
       "banned-api", "nondet-iteration", "unaudited-ecn", "nodiscard-chain",
-      "header-hygiene", "quantize-narrowing"};
+      "header-hygiene", "deprecated-topology", "hot-path-alloc",
+      "quantize-narrowing", "layer-order", "include-hygiene-v2",
+      "lock-discipline"};
   for (const auto& id : expected) {
     EXPECT_NE(std::find(ids.begin(), ids.end(), id), ids.end()) << id;
   }
+}
+
+// --- declaration index -------------------------------------------------------
+
+lint::FileDecls scan(const std::string& path, const char* src) {
+  return lint::scan_decls(path, lint::tokenize(src));
+}
+
+const lint::Decl* find_decl(const lint::FileDecls& f, const std::string& name,
+                            lint::DeclKind kind) {
+  for (const auto& d : f.decls) {
+    if (d.name == name && d.kind == kind) return &d;
+  }
+  return nullptr;
+}
+
+TEST(LintDeclIndex, NestedClassesCarryTheOwnerChain) {
+  const auto f = scan("src/sim/outer.hpp",
+                      "#pragma once\n"
+                      "namespace pet::sim {\n"
+                      "class Outer {\n"
+                      " public:\n"
+                      "  class Inner {\n"
+                      "    int depth_ = 0;\n"
+                      "  };\n"
+                      "  void tick();\n"
+                      " private:\n"
+                      "  int beat_ = 0;\n"
+                      "};\n"
+                      "}  // namespace pet::sim\n");
+  const auto* inner = find_decl(f, "Inner", lint::DeclKind::kClass);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->owner, "Outer");
+  const auto* depth = find_decl(f, "depth_", lint::DeclKind::kField);
+  ASSERT_NE(depth, nullptr);
+  EXPECT_EQ(depth->owner, "Outer::Inner");
+  const auto* beat = find_decl(f, "beat_", lint::DeclKind::kField);
+  ASSERT_NE(beat, nullptr);
+  EXPECT_EQ(beat->owner, "Outer");
+}
+
+TEST(LintDeclIndex, OutOfLineMembersAreNotFreeFunctions) {
+  const auto f = scan("src/sim/outer.cpp",
+                      "#include \"sim/outer.hpp\"\n"
+                      "namespace pet::sim {\n"
+                      "void Outer::tick() { beat_ += 1; }\n"
+                      "int heartbeat() { return 1; }\n"
+                      "}  // namespace pet::sim\n");
+  // `Outer::tick` belongs to the class's header, not this TU; the plain
+  // free function is indexed.
+  EXPECT_EQ(find_decl(f, "tick", lint::DeclKind::kFunction), nullptr);
+  EXPECT_NE(find_decl(f, "heartbeat", lint::DeclKind::kFunction), nullptr);
+}
+
+TEST(LintDeclIndex, TemplatesAndAnnotationsAndSyncTypes) {
+  const auto f = scan(
+      "src/sim/ring.hpp",
+      "#pragma once\n"
+      "#include <mutex>\n"
+      "namespace pet::sim {\n"
+      "template <typename T, int N>\n"
+      "class Ring {\n"
+      "  std::mutex mu_;\n"
+      "  T slots_[N] PET_GUARDED_BY(mu_);\n"
+      "  const int capacity_ = N;\n"
+      "};\n"
+      "template <typename T>\n"
+      "[[nodiscard]] T clamp_load(T v);\n"
+      "}  // namespace pet::sim\n");
+  const auto* ring = find_decl(f, "Ring", lint::DeclKind::kClass);
+  ASSERT_NE(ring, nullptr);
+  EXPECT_TRUE(ring->owner.empty());
+  const auto* mu = find_decl(f, "mu_", lint::DeclKind::kField);
+  ASSERT_NE(mu, nullptr);
+  EXPECT_TRUE(mu->sync_type);
+  const auto* slots = find_decl(f, "slots_", lint::DeclKind::kField);
+  ASSERT_NE(slots, nullptr);
+  EXPECT_EQ(slots->note, lint::SyncNote::kGuardedBy);
+  EXPECT_EQ(slots->note_arg, "mu_");
+  const auto* cap = find_decl(f, "capacity_", lint::DeclKind::kField);
+  ASSERT_NE(cap, nullptr);
+  EXPECT_TRUE(cap->immutable);
+  EXPECT_NE(find_decl(f, "clamp_load", lint::DeclKind::kFunction), nullptr);
+}
+
+TEST(LintDeclIndex, IfGuardedDuplicatesCollapseInTheIndex) {
+  const auto f = scan("src/sim/dup.hpp",
+                      "#pragma once\n"
+                      "namespace pet::sim {\n"
+                      "#if defined(PET_FAST)\n"
+                      "struct Dup {\n"
+                      "  int mode_ = 0;\n"
+                      "};\n"
+                      "#else\n"
+                      "struct Dup {\n"
+                      "  int mode_ = 1;\n"
+                      "};\n"
+                      "#endif\n"
+                      "}  // namespace pet::sim\n");
+  lint::DeclIndex index;
+  index.add(f);
+  std::size_t dup_classes = 0;
+  std::size_t mode_fields = 0;
+  for (const auto& d : index.decls()) {
+    dup_classes += (d.name == "Dup" && d.kind == lint::DeclKind::kClass);
+    mode_fields += (d.name == "mode_" && d.kind == lint::DeclKind::kField);
+  }
+  EXPECT_EQ(dup_classes, 1u);
+  EXPECT_EQ(mode_fields, 1u);
+  // The collapsed decl still resolves uniquely.
+  EXPECT_NE(index.unique_decl("Dup", lint::DeclKind::kClass), nullptr);
+}
+
+TEST(LintDeclIndex, ForwardDeclarationsNeverDefine) {
+  const auto f = scan("src/sim/fwd.hpp",
+                      "#pragma once\n"
+                      "namespace pet::sim {\n"
+                      "class Elsewhere;\n"
+                      "}  // namespace pet::sim\n");
+  lint::DeclIndex index;
+  index.add(f);
+  EXPECT_EQ(index.unique_decl("Elsewhere", lint::DeclKind::kClass), nullptr);
+}
+
+// --- cross-TU rules on fixture trees -----------------------------------------
+
+TEST(LintPolicy, CrossTuRulesActivateUnderSrcOnly) {
+  for (const char* p : {"src/sim/log.cpp", "src/exp/sweep.cpp",
+                        "src/rl/ppo.hpp"}) {
+    const lint::Policy pol = lint::policy_for(p);
+    EXPECT_TRUE(pol.layer_order) << p;
+    EXPECT_TRUE(pol.include_hygiene_v2) << p;
+    EXPECT_TRUE(pol.lock_discipline) << p;
+  }
+  for (const char* p : {"tests/test_sweep.cpp", "tools/pet_lint/main.cpp",
+                        "bench/micro_sim.cpp", "examples/quickstart.cpp"}) {
+    const lint::Policy pol = lint::policy_for(p);
+    EXPECT_FALSE(pol.layer_order) << p;
+    EXPECT_FALSE(pol.include_hygiene_v2) << p;
+    EXPECT_FALSE(pol.lock_discipline) << p;
+  }
+}
+
+TEST(LintProject, LayerOrderCatchesClimbAndCycleHonorsAllow) {
+  const auto r = run_fixture("layer");
+  EXPECT_FALSE(r.io_error) << r.error;
+  // One climbing include (net -> exp) and one include cycle
+  // (cycle_a <-> cycle_b); the annotated climb is suppressed.
+  ASSERT_EQ(count_rule(r, "layer-order"), 2u);
+  bool saw_climb = false;
+  bool saw_cycle = false;
+  for (const auto& f : r.findings) {
+    if (f.rule != "layer-order") continue;
+    saw_climb = saw_climb || (f.path == "src/net/climb.hpp" &&
+                              f.message.find("climbs") != std::string::npos);
+    saw_cycle = saw_cycle || (f.path == "src/sim/cycle_a.hpp" &&
+                              f.message.find("cycle") != std::string::npos);
+  }
+  EXPECT_TRUE(saw_climb);
+  EXPECT_TRUE(saw_cycle);
+  EXPECT_EQ(r.findings.size(), 2u);
+  EXPECT_EQ(r.suppressed, 1u);
+}
+
+TEST(LintProject, IncludeHygieneV2TransitiveUseAndOrphanHeader) {
+  const auto r = run_fixture("hygiene2");
+  EXPECT_FALSE(r.io_error) << r.error;
+  // user.cpp names Widget but only reaches its header transitively;
+  // orphan.hpp is included by nothing. user_ok.cpp includes what it uses
+  // and user_allowed.cpp carries a justification.
+  ASSERT_EQ(count_rule(r, "include-hygiene-v2"), 2u);
+  bool saw_transitive = false;
+  bool saw_orphan = false;
+  for (const auto& f : r.findings) {
+    if (f.rule != "include-hygiene-v2") continue;
+    saw_transitive =
+        saw_transitive ||
+        (f.path == "src/net/user.cpp" &&
+         f.message.find("Widget") != std::string::npos &&
+         f.message.find("src/sim/widget.hpp") != std::string::npos);
+    saw_orphan = saw_orphan || (f.path == "src/net/orphan.hpp" &&
+                                f.message.find("orphan") != std::string::npos);
+  }
+  EXPECT_TRUE(saw_transitive);
+  EXPECT_TRUE(saw_orphan);
+  EXPECT_EQ(r.findings.size(), 2u);
+  EXPECT_EQ(r.suppressed, 1u);
+}
+
+TEST(LintProject, LockDisciplineUnlockedAccessAndUnannotatedField) {
+  const auto r = run_fixture("lockdisc");
+  EXPECT_FALSE(r.io_error) << r.error;
+  // bad_bump touches a guarded field without the mutex; Pool spawns
+  // threads around an unannotated mutable field. The locked accesses and
+  // the justified unlocked read stay quiet.
+  ASSERT_EQ(count_rule(r, "lock-discipline"), 2u);
+  bool saw_unlocked = false;
+  bool saw_unannotated = false;
+  for (const auto& f : r.findings) {
+    if (f.rule != "lock-discipline") continue;
+    saw_unlocked = saw_unlocked ||
+                   (f.path == "src/sim/counter.cpp" &&
+                    f.message.find("value_") != std::string::npos &&
+                    f.message.find("without holding") != std::string::npos);
+    saw_unannotated =
+        saw_unannotated ||
+        (f.path == "src/sim/pool.hpp" &&
+         f.message.find("pending_jobs_") != std::string::npos &&
+         f.message.find("no sync annotation") != std::string::npos);
+  }
+  EXPECT_TRUE(saw_unlocked);
+  EXPECT_TRUE(saw_unannotated);
+  EXPECT_EQ(r.findings.size(), 2u);
+  EXPECT_EQ(r.suppressed, 1u);
+}
+
+TEST(LintProject, CrossTuPassInactiveWithoutLayerMap) {
+  // The sortorder tree has undeclared src/ directories and orphan headers,
+  // but no tools/pet_lint/layers.txt — the project pass must stay off.
+  const auto r = run_fixture("sortorder");
+  EXPECT_FALSE(r.io_error) << r.error;
+  EXPECT_EQ(count_rule(r, "layer-order"), 0u);
+  EXPECT_EQ(count_rule(r, "include-hygiene-v2"), 0u);
+  EXPECT_EQ(count_rule(r, "lock-discipline"), 0u);
+}
+
+// --- deterministic ordering --------------------------------------------------
+
+TEST(LintDriver, ByteLessOrdersUnsignedAndDiffersFromPathCollation) {
+  EXPECT_TRUE(lint::byte_less("src/a-c/f.hpp", "src/a/f.hpp"));  // '-' < '/'
+  EXPECT_TRUE(lint::byte_less("src/a/f.hpp", "src/ab/f.hpp"));   // '/' < 'b'
+  EXPECT_FALSE(lint::byte_less("src/a/f.hpp", "src/a-c/f.hpp"));
+  EXPECT_FALSE(lint::byte_less("src/a/f.hpp", "src/a/f.hpp"));
+}
+
+TEST(LintDriver, FindingsComeBackInByteWisePathOrder) {
+  const auto r = run_fixture("sortorder");
+  EXPECT_FALSE(r.io_error) << r.error;
+  // Three headers missing #pragma once, one finding each, in byte order:
+  // "a-c" sorts before "a/" (0x2d < 0x2f) which sorts before "ab".
+  ASSERT_EQ(r.findings.size(), 3u);
+  EXPECT_EQ(r.findings[0].path, "src/a-c/f.hpp");
+  EXPECT_EQ(r.findings[1].path, "src/a/f.hpp");
+  EXPECT_EQ(r.findings[2].path, "src/ab/f.hpp");
+}
+
+// --- machine-readable output -------------------------------------------------
+
+TEST(LintDriver, JsonReportParsesWithTheRepoJsonParser) {
+  const auto r = run_fixture("lockdisc");
+  const std::string doc = lint::render_json(r);
+  std::string err;
+  const auto parsed = pet::exp::JsonValue::parse(doc, &err);
+  ASSERT_TRUE(parsed.has_value()) << err;
+  ASSERT_TRUE(parsed->is_object());
+  const auto* schema = parsed->find("schema");
+  ASSERT_NE(schema, nullptr);
+  EXPECT_EQ(schema->as_string(), "pet.lint-findings/1");
+  const auto* findings = parsed->find("findings");
+  ASSERT_NE(findings, nullptr);
+  ASSERT_TRUE(findings->is_array());
+  ASSERT_EQ(findings->size(), r.findings.size());
+  for (std::size_t i = 0; i < findings->size(); ++i) {
+    const auto& f = findings->at(i);
+    ASSERT_TRUE(f.is_object());
+    EXPECT_EQ(f.find("rule")->as_string(), r.findings[i].rule);
+    EXPECT_EQ(f.find("path")->as_string(), r.findings[i].path);
+    EXPECT_EQ(static_cast<std::int32_t>(f.find("line")->as_number()),
+              r.findings[i].line);
+  }
+  const auto* summary = parsed->find("summary");
+  ASSERT_NE(summary, nullptr);
+  EXPECT_EQ(static_cast<std::size_t>(summary->find("findings")->as_number()),
+            r.findings.size());
+  EXPECT_EQ(static_cast<std::size_t>(summary->find("suppressed")->as_number()),
+            r.suppressed);
+}
+
+// --- graph artifact ----------------------------------------------------------
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(LintGraph, ArtifactIsByteStableAndValidJson) {
+  const std::string out_a = testing::TempDir() + "/pet_lint_graph_a.json";
+  const std::string out_b = testing::TempDir() + "/pet_lint_graph_b.json";
+  for (const std::string& out : {out_a, out_b}) {
+    lint::RunOptions opts;
+    opts.root = fixture("layer");
+    opts.graph_path = out;
+    const auto r = lint::run(opts);
+    EXPECT_FALSE(r.io_error) << r.error;
+  }
+  const std::string doc_a = slurp(out_a);
+  ASSERT_FALSE(doc_a.empty());
+  EXPECT_EQ(doc_a, slurp(out_b));  // byte-identical across runs
+
+  std::string err;
+  const auto parsed = pet::exp::JsonValue::parse(doc_a, &err);
+  ASSERT_TRUE(parsed.has_value()) << err;
+  EXPECT_EQ(parsed->find("schema")->as_string(), "pet.lint-graph/1");
+  const auto* layers = parsed->find("layers");
+  ASSERT_NE(layers, nullptr);
+  ASSERT_TRUE(layers->is_array());
+  ASSERT_EQ(layers->size(), 3u);  // sim / net / exp tiers
+  EXPECT_EQ(layers->at(0).at(0).as_string(), "sim");
+  const auto* nodes = parsed->find("nodes");
+  ASSERT_NE(nodes, nullptr);
+  ASSERT_TRUE(nodes->is_array());
+  EXPECT_EQ(static_cast<std::size_t>(
+                parsed->find("file_count")->as_number()),
+            nodes->size());
+  bool saw_climb = false;
+  for (const auto& n : nodes->items()) {
+    if (n.find("path")->as_string() != "src/net/climb.hpp") continue;
+    saw_climb = true;
+    EXPECT_EQ(n.find("layer")->as_string(), "net");
+    const auto* includes = n.find("includes");
+    ASSERT_NE(includes, nullptr);
+    ASSERT_EQ(includes->size(), 1u);
+    EXPECT_EQ(includes->at(0).as_string(), "src/exp/top.hpp");
+  }
+  EXPECT_TRUE(saw_climb);
+}
+
+TEST(LintGraph, VerifyGraphFlagsStaleArtifact) {
+  const std::string out = testing::TempDir() + "/pet_lint_graph_stale.json";
+  {
+    std::ofstream f(out, std::ios::binary);
+    f << "{\"schema\": \"pet.lint-graph/1\"}\n";  // wrong bytes
+  }
+  lint::RunOptions opts;
+  opts.root = fixture("layer");
+  opts.verify_graph_path = out;
+  const auto r = lint::run(opts);
+  EXPECT_FALSE(r.io_error) << r.error;
+  EXPECT_TRUE(r.graph_stale);
+  const std::string rendered = lint::render(r);
+  EXPECT_NE(rendered.find("stale graph artifact"), std::string::npos);
 }
 
 }  // namespace

@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <sstream>
+#include <tuple>
+
+#include "project_rules.hpp"
 
 namespace fs = std::filesystem;
 
@@ -32,6 +36,12 @@ namespace {
   return fs::relative(p, root).generic_string();
 }
 
+[[nodiscard]] fs::path resolve_against(const fs::path& root,
+                                       const std::string& p) {
+  const fs::path path(p);
+  return path.is_absolute() ? path : root / path;
+}
+
 }  // namespace
 
 const std::vector<std::string>& lint_roots() {
@@ -47,6 +57,16 @@ bool is_lintable(const std::string& relpath) {
   return true;
 }
 
+bool byte_less(std::string_view a, std::string_view b) {
+  const std::size_t n = a.size() < b.size() ? a.size() : b.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto ca = static_cast<unsigned char>(a[i]);
+    const auto cb = static_cast<unsigned char>(b[i]);
+    if (ca != cb) return ca < cb;
+  }
+  return a.size() < b.size();
+}
+
 RunResult run(const RunOptions& opts) {
   RunResult result;
   const fs::path root(opts.root);
@@ -57,23 +77,101 @@ RunResult run(const RunOptions& opts) {
     return result;
   }
 
-  // Gather files (sorted for deterministic output and baseline order).
-  std::vector<fs::path> files;
-  if (!opts.files.empty()) {
-    for (const std::string& f : opts.files) files.emplace_back(root / f);
-  } else {
-    for (const std::string& sub : lint_roots()) {
-      const fs::path dir = root / sub;
-      if (!fs::is_directory(dir, ec)) continue;
-      for (fs::recursive_directory_iterator it(dir, ec), end; it != end;
-           it.increment(ec)) {
-        if (ec) break;
-        if (!it->is_regular_file(ec)) continue;
-        if (is_lintable(to_rel(it->path(), root))) files.push_back(it->path());
+  // ---- pass 1: discover, read, tokenize; build the project model ----------
+  // The model always covers the full walk (cross-TU rules need the whole
+  // tree); an explicit file list only restricts which files get *reported*.
+  std::vector<std::string> walk;  // repo-relative, byte_less-sorted
+  for (const std::string& sub : lint_roots()) {
+    const fs::path dir = root / sub;
+    if (!fs::is_directory(dir, ec)) continue;
+    for (fs::recursive_directory_iterator it(dir, ec), end; it != end;
+         it.increment(ec)) {
+      if (ec) break;
+      if (!it->is_regular_file(ec)) continue;
+      std::string rel = to_rel(it->path(), root);
+      if (is_lintable(rel)) walk.push_back(std::move(rel));
+    }
+  }
+  std::sort(walk.begin(), walk.end(), byte_less);
+  walk.erase(std::unique(walk.begin(), walk.end()), walk.end());
+
+  std::vector<std::string> report_set =
+      opts.files.empty() ? walk : opts.files;
+  std::sort(report_set.begin(), report_set.end(), byte_less);
+  report_set.erase(std::unique(report_set.begin(), report_set.end()),
+                   report_set.end());
+  // Explicit files outside the default walk (or excluded fixtures) still
+  // need model entries to be analyzable.
+  std::vector<std::string> model_files = walk;
+  for (const std::string& f : report_set) {
+    if (!std::binary_search(walk.begin(), walk.end(), f, byte_less)) {
+      model_files.push_back(f);
+    }
+  }
+  std::sort(model_files.begin(), model_files.end(), byte_less);
+
+  ProjectModel model;
+  std::map<std::string, std::string> contents;
+  for (const std::string& rel : model_files) {
+    bool ok = false;
+    std::string content = read_file(root / rel, &ok);
+    if (!ok) {
+      result.io_error = true;
+      result.error = "cannot read " + (root / rel).string();
+      return result;
+    }
+    ProjectFile pf;
+    pf.path = rel;
+    pf.toks = tokenize(content);
+    pf.decls = scan_decls(rel, pf.toks);
+    pf.policy = policy_for(rel);
+    model.graph.add_file(rel, pf.toks);
+    if (ends_with(rel, ".hpp") && rel.rfind("src/", 0) == 0) {
+      model.header_index.add(pf.decls);
+    }
+    contents.emplace(rel, std::move(content));
+    model.files.emplace(rel, std::move(pf));
+  }
+
+  // The layer map is the opt-in switch for the cross-TU pass.
+  const fs::path layers_path = root / "tools" / "pet_lint" / "layers.txt";
+  if (fs::is_regular_file(layers_path, ec)) {
+    bool ok = false;
+    const std::string layers_content = read_file(layers_path, &ok);
+    if (!ok || !model.layers.parse(layers_content)) {
+      result.io_error = true;
+      result.error = "tools/pet_lint/layers.txt: " +
+                     (ok ? model.layers.error() : std::string("cannot read"));
+      return result;
+    }
+  }
+  model.graph.finalize(model.layers);
+
+  // ---- graph artifact ------------------------------------------------------
+  if (!opts.graph_path.empty() || !opts.verify_graph_path.empty()) {
+    const std::string artifact = model.graph.to_json(model.layers);
+    if (!opts.verify_graph_path.empty()) {
+      const fs::path committed = resolve_against(root, opts.verify_graph_path);
+      bool ok = false;
+      const std::string existing = read_file(committed, &ok);
+      if (!ok) {
+        result.io_error = true;
+        result.error = "cannot read " + committed.string();
+        return result;
+      }
+      result.graph_stale = existing != artifact;
+    }
+    if (!opts.graph_path.empty()) {
+      const fs::path out_path = resolve_against(root, opts.graph_path);
+      std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+      out << artifact;
+      if (!out) {
+        result.io_error = true;
+        result.error = "cannot write " + out_path.string();
+        return result;
       }
     }
   }
-  std::sort(files.begin(), files.end());
 
   Baseline baseline;
   if (opts.use_baseline && !opts.write_baseline) {
@@ -89,30 +187,53 @@ RunResult run(const RunOptions& opts) {
     }
   }
 
+  // ---- pass 2: per-file rules, then cross-TU rules -------------------------
   std::vector<Finding> all;
-  for (const fs::path& file : files) {
-    bool ok = false;
-    const std::string content = read_file(file, &ok);
-    if (!ok) {
+  for (const std::string& rel : report_set) {
+    const auto cit = contents.find(rel);
+    if (cit == contents.end()) {
       result.io_error = true;
-      result.error = "cannot read " + file.string();
+      result.error = "cannot read " + (root / rel).string();
       return result;
     }
-    const std::string rel = to_rel(file, root);
-    const fs::path sibling = fs::path(file).replace_extension(".hpp");
+    const std::string sibling = ends_with(rel, ".cpp")
+                                    ? rel.substr(0, rel.size() - 4) + ".hpp"
+                                    : std::string{};
+    const auto sib = contents.find(sibling);
     const bool sibling_header =
-        ends_with(rel, ".cpp") && fs::exists(sibling, ec);
+        !sibling.empty() &&
+        (sib != contents.end() || fs::exists(root / sibling, ec));
     std::string header_content;
-    if (sibling_header) {
+    if (sib != contents.end()) {
+      header_content = sib->second;
+    } else if (sibling_header) {
       bool header_ok = false;
-      header_content = read_file(sibling, &header_ok);
+      header_content = read_file(root / sibling, &header_ok);
     }
-    FileReport report = analyze_source(rel, content, policy_for(rel),
+    FileReport report = analyze_source(rel, cit->second, policy_for(rel),
                                        sibling_header, header_content);
     result.suppressed += report.suppressed;
     ++result.files_scanned;
     for (Finding& f : report.findings) all.push_back(std::move(f));
   }
+
+  if (model.active()) {
+    ProjectReport project = run_project_rules(model);
+    result.suppressed += project.suppressed;
+    const bool restricted = !opts.files.empty();
+    for (Finding& f : project.findings) {
+      if (restricted &&
+          !std::binary_search(report_set.begin(), report_set.end(), f.path,
+                              byte_less)) {
+        continue;
+      }
+      all.push_back(std::move(f));
+    }
+  }
+  std::sort(all.begin(), all.end(), [](const Finding& a, const Finding& b) {
+    if (a.path != b.path) return byte_less(a.path, b.path);
+    return std::tie(a.line, a.col, a.rule) < std::tie(b.line, b.col, b.rule);
+  });
 
   if (opts.write_baseline) {
     const std::string bl_path =
@@ -149,12 +270,56 @@ std::string render(const RunResult& result) {
     out << "stale baseline entry (fixed or moved — prune it): " << stale
         << "\n";
   }
+  if (result.graph_stale) {
+    out << "stale graph artifact: the committed pet.lint-graph/1 file does "
+           "not match the tree — regenerate with --graph=\n";
+  }
   out << "pet_lint: " << result.findings.size() << " finding(s), "
       << result.baselined << " baselined, " << result.suppressed
       << " suppressed, " << result.stale.size() << " stale baseline entr"
       << (result.stale.size() == 1 ? "y" : "ies") << " across "
       << result.files_scanned << " files\n";
   return out.str();
+}
+
+std::string render_json(const RunResult& result) {
+  std::string out;
+  out += "{\n  \"schema\": \"pet.lint-findings/1\",\n  \"findings\": [";
+  bool first = true;
+  for (const Finding& f : result.findings) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"rule\": ";
+    append_json_string(out, f.rule);
+    out += ", \"path\": ";
+    append_json_string(out, f.path);
+    out += ", \"line\": " + std::to_string(f.line);
+    out += ", \"col\": " + std::to_string(f.col);
+    out += ", \"message\": ";
+    append_json_string(out, f.message);
+    out += ", \"text\": ";
+    append_json_string(out, f.line_text);
+    out += "}";
+  }
+  out += first ? "],\n" : "\n  ],\n";
+  out += "  \"stale_baseline\": [";
+  first = true;
+  for (const std::string& s : result.stale) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    ";
+    append_json_string(out, s);
+  }
+  out += first ? "],\n" : "\n  ],\n";
+  out += "  \"summary\": {\"files_scanned\": " +
+         std::to_string(result.files_scanned);
+  out += ", \"findings\": " + std::to_string(result.findings.size());
+  out += ", \"suppressed\": " + std::to_string(result.suppressed);
+  out += ", \"baselined\": " + std::to_string(result.baselined);
+  out += ", \"graph_stale\": ";
+  out += result.graph_stale ? "true" : "false";
+  out += "}\n}\n";
+  return out;
 }
 
 }  // namespace pet::lint

@@ -114,6 +114,17 @@ class Lexer {
     advance(2);
     std::string text;
     while (pos_ < src_.size() && src_[pos_] != '\n') {
+      // Phase-2 line splicing applies inside // comments too: a backslash
+      // immediately before the newline folds the next physical line into
+      // the same comment. Keep the newline in the token text so suppression
+      // line-span accounting sees the real physical extent, and so a
+      // `pet-lint: allow(...)` marker on a spliced line is not dropped.
+      if (src_[pos_] == '\\' &&
+          (peek(1) == '\n' || (peek(1) == '\r' && peek(2) == '\n'))) {
+        advance(peek(1) == '\r' ? 3 : 2);
+        text.push_back('\n');
+        continue;
+      }
       text.push_back(src_[pos_]);
       advance(1);
     }

@@ -2,13 +2,16 @@
 //
 // Usage:
 //   pet_lint [--root=DIR] [--baseline=FILE] [--no-baseline]
-//            [--write-baseline] [--list-rules] [FILE...]
+//            [--write-baseline] [--list-rules] [--format=text|json]
+//            [--graph=FILE] [--verify-graph=FILE] [FILE...]
 //
 // With no --root, walks upward from the working directory looking for the
 // repo root (a directory containing src/ and tools/pet_lint/). FILE
-// arguments are repo-relative and replace the default walk. Exit codes:
-// 0 clean (stale baseline entries alone do not fail the run), 1 findings,
-// 2 usage or I/O error.
+// arguments are repo-relative and replace the default walk. --graph writes
+// the pet.lint-graph/1 include-graph artifact; --verify-graph byte-compares
+// a committed artifact against the tree (mismatch fails the run). Exit
+// codes: 0 clean (stale baseline entries alone do not fail the run),
+// 1 findings or stale graph, 2 usage or I/O error.
 
 #include <cstdio>
 #include <filesystem>
@@ -40,13 +43,16 @@ void usage(std::FILE* to) {
   std::fprintf(
       to,
       "usage: pet_lint [--root=DIR] [--baseline=FILE] [--no-baseline]\n"
-      "                [--write-baseline] [--list-rules] [FILE...]\n");
+      "                [--write-baseline] [--list-rules] "
+      "[--format=text|json]\n"
+      "                [--graph=FILE] [--verify-graph=FILE] [FILE...]\n");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   pet::lint::RunOptions opts;
+  bool json = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto value = [&arg]() {
@@ -56,6 +62,18 @@ int main(int argc, char** argv) {
       opts.root = value();
     } else if (arg.rfind("--baseline=", 0) == 0) {
       opts.baseline_path = value();
+    } else if (arg.rfind("--graph=", 0) == 0) {
+      opts.graph_path = value();
+    } else if (arg.rfind("--verify-graph=", 0) == 0) {
+      opts.verify_graph_path = value();
+    } else if (arg.rfind("--format=", 0) == 0) {
+      const std::string fmt = value();
+      if (fmt == "json") {
+        json = true;
+      } else if (fmt != "text") {
+        std::fprintf(stderr, "pet_lint: unknown format %s\n", fmt.c_str());
+        return 2;
+      }
     } else if (arg == "--no-baseline") {
       opts.use_baseline = false;
     } else if (arg == "--write-baseline") {
@@ -93,7 +111,8 @@ int main(int argc, char** argv) {
                  result.files_scanned);
     return 0;
   }
-  const std::string report = pet::lint::render(result);
+  const std::string report =
+      json ? pet::lint::render_json(result) : pet::lint::render(result);
   std::fwrite(report.data(), 1, report.size(), stdout);
-  return result.findings.empty() ? 0 : 1;
+  return result.findings.empty() && !result.graph_stale ? 0 : 1;
 }

@@ -51,17 +51,6 @@ class LineIndex {
 
 // --- suppression annotations ------------------------------------------------
 
-struct Suppressions {
-  std::set<std::string> file_allow;
-  std::map<std::int32_t, std::set<std::string>> line_allow;
-
-  [[nodiscard]] bool allows(const std::string& rule, std::int32_t line) const {
-    if (file_allow.count(rule) != 0) return true;
-    const auto it = line_allow.find(line);
-    return it != line_allow.end() && it->second.count(rule) != 0;
-  }
-};
-
 void parse_allow_list(std::string_view text, std::size_t open_paren,
                       std::set<std::string>& out) {
   std::size_t pos = open_paren + 1;
@@ -76,8 +65,9 @@ void parse_allow_list(std::string_view text, std::size_t open_paren,
   }
 }
 
-[[nodiscard]] Suppressions collect_suppressions(
-    const std::vector<Token>& toks) {
+}  // namespace
+
+Suppressions collect_suppressions(const std::vector<Token>& toks) {
   Suppressions supp;
   // Justifications often continue over several comment lines; an annotation
   // covers its whole comment run, not just the one line that holds the
@@ -127,6 +117,8 @@ void parse_allow_list(std::string_view text, std::size_t open_paren,
   }
   return supp;
 }
+
+namespace {
 
 // --- token-stream helpers ---------------------------------------------------
 
@@ -685,6 +677,11 @@ Policy policy_for(std::string_view relpath) {
     // int8 quantization is audited in exactly one TU (the rule itself
     // exempts src/rl/inference.cpp).
     if (starts_with(relpath, "src/rl/")) p.quantize_narrowing = true;
+    // Cross-TU rules cover the architecture under src/ only; tests, tools
+    // and bench code sit outside the layer map by design.
+    p.layer_order = true;
+    p.include_hygiene_v2 = true;
+    p.lock_discipline = true;
     return p;
   }
   if (starts_with(relpath, "tests/")) {
@@ -709,7 +706,8 @@ const std::vector<std::string>& all_rule_ids() {
   static const std::vector<std::string> kIds = {
       "banned-api", "nondet-iteration", "unaudited-ecn", "nodiscard-chain",
       "header-hygiene", "deprecated-topology", "hot-path-alloc",
-      "quantize-narrowing"};
+      "quantize-narrowing", "layer-order", "include-hygiene-v2",
+      "lock-discipline"};
   return kIds;
 }
 

@@ -37,6 +37,8 @@
 // file. Justifications are mandatory by convention (reviewed, not parsed).
 
 #include <cstdint>
+#include <map>
+#include <set>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -44,6 +46,25 @@
 #include "lexer.hpp"
 
 namespace pet::lint {
+
+/// Parsed `pet-lint: allow(...)` / `allow-file(...)` annotations for one
+/// file. Public so the cross-TU pass (project_rules) can honour the same
+/// suppression syntax as the per-file rules.
+struct Suppressions {
+  std::set<std::string> file_allow;
+  std::map<std::int32_t, std::set<std::string>> line_allow;
+
+  [[nodiscard]] bool allows(const std::string& rule, std::int32_t line) const {
+    if (file_allow.count(rule) != 0) return true;
+    const auto it = line_allow.find(line);
+    return it != line_allow.end() && it->second.count(rule) != 0;
+  }
+};
+
+/// Collect suppression annotations from a token stream. An `allow()` covers
+/// the comment's whole span, continued comment-only lines, and the first
+/// code line after the run (annotation-above style).
+[[nodiscard]] Suppressions collect_suppressions(const std::vector<Token>& toks);
 
 /// Per-directory rule activation. The deterministic subsystems under
 /// `src/` are strict; tests keep the determinism rules but may print and
@@ -60,6 +81,12 @@ struct Policy {
   bool deprecated_topology = false;
   bool hot_path_alloc = false;
   bool quantize_narrowing = false;  // src/rl only; rule exempts inference.cpp
+  // Cross-TU rules (pass 2; see project_rules.hpp). The bits mark which
+  // files participate; the pass as a whole only runs when the scanned root
+  // declares an architecture in tools/pet_lint/layers.txt.
+  bool layer_order = false;
+  bool include_hygiene_v2 = false;
+  bool lock_discipline = false;
 };
 
 /// Policy for a repo-relative path (forward slashes). Mirrors the table in

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Check-only clang-tidy pass over the repo's C++ sources using the advisory
+# profile in .clang-tidy (bugprone-*, concurrency-*, performance-*).
+# Non-fatal by design: reports diagnostics but exits 0 so tidy drift never
+# blocks a build; exits 0 with a notice when clang-tidy is absent (the CI
+# container does not ship it). Mirrors tools/check_format.sh.
+#
+# Usage: tools/run_clang_tidy.sh [files...]
+#   With no arguments, sweeps src/ tools/ bench/ examples/ (tests are
+#   excluded: gtest macros dominate the diagnostics there).
+set -uo pipefail
+
+root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build="${PET_BUILD_DIR:-$root/build}"
+
+tidy="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$tidy" >/dev/null 2>&1; then
+  echo "run_clang_tidy: $tidy not found; skipping tidy check (OK)"
+  exit 0
+fi
+
+# clang-tidy needs a compilation database; generate one if the build tree
+# lacks it (CMAKE_EXPORT_COMPILE_COMMANDS is cheap to re-run).
+if [[ ! -f "$build/compile_commands.json" ]]; then
+  cmake -S "$root" -B "$build" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+fi
+if [[ ! -f "$build/compile_commands.json" ]]; then
+  echo "run_clang_tidy: no compile_commands.json in $build; skipping (OK)"
+  exit 0
+fi
+
+if [[ "$#" -gt 0 ]]; then
+  files=("$@")
+else
+  mapfile -t files < <(find "$root/src" "$root/tools" "$root/bench" \
+                            "$root/examples" -name '*.cpp' 2>/dev/null |
+                       grep -v '/lint_fixtures/' | sort)
+fi
+
+flagged=0
+for f in "${files[@]}"; do
+  if ! "$tidy" -p "$build" --quiet "$f" 2>/dev/null | grep -q .; then
+    continue
+  fi
+  echo "== ${f#"$root"/}"
+  "$tidy" -p "$build" --quiet "$f" 2>/dev/null
+  flagged=$((flagged + 1))
+done
+
+if [[ "$flagged" -gt 0 ]]; then
+  echo "run_clang_tidy: $flagged file(s) with diagnostics (advisory only)"
+else
+  echo "run_clang_tidy: all files clean"
+fi
+exit 0
